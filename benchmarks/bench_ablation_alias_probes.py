@@ -1,0 +1,74 @@
+"""Ablation — alias-detection probe count vs accuracy.
+
+APD sends N random probes per candidate prefix (Gasser et al. use 16).
+Fewer probes are cheaper but risk false positives: a dense real /64
+could answer a lucky probe.  This bench sweeps N against the world's
+ground truth (profiles know whether they are aliased).
+"""
+
+from repro.net.prefixes import Prefix
+from repro.scan.alias import AliasDetector
+from repro.world import CAMPAIGN_EPOCH
+
+from conftest import publish
+
+PROBE_COUNTS = (1, 2, 4, 8, 16)
+
+
+def _candidates(world, per_kind=120):
+    """Ground-truthed candidate /64s: aliased and dense-real."""
+    aliased = []
+    real = []
+    when = CAMPAIGN_EPOCH + 3600.0
+    for network in world.networks.values():
+        prefix64 = Prefix(
+            network.delegated_base(when) & ~((1 << 64) - 1), 64
+        )
+        if network.profile.aliased:
+            if len(aliased) < per_kind:
+                aliased.append(prefix64)
+        elif len(real) < per_kind and network.devices:
+            real.append(prefix64)
+        if len(aliased) >= per_kind and len(real) >= per_kind:
+            break
+    return aliased, real, when
+
+
+def test_ablation_alias_probes(benchmark, bench_world):
+    aliased, real, when = _candidates(bench_world)
+
+    def sweep():
+        rows = []
+        for probes in PROBE_COUNTS:
+            detector = AliasDetector(
+                bench_world, seed=5, probes_per_prefix=probes
+            )
+            true_positive = sum(
+                1 for prefix in aliased if detector.check(prefix, when).aliased
+            )
+            false_positive = sum(
+                1 for prefix in real if detector.check(prefix, when).aliased
+            )
+            rows.append((probes, true_positive, false_positive))
+        return rows
+
+    rows = benchmark(sweep)
+
+    from repro.analysis.tables import format_table
+
+    table = format_table(
+        ["probes//64", "aliased detected", "real /64s misflagged"],
+        [
+            [probes, f"{tp}/{len(aliased)}", f"{fp}/{len(real)}"]
+            for probes, tp, fp in rows
+        ],
+        title="Ablation: APD probe count vs accuracy",
+    )
+    publish("ablation_alias_probes", table)
+
+    # Aliased space answers every probe, so detection is perfect at any
+    # N; false positives must vanish as N grows.
+    for probes, tp, fp in rows:
+        assert tp == len(aliased)
+    assert rows[-1][2] <= rows[0][2]
+    assert rows[-1][2] == 0

@@ -1,0 +1,71 @@
+"""Ablation — interval compaction of observations vs raw logging.
+
+The corpus stores one ``[first, last, count]`` record per address rather
+than every raw sighting.  This bench quantifies the trade: ingestion
+speed and memory of the compacted corpus versus an append-only raw log,
+on a synthetic re-observation-heavy stream (the NTP workload: stable
+devices are sighted hundreds of times).
+"""
+
+import sys
+
+from repro.core.corpus import AddressCorpus
+from repro.world.rng import split_rng
+
+from conftest import publish
+
+STREAM_LENGTH = 200_000
+UNIQUE_ADDRESSES = 20_000
+
+
+def _stream():
+    rng = split_rng(7, "compaction")
+    addresses = [rng.getrandbits(128) for _ in range(UNIQUE_ADDRESSES)]
+    return [
+        (addresses[rng.randrange(UNIQUE_ADDRESSES)], float(i))
+        for i in range(STREAM_LENGTH)
+    ]
+
+
+def _ingest_compacted(stream):
+    corpus = AddressCorpus("compacted")
+    for address, when in stream:
+        corpus.record(address, when)
+    return corpus
+
+
+def _ingest_raw(stream):
+    log = []
+    for address, when in stream:
+        log.append((address, when))
+    return log
+
+
+def test_ablation_compaction(benchmark):
+    stream = _stream()
+    corpus = benchmark(_ingest_compacted, stream)
+    raw = _ingest_raw(stream)
+
+    compacted_bytes = sys.getsizeof(corpus._records) + sum(
+        sys.getsizeof(k) + sys.getsizeof(v)
+        for k, v in corpus._records.items()
+    )
+    raw_bytes = sys.getsizeof(raw) + sum(sys.getsizeof(e) for e in raw)
+    lines = [
+        "Ablation: observation compaction",
+        "",
+        f"stream: {STREAM_LENGTH:,} sightings of {UNIQUE_ADDRESSES:,} addresses",
+        f"compacted corpus: {len(corpus):,} records, ~{compacted_bytes:,} bytes",
+        f"raw log: {len(raw):,} entries, ~{raw_bytes:,} bytes",
+        f"memory ratio raw/compacted: {raw_bytes / compacted_bytes:.1f}x",
+        "",
+        "Compaction preserves everything the paper's analyses need "
+        "(first/last sighting, count) at a fraction of the memory; raw "
+        "logs additionally preserve inter-sighting gaps, which no "
+        "analysis in the paper consumes.",
+    ]
+    publish("ablation_compaction", "\n".join(lines))
+
+    # Sampling with replacement leaves ~e^-10 of the pool undrawn.
+    assert UNIQUE_ADDRESSES - 5 <= len(corpus) <= UNIQUE_ADDRESSES
+    assert raw_bytes > compacted_bytes

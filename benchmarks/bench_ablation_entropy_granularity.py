@@ -1,0 +1,56 @@
+"""Ablation — nibble-level vs byte-level IID entropy.
+
+The paper computes Shannon entropy over the IID's 16 hex nibbles.  An
+8-byte alphabet is cheaper per IID but saturates at log2(8)=3 bits and
+reclassifies a meaningful share of addresses across the 0.25/0.75 class
+boundaries.  This bench measures both the disagreement rate and the
+speed difference on the NTP corpus.
+"""
+
+from repro.addr.entropy import (
+    entropy_class,
+    normalized_byte_entropy,
+    normalized_iid_entropy,
+)
+from repro.addr.ipv6 import iid_of
+
+from conftest import publish
+
+SAMPLE = 20_000
+
+
+def test_ablation_entropy_granularity(benchmark, bench_study):
+    iids = [iid_of(a) for a in list(bench_study.ntp.addresses())[:SAMPLE]]
+
+    nibble_values = benchmark(
+        lambda: [normalized_iid_entropy(iid) for iid in iids]
+    )
+    byte_values = [normalized_byte_entropy(iid) for iid in iids]
+
+    disagreements = sum(
+        1
+        for nibble, byte in zip(nibble_values, byte_values)
+        if entropy_class(nibble) is not entropy_class(min(byte, 1.0))
+    )
+    mean_nibble = sum(nibble_values) / len(nibble_values)
+    mean_byte = sum(byte_values) / len(byte_values)
+
+    lines = [
+        "Ablation: entropy alphabet granularity",
+        "",
+        f"IIDs sampled: {len(iids):,}",
+        f"mean normalized entropy: nibbles {mean_nibble:.3f}, "
+        f"bytes {mean_byte:.3f}",
+        "class disagreements (low/medium/high boundaries): "
+        f"{disagreements:,} ({100 * disagreements / len(iids):.1f}%)",
+        "",
+        "Byte-level entropy saturates early (8 symbols, max 3 bits): a "
+        "random IID's 8 bytes are almost always all-distinct, pinning "
+        "its normalized entropy at 1.0 and erasing the structure the "
+        "paper's Fig. 4 per-AS analysis depends on.",
+    ]
+    publish("ablation_entropy_granularity", "\n".join(lines))
+
+    # The metrics genuinely differ — the paper's choice is not cosmetic.
+    assert disagreements > 0
+    assert mean_byte > mean_nibble

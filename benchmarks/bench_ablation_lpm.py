@@ -1,0 +1,55 @@
+"""Ablation — prefix-trie longest-prefix match vs linear scan.
+
+Every origin-AS and geolocation lookup funnels through LPM; the corpus
+analyses perform millions of them.  This bench compares the trie against
+the linear baseline on the bench world's real routing table.
+"""
+
+from repro.net.prefixes import LinearPrefixTable
+from repro.world.rng import split_rng
+
+from conftest import publish
+
+LOOKUPS = 2_000
+
+
+def test_ablation_lpm(benchmark, bench_world, bench_study):
+    routing = bench_world.routing
+    linear = LinearPrefixTable()
+    for prefix, asn in routing.items():
+        linear.insert(prefix, asn)
+
+    addresses = list(bench_study.ntp.addresses())[:LOOKUPS]
+
+    def trie_lookups():
+        return [routing.origin_asn(address) for address in addresses]
+
+    def linear_lookups():
+        return [linear.lookup(address) for address in addresses]
+
+    trie_results = benchmark(trie_lookups)
+    linear_results = linear_lookups()
+
+    import time
+
+    t0 = time.perf_counter()
+    linear_lookups()
+    linear_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    trie_lookups()
+    trie_seconds = time.perf_counter() - t0
+
+    lines = [
+        "Ablation: longest-prefix match implementation",
+        "",
+        f"table size: {len(routing):,} announcements; "
+        f"{len(addresses):,} lookups",
+        f"trie:   {trie_seconds * 1e6 / len(addresses):8.2f} us/lookup",
+        f"linear: {linear_seconds * 1e6 / len(addresses):8.2f} us/lookup",
+        f"speedup: {linear_seconds / trie_seconds:.1f}x",
+    ]
+    publish("ablation_lpm", "\n".join(lines))
+
+    # Correctness: identical answers; performance: trie wins.
+    assert trie_results == linear_results
+    assert trie_seconds < linear_seconds

@@ -1,0 +1,78 @@
+"""§4.2 — backscanning responsiveness and aliased-network discovery.
+
+Paper numbers: ~2/3 of 71.3M probed NTP clients responded; random
+same-/64 targets responded 3.5% of the time; 98% of the inferred aliased
+space was also in the Hitlist's alias list, but backscanning discovered
+aliased prefixes the Hitlist misses; 3,841,751 NTP clients lived in
+aliased /64s versus only 23 such addresses in the Hitlist.
+"""
+
+import pytest
+
+from repro.core import BackscanCampaign
+from repro.net.prefixes import Prefix
+
+from conftest import publish
+
+
+@pytest.fixture(scope="session")
+def alias_report(bench_world, bench_study):
+    campaign = BackscanCampaign(
+        bench_world, bench_study.campaign, vantage_count=5, seed=99
+    )
+    return campaign.run(start_day=30 * 7, days=7)
+
+
+def test_backscan_aliases(benchmark, bench_world, bench_study, alias_report):
+    report = alias_report
+    service = bench_study.hitlist_service
+
+    def analyze():
+        known = 0
+        for prefix64 in report.aliased_slash64s:
+            if service.is_aliased(prefix64 | 1):
+                known += 1
+        hitlist_clients_in_aliased = sum(
+            1
+            for address in bench_study.hitlist.addresses()
+            if (address & ~((1 << 64) - 1)) in report.aliased_slash64s
+        )
+        return known, hitlist_clients_in_aliased
+
+    known, hitlist_in_aliased = benchmark(analyze)
+
+    total_aliased = len(report.aliased_slash64s)
+    lines = [
+        "Backscanning and aliased networks (paper §4.2)",
+        "",
+        "NTP clients probed: %d; responsive: %d (%.1f%%; paper ~67%%)"
+        % (
+            report.probed_clients,
+            report.responsive_clients,
+            100 * report.client_responsive_fraction,
+        ),
+        "random same-/64 targets probed: %d; responsive: %d (%.1f%%; "
+        "paper 3.5%%)"
+        % (
+            report.random_probed,
+            report.random_responsive,
+            100 * report.random_responsive_fraction,
+        ),
+        "aliased /64s inferred: %d; already in Hitlist alias list: %d "
+        "(%.0f%%; paper 98%%)"
+        % (
+            total_aliased,
+            known,
+            100 * known / total_aliased if total_aliased else 0.0,
+        ),
+        "NTP clients inside aliased /64s: %d vs Hitlist addresses inside "
+        "them: %d (paper: 3,841,751 vs 23)"
+        % (len(report.clients_in_aliased_64s), hitlist_in_aliased),
+    ]
+    publish("backscan_aliases", "\n".join(lines))
+
+    # Shape: random responsiveness is rare and aliased-driven; the NTP
+    # corpus sees far more clients in aliased space than the Hitlist.
+    assert report.random_responsive_fraction < 0.25
+    if report.clients_in_aliased_64s:
+        assert len(report.clients_in_aliased_64s) > hitlist_in_aliased

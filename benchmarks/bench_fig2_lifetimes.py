@@ -1,0 +1,82 @@
+"""Figure 2 — address lifetime CCDF and IID lifetimes by entropy class.
+
+Paper shape:
+
+* Fig. 2a: >60% of addresses are observed exactly once; 1.2% persist a
+  week or longer, 0.4% a month or longer, 0.03% six months or longer.
+* Fig. 2b: low-entropy IIDs persist longest — ~10% of them are seen for
+  a week or more, versus <=5% of medium/high-entropy IIDs.
+"""
+
+from repro.addr.entropy import EntropyClass
+from repro.analysis.figures import render_ccdf_chart, render_cdf_chart
+from repro.core import address_lifetime_summary, iid_lifetimes_by_entropy
+from repro.world import DAY, WEEK
+
+from conftest import publish
+
+
+def test_fig2_lifetimes(benchmark, bench_study):
+    summary = benchmark(address_lifetime_summary, bench_study.ntp)
+    buckets = iid_lifetimes_by_entropy(bench_study.ntp)
+
+    day_lifetimes = [l / DAY for l in bench_study.ntp.lifetimes()]
+    lines = [
+        render_ccdf_chart(
+            {"all addresses": day_lifetimes},
+            x_label="address lifetime (days)",
+            title="Figure 2a: CCDF of address lifetimes",
+        ),
+        "",
+        "measured: seen-once %.1f%% (paper >60%%), >=week %.2f%% (paper "
+        "1.2%%), >=month %.2f%% (paper 0.4%%), >=6 months %.3f%% (paper "
+        "0.03%%)"
+        % (
+            100 * summary.seen_once_fraction,
+            100 * summary.week_or_longer_fraction,
+            100 * summary.month_or_longer_fraction,
+            100 * summary.six_months_or_longer_fraction,
+        ),
+        "",
+    ]
+
+    class_labels = {
+        EntropyClass.LOW: "low entropy (<0.25)",
+        EntropyClass.MEDIUM: "medium entropy",
+        EntropyClass.HIGH: "high entropy (>=0.75)",
+    }
+    samples = {
+        class_labels[cls]: [l / DAY for l in values]
+        for cls, values in buckets.items()
+        if values
+    }
+    lines.append(
+        render_cdf_chart(
+            samples,
+            x_label="IID lifetime (days)",
+            title="Figure 2b: CDF of IID lifetimes by entropy class",
+        )
+    )
+    week_shares = {}
+    for cls, values in buckets.items():
+        if values:
+            week_shares[cls] = sum(1 for l in values if l >= WEEK) / len(values)
+    lines.append("")
+    lines.append(
+        "IIDs observed >= 1 week: "
+        + ", ".join(
+            f"{cls.value}={100 * share:.1f}%" for cls, share in week_shares.items()
+        )
+        + "  (paper: low ~10%, medium/high <=5%)"
+    )
+    publish("fig2_lifetimes", "\n".join(lines))
+
+    # Shape assertions.
+    assert summary.seen_once_fraction > 0.5
+    assert (
+        summary.week_or_longer_fraction
+        > summary.month_or_longer_fraction
+        >= summary.six_months_or_longer_fraction
+    )
+    if EntropyClass.LOW in week_shares and EntropyClass.HIGH in week_shares:
+        assert week_shares[EntropyClass.LOW] > week_shares[EntropyClass.HIGH]

@@ -1,0 +1,70 @@
+"""Figure 7 — exemplar EUI-64 tracking timelines.
+
+The paper plots four exemplar devices: (a) a MAC from an unregistered OUI
+frequently renumbered inside one AS, (b) a reused MAC visible in many
+countries at once, (c) a device switching between two Brazilian
+providers, and (d) a Huawei MAC commuting between Chinese networks.  The
+bench extracts one exemplar per §5.2 class from the corpus and renders
+its sighting timeline across /64s (grouped by AS).
+"""
+
+from collections import defaultdict
+
+from repro.addr.mac import format_mac
+from repro.analysis.figures import render_timeline
+from repro.core import analyze_tracking
+from repro.core.tracking import TrackingClass
+
+from conftest import publish
+
+_PANELS = [
+    (TrackingClass.PREFIX_REASSIGNMENT, "(a) frequent renumbering in one AS"),
+    (TrackingClass.MAC_REUSE, "(b) MAC reuse across countries"),
+    (TrackingClass.CHANGING_PROVIDERS, "(c) provider change"),
+    (TrackingClass.USER_MOVEMENT, "(d) user movement between ASes"),
+]
+
+
+def test_fig7_timelines(benchmark, bench_world, bench_study):
+    report = analyze_tracking(
+        bench_study.ntp, bench_world.ipv6_origin_asn, bench_world.country_of
+    )
+
+    def extract():
+        return {
+            cls: report.exemplar(cls) for cls, _ in _PANELS
+        }
+
+    exemplars = benchmark(extract)
+
+    start = bench_study.campaign.config.start
+    end = bench_study.campaign.config.end
+    lines = ["Figure 7: exemplar EUI-64 tracking timelines", ""]
+    for cls, caption in _PANELS:
+        track = exemplars[cls]
+        lines.append(caption)
+        if track is None:
+            lines.append("  (no exemplar of this class at bench scale)")
+            lines.append("")
+            continue
+        by_group = defaultdict(list)
+        for when, prefix64, asn in track.timeline:
+            record = bench_world.registry.lookup(asn) if asn else None
+            label = record.name if record else f"AS{asn}"
+            by_group[label].append(when)
+        lines.append(
+            f"  MAC {format_mac(track.mac)} — {len(track.slash64s)} /64s, "
+            f"{track.transitions} transitions, ASes: "
+            + ", ".join(str(asn) for asn in track.asns)
+        )
+        lines.append(
+            render_timeline(dict(by_group), start, end, width=60)
+        )
+        lines.append("")
+    publish("fig7_timelines", "\n".join(lines))
+
+    # At bench scale at least the two big classes must have exemplars.
+    assert exemplars[TrackingClass.PREFIX_REASSIGNMENT] is not None
+    reuse = exemplars[TrackingClass.MAC_REUSE]
+    if reuse is not None:
+        assert len(reuse.countries) > 1

@@ -1,0 +1,64 @@
+"""Extension — hitlist rust: responsiveness decay by snapshot age.
+
+Quantifies the "Rusty Clusters" effect the paper builds on: a published
+hitlist snapshot loses responsive addresses as customer prefixes rotate
+and clients churn, while passively observed client addresses rust almost
+immediately.  This is the operational argument for continuous collection
+over static lists.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.decay import corpus_decay, responsiveness_decay
+from repro.world import CAMPAIGN_EPOCH, WEEK
+
+from conftest import publish
+
+MAX_AGE = 8
+
+
+def test_hitlist_decay(benchmark, bench_world, bench_study):
+    snapshots = bench_study.hitlist_service.snapshots[:12]
+
+    hitlist_curve = benchmark(
+        responsiveness_decay, bench_world, snapshots, MAX_AGE, 300, 5
+    )
+
+    # Passive-corpus comparison: addresses first seen in week 10,
+    # re-probed at increasing ages.
+    week10 = (
+        CAMPAIGN_EPOCH + 10 * WEEK,
+        CAMPAIGN_EPOCH + 11 * WEEK,
+    )
+    ntp_addresses = [
+        address
+        for address in bench_study.ntp.addresses_in_window(*week10)
+    ]
+    ntp_curve = corpus_decay(
+        bench_world,
+        ntp_addresses,
+        observed_at=week10[1],
+        ages_weeks=list(range(MAX_AGE + 1)),
+        sample=300,
+        seed=5,
+    )
+
+    rows = [
+        [
+            age,
+            f"{100 * hitlist_curve.get(age, float('nan')):.1f}%",
+            f"{100 * ntp_curve.get(age, float('nan')):.1f}%",
+        ]
+        for age in range(MAX_AGE + 1)
+    ]
+    table = format_table(
+        ["age (weeks)", "Hitlist still responsive", "NTP corpus still responsive"],
+        rows,
+        title="Hitlist rust: responsiveness by snapshot age",
+    )
+    publish("hitlist_decay", table)
+
+    # Shape: fresh snapshots are nearly fully responsive; they decay
+    # with age; passive client addresses rust far faster.
+    assert hitlist_curve[0] > 0.9
+    assert hitlist_curve[MAX_AGE] < hitlist_curve[0]
+    assert ntp_curve[MAX_AGE] < hitlist_curve[MAX_AGE]

@@ -1,0 +1,119 @@
+"""Extension — outage detection from passive NTP activity.
+
+The paper motivates large hitlists with applications like outage
+detection (§2.1).  This bench injects whole-AS outages into a dedicated
+world, runs the passive campaign with an activity recorder attached, and
+scores the collapse detector against the injected ground truth —
+precision, recall, and day-level localization.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core import (
+    ASActivityRecorder,
+    CampaignConfig,
+    NTPCampaign,
+    detect_outages,
+)
+from repro.world import CAMPAIGN_EPOCH, DAY, WorldConfig, build_world
+
+from conftest import publish
+
+WEEKS = 12
+
+
+@pytest.fixture(scope="module")
+def outage_setup():
+    world = build_world(
+        WorldConfig(
+            seed=88,
+            n_fixed_ases=20,
+            n_cellular_ases=5,
+            n_hosting_ases=5,
+            n_home_networks=900,
+            n_cellular_subscribers=300,
+            n_hosting_networks=30,
+            outage_as_count=3,
+            outage_min_days=3,
+            outage_max_days=7,
+            campaign_weeks=WEEKS,
+        )
+    )
+    campaign = NTPCampaign(
+        world, CampaignConfig(start=CAMPAIGN_EPOCH, weeks=WEEKS, seed=88)
+    )
+    recorder = ASActivityRecorder(world.ipv6_origin_asn, epoch=CAMPAIGN_EPOCH)
+    campaign.extra_sinks.append(recorder)
+    campaign.run()
+    return world, recorder
+
+
+def test_outage_detection(benchmark, outage_setup):
+    world, recorder = outage_setup
+    days = WEEKS * 7
+
+    events = benchmark(detect_outages, recorder, days, 0.2, 3.0)
+
+    truth = {
+        asn: [
+            (
+                int((start - CAMPAIGN_EPOCH) // DAY),
+                int((end - CAMPAIGN_EPOCH) // DAY),
+            )
+            for start, end in windows
+        ]
+        for asn, windows in world.outages.items()
+    }
+
+    rows = []
+    detected_asns = {event.asn for event in events}
+    hits = 0
+    for asn, windows in sorted(truth.items()):
+        for true_start, true_end in windows:
+            matching = [
+                event
+                for event in events
+                if event.asn == asn
+                and event.start_day < true_end
+                and event.end_day > true_start
+            ]
+            found = bool(matching)
+            hits += found
+            baseline = (
+                f"{matching[0].baseline:.0f}/day" if matching else
+                f"{sorted(recorder.series(asn, days))[days // 2]}/day"
+            )
+            rows.append(
+                [
+                    f"AS{asn}",
+                    f"{true_start}-{true_end}",
+                    (
+                        f"{matching[0].start_day}-{matching[0].end_day}"
+                        if matching
+                        else "missed"
+                    ),
+                    baseline,
+                ]
+            )
+    total_truth = sum(len(w) for w in truth.values())
+    false_alarms = [
+        event for event in events if event.asn not in truth
+    ]
+    table = format_table(
+        ["AS", "injected (days)", "detected (days)", "baseline"],
+        rows,
+        title="Outage detection vs injected ground truth",
+    )
+    lines = [
+        table,
+        "",
+        f"recall: {hits}/{total_truth} injected outages detected",
+        f"false alarms (events in healthy ASes): {len(false_alarms)}",
+    ]
+    publish("outage_detection", "\n".join(lines))
+
+    # Every sufficiently observed injected outage must be found, with no
+    # false alarms in healthy ASes.
+    assert hits >= max(1, total_truth - 1)
+    assert len(false_alarms) == 0

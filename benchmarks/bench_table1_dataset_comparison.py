@@ -1,0 +1,81 @@
+"""Table 1 — dataset comparison (NTP vs IPv6 Hitlist vs CAIDA).
+
+Regenerates the paper's Table 1 plus the §3/§4.1 side numbers: the size
+ratios, overlap fractions, country mix (top-5 share) and the
+phone-provider AS share per dataset.
+
+Paper values for reference:
+
+* NTP 7.91B addresses / 9,006 ASNs / 7.21M /48s / 1,098 addrs per /48;
+* Hitlist 21.4M / 18,184 / 431,851 / 50; common addrs = 1.3% of Hitlist;
+* CAIDA 11.6M / 13,770 / 11.1M / 1; common addrs = 0.02% of CAIDA;
+* top-5 countries (IN, CN, US, BR, ID) = 76% of the NTP corpus;
+* phone-provider share: 14% (NTP) vs 2% (Hitlist).
+"""
+
+from repro.analysis.tables import format_table
+from repro.core import compare_datasets, phone_provider_shares
+from repro.net.geodb import country_histogram, top_country_share
+
+from conftest import publish
+
+
+def test_table1_dataset_comparison(benchmark, bench_world, bench_study):
+    comparison = benchmark(
+        compare_datasets,
+        bench_study.ntp,
+        [bench_study.hitlist, bench_study.caida],
+        bench_world.ipv6_origin_asn,
+    )
+
+    lines = [comparison.render(), ""]
+    lines.append(
+        "size ratios: NTP/Hitlist = %.0fx (paper 370x), "
+        "NTP/CAIDA = %.0fx (paper 681x)"
+        % (
+            comparison.size_ratio("ipv6-hitlist"),
+            comparison.size_ratio("caida-routed-48"),
+        )
+    )
+    lines.append(
+        "overlap: %.1f%% of Hitlist (paper 1.3%%), "
+        "%.2f%% of CAIDA (paper 0.02%%)"
+        % (
+            100 * comparison.overlap_fraction("ipv6-hitlist"),
+            100 * comparison.overlap_fraction("caida-routed-48"),
+        )
+    )
+
+    shares = phone_provider_shares(
+        [bench_study.ntp, bench_study.hitlist],
+        bench_world.registry,
+        bench_world.ipv6_origin_asn,
+    )
+    lines.append(
+        "phone-provider AS share: NTP %.0f%% (paper 14%%) vs "
+        "Hitlist %.0f%% (paper 2%%)"
+        % (100 * shares["ntp-pool"], 100 * shares["ipv6-hitlist"])
+    )
+
+    histogram = country_histogram(
+        bench_study.ntp.addresses(), bench_world.geodb
+    )
+    ranked, share = top_country_share(histogram, top=5)
+    lines.append(
+        "top-5 client countries: %s = %.0f%% of corpus (paper: "
+        "IN, CN, US, BR, ID = 76%%)"
+        % (", ".join(country for country, _ in ranked), 100 * share)
+    )
+    publish("table1_dataset_comparison", "\n".join(lines))
+
+    # Shape assertions: orderings the paper reports must hold.
+    rows = {row.name: row for row in comparison.rows}
+    assert rows["ntp-pool"].addresses > rows["ipv6-hitlist"].addresses
+    assert rows["ntp-pool"].addresses > rows["caida-routed-48"].addresses
+    assert (
+        rows["ntp-pool"].avg_addresses_per_48
+        > rows["ipv6-hitlist"].avg_addresses_per_48
+        > rows["caida-routed-48"].avg_addresses_per_48
+    )
+    assert comparison.overlap_fraction("caida-routed-48") < 0.02
+    assert shares["ntp-pool"] > shares["ipv6-hitlist"]

@@ -1,0 +1,110 @@
+"""Extension — TGA training bias (the paper's §1 claim, tested).
+
+"Target generation algorithms must be trained on *some* hitlist and are
+biased to the types of addresses contained in their training data."
+
+This bench trains the same two TGAs once on the (router/CPE-flavoured)
+IPv6 Hitlist and once on a same-size sample of the (client-flavoured)
+NTP corpus, probes each candidate set, and compares what each training
+diet discovers: hit rate, IID entropy of the hits, and the share of hits
+that are client devices.
+"""
+
+from repro.addr.entropy import normalized_iid_entropy
+from repro.addr.ipv6 import iid_of
+from repro.analysis.distributions import ECDF
+from repro.analysis.tables import format_table
+from repro.scan.tga import ClusterExpansion, NibbleModel
+from repro.world import CAMPAIGN_EPOCH, WEEK, ResponderKind
+from repro.world.rng import split_rng
+
+from conftest import publish
+
+BUDGET = 3_000
+
+
+def _evaluate(world, seeds, when, label):
+    rows = []
+    for name, generator in (
+        ("entropy/ip-style", NibbleModel()),
+        ("6Gen-style", ClusterExpansion()),
+    ):
+        rng = split_rng(1234, "tga", label, name)
+        candidates = generator.fit(seeds).generate(BUDGET, rng)
+        hits = []
+        clients = 0
+        for candidate in candidates:
+            response = world.probe(candidate, when)
+            if response is None:
+                continue
+            hits.append(candidate)
+            if (
+                response.kind is ResponderKind.DEVICE
+                and response.device is not None
+                and not response.device.device_type.is_infrastructure
+            ):
+                clients += 1
+        hit_rate = len(hits) / len(candidates) if candidates else 0.0
+        median_entropy = (
+            ECDF(
+                [normalized_iid_entropy(iid_of(hit)) for hit in hits]
+            ).median
+            if hits
+            else float("nan")
+        )
+        rows.append(
+            [
+                label,
+                name,
+                len(candidates),
+                len(hits),
+                f"{100 * hit_rate:.1f}%",
+                f"{median_entropy:.2f}",
+                clients,
+            ]
+        )
+    return rows
+
+
+def test_tga_bias(benchmark, bench_world, bench_study):
+    when = CAMPAIGN_EPOCH + 30 * WEEK
+    hitlist_seeds = set(bench_study.hitlist.addresses())
+    rng = split_rng(1234, "tga-sample")
+    ntp_all = sorted(bench_study.ntp.addresses())
+    ntp_seeds = set(
+        rng.sample(ntp_all, min(len(hitlist_seeds), len(ntp_all)))
+    )
+
+    def run():
+        rows = _evaluate(bench_world, hitlist_seeds, when, "Hitlist-trained")
+        rows += _evaluate(bench_world, ntp_seeds, when, "NTP-trained")
+        return rows
+
+    rows = benchmark(run)
+
+    table = format_table(
+        [
+            "training set", "TGA", "candidates", "hits", "hit rate",
+            "median hit entropy", "client hits",
+        ],
+        rows,
+        title="TGA training bias (paper §1: models inherit their "
+              "hitlist's biases)",
+    )
+    publish("tga_bias", table)
+
+    by_key = {(row[0], row[1]): row for row in rows}
+    # The paper's claim, quantified:
+    # 1. Hitlist-trained generators find things — but only low-entropy
+    #    infrastructure (hidden rack servers, router-style numbering).
+    assert by_key[("Hitlist-trained", "entropy/ip-style")][3] > 0
+    assert by_key[("Hitlist-trained", "6Gen-style")][3] > 0
+    assert float(by_key[("Hitlist-trained", "entropy/ip-style")][5]) < 0.3
+    # 2. NTP-trained generators inherit the client flavour: whatever
+    #    they hit skews high-entropy (aliased space), and *actual*
+    #    ephemeral clients remain ungeneratable for every TGA.
+    ntp_row = by_key[("NTP-trained", "entropy/ip-style")]
+    if ntp_row[3] > 0:
+        assert float(ntp_row[5]) > 0.5
+    for row in rows:
+        assert row[6] == 0  # no TGA ever synthesizes a live client

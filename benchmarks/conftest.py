@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+One moderate-scale world and one full study are built per session and
+shared by every bench; each bench then times its analysis step and writes
+the regenerated table/figure (paper-vs-measured) both to stdout and to
+``benchmarks/output/<name>.txt``.
+
+Scale note: the paper's corpus is 7.9B addresses from the production
+Internet; the bench world collects a few hundred thousand observations
+from a ~2700-network simulation.  Absolute counts differ by construction;
+the *shapes* — orderings, ratios, CDF positions — are the reproduction
+targets (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core import StudyConfig, run_study
+from repro.world import CAMPAIGN_EPOCH, WorldConfig, build_world
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+BENCH_SEED = 42
+
+BENCH_WORLD_CONFIG = WorldConfig(
+    seed=BENCH_SEED,
+    n_fixed_ases=30,
+    n_cellular_ases=8,
+    n_hosting_ases=8,
+    n_home_networks=1500,
+    n_cellular_subscribers=600,
+    n_hosting_networks=60,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    return build_world(BENCH_WORLD_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def bench_study(bench_world):
+    return run_study(
+        bench_world,
+        StudyConfig(start=CAMPAIGN_EPOCH, weeks=31, seed=BENCH_SEED),
+    )
+
+
+def publish(name: str, text: str) -> None:
+    """Print a bench's regenerated artifact and persist it to disk."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print()
+    print(text)
+    print(f"[artifact written to {path}]")

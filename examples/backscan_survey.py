@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Backscanning survey: probing back to passive NTP clients (paper §4.2).
+
+Runs the paper's backscanning experiment: for a week, five vantages
+record their clients in ten-minute intervals and probe each client (plus
+a random address in the same /64) when the interval closes.  Reports
+responsiveness, the entropy split between hits and misses, and the
+aliased networks the random probes expose.
+
+Run:  python examples/backscan_survey.py
+"""
+
+from repro.analysis.distributions import ECDF
+from repro.core import BackscanCampaign, CampaignConfig, NTPCampaign
+from repro.world import CAMPAIGN_EPOCH, WorldConfig, build_world
+
+
+def main() -> None:
+    world = build_world(
+        WorldConfig(
+            seed=29,
+            n_fixed_ases=15,
+            n_cellular_ases=5,
+            n_hosting_ases=5,
+            n_home_networks=400,
+            n_cellular_subscribers=250,
+            n_hosting_networks=20,
+        )
+    )
+    campaign = NTPCampaign(
+        world, CampaignConfig(start=CAMPAIGN_EPOCH, weeks=12, seed=29)
+    )
+    print("collecting 12 weeks of observations ...")
+    campaign.run()
+
+    print("backscanning clients seen during the final week ...")
+    backscan = BackscanCampaign(world, campaign, vantage_count=5, seed=29)
+    report = backscan.run(start_day=11 * 7, days=7)
+
+    print(
+        f"\nclients probed: {report.probed_clients:,}; responsive: "
+        f"{report.responsive_clients:,} "
+        f"({100 * report.client_responsive_fraction:.0f}%; paper ~67%)"
+    )
+    print(
+        f"random same-/64 targets: {report.random_probed:,}; responsive: "
+        f"{report.random_responsive:,} "
+        f"({100 * report.random_responsive_fraction:.1f}%; paper 3.5%)"
+    )
+
+    if report.hit_entropies and report.miss_entropies:
+        print(
+            "median IID entropy: hits %.2f vs misses %.2f (paper: misses "
+            "skew higher)"
+            % (
+                ECDF(report.hit_entropies).median,
+                ECDF(report.miss_entropies).median,
+            )
+        )
+
+    print(
+        f"\naliased /64s discovered via random probes: "
+        f"{len(report.aliased_slash64s):,}"
+    )
+    print(
+        f"NTP clients living inside aliased /64s: "
+        f"{len(report.clients_in_aliased_64s):,} — invisible to active "
+        "scanning (the paper found 3.8M such clients vs 23 in the Hitlist)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Operate an IPv6 Hitlist service (the comparison methodology, §2.2).
+
+Runs the Gasser-style weekly pipeline — seed harvesting, traceroute,
+target generation, multi-protocol probing, alias filtering — and shows
+how the published hitlist grows week over week and what it structurally
+misses (ephemeral, high-entropy clients).
+
+Run:  python examples/hitlist_operator.py
+"""
+
+from repro.addr.entropy import normalized_iid_entropy
+from repro.addr.ipv6 import iid_of
+from repro.analysis.distributions import ECDF
+from repro.analysis.tables import format_table
+from repro.scan import HitlistService
+from repro.world import CAMPAIGN_EPOCH, WEEK, WorldConfig, build_world
+
+
+def main() -> None:
+    world = build_world(
+        WorldConfig(
+            seed=37,
+            n_fixed_ases=12,
+            n_cellular_ases=5,
+            n_hosting_ases=5,
+            n_home_networks=300,
+            n_cellular_subscribers=100,
+            n_hosting_networks=25,
+        )
+    )
+    vantage_asn = sorted({v.asn for v in world.vantages})[0]
+    service = HitlistService(world, vantage_asn, seed=37)
+
+    print("running 8 weekly Hitlist cycles ...")
+    history = service.run(CAMPAIGN_EPOCH, 8)
+
+    rows = []
+    cumulative = set()
+    for snapshot in service.snapshots:
+        cumulative |= snapshot.responsive
+        rows.append(
+            [
+                snapshot.week,
+                snapshot.candidates_probed,
+                len(snapshot.responsive),
+                len(cumulative),
+                len(snapshot.aliased_prefixes),
+            ]
+        )
+    print(
+        format_table(
+            ["week", "candidates", "responsive", "cumulative", "new aliased"],
+            rows,
+            title="weekly Hitlist snapshots",
+        )
+    )
+
+    print(f"\naccumulated responsive addresses: {len(history):,}")
+    print(f"aliased prefixes on the published list: "
+          f"{len(service.aliased_prefixes):,}")
+
+    entropies = [
+        normalized_iid_entropy(iid_of(address)) for address in history
+    ]
+    print(
+        f"median IID entropy of the hitlist: {ECDF(entropies).median:.2f} "
+        "(paper: ~0.7 — routers, servers and CPE, not ephemeral clients)"
+    )
+    total_devices = sum(
+        1 for device in world.iter_devices() if device.uses_pool
+    )
+    print(
+        f"\nfor contrast: the world holds {len(world.devices):,} devices "
+        f"({total_devices:,} of them NTP-pool clients a passive vantage "
+        "could see) — the active pipeline reaches only its predictable "
+        "fringe."
+    )
+
+
+if __name__ == "__main__":
+    main()

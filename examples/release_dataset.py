@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Ethics-aware dataset release (paper §3 "Ethical Considerations", §6).
+
+Collects a corpus, demonstrates what full addresses would leak (embedded
+MACs), then builds the /48-truncated public release the paper advocates,
+audits it for identifier leakage, and writes it to disk.
+
+Run:  python examples/release_dataset.py [output-path]
+"""
+
+import sys
+
+from repro.addr.eui64 import extract_mac
+from repro.addr.ipv6 import format_address
+from repro.addr.mac import format_mac
+from repro.core import (
+    CampaignConfig,
+    NTPCampaign,
+    build_release,
+    verify_release_safety,
+)
+from repro.world import CAMPAIGN_EPOCH, WorldConfig, build_world
+
+
+def main() -> None:
+    output_path = sys.argv[1] if len(sys.argv) > 1 else "release_48s.csv"
+    world = build_world(
+        WorldConfig(
+            seed=43,
+            n_fixed_ases=10,
+            n_cellular_ases=4,
+            n_hosting_ases=4,
+            n_home_networks=200,
+            n_cellular_subscribers=80,
+            n_hosting_networks=15,
+        )
+    )
+    campaign = NTPCampaign(
+        world, CampaignConfig(start=CAMPAIGN_EPOCH, weeks=8, seed=43)
+    )
+    print("collecting 8 weeks of observations ...")
+    corpus = campaign.run()
+    print(f"corpus: {len(corpus):,} addresses")
+
+    # What raw release would expose.
+    leaks = 0
+    example = None
+    for address in corpus.addresses():
+        mac = extract_mac(address)
+        if mac is not None:
+            leaks += 1
+            if example is None:
+                example = (address, mac)
+    print(f"\nraw addresses embedding a device MAC: {leaks:,}")
+    if example is not None:
+        address, mac = example
+        print(
+            f"  e.g. {format_address(address)} exposes MAC {format_mac(mac)}"
+        )
+
+    artifact = build_release(corpus)
+    violations = verify_release_safety(artifact)
+    print(
+        f"\n/48-truncated release: {artifact.prefix_count:,} prefixes "
+        f"aggregating {artifact.address_count:,} addresses"
+    )
+    print(f"safety audit: {'CLEAN' if not violations else violations}")
+
+    with open(output_path, "w") as stream:
+        artifact.write(stream)
+    print(f"release written to {output_path}")
+    print("\nfirst lines:")
+    for line in artifact.lines()[:5]:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

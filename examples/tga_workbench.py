@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""TGA workbench: train target-generation algorithms on different diets.
+
+Demonstrates the paper's §1 observation that TGAs inherit their training
+hitlist's biases: the same generators trained on the (infrastructure-
+flavoured) Hitlist versus the (client-flavoured) NTP corpus discover
+very different things — and neither can synthesize a live ephemeral
+client.
+
+Run:  python examples/tga_workbench.py
+"""
+
+from repro.addr.entropy import normalized_iid_entropy
+from repro.addr.ipv6 import iid_of
+from repro.analysis.tables import format_table
+from repro.core import StudyConfig, run_study
+from repro.scan.tga import ClusterExpansion, NibbleModel
+from repro.world import CAMPAIGN_EPOCH, WEEK, build_world, preset_config
+from repro.world.rng import split_rng
+
+BUDGET = 1_500
+
+
+def evaluate(world, label, seeds, when):
+    rows = []
+    for name, generator in (
+        ("entropy/ip-style", NibbleModel()),
+        ("6Gen-style", ClusterExpansion()),
+    ):
+        rng = split_rng(5, label, name)
+        candidates = generator.fit(seeds).generate(BUDGET, rng)
+        hits = [
+            candidate
+            for candidate in candidates
+            if world.is_responsive(candidate, when)
+        ]
+        entropies = sorted(
+            normalized_iid_entropy(iid_of(hit)) for hit in hits
+        )
+        median = entropies[len(entropies) // 2] if entropies else float("nan")
+        rows.append(
+            [
+                label,
+                name,
+                len(candidates),
+                len(hits),
+                f"{median:.2f}" if hits else "-",
+            ]
+        )
+    return rows
+
+
+def main() -> None:
+    world = build_world(preset_config("small", seed=53))
+    print("running the study to obtain training hitlists ...")
+    results = run_study(
+        world, StudyConfig(start=CAMPAIGN_EPOCH, weeks=15, seed=53)
+    )
+    when = CAMPAIGN_EPOCH + 14 * WEEK
+
+    hitlist_seeds = set(results.hitlist.addresses())
+    rng = split_rng(5, "sample")
+    ntp_pool = sorted(results.ntp.addresses())
+    ntp_seeds = set(
+        rng.sample(ntp_pool, min(len(hitlist_seeds), len(ntp_pool)))
+    )
+
+    rows = evaluate(world, "Hitlist-trained", hitlist_seeds, when)
+    rows += evaluate(world, "NTP-trained", ntp_seeds, when)
+    print()
+    print(
+        format_table(
+            ["training diet", "TGA", "candidates", "hits", "median hit entropy"],
+            rows,
+            title="what each training diet teaches a generator to find",
+        )
+    )
+    print(
+        "\nLow-entropy hits = hidden infrastructure (rack servers, "
+        "routers); high-entropy hits = aliased middleboxes. No diet "
+        "produces live ephemeral clients — the structural reason the "
+        "paper argues passive collection is irreplaceable."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro — reproduction of "IPv6 Hitlists at Scale: Be Careful What You
+Wish For" (Rye & Levin, SIGCOMM 2023).
+
+The package is layered bottom-up:
+
+* :mod:`repro.addr` — IPv6/MAC address analytics (entropy, EUI-64,
+  pattern classification);
+* :mod:`repro.net` — prefixes, routing, AS records, geolocation,
+  AS-level topology;
+* :mod:`repro.world` — a deterministic generative model of the IPv6
+  Internet (the stand-in for the production network, see DESIGN.md);
+* :mod:`repro.ntp` — RFC 5905 packets, stratum-2 servers, the NTP Pool;
+* :mod:`repro.scan` — ZMap6/Yarrp analogues, target generation, alias
+  detection, the CAIDA and IPv6-Hitlist comparison campaigns;
+* :mod:`repro.geo` — the wardriving database and the IPvSeeYou
+  geolocation attack;
+* :mod:`repro.core` — the paper's contribution: the passive NTP
+  campaign, corpora, and every Table/Figure analysis;
+* :mod:`repro.analysis` — ECDFs, tables and terminal figures.
+
+Quickstart::
+
+    from repro.world import build_world, WorldConfig, CAMPAIGN_EPOCH
+    from repro.core import StudyConfig, run_study
+
+    world = build_world(WorldConfig(seed=7))
+    results = run_study(world, StudyConfig(start=CAMPAIGN_EPOCH, seed=7))
+    print(len(results.ntp), "passively observed addresses")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

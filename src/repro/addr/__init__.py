@@ -1,0 +1,63 @@
+"""IPv6 / MAC address analytics.
+
+Pure-algorithm building blocks for every classification the paper
+performs: address and IID structure (:mod:`repro.addr.ipv6`), MAC and OUI
+handling (:mod:`repro.addr.mac`, :mod:`repro.addr.oui_db`), EUI-64
+embedding and recovery (:mod:`repro.addr.eui64`), normalized Shannon
+entropy (:mod:`repro.addr.entropy`) and the seven-category addressing
+taxonomy (:mod:`repro.addr.patterns`).
+"""
+
+from .entropy import (
+    EntropyClass,
+    entropy_class,
+    normalized_iid_entropy,
+)
+from .eui64 import (
+    expected_random_eui64,
+    extract_mac,
+    iid_to_mac,
+    looks_like_eui64,
+    mac_to_address,
+    mac_to_iid,
+)
+from .ipv6 import IPv6, format_address, iid_of, parse, slash48_of, slash64_of
+from .mac import MACAddress, format_mac, oui_of, parse_mac
+from .oui_db import OUIDatabase, default_oui_database, manufacturer_counts
+from .patterns import (
+    AddressCategory,
+    CategoryClassifier,
+    category_fractions,
+    classify_iid_structurally,
+    embedded_ipv4_candidates,
+)
+
+__all__ = [
+    "IPv6",
+    "MACAddress",
+    "AddressCategory",
+    "CategoryClassifier",
+    "EntropyClass",
+    "OUIDatabase",
+    "category_fractions",
+    "classify_iid_structurally",
+    "default_oui_database",
+    "embedded_ipv4_candidates",
+    "entropy_class",
+    "expected_random_eui64",
+    "extract_mac",
+    "format_address",
+    "format_mac",
+    "iid_of",
+    "iid_to_mac",
+    "looks_like_eui64",
+    "mac_to_address",
+    "mac_to_iid",
+    "manufacturer_counts",
+    "normalized_iid_entropy",
+    "oui_of",
+    "parse",
+    "parse_mac",
+    "slash48_of",
+    "slash64_of",
+]

@@ -1,0 +1,288 @@
+"""Core IPv6 address representation and bit-level helpers.
+
+Throughout the library, IPv6 addresses in *hot paths* are plain Python
+integers in ``[0, 2**128)``; this module provides conversion between that
+representation, the RFC 4291 textual form, and the structural pieces the
+paper's analyses need (interface identifiers, /48 and /64 prefix keys,
+nibbles).  A thin immutable :class:`IPv6` wrapper is provided for code that
+prefers a typed value object at API boundaries.
+
+The split at bit 64 is fundamental to the paper: the upper 64 bits are the
+(routing) prefix, the lower 64 bits are the Interface Identifier (IID),
+whose structure — random, EUI-64, low-byte, IPv4-embedded — drives every
+classification in sections 4.3 and 5.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Iterable, Iterator, List, Tuple
+
+__all__ = [
+    "MAX_ADDRESS",
+    "IID_MASK",
+    "PREFIX_MASK",
+    "IPv6",
+    "parse",
+    "format_address",
+    "iid_of",
+    "prefix_of",
+    "with_iid",
+    "slash48_of",
+    "slash56_of",
+    "slash64_of",
+    "prefix_key",
+    "nibbles_of_iid",
+    "iid_bytes",
+    "random_iid_address",
+    "is_documentation",
+    "is_link_local",
+    "is_multicast",
+    "is_global_unicast",
+    "subnet_id",
+]
+
+#: Largest representable IPv6 address, as an int.
+MAX_ADDRESS = (1 << 128) - 1
+
+#: Mask selecting the 64-bit Interface Identifier (low half).
+IID_MASK = (1 << 64) - 1
+
+#: Mask selecting the 64-bit routing prefix (high half).
+PREFIX_MASK = IID_MASK << 64
+
+_DOC_PREFIX = 0x2001_0DB8 << 96  # 2001:db8::/32
+_DOC_MASK = ((1 << 32) - 1) << 96
+
+
+def parse(text: str) -> int:
+    """Parse an RFC 4291 textual IPv6 address into a 128-bit int.
+
+    Raises ``ValueError`` for anything that is not a valid, bare IPv6
+    address (no zone index, no prefix length).
+    """
+    return int(ipaddress.IPv6Address(text))
+
+
+def format_address(value: int) -> str:
+    """Render a 128-bit int as compressed lowercase IPv6 text."""
+    if not 0 <= value <= MAX_ADDRESS:
+        raise ValueError(f"address out of range: {value!r}")
+    return str(ipaddress.IPv6Address(value))
+
+
+def iid_of(value: int) -> int:
+    """Return the 64-bit Interface Identifier (the low 64 bits)."""
+    return value & IID_MASK
+
+
+def prefix_of(value: int) -> int:
+    """Return the /64 network prefix with the IID zeroed."""
+    return value & PREFIX_MASK
+
+
+def with_iid(prefix: int, iid: int) -> int:
+    """Combine a /64 prefix (high bits) with a 64-bit IID."""
+    return (prefix & PREFIX_MASK) | (iid & IID_MASK)
+
+
+def slash48_of(value: int) -> int:
+    """Return the address truncated to its /48, low 80 bits zeroed."""
+    return value & ~((1 << 80) - 1)
+
+
+def slash56_of(value: int) -> int:
+    """Return the address truncated to its /56, low 72 bits zeroed."""
+    return value & ~((1 << 72) - 1)
+
+
+def slash64_of(value: int) -> int:
+    """Alias of :func:`prefix_of`; named for symmetry with slash48_of."""
+    return value & PREFIX_MASK
+
+
+def prefix_key(value: int, length: int) -> Tuple[int, int]:
+    """Return a hashable ``(network, length)`` key for the enclosing prefix.
+
+    ``length`` must be in ``[0, 128]``.  The network part has all host bits
+    cleared, so two addresses inside the same prefix produce equal keys.
+    """
+    if not 0 <= length <= 128:
+        raise ValueError(f"prefix length out of range: {length}")
+    if length == 0:
+        return (0, 0)
+    mask = ~((1 << (128 - length)) - 1) & MAX_ADDRESS
+    return (value & mask, length)
+
+
+def subnet_id(value: int, delegated_length: int) -> int:
+    """Return the subnet bits between a delegated prefix and the /64.
+
+    For a customer delegated a ``delegated_length`` prefix (e.g. /56), the
+    bits between that prefix and bit 64 select one of its subnets.  Raises
+    ``ValueError`` when ``delegated_length`` exceeds 64 (no subnet bits).
+    """
+    if not 0 <= delegated_length <= 64:
+        raise ValueError(f"delegated length must be <= 64: {delegated_length}")
+    width = 64 - delegated_length
+    if width == 0:
+        return 0
+    return (value >> 64) & ((1 << width) - 1)
+
+
+def nibbles_of_iid(iid: int) -> List[int]:
+    """Split a 64-bit IID into its 16 hex nibbles, most significant first.
+
+    Nibbles are the alphabet over which the paper computes the normalized
+    Shannon entropy of an IID.
+    """
+    return [(iid >> shift) & 0xF for shift in range(60, -4, -4)]
+
+
+def iid_bytes(iid: int) -> bytes:
+    """Return the 8-byte big-endian representation of a 64-bit IID."""
+    return (iid & IID_MASK).to_bytes(8, "big")
+
+
+def random_iid_address(prefix: int, rng) -> int:
+    """Draw an address with a uniformly random IID inside ``prefix``'s /64.
+
+    ``rng`` is any object with a ``getrandbits(k)`` method (``random.Random``
+    qualifies).  Used both by privacy-extension address generation and by
+    the backscanning campaign's random-in-/64 probe targets (§3).
+    """
+    return with_iid(prefix, rng.getrandbits(64))
+
+
+def is_documentation(value: int) -> bool:
+    """True for addresses in the 2001:db8::/32 documentation prefix."""
+    return (value & _DOC_MASK) == _DOC_PREFIX
+
+
+def is_link_local(value: int) -> bool:
+    """True for fe80::/10 link-local addresses."""
+    return (value >> 118) == 0x3FA  # fe80::/10 -> top ten bits 1111111010
+
+
+def is_multicast(value: int) -> bool:
+    """True for ff00::/8 multicast addresses."""
+    return (value >> 120) == 0xFF
+
+
+def is_global_unicast(value: int) -> bool:
+    """True for 2000::/3 global unicast addresses."""
+    return (value >> 125) == 0b001
+
+
+class IPv6:
+    """Immutable IPv6 address value object.
+
+    Wraps the integer representation used in hot paths with parsing,
+    formatting, ordering and the structural accessors the analyses need.
+
+    >>> a = IPv6("2001:db8::a1")
+    >>> a.iid
+    161
+    >>> str(a)
+    '2001:db8::a1'
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value) -> None:
+        if isinstance(value, IPv6):
+            self._value = value._value
+        elif isinstance(value, int):
+            if not 0 <= value <= MAX_ADDRESS:
+                raise ValueError(f"address out of range: {value!r}")
+            self._value = value
+        elif isinstance(value, str):
+            self._value = parse(value)
+        elif isinstance(value, (bytes, bytearray)):
+            if len(value) != 16:
+                raise ValueError("IPv6 bytes form must be 16 bytes")
+            self._value = int.from_bytes(value, "big")
+        else:
+            raise TypeError(f"cannot build IPv6 from {type(value).__name__}")
+
+    @property
+    def value(self) -> int:
+        """The 128-bit integer form."""
+        return self._value
+
+    @property
+    def iid(self) -> int:
+        """The 64-bit Interface Identifier."""
+        return iid_of(self._value)
+
+    @property
+    def prefix64(self) -> int:
+        """The /64 prefix (IID bits zeroed)."""
+        return prefix_of(self._value)
+
+    @property
+    def prefix48(self) -> int:
+        """The /48 prefix (low 80 bits zeroed)."""
+        return slash48_of(self._value)
+
+    @property
+    def packed(self) -> bytes:
+        """The 16-byte big-endian wire form."""
+        return self._value.to_bytes(16, "big")
+
+    def with_iid(self, iid: int) -> "IPv6":
+        """Return a copy with the IID replaced."""
+        return IPv6(with_iid(self._value, iid))
+
+    def in_prefix(self, network: "IPv6", length: int) -> bool:
+        """True when this address lies inside ``network/length``."""
+        return prefix_key(self._value, length) == prefix_key(network._value, length)
+
+    def __str__(self) -> str:
+        return format_address(self._value)
+
+    def __repr__(self) -> str:
+        return f"IPv6('{format_address(self._value)}')"
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, IPv6):
+            return self._value == other._value
+        if isinstance(other, int):
+            return self._value == other
+        return NotImplemented
+
+    def __lt__(self, other) -> bool:
+        if isinstance(other, IPv6):
+            return self._value < other._value
+        if isinstance(other, int):
+            return self._value < other
+        return NotImplemented
+
+    def __le__(self, other) -> bool:
+        if isinstance(other, IPv6):
+            return self._value <= other._value
+        if isinstance(other, int):
+            return self._value <= other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+
+def addresses_to_ints(addresses: Iterable) -> Iterator[int]:
+    """Normalize a mixed iterable of str/int/IPv6 into plain ints."""
+    for item in addresses:
+        if isinstance(item, int):
+            yield item
+        elif isinstance(item, IPv6):
+            yield item.value
+        elif isinstance(item, str):
+            yield parse(item)
+        else:
+            raise TypeError(f"cannot interpret {type(item).__name__} as IPv6")

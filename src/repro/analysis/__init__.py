@@ -1,0 +1,21 @@
+"""Shared analysis and reporting helpers.
+
+Empirical distributions (:mod:`repro.analysis.distributions`), ASCII
+tables (:mod:`repro.analysis.tables`) and terminal figure rendering
+(:mod:`repro.analysis.figures`).
+"""
+
+from .distributions import ECDF
+from .figures import render_ccdf_chart, render_cdf_chart, render_timeline
+from .report import study_report
+from .tables import format_count, format_table
+
+__all__ = [
+    "ECDF",
+    "format_count",
+    "format_table",
+    "render_ccdf_chart",
+    "render_cdf_chart",
+    "render_timeline",
+    "study_report",
+]

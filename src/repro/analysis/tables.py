@@ -1,0 +1,64 @@
+"""Plain-text table rendering for bench output.
+
+Benchmarks print the paper's tables as aligned ASCII; this module owns
+the formatting so every bench emits a consistent style.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_count", "format_table"]
+
+
+def format_count(value, precision: int = 1) -> str:
+    """Human-oriented number formatting: 1234567 → '1,234,567'.
+
+    Floats are rendered with ``precision`` decimals; ``None`` renders as
+    a dash (used for the '-' cells in the paper's Table 1).
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:,.{precision}f}"
+    return f"{value:,}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Cells are passed through :func:`format_count` unless already strings.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered_rows.append(
+            [cell if isinstance(cell, str) else format_count(cell) for cell in row]
+        )
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return " | ".join(
+            cell.rjust(widths[index]) if index else cell.ljust(widths[index])
+            for index, cell in enumerate(cells)
+        )
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_line(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""Command-line interface.
+
+Four subcommands cover the operational loop a downstream user needs:
+
+* ``repro study``    — build a world, run the full three-campaign study,
+  save the corpora, print the Table 1 comparison;
+* ``repro analyze``  — headline analyses (lifetimes, EUI-64 prevalence,
+  tracking classes) over a saved corpus;
+* ``repro release``  — produce the ethics-aware /48-truncated release of
+  a saved corpus, with the safety audit;
+* ``repro report``   — run a study and emit the consolidated findings
+  report.
+
+All randomness flows from ``--seed``; two invocations with identical
+arguments produce identical bytes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis.tables import format_table
+from .core import (
+    StudyConfig,
+    address_lifetime_summary,
+    analyze_tracking,
+    build_release,
+    compare_datasets,
+    load_corpus,
+    run_study,
+    save_corpus,
+    verify_release_safety,
+)
+from .core.tracking import TrackingClass
+from .world import CAMPAIGN_EPOCH, build_world, preset_config, preset_names
+
+__all__ = ["main", "build_parser"]
+
+
+def _world_config(args):
+    return preset_config(args.scale, seed=args.seed)
+
+
+def _cmd_study(args) -> int:
+    world = build_world(_world_config(args))
+    print(f"world: {world.stats()}", file=sys.stderr)
+    results = run_study(
+        world,
+        StudyConfig(start=CAMPAIGN_EPOCH, weeks=args.weeks, seed=args.seed),
+    )
+    comparison = compare_datasets(
+        results.ntp,
+        [results.hitlist, results.caida],
+        world.ipv6_origin_asn,
+    )
+    print(comparison.render())
+    output_dir = Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    for corpus in results.corpora():
+        path = output_dir / f"{corpus.name}.corpus.bin"
+        count = save_corpus(corpus, path)
+        print(f"saved {count:,} records to {path}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    corpus = load_corpus(args.corpus)
+    print(f"corpus {corpus.name!r}: {len(corpus):,} addresses")
+    summary = address_lifetime_summary(corpus)
+    print(
+        f"lifetimes: {100 * summary.seen_once_fraction:.1f}% seen once, "
+        f"{100 * summary.week_or_longer_fraction:.2f}% >= 1 week, "
+        f"{100 * summary.month_or_longer_fraction:.2f}% >= 1 month"
+    )
+    report = analyze_tracking(corpus, lambda a: None, lambda a: None)
+    print(
+        f"EUI-64: {report.eui64_addresses:,} addresses "
+        f"({100 * report.eui64_fraction:.2f}%), "
+        f"{report.unique_macs:,} unique MACs, "
+        f"{report.multi_slash64_macs:,} in >=2 /64s"
+    )
+    if report.multi_slash64_macs:
+        rows = [
+            [cls.value, report.classes[cls]]
+            for cls in TrackingClass
+        ]
+        print(format_table(["tracking class", "MACs"], rows))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .analysis.report import study_report
+
+    world = build_world(_world_config(args))
+    results = run_study(
+        world,
+        StudyConfig(start=CAMPAIGN_EPOCH, weeks=args.weeks, seed=args.seed),
+    )
+    text = study_report(world, results)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"report written to {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_release(args) -> int:
+    corpus = load_corpus(args.corpus)
+    artifact = build_release(corpus)
+    violations = verify_release_safety(artifact)
+    if violations:
+        for violation in violations:
+            print(f"UNSAFE: {violation}", file=sys.stderr)
+        return 1
+    with open(args.output, "w") as stream:
+        artifact.write(stream)
+    print(
+        f"released {artifact.prefix_count:,} /48s "
+        f"(aggregating {artifact.address_count:,} addresses) to {args.output}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'IPv6 Hitlists at Scale' "
+                    "(SIGCOMM 2023)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    study = commands.add_parser(
+        "study", help="run the full three-campaign study and save corpora"
+    )
+    study.add_argument("--seed", type=int, default=7)
+    study.add_argument("--weeks", type=int, default=31)
+    study.add_argument(
+        "--scale", choices=sorted(preset_names()), default="tiny",
+        help="world size preset",
+    )
+    study.add_argument("--output-dir", default="corpora")
+    study.set_defaults(handler=_cmd_study)
+
+    analyze = commands.add_parser(
+        "analyze", help="headline analyses over a saved corpus"
+    )
+    analyze.add_argument("corpus", help="path to a .corpus.bin/.csv file")
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    release = commands.add_parser(
+        "release", help="write the ethics-aware /48-truncated release"
+    )
+    release.add_argument("corpus", help="path to a saved corpus")
+    release.add_argument("--output", default="release_48s.csv")
+    release.set_defaults(handler=_cmd_release)
+
+    report = commands.add_parser(
+        "report", help="run a study and print the full findings report"
+    )
+    report.add_argument("--seed", type=int, default=7)
+    report.add_argument("--weeks", type=int, default=31)
+    report.add_argument(
+        "--scale", choices=sorted(preset_names()), default="tiny"
+    )
+    report.add_argument("--output", default=None)
+    report.set_defaults(handler=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,287 @@
+"""The passive NTP collection campaign (the paper's core methodology).
+
+Reproduces §3's setup: 27 stratum-2 servers joined to the NTP Pool from
+20 countries, collecting the source address of every NTP request for 31
+weeks.  The pool also contains *background* members (the real pool has
+thousands of volunteer servers); a client's query only lands on one of
+our vantages when the pool's geo DNS hands it out — which is exactly why
+most client addresses are observed only once (Fig. 2a).
+
+Two layers:
+
+* :class:`CaptureModel` — collapses the per-query DNS round-robin into a
+  per-country capture probability plus a vantage chooser, computed from
+  the *actual* pool membership, so the hot loop does not replay millions
+  of DNS exchanges.
+* :class:`NTPCampaign` — walks devices × days, samples captured queries,
+  and pushes each captured query through the real mode-3/mode-4 packet
+  path of the vantage server, whose sink records into the corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ntp.client import TimeSource, build_request
+from ..ntp.pool import NTPPool
+from ..ntp.server import StratumTwoServer
+from ..world.clock import DAY, WEEK
+from ..world.rng import split_rng
+from ..world.world import VantagePoint, World
+from .corpus import AddressCorpus
+
+__all__ = ["CampaignConfig", "CaptureModel", "NTPCampaign"]
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs of the collection campaign."""
+
+    start: float
+    weeks: int = 31
+    seed: int = 0
+    #: Background pool members per country that has any member at all.
+    background_per_country: int = 3
+    #: Extra background members spread across big pool countries.
+    background_extra: int = 20
+    #: Use the full NTP packet path per captured query (the honest mode);
+    #: False skips serialization and records directly (ablation bench).
+    full_packet_path: bool = True
+
+    def __post_init__(self) -> None:
+        if self.weeks < 1:
+            raise ValueError("campaign needs at least one week")
+        if self.background_per_country < 0 or self.background_extra < 0:
+            raise ValueError("background counts must be non-negative")
+
+    @property
+    def end(self) -> float:
+        """One past the campaign's last instant."""
+        return self.start + self.weeks * WEEK
+
+
+#: Background volunteer-server counts per country.  The real pool's
+#: membership is extremely skewed toward North America and Europe; a
+#: vantage in a server-rich country therefore captures a *smaller* share
+#: of local queries than one in a server-poor country — which is exactly
+#: why the paper's corpus is dominated by India, China, Brazil and
+#: Indonesia despite most vantages sitting in the US/EU.
+_BACKGROUND_POOL_SIZES = {
+    "US": 40, "DE": 25, "GB": 15, "FR": 15, "NL": 12, "SE": 10,
+    "PL": 8, "ES": 8, "JP": 10, "AU": 8, "KR": 6, "SG": 5, "TW": 5,
+    "HK": 4, "CN": 6, "IN": 3, "BR": 4, "ID": 3, "MX": 4, "ZA": 4,
+    "BG": 4, "BH": 3,
+}
+
+#: Countries that host disproportionately many volunteer pool servers.
+_BIG_POOL_COUNTRIES = ("US", "DE", "GB", "FR", "NL", "JP", "CN", "IN", "BR", "AU")
+
+#: Reserved (unrouted) space background pool members are numbered from.
+_BACKGROUND_BASE = 0x2C00 << 112
+
+
+class CaptureModel:
+    """Per-country capture probability against a concrete pool.
+
+    For a client in country C, the pool answers from a tier (country /
+    continent / world).  The client picks one record; the chance that
+    record is one of our vantages is ``vantages_in_tier / tier_size``.
+    """
+
+    def __init__(self, pool: NTPPool, vantage_addresses: List[int]) -> None:
+        self._pool = pool
+        self._vantages = set(vantage_addresses)
+        self._cache: Dict[str, Tuple[float, List[int]]] = {}
+
+    def capture(self, country: str) -> Tuple[float, List[int]]:
+        """(probability, eligible vantage addresses) for a client country."""
+        cached = self._cache.get(country)
+        if cached is not None:
+            return cached
+        members, _tier = self._pool.tier_members(country)
+        if not members:
+            result = (0.0, [])
+        else:
+            ours = [address for address in members if address in self._vantages]
+            result = (len(ours) / len(members), ours)
+        self._cache[country] = result
+        return result
+
+
+class NTPCampaign:
+    """Run the passive collection and produce the NTP corpus."""
+
+    def __init__(self, world: World, config: CampaignConfig) -> None:
+        if not world.vantages:
+            raise ValueError("world has no vantage points")
+        self.world = world
+        self.config = config
+        self.corpus = AddressCorpus("ntp-pool")
+        self.pool = NTPPool()
+        self.servers: Dict[int, StratumTwoServer] = {}
+        #: Extra per-observation callbacks ``(client_address, when)`` —
+        #: e.g. the outage detector's activity recorder.
+        self.extra_sinks: List = []
+        self._outages_active = bool(world.outages)
+        self._build_pool()
+        self._capture_model = CaptureModel(
+            self.pool, [vantage.address for vantage in world.vantages]
+        )
+
+    # -- pool assembly -----------------------------------------------------------
+
+    def _record_observation(
+        self, client_address: int, when: float, server: StratumTwoServer
+    ) -> None:
+        self.corpus.record(client_address, when)
+        for sink in self.extra_sinks:
+            sink(client_address, when)
+
+    def _build_pool(self) -> None:
+        """Join our 27 vantages plus synthetic background members."""
+        for vantage in self.world.vantages:
+            server = StratumTwoServer(
+                vantage.address, vantage.country, sink=self._record_observation
+            )
+            self.servers[vantage.address] = server
+            self.pool.join(server)
+        # Background volunteers: plain members with no sink.  Their
+        # addresses come from reserved space; only their country matters.
+        index = 0
+        config = self.config
+        countries = list(
+            dict.fromkeys(
+                [vantage.country for vantage in self.world.vantages]
+                + list(_BIG_POOL_COUNTRIES)
+            )
+        )
+        for country in countries:
+            count = _BACKGROUND_POOL_SIZES.get(
+                country, config.background_per_country
+            )
+            for _ in range(count):
+                self.pool.join(
+                    StratumTwoServer(_BACKGROUND_BASE | index, country)
+                )
+                index += 1
+        for extra in range(config.background_extra):
+            country = _BIG_POOL_COUNTRIES[extra % len(_BIG_POOL_COUNTRIES)]
+            self.pool.join(StratumTwoServer(_BACKGROUND_BASE | index, country))
+            index += 1
+
+    # -- collection ---------------------------------------------------------------
+
+    def run(
+        self, start_week: int = 0, end_week: Optional[int] = None
+    ) -> AddressCorpus:
+        """Collect observations for weeks ``[start_week, end_week)``.
+
+        Calling repeatedly with adjacent windows accumulates into the
+        same corpus, so studies can interleave collection with other
+        campaign events.
+        """
+        config = self.config
+        if end_week is None:
+            end_week = config.weeks
+        if not 0 <= start_week < end_week <= config.weeks:
+            raise ValueError(f"bad week window: [{start_week}, {end_week})")
+        first_day = start_week * 7
+        last_day = end_week * 7
+        for device in self.world.pool_client_devices():
+            for day in range(first_day, last_day):
+                self._collect_device_day(device, day)
+        return self.corpus
+
+    def _collect_device_day(self, device, day: int) -> None:
+        offsets = device.query_offsets_on(day)
+        if not offsets:
+            return
+        config = self.config
+        day_start = config.start + day * DAY
+        rng = None
+        for query_index, offset in enumerate(offsets):
+            when = day_start + offset
+            network = self.world.networks.get(device.current_network_id(when))
+            if network is None:
+                continue
+            if self._outages_active and self.world.in_outage(
+                network.asn, when
+            ):
+                continue
+            probability, vantages = self._capture_model.capture(network.country)
+            if probability <= 0.0:
+                continue
+            if rng is None:
+                rng = split_rng(config.seed, "capture", device.device_id, day)
+            if rng.random() >= probability:
+                continue
+            vantage_address = vantages[rng.randrange(len(vantages))]
+            client_address = network.device_address(device, when)
+            self._deliver(client_address, when, vantage_address)
+
+    def _deliver(
+        self, client_address: int, when: float, vantage_address: int
+    ) -> None:
+        server = self.servers[vantage_address]
+        if self.config.full_packet_path:
+            request = build_request(when)
+            response = server.handle_datagram(
+                request.pack(), client_address, when
+            )
+            assert response is not None
+        else:
+            # Ablation mode: skip serialization, record directly.
+            self._record_observation(client_address, when, server)
+
+    # -- capture events for other campaigns (backscanning) -------------------------
+
+    def captured_events_on_day(
+        self, day: int, vantage_addresses: Optional[List[int]] = None
+    ):
+        """Yield ``(when, client_address, vantage_address)`` for one day.
+
+        Re-derives the same capture decisions :meth:`run` makes (the
+        keyed RNG guarantees identical outcomes), optionally filtered to
+        a subset of vantages — used by the backscanning experiment, which
+        watched five of the 27 servers (§3).
+        """
+        config = self.config
+        vantage_filter = (
+            None if vantage_addresses is None else set(vantage_addresses)
+        )
+        day_start = config.start + day * DAY
+        for device in self.world.pool_client_devices():
+            offsets = device.query_offsets_on(day)
+            if not offsets:
+                continue
+            rng = None
+            for offset in offsets:
+                when = day_start + offset
+                network = self.world.networks.get(
+                    device.current_network_id(when)
+                )
+                if network is None:
+                    continue
+                if self._outages_active and self.world.in_outage(
+                    network.asn, when
+                ):
+                    continue
+                probability, vantages = self._capture_model.capture(
+                    network.country
+                )
+                if probability <= 0.0:
+                    continue
+                if rng is None:
+                    rng = split_rng(
+                        config.seed, "capture", device.device_id, day
+                    )
+                if rng.random() >= probability:
+                    continue
+                vantage_address = vantages[rng.randrange(len(vantages))]
+                if vantage_filter is not None and (
+                    vantage_address not in vantage_filter
+                ):
+                    continue
+                client_address = network.device_address(device, when)
+                yield when, client_address, vantage_address

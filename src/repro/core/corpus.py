@@ -1,0 +1,199 @@
+"""Address corpora: the primary data structure of the study.
+
+An :class:`AddressCorpus` accumulates sightings of addresses — from the
+passive NTP servers, or imported from an active campaign's history — and
+answers the aggregate questions the paper's analyses ask: how many
+addresses, in which ASes and /48s, seen when, for how long, with which
+IIDs.
+
+Storage is deliberately compact (one ``[first, last, count]`` record per
+address): the paper itself compacts raw request logs the same way, and
+the ablation bench (DESIGN.md §6) quantifies why.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..addr.eui64 import extract_mac
+from ..addr.ipv6 import iid_of, slash48_of, slash64_of
+
+__all__ = ["AddressCorpus"]
+
+
+class AddressCorpus:
+    """A deduplicated set of observed addresses with sighting intervals."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("corpus needs a name")
+        self.name = name
+        # address -> [first_seen, last_seen, observation_count]
+        self._records: Dict[int, List[float]] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, address: int, when: float) -> None:
+        """Record one sighting of ``address`` at ``when``."""
+        record = self._records.get(address)
+        if record is None:
+            self._records[address] = [when, when, 1]
+        else:
+            if when < record[0]:
+                record[0] = when
+            if when > record[1]:
+                record[1] = when
+            record[2] += 1
+
+    def record_interval(
+        self, address: int, first: float, last: float, count: int = 2
+    ) -> None:
+        """Import a pre-compacted sighting interval (from scan histories)."""
+        if last < first:
+            raise ValueError("interval ends before it starts")
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        record = self._records.get(address)
+        if record is None:
+            self._records[address] = [first, last, count]
+        else:
+            record[0] = min(record[0], first)
+            record[1] = max(record[1], last)
+            record[2] += count
+
+    @classmethod
+    def from_history(
+        cls, name: str, history: Dict[int, Tuple[float, float]]
+    ) -> "AddressCorpus":
+        """Build a corpus from a ``{address: (first, last)}`` history."""
+        corpus = cls(name)
+        for address, (first, last) in history.items():
+            count = 1 if last == first else 2
+            corpus.record_interval(address, first, last, count)
+        return corpus
+
+    def merge(self, other: "AddressCorpus") -> None:
+        """Fold another corpus's records into this one."""
+        for address, (first, last, count) in other.items():
+            self.record_interval(address, first, last, count)
+
+    # -- basic access ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._records
+
+    def addresses(self) -> Iterator[int]:
+        """All distinct addresses."""
+        return iter(self._records)
+
+    def items(self) -> Iterator[Tuple[int, Tuple[float, float, int]]]:
+        """All ``(address, (first, last, count))`` pairs."""
+        for address, record in self._records.items():
+            yield address, (record[0], record[1], record[2])
+
+    def first_seen(self, address: int) -> float:
+        """First sighting time of ``address``."""
+        return self._records[address][0]
+
+    def last_seen(self, address: int) -> float:
+        """Last sighting time of ``address``."""
+        return self._records[address][1]
+
+    def lifetime(self, address: int) -> float:
+        """Observed lifetime: last minus first sighting (0 if seen once)."""
+        record = self._records[address]
+        return record[1] - record[0]
+
+    def observation_count(self, address: int) -> int:
+        """Number of recorded sightings of ``address``."""
+        return int(self._records[address][2])
+
+    # -- aggregates --------------------------------------------------------------
+
+    def lifetimes(self) -> List[float]:
+        """Observed lifetimes of all addresses (Fig. 2a input)."""
+        return [record[1] - record[0] for record in self._records.values()]
+
+    def slash48_set(self) -> Set[int]:
+        """Distinct /48 prefixes covering the corpus."""
+        return {slash48_of(address) for address in self._records}
+
+    def slash64_set(self) -> Set[int]:
+        """Distinct /64 prefixes covering the corpus."""
+        return {slash64_of(address) for address in self._records}
+
+    def asn_set(
+        self, origin: Callable[[int], Optional[int]]
+    ) -> Set[int]:
+        """Distinct origin ASNs (unrouted addresses are skipped)."""
+        asns = set()
+        for address in self._records:
+            asn = origin(address)
+            if asn is not None:
+                asns.add(asn)
+        return asns
+
+    def asn_counts(
+        self, origin: Callable[[int], Optional[int]]
+    ) -> Counter:
+        """Address count per origin ASN (``None`` for unrouted)."""
+        counts: Counter = Counter()
+        for address in self._records:
+            counts[origin(address)] += 1
+        return counts
+
+    def addresses_in_window(self, start: float, end: float) -> Iterator[int]:
+        """Addresses whose sighting interval intersects ``[start, end)``."""
+        for address, record in self._records.items():
+            if record[0] < end and record[1] >= start:
+                yield address
+
+    def common_addresses(self, other: "AddressCorpus") -> Set[int]:
+        """Addresses present in both corpora."""
+        if len(other) < len(self):
+            small, large = other, self
+        else:
+            small, large = self, other
+        return {
+            address for address in small.addresses() if address in large
+        }
+
+    # -- IID-level views -----------------------------------------------------------
+
+    def iid_intervals(self) -> Dict[int, Tuple[float, float]]:
+        """Per-IID sighting intervals across all addresses (Fig. 2b)."""
+        intervals: Dict[int, List[float]] = {}
+        for address, record in self._records.items():
+            iid = iid_of(address)
+            existing = intervals.get(iid)
+            if existing is None:
+                intervals[iid] = [record[0], record[1]]
+            else:
+                existing[0] = min(existing[0], record[0])
+                existing[1] = max(existing[1], record[1])
+        return {
+            iid: (interval[0], interval[1])
+            for iid, interval in intervals.items()
+        }
+
+    def eui64_addresses(self) -> Iterator[int]:
+        """Addresses whose IID carries the EUI-64 marker."""
+        for address in self._records:
+            if extract_mac(address) is not None:
+                yield address
+
+    def eui64_mac_addresses(self) -> Dict[int, List[int]]:
+        """Embedded MAC → list of addresses exposing it (§5 input)."""
+        by_mac: Dict[int, List[int]] = defaultdict(list)
+        for address in self._records:
+            mac = extract_mac(address)
+            if mac is not None:
+                by_mac[mac].append(address)
+        return dict(by_mac)
+
+    def __repr__(self) -> str:
+        return f"AddressCorpus({self.name!r}, {len(self):,} addresses)"

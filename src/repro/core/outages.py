@@ -1,0 +1,136 @@
+"""Passive outage detection from NTP observation time series.
+
+One of the applications the paper cites for live-address knowledge
+(§2.1, citing Enayet & Heidemann's DNS-backscatter work): a stream of
+passive sightings doubles as an availability signal — when an AS's
+clients suddenly stop appearing at the vantages, the AS is likely dark.
+
+:class:`ASActivityRecorder` plugs into the campaign's ``extra_sinks`` and
+tallies observations per (AS, day); :func:`detect_outages` flags runs of
+days whose activity collapses below a fraction of the AS's median.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..world.clock import DAY
+
+__all__ = ["ASActivityRecorder", "OutageEvent", "detect_outages"]
+
+
+class ASActivityRecorder:
+    """Per-(AS, day) observation counter fed by the campaign."""
+
+    def __init__(
+        self,
+        origin: Callable[[int], Optional[int]],
+        epoch: float,
+    ) -> None:
+        self._origin = origin
+        self._epoch = epoch
+        self._counts: Dict[int, Dict[int, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+
+    def __call__(self, client_address: int, when: float) -> None:
+        """Record one observation (the campaign sink signature)."""
+        asn = self._origin(client_address)
+        if asn is None:
+            return
+        day = int((when - self._epoch) // DAY)
+        self._counts[asn][day] += 1
+
+    def series(self, asn: int, days: int) -> List[int]:
+        """The daily observation counts of an AS over ``days`` days."""
+        counts = self._counts.get(asn, {})
+        return [counts.get(day, 0) for day in range(days)]
+
+    def ases(self) -> List[int]:
+        """All ASes with any recorded activity."""
+        return sorted(self._counts)
+
+
+@dataclass(frozen=True)
+class OutageEvent:
+    """A detected whole-AS connectivity loss."""
+
+    asn: int
+    start_day: int
+    end_day: int  # exclusive
+    baseline: float
+    depth: float  # mean activity inside the event / baseline
+
+    @property
+    def duration_days(self) -> int:
+        """Length of the event in days."""
+        return self.end_day - self.start_day
+
+
+def detect_outages(
+    recorder: ASActivityRecorder,
+    days: int,
+    threshold: float = 0.2,
+    min_baseline: float = 5.0,
+    min_duration: int = 2,
+) -> List[OutageEvent]:
+    """Find collapse-below-baseline runs in every AS's activity series.
+
+    Parameters
+    ----------
+    recorder:
+        The filled activity recorder.
+    days:
+        Length of the observation window in days.
+    threshold:
+        A day is dark when its count <= ``threshold * median``.
+    min_baseline:
+        ASes whose median daily activity is below this are skipped — a
+        handful of sightings per day cannot distinguish an outage from
+        sampling noise (exactly why the paper wants *large* hitlists for
+        this application).
+    min_duration:
+        Minimum consecutive dark days to report an event.
+    """
+    if days < 1:
+        raise ValueError("days must be >= 1")
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must lie in (0, 1)")
+    if min_duration < 1:
+        raise ValueError("min_duration must be >= 1")
+    events: List[OutageEvent] = []
+    for asn in recorder.ases():
+        series = recorder.series(asn, days)
+        ordered = sorted(series)
+        median = float(ordered[len(ordered) // 2])
+        if median < min_baseline:
+            continue
+        dark_run: List[Tuple[int, int]] = []
+        run_start: Optional[int] = None
+        for day, count in enumerate(series):
+            if count <= threshold * median:
+                if run_start is None:
+                    run_start = day
+            else:
+                if run_start is not None:
+                    dark_run.append((run_start, day))
+                    run_start = None
+        if run_start is not None:
+            dark_run.append((run_start, days))
+        for start, end in dark_run:
+            if end - start < min_duration:
+                continue
+            inside = series[start:end]
+            depth = (sum(inside) / len(inside)) / median if median else 0.0
+            events.append(
+                OutageEvent(
+                    asn=asn,
+                    start_day=start,
+                    end_day=end,
+                    baseline=median,
+                    depth=depth,
+                )
+            )
+    return events

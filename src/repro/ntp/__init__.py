@@ -1,0 +1,77 @@
+"""NTP substrate: wire format, server/client behaviour, the NTP Pool.
+
+Real RFC 5905 packet serialization (:mod:`repro.ntp.packet`,
+:mod:`repro.ntp.timestamps`), a stratum-2 server with a passive
+observation sink (:mod:`repro.ntp.server`), per-OS time-source selection
+(:mod:`repro.ntp.client`) and the Pool's geo-aware DNS round-robin
+(:mod:`repro.ntp.pool`).
+"""
+
+from .client import (
+    OperatingSystem,
+    TimeSource,
+    build_request,
+    time_source_for,
+    validate_response,
+)
+from .dhcp import (
+    NTPMulticastAddress,
+    NTPServerAddress,
+    NTPServerFQDN,
+    encode_ntp_option,
+    parse_ntp_option,
+)
+from .dns import (
+    DNSQuery,
+    DNSResponse,
+    build_query,
+    build_response,
+    parse_query,
+    parse_response,
+)
+from .packet import LeapIndicator, Mode, NTPPacket, NTP_VERSION, PACKET_LENGTH
+from .pool import COUNTRY_CONTINENT, NTPPool, continent_of
+from .server import ServerStats, StratumTwoServer
+from .timestamps import (
+    NTP_FRACTION,
+    NTP_UNIX_OFFSET,
+    ntp_short,
+    ntp_to_unix,
+    short_to_seconds,
+    unix_to_ntp,
+)
+
+__all__ = [
+    "COUNTRY_CONTINENT",
+    "DNSQuery",
+    "DNSResponse",
+    "LeapIndicator",
+    "Mode",
+    "NTPMulticastAddress",
+    "NTPPacket",
+    "NTPPool",
+    "NTPServerAddress",
+    "NTPServerFQDN",
+    "NTP_FRACTION",
+    "NTP_UNIX_OFFSET",
+    "NTP_VERSION",
+    "OperatingSystem",
+    "PACKET_LENGTH",
+    "ServerStats",
+    "StratumTwoServer",
+    "TimeSource",
+    "build_query",
+    "build_request",
+    "build_response",
+    "continent_of",
+    "encode_ntp_option",
+    "ntp_short",
+    "parse_ntp_option",
+    "parse_query",
+    "parse_response",
+    "ntp_to_unix",
+    "short_to_seconds",
+    "time_source_for",
+    "unix_to_ntp",
+    "validate_response",
+]

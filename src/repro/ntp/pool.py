@@ -1,0 +1,193 @@
+"""The NTP Pool: membership, vendor zones, geo-aware DNS round-robin.
+
+The NTP Pool Project directs clients to member servers via DNS answers
+that combine coarse IP geolocation with round-robin rotation (§2.3): a
+client resolving ``pool.ntp.org`` receives servers near it when the pool
+has nearby members, falling back to continent- and then world-level
+answers.  This is why the paper's 27 servers in 20 countries saw clients
+from 175 countries.
+
+Vendor zones (``android.pool.ntp.org`` etc.) are modelled as views over
+the same membership — any pool member may be handed out for any zone —
+which matches how volunteers' servers actually serve vendor zone traffic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .client import TimeSource
+from .server import StratumTwoServer
+
+__all__ = ["COUNTRY_CONTINENT", "continent_of", "NTPPool"]
+
+#: ISO-3166-1 alpha-2 country → continent code, covering the countries the
+#: world model and the paper's vantage list use.
+COUNTRY_CONTINENT: Dict[str, str] = {
+    # North America
+    "US": "NA", "CA": "NA", "MX": "NA",
+    # South America
+    "BR": "SA", "AR": "SA", "CL": "SA", "CO": "SA", "PE": "SA",
+    # Europe
+    "DE": "EU", "GB": "EU", "FR": "EU", "NL": "EU", "PL": "EU",
+    "ES": "EU", "SE": "EU", "BG": "EU", "IT": "EU", "CZ": "EU",
+    "CH": "EU", "AT": "EU", "BE": "EU", "PT": "EU", "RO": "EU",
+    "LU": "EU", "FI": "EU", "NO": "EU", "DK": "EU", "IE": "EU",
+    "UA": "EU", "GR": "EU", "HU": "EU", "RU": "EU", "TR": "EU",
+    # Asia
+    "JP": "AS", "CN": "AS", "IN": "AS", "ID": "AS", "KR": "AS",
+    "SG": "AS", "HK": "AS", "TW": "AS", "BH": "AS", "TH": "AS",
+    "VN": "AS", "MY": "AS", "PH": "AS", "PK": "AS", "BD": "AS",
+    "IR": "AS", "IQ": "AS", "SA": "AS", "AE": "AS", "IL": "AS",
+    "KZ": "AS", "LK": "AS", "NP": "AS", "MM": "AS",
+    # Africa
+    "ZA": "AF", "NG": "AF", "EG": "AF", "KE": "AF", "MA": "AF",
+    "GH": "AF", "TZ": "AF", "DZ": "AF",
+    # Oceania
+    "AU": "OC", "NZ": "OC",
+}
+
+
+def continent_of(country: str) -> Optional[str]:
+    """Continent code for a country, or ``None`` when unmapped."""
+    return COUNTRY_CONTINENT.get(country)
+
+
+class NTPPool:
+    """Pool membership plus the geo DNS resolution the Pool performs.
+
+    Resolution is deterministic: each (zone, tier) keeps its own rotation
+    cursor, so repeated queries walk the candidate list round-robin — the
+    property that spreads clients across the paper's 27 vantages.
+    """
+
+    #: Number of A/AAAA records a pool DNS answer carries.
+    ANSWER_SIZE = 4
+
+    #: When a country zone has fewer members than this, the pool also
+    #: hands out continent-zone servers (capacity spill, as the real
+    #: pool does for under-served countries).
+    SPILL_THRESHOLD = 10
+
+    def __init__(self) -> None:
+        self._members: Dict[int, StratumTwoServer] = {}
+        self._by_country: Dict[str, List[int]] = defaultdict(list)
+        self._by_continent: Dict[str, List[int]] = defaultdict(list)
+        self._all: List[int] = []
+        self._cursors: Dict[str, int] = defaultdict(int)
+
+    def join(self, server: StratumTwoServer) -> None:
+        """Add a member server (the paper's 'joining the NTP Pool')."""
+        if server.address in self._members:
+            raise ValueError(
+                f"server already in pool: {server.address:#x}"
+            )
+        self._members[server.address] = server
+        self._all.append(server.address)
+        self._by_country[server.country].append(server.address)
+        continent = continent_of(server.country)
+        if continent is not None:
+            self._by_continent[continent].append(server.address)
+
+    def leave(self, address: int) -> None:
+        """Remove a member server."""
+        server = self._members.pop(address, None)
+        if server is None:
+            raise KeyError(f"server not in pool: {address:#x}")
+        self._all.remove(address)
+        self._by_country[server.country].remove(address)
+        continent = continent_of(server.country)
+        if continent is not None:
+            self._by_continent[continent].remove(address)
+
+    def member(self, address: int) -> Optional[StratumTwoServer]:
+        """The member server at ``address``, or ``None``."""
+        return self._members.get(address)
+
+    def members(self) -> Sequence[StratumTwoServer]:
+        """All member servers in join order."""
+        return [self._members[address] for address in self._all]
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def resolve(
+        self, zone: TimeSource, client_country: str, count: Optional[int] = None
+    ) -> List[int]:
+        """Answer a DNS query for a pool zone from a client in a country.
+
+        Returns up to ``count`` member addresses, preferring same-country
+        members, then same-continent, then the whole pool.  Non-pool time
+        sources (``time.apple.com`` …) return an empty answer: those
+        queries never reach pool vantage points.
+        """
+        if not zone.is_pool_zone:
+            return []
+        if count is None:
+            count = self.ANSWER_SIZE
+        candidates, tier = self._candidate_tier(client_country)
+        if not candidates:
+            return []
+        cursor_key = f"{zone.value}/{tier}"
+        start = self._cursors[cursor_key]
+        self._cursors[cursor_key] = (start + count) % len(candidates)
+        answer = []
+        for index in range(min(count, len(candidates))):
+            answer.append(candidates[(start + index) % len(candidates)])
+        return answer
+
+    def handle_dns_query(
+        self, query_bytes: bytes, client_country: str
+    ) -> Optional[bytes]:
+        """Answer one wire-format DNS query (the pool's actual interface).
+
+        The question name selects the zone; the answer carries the
+        geo-selected AAAA set.  Queries for names outside ``pool.ntp.org``
+        (or malformed datagrams) get no answer, as the pool's
+        authoritative servers would not be asked about them.
+        """
+        from .client import TimeSource
+        from .dns import build_response, parse_query
+
+        try:
+            query = parse_query(query_bytes)
+        except ValueError:
+            return None
+        try:
+            zone = TimeSource(query.qname)
+        except ValueError:
+            return None
+        if not zone.is_pool_zone:
+            return None
+        answer = self.resolve(zone, client_country)
+        return build_response(query, answer)
+
+    def tier_members(self, client_country: str) -> Tuple[List[int], str]:
+        """The candidate member list and tier name a client's DNS query
+        would draw from (country, continent, or world tier).
+
+        Exposed so capture models can compute per-country selection
+        probabilities without replaying every DNS exchange.
+        """
+        candidates, tier = self._candidate_tier(client_country)
+        return list(candidates), tier
+
+    def _candidate_tier(self, client_country: str):
+        same_country = self._by_country.get(client_country)
+        continent = continent_of(client_country)
+        same_continent = (
+            self._by_continent.get(continent) if continent is not None else None
+        )
+        if same_country:
+            if len(same_country) >= self.SPILL_THRESHOLD or not same_continent:
+                return same_country, f"country/{client_country}"
+            # Under-served country: blend in the continent zone.
+            merged = list(same_country)
+            for address in same_continent:
+                if address not in merged:
+                    merged.append(address)
+            return merged, f"country+continent/{client_country}"
+        if same_continent:
+            return same_continent, f"continent/{continent}"
+        return self._all, "world"

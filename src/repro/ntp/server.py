@@ -1,0 +1,126 @@
+"""Stratum-2 NTP server with a passive observation sink.
+
+Each of the paper's 27 vantage points is a minimally provisioned VPS
+running a stratum-2 server joined to the NTP Pool (§3).  The server here
+does two jobs, exactly like the paper's:
+
+1. **Serve time** — validate the mode-3 request and produce a correct
+   mode-4 response (origin ← client transmit, receive/transmit stamped
+   from the server clock).
+2. **Record the client** — every valid request's source address and
+   arrival time is handed to an observation sink; that stream *is* the
+   raw material of the 7.9B-address corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .packet import LeapIndicator, Mode, NTPPacket, NTP_VERSION
+from .timestamps import ntp_short, unix_to_ntp
+
+__all__ = ["ServerStats", "StratumTwoServer"]
+
+#: Observation sink signature: (client_address, unix_time, server) -> None.
+ObservationSink = Callable[[int, float, "StratumTwoServer"], None]
+
+
+@dataclass
+class ServerStats:
+    """Counters a production server would export."""
+
+    requests: int = 0
+    responses: int = 0
+    malformed: int = 0
+    dropped_mode: int = 0
+
+
+class StratumTwoServer:
+    """A stratum-2 NTP server at one vantage point.
+
+    Parameters
+    ----------
+    address:
+        The server's own IPv6 address (128-bit int).
+    country:
+        ISO country code of the hosting VPS; the NTP Pool uses this for
+        geo-aware DNS answers.
+    sink:
+        Called once per valid client request with ``(client_address,
+        unix_time, server)``.  The campaign installs its corpus recorder
+        here.
+    refid:
+        4-byte reference identifier; defaults to an upstream stratum-1
+        pseudo-identifier.
+    """
+
+    STRATUM = 2
+
+    def __init__(
+        self,
+        address: int,
+        country: str,
+        sink: Optional[ObservationSink] = None,
+        refid: bytes = b"GPS\x00",
+    ) -> None:
+        if len(country) != 2 or not country.isupper():
+            raise ValueError(f"country must be ISO alpha-2: {country!r}")
+        self.address = address
+        self.country = country
+        self.stats = ServerStats()
+        self._sink = sink
+        self._refid = refid
+        self._last_sync_unix = 0.0
+
+    def set_sink(self, sink: Optional[ObservationSink]) -> None:
+        """Install or remove the observation sink."""
+        self._sink = sink
+
+    def handle_datagram(
+        self, data: bytes, client_address: int, unix_time: float
+    ) -> Optional[bytes]:
+        """Process one inbound UDP datagram; return the response or None.
+
+        Malformed datagrams and non-client modes are counted and dropped
+        — a public pool server must never reflect garbage (NTP reflection
+        was a notorious amplification vector).
+        """
+        self.stats.requests += 1
+        try:
+            request = NTPPacket.parse(data)
+        except ValueError:
+            self.stats.malformed += 1
+            return None
+        if not request.is_valid_request():
+            self.stats.dropped_mode += 1
+            return None
+        if self._sink is not None:
+            self._sink(client_address, unix_time, self)
+        response = self._build_response(request, unix_time)
+        self.stats.responses += 1
+        return response.pack()
+
+    def _build_response(self, request: NTPPacket, unix_time: float) -> NTPPacket:
+        now = unix_to_ntp(unix_time)
+        return NTPPacket(
+            leap=LeapIndicator.NO_WARNING,
+            version=min(request.version, NTP_VERSION),
+            mode=Mode.SERVER,
+            stratum=self.STRATUM,
+            poll=request.poll,
+            precision=-23,
+            root_delay=ntp_short(0.015),
+            root_dispersion=ntp_short(0.005),
+            reference_id=self._refid,
+            reference_timestamp=unix_to_ntp(self._reference_time(unix_time)),
+            origin_timestamp=request.transmit_timestamp,
+            receive_timestamp=now,
+            transmit_timestamp=now,
+        )
+
+    def _reference_time(self, unix_time: float) -> float:
+        # A healthy stratum-2 syncs to its upstream every ~64 s; model the
+        # reference timestamp as the most recent such boundary.
+        self._last_sync_unix = unix_time - (unix_time % 64.0)
+        return self._last_sync_unix

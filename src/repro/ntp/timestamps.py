@@ -1,0 +1,75 @@
+"""NTP timestamp arithmetic (RFC 5905 §6).
+
+NTP timestamps are 64-bit fixed-point values: 32 bits of seconds since
+the prime epoch (1 January 1900, era 0) and 32 bits of binary fraction.
+The library's simulation clock runs on Unix time (seconds since 1970), so
+conversions between the two representations are needed whenever packets
+are serialized.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NTP_UNIX_OFFSET",
+    "NTP_FRACTION",
+    "unix_to_ntp",
+    "ntp_to_unix",
+    "ntp_short",
+    "short_to_seconds",
+]
+
+#: Seconds between the NTP prime epoch (1900) and the Unix epoch (1970):
+#: 70 years including 17 leap days.
+NTP_UNIX_OFFSET = 2_208_988_800
+
+#: Scale of the 32-bit fractional part.
+NTP_FRACTION = 1 << 32
+
+_ERA_SECONDS = 1 << 32
+
+
+def unix_to_ntp(unix_time: float) -> int:
+    """Convert Unix seconds to a 64-bit NTP timestamp.
+
+    Times are wrapped into era 0 modulo 2**32 seconds, exactly as the
+    32-bit on-wire seconds field does; negative Unix times (pre-1970) are
+    valid as long as they fall after the 1900 prime epoch.
+    """
+    if unix_time < -NTP_UNIX_OFFSET:
+        raise ValueError(f"time predates the NTP prime epoch: {unix_time!r}")
+    total = unix_time + NTP_UNIX_OFFSET
+    seconds = int(total) % _ERA_SECONDS
+    fraction = int(round((total - int(total)) * NTP_FRACTION))
+    if fraction >= NTP_FRACTION:  # rounding carried into the seconds field
+        fraction = 0
+        seconds = (seconds + 1) % _ERA_SECONDS
+    return (seconds << 32) | fraction
+
+
+def ntp_to_unix(ntp_time: int, era: int = 0) -> float:
+    """Convert a 64-bit NTP timestamp (in the given era) to Unix seconds."""
+    if not 0 <= ntp_time < (1 << 64):
+        raise ValueError(f"NTP timestamp out of range: {ntp_time!r}")
+    seconds = (ntp_time >> 32) + era * _ERA_SECONDS
+    fraction = (ntp_time & 0xFFFFFFFF) / NTP_FRACTION
+    return seconds + fraction - NTP_UNIX_OFFSET
+
+
+def ntp_short(seconds: float) -> int:
+    """Encode a duration as a 32-bit NTP short (16.16 fixed point).
+
+    Used for the root delay and root dispersion header fields.
+    """
+    if seconds < 0:
+        raise ValueError(f"durations must be non-negative: {seconds!r}")
+    value = int(round(seconds * (1 << 16)))
+    if value >= 1 << 32:
+        raise ValueError(f"duration too large for NTP short: {seconds!r}")
+    return value
+
+
+def short_to_seconds(short: int) -> float:
+    """Decode a 32-bit NTP short back into seconds."""
+    if not 0 <= short < (1 << 32):
+        raise ValueError(f"NTP short out of range: {short!r}")
+    return short / (1 << 16)

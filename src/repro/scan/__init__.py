@@ -1,0 +1,51 @@
+"""Active-measurement substrate.
+
+Probe primitives (:mod:`repro.scan.probes`), the ZMap6-style stateless
+scanner (:mod:`repro.scan.zmap6`), Yarrp-style stateless traceroute
+(:mod:`repro.scan.yarrp`), target generation
+(:mod:`repro.scan.targetgen`), aliased-prefix detection
+(:mod:`repro.scan.alias`), and the two comparison campaigns: CAIDA's
+routed /48 traces (:mod:`repro.scan.caida`) and the TUM IPv6 Hitlist
+pipeline (:mod:`repro.scan.hitlist_service`).
+"""
+
+from .alias import (
+    DEFAULT_PROBES,
+    DEFAULT_THRESHOLD,
+    AliasDetector,
+    AliasVerdict,
+    filter_aliased,
+)
+from .caida import CAIDACampaign, split_routed_prefixes
+from .hitlist_service import HITLIST_PROTOCOLS, HitlistService, WeeklySnapshot
+from .probes import ProbeResult, Protocol, probe_once
+from .targetgen import (
+    low_byte_candidates,
+    pattern_candidates,
+    subnet_low_byte_candidates,
+)
+from .yarrp import TraceResult, Yarrp
+from .zmap6 import ScanStats, ZMap6
+
+__all__ = [
+    "AliasDetector",
+    "AliasVerdict",
+    "CAIDACampaign",
+    "DEFAULT_PROBES",
+    "DEFAULT_THRESHOLD",
+    "HITLIST_PROTOCOLS",
+    "HitlistService",
+    "ProbeResult",
+    "Protocol",
+    "ScanStats",
+    "TraceResult",
+    "WeeklySnapshot",
+    "Yarrp",
+    "ZMap6",
+    "filter_aliased",
+    "low_byte_candidates",
+    "pattern_candidates",
+    "probe_once",
+    "split_routed_prefixes",
+    "subnet_low_byte_candidates",
+]

@@ -1,0 +1,75 @@
+"""Probe primitives shared by the scanners.
+
+Scanners ask the world's probe oracle whether a target answers.  The
+oracle models ICMPv6 reachability; transport-layer probes (the IPv6
+Hitlist also scans TCP 80/443, UDP 53/161/443) additionally require the
+responder to actually run a service on that port — routers and aliased
+middleboxes answer ICMPv6 but only servers and CPE devices expose TCP
+services, which is how protocol choice shapes what a campaign sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..world.devices import DeviceType
+from ..world.world import ProbeResponse, ResponderKind, World
+
+__all__ = ["Protocol", "ProbeResult", "probe_once"]
+
+
+class Protocol(Enum):
+    """Probe protocols used by the measurement campaigns."""
+
+    ICMPV6 = "icmpv6"
+    TCP80 = "tcp/80"
+    TCP443 = "tcp/443"
+    UDP53 = "udp/53"
+    UDP161 = "udp/161"
+    QUIC443 = "udp/443"
+
+
+#: Device types that answer transport-layer (non-ICMPv6) probes.
+_SERVICE_DEVICE_TYPES = (DeviceType.SERVER, DeviceType.CPE_ROUTER)
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of a single probe."""
+
+    target: int
+    when: float
+    protocol: Protocol
+    responsive: bool
+    responder_kind: Optional[ResponderKind] = None
+    responder_asn: Optional[int] = None
+
+
+def probe_once(
+    world: World, target: int, when: float, protocol: Protocol
+) -> ProbeResult:
+    """Send one probe through the world oracle and wrap the outcome."""
+    response: Optional[ProbeResponse] = world.probe(target, when)
+    if response is not None and protocol is not Protocol.ICMPV6:
+        if response.kind is ResponderKind.DEVICE:
+            device = response.device
+            if device is None or device.device_type not in _SERVICE_DEVICE_TYPES:
+                response = None
+        elif response.kind is ResponderKind.ROUTER:
+            # Routers drop transport probes to their interfaces.
+            response = None
+        # Aliased middleboxes answer any protocol (they terminate flows).
+    if response is None:
+        return ProbeResult(
+            target=target, when=when, protocol=protocol, responsive=False
+        )
+    return ProbeResult(
+        target=target,
+        when=when,
+        protocol=protocol,
+        responsive=True,
+        responder_kind=response.kind,
+        responder_asn=response.asn,
+    )

@@ -1,0 +1,239 @@
+"""Target-generation algorithms (TGAs).
+
+The paper's introduction makes a structural point about TGAs
+(entropy/ip, 6Gen, 6Tree, 6GAN, …): they are *trained on some hitlist*
+and therefore inherit its biases — a router-heavy training set yields
+router-flavoured candidates and keeps clients invisible (§1).  This
+module implements two classic TGA families so that claim can be tested
+directly (``benchmarks/bench_tga_bias.py``):
+
+* :class:`NibbleModel` — an entropy/ip-flavoured generator.  Training
+  IIDs are first *segmented* into pattern groups (entropy/ip's core
+  insight: IPv6 addresses are mixtures of distinct schemes, and a single
+  global distribution would synthesize chimeras that exist nowhere).
+  Each group carries its own per-position nibble distributions and its
+  own prefix pool; candidates sample a group, then an IID from the
+  group's distributions, then one of the group's prefixes.
+* :class:`ClusterExpansion` — a 6Gen/6Tree-flavoured generator: training
+  addresses sharing a (prefix, pattern) cell form a cluster whose
+  per-position alphabets are enumerated tightest-first.
+
+Both follow the same protocol: ``fit(seeds)`` then
+``generate(budget, rng)``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..addr.ipv6 import iid_of, nibbles_of_iid, prefix_of
+
+__all__ = ["TargetGenerator", "NibbleModel", "ClusterExpansion", "pattern_signature"]
+
+
+def pattern_signature(iid: int) -> Tuple[int, ...]:
+    """Coarse per-position class of an IID: 0 = zero nibble, 1 = set.
+
+    Segmenting by this signature separates the major addressing schemes
+    (low-byte, EUI-64, IPv4-embedded, full-random) well enough for
+    per-group distributions to stay scheme-pure.
+    """
+    return tuple(0 if nibble == 0 else 1 for nibble in nibbles_of_iid(iid))
+
+
+class TargetGenerator:
+    """Common TGA interface."""
+
+    def fit(self, seeds: Iterable[int]) -> "TargetGenerator":
+        """Learn from a training hitlist; returns self for chaining."""
+        raise NotImplementedError
+
+    def generate(self, budget: int, rng) -> List[int]:
+        """Emit up to ``budget`` candidate addresses (no training seeds)."""
+        raise NotImplementedError
+
+
+class _PatternGroup:
+    """One segmented scheme: distributions + the prefixes it was seen in."""
+
+    __slots__ = ("count", "position_counts", "prefixes")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.position_counts: List[Counter] = [Counter() for _ in range(16)]
+        self.prefixes: Set[int] = set()
+
+    def observe(self, prefix: int, iid: int) -> None:
+        self.count += 1
+        self.prefixes.add(prefix)
+        for position, nibble in enumerate(nibbles_of_iid(iid)):
+            self.position_counts[position][nibble] += 1
+
+    def sample_iid(self, rng) -> int:
+        iid = 0
+        for position in range(16):
+            counts = self.position_counts[position]
+            total = sum(counts.values())
+            mark = rng.randrange(total)
+            accumulated = 0
+            for value, count in sorted(counts.items()):
+                accumulated += count
+                if mark < accumulated:
+                    iid = (iid << 4) | value
+                    break
+        return iid
+
+
+class NibbleModel(TargetGenerator):
+    """Entropy/ip-flavoured segmented nibble-distribution model."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[Tuple[int, ...], _PatternGroup] = {}
+        self._group_order: List[Tuple[int, ...]] = []
+        self._seeds: Set[int] = set()
+        self._fitted = False
+
+    def fit(self, seeds: Iterable[int]) -> "NibbleModel":
+        for address in seeds:
+            self._seeds.add(address)
+            iid = iid_of(address)
+            signature = pattern_signature(iid)
+            group = self._groups.get(signature)
+            if group is None:
+                group = _PatternGroup()
+                self._groups[signature] = group
+            group.observe(prefix_of(address), iid)
+        if not self._seeds:
+            raise ValueError("cannot fit on an empty training set")
+        # Deterministic weighted-sampling order: big groups first.
+        self._group_order = sorted(
+            self._groups, key=lambda sig: (-self._groups[sig].count, sig)
+        )
+        self._fitted = True
+        return self
+
+    def _sample_group(self, rng) -> _PatternGroup:
+        total = len(self._seeds)
+        mark = rng.randrange(total)
+        accumulated = 0
+        for signature in self._group_order:
+            group = self._groups[signature]
+            accumulated += group.count
+            if mark < accumulated:
+                return group
+        return self._groups[self._group_order[-1]]
+
+    def generate(self, budget: int, rng) -> List[int]:
+        if not self._fitted:
+            raise ValueError("generate() before fit()")
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        candidates: List[int] = []
+        emitted: Set[int] = set()
+        attempts = 0
+        # Cap attempts so degenerate models (single seed) terminate.
+        while len(candidates) < budget and attempts < budget * 8:
+            attempts += 1
+            group = self._sample_group(rng)
+            prefixes = sorted(group.prefixes)
+            prefix = prefixes[rng.randrange(len(prefixes))]
+            candidate = prefix | group.sample_iid(rng)
+            if candidate in self._seeds or candidate in emitted:
+                continue
+            emitted.add(candidate)
+            candidates.append(candidate)
+        return candidates
+
+
+class ClusterExpansion(TargetGenerator):
+    """6Gen-flavoured cluster enumeration over (prefix, pattern) cells.
+
+    Clusters are ranked by *density* — small total expansion relative to
+    cluster size — and each is expanded by enumerating its per-position
+    alphabet cross-product, exactly the "grow tight regions first"
+    heuristic 6Gen uses.
+    """
+
+    #: Upper bound on a single cluster's expansion size.
+    MAX_CLUSTER_EXPANSION = 4096
+
+    def __init__(self) -> None:
+        self._clusters: List[Tuple[int, List[Set[int]], int]] = []
+        self._seeds: Set[int] = set()
+        self._fitted = False
+
+    def fit(self, seeds: Iterable[int]) -> "ClusterExpansion":
+        cells: Dict[Tuple[int, Tuple[int, ...]], List[int]] = defaultdict(list)
+        for address in seeds:
+            self._seeds.add(address)
+            iid = iid_of(address)
+            cells[(prefix_of(address), pattern_signature(iid))].append(iid)
+        if not self._seeds:
+            raise ValueError("cannot fit on an empty training set")
+        self._clusters = []
+        for (prefix, _signature), iids in cells.items():
+            alphabets: List[Set[int]] = [set() for _ in range(16)]
+            for iid in iids:
+                for position, nibble in enumerate(nibbles_of_iid(iid)):
+                    alphabets[position].add(nibble)
+            grown = [self._grow_range(alphabet) for alphabet in alphabets]
+            expansion = 1
+            for alphabet in grown:
+                expansion *= len(alphabet)
+                if expansion > self.MAX_CLUSTER_EXPANSION:
+                    break
+            self._clusters.append((prefix, grown, expansion))
+        # Tightest (densest) clusters first; prefix breaks ties.
+        self._clusters.sort(key=lambda item: (item[2], item[0]))
+        self._fitted = True
+        return self
+
+    @staticmethod
+    def _grow_range(alphabet: Set[int]) -> Set[int]:
+        """Grow a dense position alphabet to its covering integer range.
+
+        6Gen grows *regions*, not value sets: seeds ::1, ::3, ::7 imply
+        the range ::1–::7, so the unobserved ::2, ::4–::6 are proposed.
+        Growth only happens when the observed values are dense enough
+        that interpolation is plausible (span <= 3x the observed count).
+        """
+        if len(alphabet) < 2:
+            return alphabet
+        lo, hi = min(alphabet), max(alphabet)
+        if hi - lo + 1 <= 3 * len(alphabet):
+            return set(range(lo, hi + 1))
+        return alphabet
+
+    def _expand(self, alphabets: Sequence[Set[int]], limit: int) -> List[int]:
+        iids = [0]
+        for alphabet in alphabets:
+            values = sorted(alphabet)
+            iids = [
+                (iid << 4) | value
+                for iid in iids
+                for value in values
+            ]
+            if len(iids) > limit:
+                iids = iids[:limit]
+        return iids
+
+    def generate(self, budget: int, rng) -> List[int]:
+        if not self._fitted:
+            raise ValueError("generate() before fit()")
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        candidates: List[int] = []
+        for prefix, alphabets, expansion in self._clusters:
+            if len(candidates) >= budget:
+                break
+            if expansion > self.MAX_CLUSTER_EXPANSION:
+                continue
+            for iid in self._expand(alphabets, self.MAX_CLUSTER_EXPANSION):
+                candidate = prefix | iid
+                if candidate in self._seeds:
+                    continue
+                candidates.append(candidate)
+                if len(candidates) >= budget:
+                    break
+        return candidates

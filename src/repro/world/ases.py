@@ -1,0 +1,186 @@
+"""Per-AS addressing authority: delegation, rotation, aliasing.
+
+Each AS in the world owns a *customer block* (e.g. a /40) carved into
+fixed-size delegated prefixes (/56 by default, per RIPE-690), an optional
+*infrastructure /48* for router interfaces, and policy knobs:
+
+* **Prefix rotation** — many ISPs renumber customers periodically
+  (daily/weekly), the root cause of the paper's "likely prefix
+  reassignment" tracking class (§5.2).  Rotation is modelled as a
+  time-indexed bijection of rotating customers onto delegation slots:
+  ``slot = (customer + epoch * stride) mod R`` with ``R`` a power of two
+  and ``stride`` odd, so it is invertible — the probe oracle can map any
+  address back to the customer holding it at any instant without
+  replaying history.
+* **Aliasing** — some providers front their space with middleboxes that
+  answer probes to *every* address (§4.2).  An aliased AS responds to
+  anything in its customer block, which is how NTP clients can live
+  inside aliased /64s.
+* **Firewalling** — per-network CPE filtering probability, driving
+  backscan responsiveness (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..net.asn import ASRecord
+from ..net.prefixes import Prefix
+from .rng import derive_seed
+
+__all__ = ["PrefixDelegation", "ASProfile"]
+
+
+class PrefixDelegation:
+    """Invertible time-varying mapping of customers to delegation slots.
+
+    The customer block is split into ``capacity`` prefixes of
+    ``delegated_length``.  The lower half of the slot space serves
+    rotating customers (bijectively re-shuffled every ``rotation_interval``
+    seconds); the upper half serves static customers, one fixed slot each.
+    """
+
+    def __init__(
+        self,
+        customer_block: Prefix,
+        delegated_length: int,
+        rotating_count: int,
+        static_count: int,
+        rotation_interval: Optional[float],
+        root_seed: int,
+        asn: int,
+    ) -> None:
+        if delegated_length <= customer_block.length:
+            raise ValueError(
+                "delegated length must exceed the customer block length"
+            )
+        if delegated_length > 64:
+            raise ValueError("delegated prefixes must be /64 or shorter")
+        capacity = 1 << (delegated_length - customer_block.length)
+        rotating_capacity = capacity // 2
+        static_capacity = capacity - rotating_capacity
+        if rotating_count > rotating_capacity:
+            raise ValueError(
+                f"too many rotating customers: {rotating_count} > "
+                f"{rotating_capacity}"
+            )
+        if static_count > static_capacity:
+            raise ValueError(
+                f"too many static customers: {static_count} > {static_capacity}"
+            )
+        if rotating_count > 0 and rotation_interval is None:
+            raise ValueError("rotating customers need a rotation interval")
+        if rotation_interval is not None and rotation_interval <= 0:
+            raise ValueError("rotation interval must be positive")
+        self.customer_block = customer_block
+        self.delegated_length = delegated_length
+        self.rotating_count = rotating_count
+        self.static_count = static_count
+        self.rotation_interval = rotation_interval
+        self._rotating_capacity = rotating_capacity
+        self._slot_width = 128 - delegated_length
+        # Odd stride -> bijection modulo the power-of-two capacity.
+        self._stride = (
+            derive_seed(root_seed, "stride", asn) % max(1, rotating_capacity)
+        ) | 1
+
+    def _epoch(self, when: float) -> int:
+        if self.rotation_interval is None:
+            return 0
+        return int(when // self.rotation_interval)
+
+    def _slot_of(self, customer_index: int, rotating: bool, when: float) -> int:
+        if rotating:
+            if not 0 <= customer_index < self.rotating_count:
+                raise ValueError(f"bad rotating customer: {customer_index}")
+            epoch = self._epoch(when)
+            return (
+                customer_index + epoch * self._stride
+            ) % self._rotating_capacity
+        if not 0 <= customer_index < self.static_count:
+            raise ValueError(f"bad static customer: {customer_index}")
+        return self._rotating_capacity + customer_index
+
+    def delegated_base(
+        self, customer_index: int, rotating: bool, when: float
+    ) -> int:
+        """The delegated prefix's base address for a customer at ``when``."""
+        slot = self._slot_of(customer_index, rotating, when)
+        return self.customer_block.network | (slot << self._slot_width)
+
+    def delegated_prefix(
+        self, customer_index: int, rotating: bool, when: float
+    ) -> Prefix:
+        """The delegated prefix as a :class:`Prefix`."""
+        return Prefix(
+            self.delegated_base(customer_index, rotating, when),
+            self.delegated_length,
+        )
+
+    def locate(self, address: int, when: float) -> Optional[Tuple[int, bool]]:
+        """Invert: which ``(customer_index, rotating)`` holds ``address``?
+
+        Returns ``None`` for addresses in unallocated slots.  Raises for
+        addresses outside the customer block entirely.
+        """
+        if not self.customer_block.contains(address):
+            raise ValueError(f"address outside customer block: {address:#x}")
+        slot = (
+            (address - self.customer_block.network) >> self._slot_width
+        )
+        if slot >= self._rotating_capacity:
+            index = slot - self._rotating_capacity
+            if index < self.static_count:
+                return index, False
+            return None
+        if self.rotating_count == 0:
+            return None
+        epoch = self._epoch(when)
+        index = (slot - epoch * self._stride) % self._rotating_capacity
+        if index < self.rotating_count:
+            return index, True
+        return None
+
+
+@dataclass
+class ASProfile:
+    """Everything the world knows about one AS.
+
+    ``strategy_weights`` describes the client addressing mix of the AS
+    (used at population time); the per-AS phenomenology of Figure 4
+    emerges from giving different ASes different mixes.
+    """
+
+    record: ASRecord
+    customer_block: Prefix
+    delegation: PrefixDelegation
+    infra_prefix: Optional[Prefix] = None
+    aliased: bool = False
+    firewall_probability: float = 0.25
+    cellular: bool = False
+    strategy_weights: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.firewall_probability <= 1.0:
+            raise ValueError("firewall probability must lie in [0, 1]")
+        if self.infra_prefix is not None and self.infra_prefix.length > 48:
+            raise ValueError("infrastructure prefix must be /48 or shorter")
+
+    @property
+    def asn(self) -> int:
+        """The AS number."""
+        return self.record.asn
+
+    @property
+    def country(self) -> str:
+        """The AS's home country."""
+        return self.record.country
+
+    def owns(self, address: int) -> bool:
+        """True when ``address`` falls in this AS's customer or infra space."""
+        if self.customer_block.contains(address):
+            return True
+        return self.infra_prefix is not None and self.infra_prefix.contains(
+            address
+        )

@@ -1,0 +1,104 @@
+"""Simulation time.
+
+The world runs on Unix-style seconds.  The paper's campaign spans
+25 January – 31 August 2022 (31 weeks); the default epoch below is the
+campaign start, so "day 0" of a simulation aligns with the paper's first
+collection day.  :class:`SimClock` is a simple monotonic clock the
+campaign driver advances tick by tick.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+__all__ = [
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "CAMPAIGN_EPOCH",
+    "SimClock",
+    "iter_ticks",
+    "day_index",
+    "week_index",
+]
+
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86_400.0
+WEEK = 7 * DAY
+
+#: Unix time of 25 January 2022 00:00 UTC — the paper's collection start.
+CAMPAIGN_EPOCH = 1_643_068_800.0
+
+
+class SimClock:
+    """A monotonic simulation clock.
+
+    >>> clock = SimClock()
+    >>> clock.advance(DAY)
+    >>> clock.elapsed == DAY
+    True
+    """
+
+    def __init__(self, start: float = CAMPAIGN_EPOCH) -> None:
+        self._start = start
+        self._now = start
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (Unix seconds)."""
+        return self._now
+
+    @property
+    def start(self) -> float:
+        """Simulation start time."""
+        return self._start
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the simulation started."""
+        return self._now - self._start
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward; moving backwards is an error."""
+        if seconds < 0:
+            raise ValueError(f"cannot move time backwards: {seconds!r}")
+        self._now += seconds
+
+    def advance_to(self, when: float) -> None:
+        """Jump to an absolute time at or after the current time."""
+        if when < self._now:
+            raise ValueError(
+                f"cannot move time backwards: {when!r} < {self._now!r}"
+            )
+        self._now = when
+
+
+def iter_ticks(
+    start: float, end: float, tick: float
+) -> Iterator[Tuple[float, float]]:
+    """Yield half-open ``(tick_start, tick_end)`` windows covering a span.
+
+    The final window is truncated at ``end``.  ``tick`` must be positive
+    and the span non-empty.
+    """
+    if tick <= 0:
+        raise ValueError(f"tick must be positive: {tick!r}")
+    if end <= start:
+        raise ValueError(f"empty span: [{start!r}, {end!r})")
+    current = start
+    while current < end:
+        upper = min(current + tick, end)
+        yield current, upper
+        current = upper
+
+
+def day_index(when: float, epoch: float = CAMPAIGN_EPOCH) -> int:
+    """Whole days since the campaign epoch (may be negative before it)."""
+    return int((when - epoch) // DAY)
+
+
+def week_index(when: float, epoch: float = CAMPAIGN_EPOCH) -> int:
+    """Whole weeks since the campaign epoch."""
+    return int((when - epoch) // WEEK)

@@ -1,0 +1,142 @@
+"""Device model.
+
+A device is the unit that sends NTP queries and answers (or ignores)
+probes.  Each device owns a type (phone, laptop, CPE router, IoT, …), an
+OS family (which selects its NTP time source, §2.3), an addressing
+strategy (which shapes the IIDs it exposes, §4.3), optionally a MAC
+address — and, for CPE routers, a WiFi BSSID sitting at a small vendor
+offset from the wired MAC (the §5.3 geolocation linkage).
+
+NTP query times are deterministic per (device, day): the number of
+queries is Poisson-like around the device's configured rate and the
+offsets are uniform in the day, both derived by keyed hashing so any
+day can be evaluated independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from ..ntp.client import OperatingSystem, TimeSource, time_source_for
+from .clock import DAY
+from .mobility import MobilityPlan
+from .rng import split_rng
+from .strategies import AddressingStrategy
+
+__all__ = ["DeviceType", "Device"]
+
+
+class DeviceType(Enum):
+    """Coarse device classes with distinct measurement behaviour."""
+
+    SMARTPHONE = "smartphone"
+    LAPTOP = "laptop"
+    DESKTOP = "desktop"
+    SERVER = "server"
+    CPE_ROUTER = "cpe_router"
+    IOT = "iot"
+    SMART_HOME = "smart_home"
+    SET_TOP_BOX = "set_top_box"
+
+    @property
+    def is_infrastructure(self) -> bool:
+        """Servers and CPE: stable, probe-responsive address holders."""
+        return self in (DeviceType.SERVER, DeviceType.CPE_ROUTER)
+
+    @property
+    def is_mobile(self) -> bool:
+        """Devices that physically move between networks."""
+        return self is DeviceType.SMARTPHONE
+
+
+@dataclass
+class Device:
+    """One simulated end device.
+
+    ``device_id`` doubles as the key for all per-device randomness, so a
+    device's behaviour is fully determined by (root seed, device_id).
+    """
+
+    device_id: int
+    device_type: DeviceType
+    os_family: OperatingSystem
+    strategy: AddressingStrategy
+    root_seed: int
+    queries_per_day: float = 4.0
+    subnet_index: int = 0
+    mac: Optional[int] = None
+    wifi_bssid: Optional[int] = None
+    dhcp_time_source: Optional[TimeSource] = None
+    home_network_id: Optional[int] = None
+    mobility_plan: Optional["MobilityPlan"] = None
+    time_source: TimeSource = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.queries_per_day < 0:
+            raise ValueError("queries_per_day must be non-negative")
+        if self.subnet_index < 0:
+            raise ValueError("subnet_index must be non-negative")
+        self.time_source = time_source_for(self.os_family, self.dhcp_time_source)
+
+    def current_network_id(self, when: float) -> Optional[int]:
+        """The network the device is attached to at ``when``.
+
+        Falls back to the home network when no mobility plan is set.
+        """
+        if self.mobility_plan is not None:
+            return self.mobility_plan.network_id_at(when)
+        return self.home_network_id
+
+    @property
+    def uses_pool(self) -> bool:
+        """True when this device's NTP queries can reach pool vantages."""
+        return self.time_source.is_pool_zone
+
+    def iid_at(self, when: float, prefix64: int) -> int:
+        """The IID this device exposes at ``when`` inside ``prefix64``."""
+        return self.strategy.iid_at(when, prefix64)
+
+    def address_at(self, when: float, prefix64: int) -> int:
+        """Full 128-bit address at ``when`` given its current /64."""
+        return prefix64 | self.iid_at(when, prefix64)
+
+    def query_count_on(self, day: int) -> int:
+        """Number of NTP queries this device issues on campaign day ``day``.
+
+        Poisson-distributed around ``queries_per_day``, deterministic per
+        (root seed, device, day).
+        """
+        if self.queries_per_day == 0:
+            return 0
+        rng = split_rng(self.root_seed, "qcount", self.device_id, day)
+        return _poisson(rng, self.queries_per_day)
+
+    def query_offsets_on(self, day: int) -> List[float]:
+        """Second offsets (sorted, within the day) of the day's queries."""
+        count = self.query_count_on(day)
+        if count == 0:
+            return []
+        rng = split_rng(self.root_seed, "qtimes", self.device_id, day)
+        return sorted(rng.uniform(0.0, DAY) for _ in range(count))
+
+
+def _poisson(rng, mean: float) -> int:
+    """Knuth's Poisson sampler; adequate for the small means used here."""
+    if mean <= 0:
+        return 0
+    # For large means fall back to a normal approximation to avoid the
+    # O(mean) loop (rare in practice: devices query a few times a day).
+    if mean > 50:
+        value = int(round(rng.gauss(mean, mean**0.5)))
+        return max(0, value)
+    import math
+
+    limit = math.exp(-mean)
+    count = 0
+    product = rng.random()
+    while product > limit:
+        count += 1
+        product *= rng.random()
+    return count

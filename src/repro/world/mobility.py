@@ -1,0 +1,113 @@
+"""Device mobility between networks.
+
+Three movement behaviours generate the paper's §5.2 tracking classes:
+
+* :class:`StaticPlan` — the device never leaves its home network
+  ("mostly static hosts", 86% in the paper);
+* :class:`ProviderChangePlan` — a one-time switch to a network in a
+  different AS ("changing providers", 5%);
+* :class:`CommuterPlan` — a phone-like oscillation between a home WiFi
+  network and a per-device cellular network in another AS ("likely user
+  movement", 0.44%).
+
+Plans are deterministic functions of time so presence can be evaluated
+for any instant independently.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .clock import HOUR
+from .rng import keyed_uniform
+
+__all__ = ["MobilityPlan", "StaticPlan", "ProviderChangePlan", "CommuterPlan"]
+
+
+class MobilityPlan(ABC):
+    """Where a device is attached, as a function of time."""
+
+    @abstractmethod
+    def network_id_at(self, when: float) -> int:
+        """The network the device is attached to at ``when``."""
+
+    def networks(self) -> tuple:
+        """All network ids this plan can ever return."""
+        raise NotImplementedError
+
+
+class StaticPlan(MobilityPlan):
+    """Permanently attached to one network."""
+
+    def __init__(self, network_id: int) -> None:
+        self._network_id = network_id
+
+    def network_id_at(self, when: float) -> int:
+        return self._network_id
+
+    def networks(self) -> tuple:
+        return (self._network_id,)
+
+
+class ProviderChangePlan(MobilityPlan):
+    """A one-time move (e.g. an ISP switch) at ``switch_time``."""
+
+    def __init__(self, before_id: int, after_id: int, switch_time: float) -> None:
+        if before_id == after_id:
+            raise ValueError("provider change must change networks")
+        self._before_id = before_id
+        self._after_id = after_id
+        self._switch_time = switch_time
+
+    @property
+    def switch_time(self) -> float:
+        """Instant of the switch."""
+        return self._switch_time
+
+    def network_id_at(self, when: float) -> int:
+        return self._after_id if when >= self._switch_time else self._before_id
+
+    def networks(self) -> tuple:
+        return (self._before_id, self._after_id)
+
+
+class CommuterPlan(MobilityPlan):
+    """Oscillation between a home network and a cellular network.
+
+    Time is divided into fixed blocks (default 6 h); in each block the
+    device is away (on cellular) with probability ``away_probability``,
+    decided by keyed hashing so the answer for any block is stable.
+    """
+
+    def __init__(
+        self,
+        home_id: int,
+        cellular_id: int,
+        root_seed: int,
+        device_key: int,
+        away_probability: float = 0.4,
+        block_seconds: float = 6 * HOUR,
+    ) -> None:
+        if home_id == cellular_id:
+            raise ValueError("home and cellular networks must differ")
+        if not 0.0 <= away_probability <= 1.0:
+            raise ValueError("away probability must lie in [0, 1]")
+        if block_seconds <= 0:
+            raise ValueError("block size must be positive")
+        self._home_id = home_id
+        self._cellular_id = cellular_id
+        self._root_seed = root_seed
+        self._device_key = device_key
+        self._away_probability = away_probability
+        self._block_seconds = block_seconds
+
+    def network_id_at(self, when: float) -> int:
+        block = int(when // self._block_seconds)
+        away = (
+            keyed_uniform(self._root_seed, "commute", self._device_key, block)
+            < self._away_probability
+        )
+        return self._cellular_id if away else self._home_id
+
+    def networks(self) -> tuple:
+        return (self._home_id, self._cellular_id)

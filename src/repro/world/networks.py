@@ -1,0 +1,116 @@
+"""Customer networks: one delegated prefix, a handful of devices.
+
+A :class:`CustomerNetwork` is what an ISP delegates a prefix to — a home,
+a small office, or a single cellular subscriber session.  It knows its
+AS's delegation authority (so it can compute its current prefix at any
+time, surviving rotation) and its member devices (so the probe oracle
+can ask "who holds this address right now?").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .ases import ASProfile
+from .devices import Device
+
+__all__ = ["CustomerNetwork"]
+
+
+class CustomerNetwork:
+    """One delegated-prefix customer of an AS.
+
+    Parameters
+    ----------
+    network_id:
+        Globally unique id; mobility plans reference networks by id.
+    profile:
+        The owning AS's profile (provides the delegation authority).
+    customer_index / rotating:
+        This customer's slot in the AS delegation scheme.
+    firewalled:
+        When True, the CPE drops unsolicited inbound probes to *client*
+        devices.  Infrastructure devices (the CPE itself, servers)
+        respond regardless — matching the paper's observation that CPE
+        and low-entropy hosts dominate backscan responders.
+    """
+
+    def __init__(
+        self,
+        network_id: int,
+        profile: ASProfile,
+        customer_index: int,
+        rotating: bool,
+        firewalled: bool = False,
+    ) -> None:
+        self.network_id = network_id
+        self.profile = profile
+        self.customer_index = customer_index
+        self.rotating = rotating
+        self.firewalled = firewalled
+        self.devices: List[Device] = []
+
+    @property
+    def asn(self) -> int:
+        """The owning AS number."""
+        return self.profile.asn
+
+    @property
+    def country(self) -> str:
+        """The owning AS's country."""
+        return self.profile.country
+
+    def attach(self, device: Device, home: bool = True) -> None:
+        """Add a device to this network's member list.
+
+        With ``home=True`` the device's home network pointer is set; pass
+        ``home=False`` when registering a visiting-possible device (e.g.
+        a commuter's cellular session network lists the phone without
+        being its home).
+        """
+        self.devices.append(device)
+        if home:
+            device.home_network_id = self.network_id
+
+    def delegated_base(self, when: float) -> int:
+        """Base address of the currently delegated prefix."""
+        return self.profile.delegation.delegated_base(
+            self.customer_index, self.rotating, when
+        )
+
+    def prefix64_for(self, device: Device, when: float) -> int:
+        """The /64 a member device sits in at ``when``.
+
+        ``device.subnet_index`` selects a subnet of the delegated prefix,
+        wrapped into the delegation's subnet space — a phone that lives
+        in subnet 2 of its /56 home simply lands in the only /64 of its
+        cellular session when it roams there.
+        """
+        base = self.delegated_base(when)
+        subnet_bits = 64 - self.profile.delegation.delegated_length
+        subnet = device.subnet_index & ((1 << subnet_bits) - 1)
+        return base | (subnet << 64)
+
+    def device_address(self, device: Device, when: float) -> int:
+        """A member device's full address at ``when``."""
+        return device.address_at(when, self.prefix64_for(device, when))
+
+    def present_devices(self, when: float) -> Iterable[Device]:
+        """Members actually attached here at ``when`` (mobility-aware)."""
+        for device in self.devices:
+            if device.current_network_id(when) == self.network_id:
+                yield device
+
+    def holder_of(self, address: int, when: float) -> Optional[Device]:
+        """The present member holding ``address`` at ``when``, if any."""
+        for device in self.present_devices(when):
+            if self.device_address(device, when) == address:
+                return device
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"CustomerNetwork(id={self.network_id}, AS{self.asn}, "
+            f"{'rotating' if self.rotating else 'static'}, "
+            f"{len(self.devices)} devices)"
+        )

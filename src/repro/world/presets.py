@@ -1,0 +1,62 @@
+"""World scale presets.
+
+Tests, examples, benches and the CLI all need worlds at a few standard
+sizes; these presets centralize the numbers so "a small world" means the
+same thing everywhere.
+
+=========  ========  ==========  ========  =========
+preset     ASes      networks    devices   build+study time
+=========  ========  ==========  ========  =========
+tiny       ~16       ~150        ~350      seconds
+small      ~32       ~650        ~1.5k     tens of seconds
+medium     ~46       ~2.2k       ~4.8k     1–2 minutes
+large      ~66       ~5.5k       ~12k      several minutes
+=========  ========  ==========  ========  =========
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .population import WorldConfig
+
+__all__ = ["PRESETS", "preset_config", "preset_names"]
+
+#: (fixed ASes, cellular ASes, hosting ASes, home networks,
+#:  cellular subscribers, hosting networks)
+PRESETS: Dict[str, Tuple[int, int, int, int, int, int]] = {
+    "tiny": (8, 4, 4, 80, 40, 10),
+    "small": (20, 6, 6, 400, 200, 30),
+    "medium": (30, 8, 8, 1500, 600, 60),
+    "large": (45, 10, 10, 4000, 1500, 120),
+}
+
+
+def preset_names() -> Tuple[str, ...]:
+    """Available preset names, smallest first."""
+    return tuple(PRESETS)
+
+
+def preset_config(name: str, seed: int = 7, **overrides) -> WorldConfig:
+    """A :class:`WorldConfig` for a named preset.
+
+    Extra keyword arguments override any :class:`WorldConfig` field
+    (e.g. ``outage_as_count=2``).
+    """
+    try:
+        fixed, cellular, hosting, homes, subscribers, farms = PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; choose from {sorted(PRESETS)}"
+        ) from None
+    fields = dict(
+        seed=seed,
+        n_fixed_ases=fixed,
+        n_cellular_ases=cellular,
+        n_hosting_ases=hosting,
+        n_home_networks=homes,
+        n_cellular_subscribers=subscribers,
+        n_hosting_networks=farms,
+    )
+    fields.update(overrides)
+    return WorldConfig(**fields)

@@ -1,0 +1,249 @@
+"""IID assignment strategies.
+
+Every device in the simulated world owns one addressing strategy — the
+knob that ultimately produces the paper's entire §4.3/§5 phenomenology:
+
+* privacy extensions (RFC 4941) → high-entropy, short-lived addresses;
+* stable-random (RFC 7217) → high-entropy but per-prefix-stable;
+* EUI-64 SLAAC → medium-entropy, MAC-leaking, cross-network trackable;
+* operator low-byte / low-2-bytes → memorable infrastructure addresses;
+* DHCPv6 sequential pools → low-entropy client addresses;
+* IPv4-embedded → dual-stack operator practice;
+* "random low4" → the Reliance-Jio-style pattern (only the lower four
+  IID bytes randomized) the paper spots in Figure 4.
+
+Strategies are *pure*: the IID for (time, prefix) is a deterministic
+function of the device's identity and the root seed, independent of
+evaluation order — which is what lets the probe oracle answer "who holds
+this address right now?" without replaying history.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from enum import Enum
+
+from ..addr.eui64 import mac_to_iid
+from ..addr.mac import MAX_MAC
+from .rng import keyed_randbits
+
+__all__ = [
+    "StrategyKind",
+    "AddressingStrategy",
+    "LowByteStrategy",
+    "LowTwoBytesStrategy",
+    "Dhcpv6SequentialStrategy",
+    "Eui64Strategy",
+    "PrivacyExtensionsStrategy",
+    "StableRandomStrategy",
+    "RandomLow4Strategy",
+    "IPv4EmbeddedStrategy",
+]
+
+
+class StrategyKind(Enum):
+    """Tags for the implemented strategies (used in profiles/reports)."""
+
+    LOW_BYTE = "low_byte"
+    LOW_2_BYTES = "low_2_bytes"
+    DHCPV6_SEQUENTIAL = "dhcpv6_sequential"
+    EUI64 = "eui64"
+    PRIVACY = "privacy_extensions"
+    STABLE_RANDOM = "stable_random"
+    RANDOM_LOW4 = "random_low4"
+    IPV4_EMBEDDED = "ipv4_embedded"
+
+
+class AddressingStrategy(ABC):
+    """One device's IID assignment behaviour."""
+
+    kind: StrategyKind
+
+    @abstractmethod
+    def iid_at(self, when: float, prefix64: int) -> int:
+        """The 64-bit IID this device uses at ``when`` inside ``prefix64``."""
+
+    @property
+    def rotates_over_time(self) -> bool:
+        """True when the IID changes as time passes (same prefix)."""
+        return False
+
+    @property
+    def depends_on_prefix(self) -> bool:
+        """True when moving to a new prefix changes the IID."""
+        return False
+
+
+class LowByteStrategy(AddressingStrategy):
+    """Operator-style ``::1`` addressing (paper's "Low Byte" category)."""
+
+    kind = StrategyKind.LOW_BYTE
+
+    def __init__(self, host_number: int) -> None:
+        if not 1 <= host_number <= 0xFF:
+            raise ValueError(f"host number must fit one byte: {host_number}")
+        self._host_number = host_number
+
+    def iid_at(self, when: float, prefix64: int) -> int:
+        return self._host_number
+
+
+class LowTwoBytesStrategy(AddressingStrategy):
+    """Two-low-byte addressing like ``::101`` ("Low 2 Bytes" category)."""
+
+    kind = StrategyKind.LOW_2_BYTES
+
+    def __init__(self, host_number: int) -> None:
+        if not 0x100 <= host_number <= 0xFFFF:
+            raise ValueError(
+                f"host number must need exactly two bytes: {host_number}"
+            )
+        self._host_number = host_number
+
+    def iid_at(self, when: float, prefix64: int) -> int:
+        return self._host_number
+
+
+class Dhcpv6SequentialStrategy(AddressingStrategy):
+    """A DHCPv6 server handing out a sequential pool (low entropy).
+
+    Real deployments commonly configure pools like ``::1:0`` upward; the
+    resulting IIDs have a handful of meaningful low bytes.
+    """
+
+    kind = StrategyKind.DHCPV6_SEQUENTIAL
+
+    POOL_BASE = 0x0001_0000
+
+    def __init__(self, lease_index: int) -> None:
+        if not 0 <= lease_index < (1 << 24):
+            raise ValueError(f"lease index out of range: {lease_index}")
+        self._lease_index = lease_index
+
+    def iid_at(self, when: float, prefix64: int) -> int:
+        return self.POOL_BASE + self._lease_index
+
+
+class Eui64Strategy(AddressingStrategy):
+    """Modified-EUI-64 SLAAC: the IID embeds the device MAC.
+
+    Stable across both time and prefixes — the property §5 weaponizes.
+    """
+
+    kind = StrategyKind.EUI64
+
+    def __init__(self, mac: int) -> None:
+        if not 0 <= mac <= MAX_MAC:
+            raise ValueError(f"MAC out of range: {mac}")
+        self._iid = mac_to_iid(mac)
+        self.mac = mac
+
+    def iid_at(self, when: float, prefix64: int) -> int:
+        return self._iid
+
+
+class PrivacyExtensionsStrategy(AddressingStrategy):
+    """RFC 4941 temporary addresses: fresh random IID per interval."""
+
+    kind = StrategyKind.PRIVACY
+
+    def __init__(
+        self, root_seed: int, device_key: int, rotation_interval: float
+    ) -> None:
+        if rotation_interval <= 0:
+            raise ValueError("rotation interval must be positive")
+        self._root_seed = root_seed
+        self._device_key = device_key
+        self._interval = rotation_interval
+
+    @property
+    def rotates_over_time(self) -> bool:
+        return True
+
+    def iid_at(self, when: float, prefix64: int) -> int:
+        epoch = int(when // self._interval)
+        return keyed_randbits(
+            self._root_seed, 64, "privacy", self._device_key, epoch
+        )
+
+
+class StableRandomStrategy(AddressingStrategy):
+    """RFC 7217 opaque stable IIDs: random per (device, prefix), stable."""
+
+    kind = StrategyKind.STABLE_RANDOM
+
+    def __init__(self, root_seed: int, device_key: int) -> None:
+        self._root_seed = root_seed
+        self._device_key = device_key
+
+    @property
+    def depends_on_prefix(self) -> bool:
+        return True
+
+    def iid_at(self, when: float, prefix64: int) -> int:
+        return keyed_randbits(
+            self._root_seed, 64, "stable", self._device_key, prefix64
+        )
+
+
+class RandomLow4Strategy(AddressingStrategy):
+    """Randomize only the low four IID bytes (Reliance-Jio-style).
+
+    The paper observes this pattern as a second, lower-entropy mode in
+    Figure 4(a): the upper four IID bytes stay zero.
+    """
+
+    kind = StrategyKind.RANDOM_LOW4
+
+    def __init__(
+        self, root_seed: int, device_key: int, rotation_interval: float
+    ) -> None:
+        if rotation_interval <= 0:
+            raise ValueError("rotation interval must be positive")
+        self._root_seed = root_seed
+        self._device_key = device_key
+        self._interval = rotation_interval
+
+    @property
+    def rotates_over_time(self) -> bool:
+        return True
+
+    def iid_at(self, when: float, prefix64: int) -> int:
+        epoch = int(when // self._interval)
+        return keyed_randbits(
+            self._root_seed, 32, "low4", self._device_key, epoch
+        )
+
+
+class IPv4EmbeddedStrategy(AddressingStrategy):
+    """Embed the interface's IPv4 address in the IID (paper §4.3).
+
+    Two of the three encodings the classifier recognizes can be produced;
+    ``decimal_groups`` spells each octet in decimal in its own group,
+    ``hex32`` places the address verbatim in the low 32 bits.
+    """
+
+    kind = StrategyKind.IPV4_EMBEDDED
+
+    def __init__(self, ipv4: int, encoding: str = "hex32") -> None:
+        if not 0 <= ipv4 <= 0xFFFFFFFF:
+            raise ValueError(f"IPv4 address out of range: {ipv4}")
+        if encoding not in ("hex32", "decimal_groups"):
+            raise ValueError(f"unsupported encoding: {encoding!r}")
+        self.ipv4 = ipv4
+        self._encoding = encoding
+        self._iid = self._encode(ipv4, encoding)
+
+    @staticmethod
+    def _encode(ipv4: int, encoding: str) -> int:
+        if encoding == "hex32":
+            return ipv4
+        iid = 0
+        for shift in (24, 16, 8, 0):
+            octet = (ipv4 >> shift) & 0xFF
+            group = int(str(octet), 16)  # decimal digits read as hex
+            iid = (iid << 16) | group
+        return iid
+
+    def iid_at(self, when: float, prefix64: int) -> int:
+        return self._iid

@@ -1,0 +1,109 @@
+"""Tests for repro.addr.eui64 — EUI-64 construction/recovery."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.addr import eui64, ipv6, mac
+
+macs = st.integers(min_value=0, max_value=mac.MAX_MAC)
+iids = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestConstruction:
+    def test_known_vector(self):
+        # RFC 4291 Appendix A style example: MAC 34:56:78:9a:bc:de
+        value = mac.parse_mac("34:56:78:9a:bc:de")
+        iid = eui64.mac_to_iid(value)
+        # 34 ^ 02 = 36, then 56 78 ff fe 9a bc de
+        assert iid == 0x365678FFFE9ABCDE
+
+    def test_ul_bit_cleared_when_set(self):
+        # A locally-administered MAC has its U/L bit *cleared* in the IID.
+        value = 0x021122334455
+        iid = eui64.mac_to_iid(value)
+        assert (iid >> 56) & 0xFF == 0x00
+
+    def test_marker_present(self):
+        assert eui64.looks_like_eui64(eui64.mac_to_iid(0))
+
+    def test_rejects_out_of_range_mac(self):
+        with pytest.raises(ValueError):
+            eui64.mac_to_iid(1 << 48)
+
+
+class TestDetection:
+    def test_detects_marker(self):
+        assert eui64.looks_like_eui64(0x021122FFFE334455)
+
+    def test_rejects_non_marker(self):
+        assert not eui64.looks_like_eui64(0x0211223344556677)
+
+    def test_random_false_positive_rate_is_small(self):
+        rng = random.Random(42)
+        trials = 200_000
+        hits = sum(
+            1 for _ in range(trials) if eui64.looks_like_eui64(rng.getrandbits(64))
+        )
+        # Expectation is trials / 65536 ~ 3; allow generous headroom.
+        assert hits <= 20
+
+
+class TestRecovery:
+    def test_iid_to_mac_inverts(self):
+        value = mac.parse_mac("00:25:9c:aa:bb:cc")
+        assert eui64.iid_to_mac(eui64.mac_to_iid(value)) == value
+
+    def test_iid_to_mac_rejects_non_eui64(self):
+        with pytest.raises(ValueError):
+            eui64.iid_to_mac(0x1234567812345678)
+
+    @given(macs)
+    def test_roundtrip_all_macs(self, value):
+        assert eui64.iid_to_mac(eui64.mac_to_iid(value)) == value
+
+    @given(macs)
+    def test_oui_preserved_through_embedding(self, value):
+        recovered = eui64.iid_to_mac(eui64.mac_to_iid(value))
+        assert mac.oui_of(recovered) == mac.oui_of(value)
+
+
+class TestFullAddress:
+    def test_mac_to_address(self):
+        prefix = ipv6.parse("2001:db8:1:2::")
+        value = mac.parse_mac("34:56:78:9a:bc:de")
+        addr = eui64.mac_to_address(prefix, value)
+        assert ipv6.prefix_of(addr) == prefix
+        assert ipv6.format_address(addr) == "2001:db8:1:2:3656:78ff:fe9a:bcde"
+
+    def test_extract_mac_from_address(self):
+        prefix = ipv6.parse("2001:db8::")
+        value = 0x001122334455
+        addr = eui64.mac_to_address(prefix, value)
+        assert eui64.extract_mac(addr) == value
+
+    def test_extract_mac_returns_none_for_random(self):
+        assert eui64.extract_mac(ipv6.parse("2001:db8::1234:5678:9abc:def0")) is None
+
+    @given(macs, st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_extract_is_prefix_independent(self, value, prefix_bits):
+        prefix = prefix_bits << 64
+        assert eui64.extract_mac(eui64.mac_to_address(prefix, value)) == value
+
+
+class TestExpectedRandom:
+    def test_paper_bound(self):
+        # The paper: 7,914,066,999 / 65,536 < 121,000.
+        assert eui64.expected_random_eui64(7_914_066_999) < 121_000
+
+    def test_zero_corpus(self):
+        assert eui64.expected_random_eui64(0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            eui64.expected_random_eui64(-1)
+
+    def test_linear_in_corpus_size(self):
+        assert eui64.expected_random_eui64(131_072) == pytest.approx(2.0)

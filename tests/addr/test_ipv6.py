@@ -1,0 +1,260 @@
+"""Tests for repro.addr.ipv6 — address representation and bit helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.addr import ipv6
+
+addresses = st.integers(min_value=0, max_value=ipv6.MAX_ADDRESS)
+iids = st.integers(min_value=0, max_value=ipv6.IID_MASK)
+
+
+class TestParseFormat:
+    def test_parse_loopback(self):
+        assert ipv6.parse("::1") == 1
+
+    def test_parse_full_form(self):
+        assert ipv6.parse("2001:0db8:0000:0000:0000:0000:0000:0001") == (
+            0x20010DB8 << 96
+        ) | 1
+
+    def test_format_compresses(self):
+        assert ipv6.format_address((0x20010DB8 << 96) | 1) == "2001:db8::1"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            ipv6.parse("not-an-address")
+
+    def test_parse_rejects_ipv4(self):
+        with pytest.raises(ValueError):
+            ipv6.parse("192.0.2.1")
+
+    def test_format_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ipv6.format_address(-1)
+
+    def test_format_rejects_oversize(self):
+        with pytest.raises(ValueError):
+            ipv6.format_address(1 << 128)
+
+    @given(addresses)
+    def test_roundtrip(self, value):
+        assert ipv6.parse(ipv6.format_address(value)) == value
+
+
+class TestStructure:
+    def test_iid_of(self):
+        addr = ipv6.parse("2001:db8::dead:beef")
+        assert ipv6.iid_of(addr) == 0xDEADBEEF
+
+    def test_prefix_of_zeroes_iid(self):
+        addr = ipv6.parse("2001:db8:1:2:3:4:5:6")
+        assert ipv6.format_address(ipv6.prefix_of(addr)) == "2001:db8:1:2::"
+
+    def test_with_iid_combines(self):
+        prefix = ipv6.parse("2001:db8::")
+        assert ipv6.with_iid(prefix, 0x42) == ipv6.parse("2001:db8::42")
+
+    def test_with_iid_masks_overflow(self):
+        prefix = ipv6.parse("2001:db8::")
+        # IID wider than 64 bits is truncated, prefix side of iid ignored
+        assert ipv6.with_iid(prefix, (1 << 64) | 7) == ipv6.parse("2001:db8::7")
+
+    def test_slash48(self):
+        addr = ipv6.parse("2001:db8:aaaa:bbbb::1")
+        assert ipv6.format_address(ipv6.slash48_of(addr)) == "2001:db8:aaaa::"
+
+    def test_slash56(self):
+        addr = ipv6.parse("2001:db8:aaaa:bbcc::1")
+        assert ipv6.format_address(ipv6.slash56_of(addr)) == "2001:db8:aaaa:bb00::"
+
+    def test_slash64_equals_prefix(self):
+        addr = ipv6.parse("2001:db8:aaaa:bbbb:1:2:3:4")
+        assert ipv6.slash64_of(addr) == ipv6.prefix_of(addr)
+
+    @given(addresses)
+    def test_split_recombine_identity(self, value):
+        assert ipv6.with_iid(ipv6.prefix_of(value), ipv6.iid_of(value)) == value
+
+    @given(addresses)
+    def test_slash48_contains_slash64(self, value):
+        assert ipv6.slash48_of(ipv6.slash64_of(value)) == ipv6.slash48_of(value)
+
+
+class TestPrefixKey:
+    def test_same_prefix_same_key(self):
+        a = ipv6.parse("2001:db8::1")
+        b = ipv6.parse("2001:db8::ffff")
+        assert ipv6.prefix_key(a, 64) == ipv6.prefix_key(b, 64)
+
+    def test_different_prefix_different_key(self):
+        a = ipv6.parse("2001:db8:0:1::1")
+        b = ipv6.parse("2001:db8:0:2::1")
+        assert ipv6.prefix_key(a, 64) != ipv6.prefix_key(b, 64)
+
+    def test_length_zero_is_universal(self):
+        assert ipv6.prefix_key(ipv6.MAX_ADDRESS, 0) == ipv6.prefix_key(0, 0)
+
+    def test_length_128_is_identity(self):
+        addr = ipv6.parse("2001:db8::1")
+        assert ipv6.prefix_key(addr, 128) == (addr, 128)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            ipv6.prefix_key(0, 129)
+        with pytest.raises(ValueError):
+            ipv6.prefix_key(0, -1)
+
+    @given(addresses, st.integers(min_value=0, max_value=128))
+    def test_key_is_idempotent(self, value, length):
+        network, _ = ipv6.prefix_key(value, length)
+        assert ipv6.prefix_key(network, length) == (network, length)
+
+
+class TestSubnetId:
+    def test_slash56_subnets(self):
+        base = ipv6.parse("2001:db8:aa:bb00::")
+        addr = ipv6.parse("2001:db8:aa:bb07::1")
+        assert ipv6.subnet_id(addr, 56) == 7
+        assert ipv6.subnet_id(base, 56) == 0
+
+    def test_slash64_has_no_subnet_bits(self):
+        assert ipv6.subnet_id(ipv6.parse("2001:db8::1"), 64) == 0
+
+    def test_rejects_length_past_64(self):
+        with pytest.raises(ValueError):
+            ipv6.subnet_id(0, 65)
+
+
+class TestNibbles:
+    def test_zero_iid(self):
+        assert ipv6.nibbles_of_iid(0) == [0] * 16
+
+    def test_ordering_msb_first(self):
+        assert ipv6.nibbles_of_iid(0x0123456789ABCDEF) == list(range(16))
+
+    def test_always_16_nibbles(self):
+        assert len(ipv6.nibbles_of_iid(0xF)) == 16
+
+    @given(iids)
+    def test_nibbles_reconstruct_iid(self, iid):
+        nibbles = ipv6.nibbles_of_iid(iid)
+        value = 0
+        for nibble in nibbles:
+            value = (value << 4) | nibble
+        assert value == iid
+
+    @given(iids)
+    def test_iid_bytes_matches_nibbles(self, iid):
+        raw = ipv6.iid_bytes(iid)
+        assert len(raw) == 8
+        assert int.from_bytes(raw, "big") == iid
+
+
+class TestScopePredicates:
+    def test_documentation_prefix(self):
+        assert ipv6.is_documentation(ipv6.parse("2001:db8::1"))
+        assert not ipv6.is_documentation(ipv6.parse("2001:db9::1"))
+
+    def test_link_local(self):
+        assert ipv6.is_link_local(ipv6.parse("fe80::1"))
+        assert ipv6.is_link_local(ipv6.parse("febf::1"))
+        assert not ipv6.is_link_local(ipv6.parse("fec0::1"))
+
+    def test_multicast(self):
+        assert ipv6.is_multicast(ipv6.parse("ff02::1"))
+        assert not ipv6.is_multicast(ipv6.parse("fe80::1"))
+
+    def test_global_unicast(self):
+        assert ipv6.is_global_unicast(ipv6.parse("2001:db8::1"))
+        assert ipv6.is_global_unicast(ipv6.parse("3fff::1"))
+        assert not ipv6.is_global_unicast(ipv6.parse("fe80::1"))
+        assert not ipv6.is_global_unicast(ipv6.parse("::1"))
+
+
+class TestRandomIid:
+    def test_stays_in_prefix(self):
+        import random
+
+        rng = random.Random(7)
+        prefix = ipv6.parse("2001:db8:1:2::")
+        for _ in range(20):
+            addr = ipv6.random_iid_address(prefix, rng)
+            assert ipv6.prefix_of(addr) == prefix
+
+    def test_deterministic_for_seed(self):
+        import random
+
+        prefix = ipv6.parse("2001:db8::")
+        a = ipv6.random_iid_address(prefix, random.Random(1))
+        b = ipv6.random_iid_address(prefix, random.Random(1))
+        assert a == b
+
+
+class TestIPv6Class:
+    def test_from_string(self):
+        assert ipv6.IPv6("2001:db8::1").value == (0x20010DB8 << 96) | 1
+
+    def test_from_int(self):
+        assert str(ipv6.IPv6(1)) == "::1"
+
+    def test_from_bytes(self):
+        packed = ((0x20010DB8 << 96) | 1).to_bytes(16, "big")
+        assert ipv6.IPv6(packed) == ipv6.IPv6("2001:db8::1")
+
+    def test_from_ipv6_copies(self):
+        a = ipv6.IPv6("2001:db8::1")
+        assert ipv6.IPv6(a) == a
+
+    def test_rejects_short_bytes(self):
+        with pytest.raises(ValueError):
+            ipv6.IPv6(b"\x00" * 4)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            ipv6.IPv6(3.14)
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(ValueError):
+            ipv6.IPv6(1 << 128)
+
+    def test_accessors(self):
+        a = ipv6.IPv6("2001:db8:aaaa:bbbb::42")
+        assert a.iid == 0x42
+        assert a.prefix64 == ipv6.parse("2001:db8:aaaa:bbbb::")
+        assert a.prefix48 == ipv6.parse("2001:db8:aaaa::")
+        assert len(a.packed) == 16
+
+    def test_with_iid(self):
+        a = ipv6.IPv6("2001:db8::1")
+        assert str(a.with_iid(0xFF)) == "2001:db8::ff"
+
+    def test_in_prefix(self):
+        a = ipv6.IPv6("2001:db8::1")
+        assert a.in_prefix(ipv6.IPv6("2001:db8::"), 32)
+        assert not a.in_prefix(ipv6.IPv6("2001:db9::"), 32)
+
+    def test_ordering_and_hash(self):
+        a, b = ipv6.IPv6("::1"), ipv6.IPv6("::2")
+        assert a < b and a <= b and a != b
+        assert a < 2 and a == 1
+        assert len({a, ipv6.IPv6(1)}) == 1
+
+    def test_int_conversion(self):
+        assert int(ipv6.IPv6("::2")) == 2
+        assert hex(ipv6.IPv6("::2")) == "0x2"  # __index__
+
+    def test_repr_round_trips(self):
+        a = ipv6.IPv6("2001:db8::1")
+        assert eval(repr(a), {"IPv6": ipv6.IPv6}) == a
+
+
+class TestAddressesToInts:
+    def test_mixed_inputs(self):
+        out = list(ipv6.addresses_to_ints(["::1", 2, ipv6.IPv6("::3")]))
+        assert out == [1, 2, 3]
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            list(ipv6.addresses_to_ints([1.5]))

@@ -1,0 +1,157 @@
+"""Tests for repro.addr.mac — MAC parsing, OUI split, offsets."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.addr import mac
+
+macs = st.integers(min_value=0, max_value=mac.MAX_MAC)
+ouis = st.integers(min_value=0, max_value=0xFFFFFF)
+nics = st.integers(min_value=0, max_value=0xFFFFFF)
+offsets = st.integers(min_value=-(1 << 23), max_value=(1 << 23) - 1)
+
+
+class TestParseFormat:
+    def test_parse_colons(self):
+        assert mac.parse_mac("00:11:22:33:44:55") == 0x001122334455
+
+    def test_parse_dashes(self):
+        assert mac.parse_mac("AA-BB-CC-DD-EE-FF") == 0xAABBCCDDEEFF
+
+    def test_parse_mixed_case(self):
+        assert mac.parse_mac("aA:Bb:cC:Dd:Ee:fF") == 0xAABBCCDDEEFF
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "001122334455", "00:11:22:33:44", "00:11:22:33:44:55:66",
+         "gg:11:22:33:44:55", "0:11:22:33:44:55"],
+    )
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            mac.parse_mac(bad)
+
+    def test_format(self):
+        assert mac.format_mac(0x001122334455) == "00:11:22:33:44:55"
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            mac.format_mac(1 << 48)
+        with pytest.raises(ValueError):
+            mac.format_mac(-1)
+
+    @given(macs)
+    def test_roundtrip(self, value):
+        assert mac.parse_mac(mac.format_mac(value)) == value
+
+
+class TestStructure:
+    def test_oui_and_nic(self):
+        value = 0xF00220ABCDEF
+        assert mac.oui_of(value) == 0xF00220
+        assert mac.nic_of(value) == 0xABCDEF
+
+    def test_with_nic(self):
+        assert mac.with_nic(0xF00220, 0x000001) == 0xF00220000001
+
+    def test_with_nic_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            mac.with_nic(1 << 24, 0)
+        with pytest.raises(ValueError):
+            mac.with_nic(0, 1 << 24)
+
+    @given(ouis, nics)
+    def test_split_recombine(self, oui, nic):
+        value = mac.with_nic(oui, nic)
+        assert mac.oui_of(value) == oui
+        assert mac.nic_of(value) == nic
+
+
+class TestBits:
+    def test_flip_ul_bit_involution(self):
+        value = 0x001122334455
+        assert mac.flip_ul_bit(mac.flip_ul_bit(value)) == value
+
+    def test_flip_ul_bit_value(self):
+        assert mac.flip_ul_bit(0x001122334455) == 0x021122334455
+
+    def test_locally_administered(self):
+        assert mac.is_locally_administered(0x020000000000)
+        assert not mac.is_locally_administered(0x000000000000)
+
+    def test_multicast(self):
+        assert mac.is_multicast_mac(0x010000000000)
+        assert not mac.is_multicast_mac(0x020000000000)
+
+
+class TestOffsets:
+    def test_positive_offset(self):
+        wired = mac.with_nic(0xF00220, 100)
+        wireless = mac.with_nic(0xF00220, 105)
+        assert mac.mac_offset(wired, wireless) == 5
+
+    def test_negative_offset(self):
+        wired = mac.with_nic(0xF00220, 100)
+        wireless = mac.with_nic(0xF00220, 95)
+        assert mac.mac_offset(wired, wireless) == -5
+
+    def test_wrapping_offset(self):
+        wired = mac.with_nic(0xF00220, 0xFFFFFF)
+        wireless = mac.with_nic(0xF00220, 0x000001)
+        assert mac.mac_offset(wired, wireless) == 2
+
+    def test_cross_oui_rejected(self):
+        with pytest.raises(ValueError):
+            mac.mac_offset(0x001122000000, 0xF00220000000)
+
+    def test_apply_offset_wraps_in_oui(self):
+        wired = mac.with_nic(0xF00220, 0xFFFFFF)
+        shifted = mac.apply_offset(wired, 1)
+        assert mac.oui_of(shifted) == 0xF00220
+        assert mac.nic_of(shifted) == 0
+
+    @given(macs, offsets)
+    def test_offset_roundtrip(self, wired, offset):
+        wireless = mac.apply_offset(wired, offset)
+        assert mac.oui_of(wireless) == mac.oui_of(wired)
+        assert mac.mac_offset(wired, wireless) == offset
+
+
+class TestMACAddressClass:
+    def test_from_string_and_int(self):
+        assert mac.MACAddress("00:11:22:33:44:55") == mac.MACAddress(
+            0x001122334455
+        )
+
+    def test_copy_constructor(self):
+        m = mac.MACAddress(5)
+        assert mac.MACAddress(m) == m
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            mac.MACAddress([1, 2])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            mac.MACAddress(1 << 48)
+
+    def test_properties(self):
+        m = mac.MACAddress("f0:02:20:aa:bb:cc")
+        assert m.oui == 0xF00220
+        assert m.nic == 0xAABBCC
+        assert m.value == 0xF00220AABBCC
+
+    def test_offset_to_and_shifted(self):
+        a = mac.MACAddress("f0:02:20:00:00:64")
+        b = a.shifted(3)
+        assert a.offset_to(b) == 3
+        assert b.value == 0xF00220000067
+
+    def test_str_repr_hash_order(self):
+        a = mac.MACAddress(1)
+        b = mac.MACAddress(2)
+        assert str(a) == "00:00:00:00:00:01"
+        assert "MACAddress" in repr(a)
+        assert a < b and a < 2 and a == 1
+        assert len({a, mac.MACAddress(1)}) == 1
+        assert int(a) == 1

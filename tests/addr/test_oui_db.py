@@ -1,0 +1,128 @@
+"""Tests for repro.addr.oui_db — OUI registry and manufacturer tallies."""
+
+import pytest
+
+from repro.addr import mac
+from repro.addr.oui_db import (
+    DEFAULT_UNLISTED_OUIS,
+    UNLISTED,
+    OUIDatabase,
+    VendorRecord,
+    default_oui_database,
+    manufacturer_counts,
+)
+
+
+class TestVendorRecord:
+    def test_valid(self):
+        record = VendorRecord("X", (0x001122,))
+        assert record.ouis == (0x001122,)
+
+    def test_rejects_bad_oui(self):
+        with pytest.raises(ValueError):
+            VendorRecord("X", (1 << 24,))
+
+
+class TestOUIDatabase:
+    def test_register_and_lookup(self):
+        db = OUIDatabase()
+        db.register("Acme", [0xAABBCC])
+        assert db.lookup_oui(0xAABBCC) == "Acme"
+        assert db.lookup_mac(mac.with_nic(0xAABBCC, 42)) == "Acme"
+
+    def test_unknown_is_none(self):
+        db = OUIDatabase()
+        assert db.lookup_oui(0x123456) is None
+
+    def test_reregister_same_vendor_ok(self):
+        db = OUIDatabase()
+        db.register("Acme", [0xAABBCC])
+        db.register("Acme", [0xAABBCC])
+        assert db.lookup_oui(0xAABBCC) == "Acme"
+
+    def test_conflicting_registration_rejected(self):
+        db = OUIDatabase()
+        db.register("Acme", [0xAABBCC])
+        with pytest.raises(ValueError):
+            db.register("Other", [0xAABBCC])
+
+    def test_rejects_unlisted_name(self):
+        db = OUIDatabase()
+        with pytest.raises(ValueError):
+            db.register(UNLISTED, [0x001122])
+
+    def test_rejects_empty_name(self):
+        db = OUIDatabase()
+        with pytest.raises(ValueError):
+            db.register("", [0x001122])
+
+    def test_rejects_bad_oui(self):
+        db = OUIDatabase()
+        with pytest.raises(ValueError):
+            db.register("Acme", [1 << 24])
+
+    def test_ouis_of_and_vendors(self):
+        db = OUIDatabase()
+        db.register("Acme", [0x000001, 0x000002])
+        assert db.ouis_of("Acme") == (0x000001, 0x000002)
+        assert db.ouis_of("Missing") == ()
+        assert db.vendors() == ("Acme",)
+
+    def test_len_and_contains(self):
+        db = OUIDatabase()
+        db.register("Acme", [0x000001])
+        assert len(db) == 1
+        assert 0x000001 in db
+        assert 0x000002 not in db
+
+
+class TestDefaultDatabase:
+    def test_table2_vendors_present(self):
+        db = default_oui_database()
+        for vendor in (
+            "Amazon Technologies Inc.",
+            "Samsung Electronics Co.,Ltd",
+            "Sonos, Inc.",
+            "Huawei Technologies",
+            "AVM GmbH",
+        ):
+            assert db.ouis_of(vendor), vendor
+
+    def test_unlisted_ouis_not_registered(self):
+        db = default_oui_database()
+        for oui in DEFAULT_UNLISTED_OUIS:
+            assert db.lookup_oui(oui) is None
+
+    def test_paper_unlisted_exemplar(self):
+        # f0:02:20 is the paper's most frequent unlisted OUI.
+        assert 0xF00220 in DEFAULT_UNLISTED_OUIS
+
+    def test_no_duplicate_ouis(self):
+        db = default_oui_database()
+        all_ouis = [oui for vendor in db.vendors() for oui in db.ouis_of(vendor)]
+        assert len(all_ouis) == len(set(all_ouis)) == len(db)
+
+
+class TestManufacturerCounts:
+    def test_counts_listed_and_unlisted(self):
+        db = OUIDatabase()
+        db.register("Acme", [0x000001])
+        macs = [
+            mac.with_nic(0x000001, 1),
+            mac.with_nic(0x000001, 2),
+            mac.with_nic(0xF00220, 1),
+        ]
+        counts = manufacturer_counts(macs, db)
+        assert counts["Acme"] == 2
+        assert counts[UNLISTED] == 1
+
+    def test_empty_input(self):
+        assert manufacturer_counts([], OUIDatabase()) == {}
+
+    def test_most_common_ordering(self):
+        db = default_oui_database()
+        avm_oui = db.ouis_of("AVM GmbH")[0]
+        macs = [mac.with_nic(0xF00220, i) for i in range(5)]
+        macs += [mac.with_nic(avm_oui, i) for i in range(2)]
+        top = manufacturer_counts(macs, db).most_common(1)
+        assert top[0] == (UNLISTED, 5)

@@ -1,0 +1,92 @@
+"""Tests for repro.analysis.distributions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.distributions import ECDF
+
+samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200
+)
+
+
+class TestECDF:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ECDF([])
+
+    def test_basic_cdf(self):
+        dist = ECDF([1.0, 2.0, 2.0, 4.0])
+        assert dist.cdf(0.5) == 0.0
+        assert dist.cdf(1.0) == 0.25
+        assert dist.cdf(2.0) == 0.75
+        assert dist.cdf(4.0) == 1.0
+        assert dist.cdf(100.0) == 1.0
+
+    def test_ccdf_complements(self):
+        dist = ECDF([1.0, 2.0, 3.0])
+        for x in (0.0, 1.5, 3.0):
+            assert dist.cdf(x) + dist.ccdf(x) == pytest.approx(1.0)
+
+    def test_fraction_at(self):
+        dist = ECDF([0.0, 0.0, 1.0])
+        assert dist.fraction_at(0.0) == pytest.approx(2 / 3)
+        assert dist.fraction_at(5.0) == 0.0
+
+    def test_quantiles(self):
+        dist = ECDF([1.0, 2.0, 3.0, 4.0])
+        assert dist.quantile(0.25) == 1.0
+        assert dist.quantile(0.5) == 2.0
+        assert dist.quantile(1.0) == 4.0
+        assert dist.median == 2.0
+
+    def test_quantile_validation(self):
+        dist = ECDF([1.0])
+        with pytest.raises(ValueError):
+            dist.quantile(0.0)
+        with pytest.raises(ValueError):
+            dist.quantile(1.5)
+
+    def test_stats(self):
+        dist = ECDF([3.0, 1.0, 2.0])
+        assert dist.min == 1.0
+        assert dist.max == 3.0
+        assert dist.mean == 2.0
+        assert len(dist) == 3
+
+    def test_sample_points(self):
+        dist = ECDF([0.0, 1.0])
+        points = dist.sample_points(3)
+        assert points == [(0.0, 0.5), (0.5, 0.5), (1.0, 1.0)]
+
+    def test_sample_points_degenerate(self):
+        dist = ECDF([5.0, 5.0])
+        points = dist.sample_points(4)
+        assert len(points) == 4
+        assert all(y == 1.0 for _, y in points)
+
+    def test_sample_points_validation(self):
+        with pytest.raises(ValueError):
+            ECDF([1.0]).sample_points(1)
+
+    def test_ccdf_points(self):
+        dist = ECDF([0.0, 1.0])
+        for (x1, y1), (x2, y2) in zip(
+            dist.sample_points(5), dist.ccdf_points(5)
+        ):
+            assert x1 == x2
+            assert y1 + y2 == pytest.approx(1.0)
+
+    @given(samples)
+    def test_cdf_monotone(self, values):
+        dist = ECDF(values)
+        points = dist.sample_points(20)
+        ys = [y for _, y in points]
+        assert ys == sorted(ys)
+
+    @given(samples, st.floats(min_value=0.01, max_value=1.0))
+    def test_quantile_cdf_consistency(self, values, q):
+        dist = ECDF(values)
+        value = dist.quantile(q)
+        assert dist.cdf(value) >= q - 1e-12

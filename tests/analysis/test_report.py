@@ -1,0 +1,70 @@
+"""Tests for repro.analysis.report — the consolidated study report."""
+
+import pytest
+
+from repro.analysis.report import study_report
+from repro.core import StudyConfig, run_study
+from repro.world import CAMPAIGN_EPOCH, WorldConfig, build_world
+
+
+@pytest.fixture(scope="module")
+def reported():
+    world = build_world(
+        WorldConfig(
+            seed=13,
+            n_fixed_ases=10,
+            n_cellular_ases=4,
+            n_hosting_ases=4,
+            n_home_networks=150,
+            n_cellular_subscribers=60,
+            n_hosting_networks=12,
+        )
+    )
+    results = run_study(
+        world, StudyConfig(start=CAMPAIGN_EPOCH, weeks=10, seed=13)
+    )
+    return world, results, study_report(world, results)
+
+
+class TestStudyReport:
+    def test_header_identifies_run(self, reported):
+        world, results, text = reported
+        assert f"seed {world.config.seed}" in text
+        assert f"{len(results.ntp):,}" in text
+
+    def test_all_sections_present(self, reported):
+        _, _, text = reported
+        for marker in (
+            "Table 1",
+            "size ratios",
+            "phone-provider share",
+            "top-5 countries",
+            "median IID entropy",
+            "lifetimes:",
+            "EUI-64:",
+            "top manufacturers",
+            "geolocation attack",
+        ):
+            assert marker in text, marker
+
+    def test_all_three_datasets_mentioned(self, reported):
+        _, results, text = reported
+        for corpus in results.corpora():
+            assert corpus.name in text
+
+    def test_deterministic(self, reported):
+        world, results, text = reported
+        assert study_report(world, results) == text
+
+    def test_report_via_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        output = tmp_path / "report.txt"
+        code = main(
+            [
+                "report", "--seed", "13", "--weeks", "10",
+                "--scale", "tiny", "--output", str(output),
+            ]
+        )
+        assert code == 0
+        assert "Study report" in output.read_text()

@@ -1,0 +1,89 @@
+"""Tests for repro.analysis.tables and repro.analysis.figures."""
+
+import pytest
+
+from repro.analysis.figures import (
+    render_ccdf_chart,
+    render_cdf_chart,
+    render_timeline,
+)
+from repro.analysis.tables import format_count, format_table
+
+
+class TestFormatCount:
+    def test_int_grouping(self):
+        assert format_count(1234567) == "1,234,567"
+
+    def test_float_precision(self):
+        assert format_count(1234.5678, precision=2) == "1,234.57"
+
+    def test_none_is_dash(self):
+        assert format_count(None) == "-"
+
+    def test_bool_passthrough(self):
+        assert format_count(True) == "True"
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["Name", "Count"],
+            [["alpha", 5], ["b", 12345]],
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "Name" in lines[1] and "Count" in lines[1]
+        assert "alpha" in lines[3]
+        assert "12,345" in lines[4]
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["A", "B"], [["only-one"]])
+
+    def test_no_title(self):
+        text = format_table(["A"], [["x"]])
+        assert text.splitlines()[0].startswith("A")
+
+
+class TestCharts:
+    def test_cdf_chart_structure(self):
+        text = render_cdf_chart(
+            {"alpha": [0.1, 0.2, 0.9], "beta": [0.5, 0.6]},
+            x_label="entropy",
+            title="Fig X",
+        )
+        assert "Fig X" in text
+        assert "alpha" in text and "beta" in text
+        assert "entropy" in text
+        assert "CDF" in text
+
+    def test_ccdf_chart(self):
+        text = render_ccdf_chart({"a": [1.0, 2.0, 3.0]}, x_label="lifetime")
+        assert "CCDF" in text
+
+    def test_cdf_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_cdf_chart({"a": []}, x_label="x")
+
+    def test_timeline(self):
+        text = render_timeline(
+            {"AS1": [0.0, 100.0], "AS2": [50.0]},
+            start=0.0,
+            end=100.0,
+            width=20,
+            title="Fig 7",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Fig 7"
+        assert lines[1].startswith("AS1 |")
+        assert lines[1].count("x") == 2
+        assert lines[2].count("x") == 1
+
+    def test_timeline_out_of_range_events_dropped(self):
+        text = render_timeline({"t": [500.0]}, start=0.0, end=100.0, width=10)
+        assert "x" not in text.splitlines()[0]
+
+    def test_timeline_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            render_timeline({"t": []}, start=10.0, end=10.0)

@@ -1,0 +1,34 @@
+"""Shared fixtures for core-layer tests: a small world and a short study.
+
+The study fixture runs the full pipeline once per session; individual
+tests interrogate slices of it.  Kept deliberately small (8 weeks) so the
+whole core test module stays fast.
+"""
+
+import pytest
+
+from repro.core import StudyConfig, run_study
+from repro.world import CAMPAIGN_EPOCH, WorldConfig, build_world
+
+
+@pytest.fixture(scope="session")
+def core_world():
+    return build_world(
+        WorldConfig(
+            seed=31,
+            n_fixed_ases=10,
+            n_cellular_ases=4,
+            n_hosting_ases=4,
+            n_home_networks=120,
+            n_cellular_subscribers=80,
+            n_hosting_networks=12,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def study(core_world):
+    return run_study(
+        core_world,
+        StudyConfig(start=CAMPAIGN_EPOCH, weeks=10, seed=31),
+    )

@@ -1,0 +1,157 @@
+"""Tests for repro.core.backscan and repro.core.categories."""
+
+import pytest
+
+from repro.addr.patterns import AddressCategory
+from repro.core.backscan import BackscanCampaign, BackscanReport
+from repro.core.categories import (
+    category_composition,
+    compare_category_compositions,
+    top_as_entropy_distributions,
+)
+from repro.world import DAY, WEEK
+
+
+@pytest.fixture(scope="module")
+def backscan_report(core_world, study):
+    campaign = BackscanCampaign(core_world, study.campaign, vantage_count=5,
+                                seed=9)
+    # Backscan the study's final week.
+    return campaign.run(start_day=63, days=7)
+
+
+class TestBackscan:
+    def test_majority_of_clients_respond(self, backscan_report):
+        # The paper: about two-thirds responded.
+        assert backscan_report.probed_clients > 0
+        assert 0.4 < backscan_report.client_responsive_fraction < 0.95
+
+    def test_random_targets_respond_less_than_clients(self, backscan_report):
+        # The paper: 3.5% for random targets vs ~67% for clients.  The
+        # magnitude is asserted at bench scale; the tiny test world only
+        # guarantees the ordering (its aliased-AS share is outsized).
+        assert backscan_report.random_probed > 0
+        assert (
+            backscan_report.random_responsive_fraction
+            < backscan_report.client_responsive_fraction
+        )
+
+    def test_random_responders_are_aliased(self, backscan_report, core_world):
+        for prefix in backscan_report.aliased_slash64s:
+            asn = core_world.routing.origin_asn(prefix)
+            assert core_world.profiles[asn].aliased
+
+    def test_entropy_groups_partition_clients(self, backscan_report):
+        assert (
+            len(backscan_report.hit_entropies)
+            + len(backscan_report.miss_entropies)
+            == backscan_report.probed_clients
+        )
+        assert (
+            len(backscan_report.hit_entropies)
+            == backscan_report.responsive_clients
+        )
+
+    def test_clients_in_aliased_64s_covered(self, backscan_report):
+        for client in backscan_report.clients_in_aliased_64s:
+            prefix = client & ~((1 << 64) - 1)
+            assert prefix in backscan_report.aliased_slash64s
+
+    def test_empty_report_raises_on_fractions(self):
+        report = BackscanReport()
+        with pytest.raises(ValueError):
+            report.client_responsive_fraction
+        with pytest.raises(ValueError):
+            report.random_responsive_fraction
+
+    def test_validation(self, core_world, study):
+        with pytest.raises(ValueError):
+            BackscanCampaign(core_world, study.campaign, vantage_count=0)
+        with pytest.raises(ValueError):
+            BackscanCampaign(core_world, study.campaign, vantage_count=99)
+        campaign = BackscanCampaign(core_world, study.campaign)
+        with pytest.raises(ValueError):
+            campaign.run(0, days=0)
+
+
+class TestCategories:
+    def test_composition_sums_to_one(self, core_world, study):
+        fractions = category_composition(
+            study.ntp,
+            core_world.ipv6_origin_asn,
+            core_world.ipv4_origin_asn,
+        )
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_ntp_high_entropy_dominates(self, core_world, study):
+        # The paper's Fig. 5: the NTP corpus is ~2/3 high entropy.
+        fractions = category_composition(study.ntp)
+        assert fractions[AddressCategory.HIGH_ENTROPY] > 0.4
+
+    def test_hitlist_low_byte_exceeds_ntp(self, core_world, study):
+        comparisons = compare_category_compositions(
+            [study.ntp, study.hitlist]
+        )
+        ntp = comparisons["ntp-pool"]
+        hitlist = comparisons["ipv6-hitlist"]
+        assert (
+            hitlist[AddressCategory.LOW_BYTE]
+            > ntp[AddressCategory.LOW_BYTE]
+        )
+
+    def test_window_restricts(self, core_world, study):
+        start = study.campaign.config.start
+        day_window = (start + 7 * WEEK, start + 7 * WEEK + DAY)
+        windowed = list(study.ntp.addresses_in_window(*day_window))
+        assert 0 < len(windowed) < len(study.ntp)
+        fractions = category_composition(study.ntp, window=day_window)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+class TestTopAsEntropy:
+    def test_top_ases_ranked_by_count(self, core_world, study):
+        distributions = top_as_entropy_distributions(
+            study.ntp, core_world.ipv6_origin_asn, top=5
+        )
+        assert 0 < len(distributions) <= 5
+        sizes = [len(values) for values in distributions.values()]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_as_name_labels(self, core_world, study):
+        def name(asn):
+            record = core_world.registry.lookup(asn)
+            return record.name
+
+        distributions = top_as_entropy_distributions(
+            study.ntp, core_world.ipv6_origin_asn, top=3, as_name=name
+        )
+        for label in distributions:
+            assert not label.startswith("AS")
+
+    def test_entropies_in_range(self, core_world, study):
+        distributions = top_as_entropy_distributions(
+            study.ntp, core_world.ipv6_origin_asn, top=2
+        )
+        for values in distributions.values():
+            assert all(0.0 <= value <= 1.0 for value in values)
+
+    def test_rejects_bad_top(self, study, core_world):
+        with pytest.raises(ValueError):
+            top_as_entropy_distributions(
+                study.ntp, core_world.ipv6_origin_asn, top=0
+            )
+
+    def test_window_variant(self, core_world, study):
+        start = study.campaign.config.start
+        distributions = top_as_entropy_distributions(
+            study.ntp,
+            core_world.ipv6_origin_asn,
+            top=5,
+            window=(start + 7 * WEEK, start + 7 * WEEK + DAY),
+        )
+        full = top_as_entropy_distributions(
+            study.ntp, core_world.ipv6_origin_asn, top=5
+        )
+        assert sum(len(v) for v in distributions.values()) < sum(
+            len(v) for v in full.values()
+        )

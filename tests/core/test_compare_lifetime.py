@@ -1,0 +1,135 @@
+"""Tests for repro.core.compare and repro.core.lifetime against a study."""
+
+import pytest
+
+from repro.addr.entropy import EntropyClass
+from repro.core import (
+    address_lifetime_summary,
+    compare_datasets,
+    eui64_iid_lifetimes,
+    iid_lifetimes_by_entropy,
+    phone_provider_shares,
+)
+from repro.core.corpus import AddressCorpus
+
+
+class TestCompareDatasets:
+    @pytest.fixture(scope="class")
+    def comparison(self, core_world, study):
+        return compare_datasets(
+            study.ntp,
+            [study.hitlist, study.caida],
+            core_world.ipv6_origin_asn,
+        )
+
+    def test_reference_first(self, comparison):
+        assert comparison.reference.name == "ntp-pool"
+        assert comparison.reference.common_addresses is None
+
+    def test_ntp_largest(self, comparison):
+        assert comparison.size_ratio("ipv6-hitlist") > 1.0
+        assert comparison.size_ratio("caida-routed-48") > 1.0
+
+    def test_ntp_densest_per_48(self, comparison):
+        rows = {row.name: row for row in comparison.rows}
+        assert (
+            rows["ntp-pool"].avg_addresses_per_48
+            > rows["ipv6-hitlist"].avg_addresses_per_48
+            > rows["caida-routed-48"].avg_addresses_per_48
+        )
+        assert rows["caida-routed-48"].avg_addresses_per_48 == pytest.approx(
+            1.0, abs=0.3
+        )
+
+    def test_active_datasets_see_more_ases(self, comparison):
+        rows = {row.name: row for row in comparison.rows}
+        assert rows["caida-routed-48"].asns >= rows["ntp-pool"].asns
+
+    def test_overlap_is_small(self, comparison):
+        assert comparison.overlap_fraction("caida-routed-48") < 0.05
+        assert comparison.overlap_fraction("ipv6-hitlist") < 0.5
+
+    def test_common_fields_bounded(self, comparison):
+        for row in comparison.rows[1:]:
+            assert 0 <= row.common_addresses <= row.addresses
+            assert 0 <= row.common_asns <= row.asns
+            assert 0 <= row.common_slash48s <= row.slash48s
+
+    def test_render_contains_all_datasets(self, comparison):
+        text = comparison.render()
+        for row in comparison.rows:
+            assert row.name in text
+
+    def test_unknown_dataset_rejected(self, comparison):
+        with pytest.raises(KeyError):
+            comparison.size_ratio("nope")
+
+    def test_empty_comparison_rejected(self):
+        from repro.core.compare import DatasetComparison
+
+        with pytest.raises(ValueError):
+            DatasetComparison([])
+
+
+class TestPhoneProviderShares:
+    def test_ntp_more_mobile_than_hitlist(self, core_world, study):
+        shares = phone_provider_shares(
+            [study.ntp, study.hitlist],
+            core_world.registry,
+            core_world.ipv6_origin_asn,
+        )
+        # The paper: 14% (NTP) vs 2% (Hitlist).
+        assert shares["ntp-pool"] > shares["ipv6-hitlist"]
+        assert shares["ntp-pool"] > 0.05
+
+
+class TestLifetimeSummary:
+    def test_fractions_consistent(self, study):
+        summary = address_lifetime_summary(study.ntp)
+        assert summary.total == len(study.ntp)
+        assert 0.0 <= summary.six_months_or_longer_fraction
+        assert (
+            summary.six_months_or_longer_fraction
+            <= summary.month_or_longer_fraction
+            <= summary.week_or_longer_fraction
+            <= 1.0
+        )
+
+    def test_majority_seen_once(self, study):
+        # The paper's >60% single-sighting effect.
+        summary = address_lifetime_summary(study.ntp)
+        assert summary.seen_once_fraction > 0.4
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            address_lifetime_summary(AddressCorpus("empty"))
+
+    def test_distribution_matches_fractions(self, study):
+        summary = address_lifetime_summary(study.ntp)
+        assert summary.distribution.fraction_at(0.0) == pytest.approx(
+            summary.seen_once_fraction
+        )
+
+
+class TestIidLifetimes:
+    def test_buckets_partition(self, study):
+        buckets = iid_lifetimes_by_entropy(study.ntp)
+        total = sum(len(values) for values in buckets.values())
+        assert total == len(study.ntp.iid_intervals())
+
+    def test_low_entropy_persists_longer(self, study):
+        # The paper's Fig. 2b finding, in expectation form.
+        buckets = iid_lifetimes_by_entropy(study.ntp)
+        low = buckets[EntropyClass.LOW]
+        high = buckets[EntropyClass.HIGH]
+        if len(low) > 20 and len(high) > 20:
+            from repro.world import WEEK
+
+            low_week = sum(1 for l in low if l >= WEEK) / len(low)
+            high_week = sum(1 for l in high if l >= WEEK) / len(high)
+            assert low_week > high_week
+
+    def test_eui64_lifetimes_subset(self, study):
+        lifetimes = eui64_iid_lifetimes(study.ntp)
+        assert len(lifetimes) == len(study.ntp.eui64_mac_addresses())
+        assert all(lifetime >= 0 for lifetime in lifetimes)

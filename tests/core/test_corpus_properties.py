@@ -1,0 +1,111 @@
+"""Algebraic property tests for corpus merging and persistence.
+
+The study pipeline merges corpora from different vantages/windows and
+round-trips them through storage; these laws are what make those
+compositions safe in any order.
+"""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.corpus import AddressCorpus
+from repro.core.storage import load_corpus_binary, save_corpus_binary
+
+events = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=(1 << 64) - 1),  # address pool
+        st.floats(min_value=0, max_value=1e9),
+    ),
+    max_size=60,
+)
+
+
+def corpus_from(name, event_list):
+    corpus = AddressCorpus(name)
+    for address, when in event_list:
+        corpus.record(address, when)
+    return corpus
+
+
+def snapshot(corpus):
+    return dict(corpus.items())
+
+
+class TestMergeLaws:
+    @given(events, events)
+    def test_merge_commutes(self, left_events, right_events):
+        ab = corpus_from("a", left_events)
+        ab.merge(corpus_from("b", right_events))
+        ba = corpus_from("a", right_events)
+        ba.merge(corpus_from("b", left_events))
+        assert snapshot(ab) == snapshot(ba)
+
+    @given(events, events, events)
+    @settings(max_examples=50)
+    def test_merge_associates(self, e1, e2, e3):
+        left = corpus_from("x", e1)
+        mid = corpus_from("y", e2)
+        mid.merge(corpus_from("z", e3))
+        left.merge(mid)
+
+        right = corpus_from("x", e1)
+        right.merge(corpus_from("y", e2))
+        right.merge(corpus_from("z", e3))
+        assert snapshot(left) == snapshot(right)
+
+    @given(events)
+    def test_merge_with_empty_is_identity(self, event_list):
+        corpus = corpus_from("x", event_list)
+        before = snapshot(corpus)
+        corpus.merge(AddressCorpus("empty"))
+        assert snapshot(corpus) == before
+
+    @given(events)
+    def test_merge_preserves_interval_envelope(self, event_list):
+        # Splitting a stream in two and merging must reproduce exactly
+        # the single-stream corpus except for observation counts.
+        whole = corpus_from("whole", event_list)
+        half_a = corpus_from("a", event_list[::2])
+        half_a.merge(corpus_from("b", event_list[1::2]))
+        assert set(half_a.addresses()) == set(whole.addresses())
+        for address in whole.addresses():
+            assert half_a.first_seen(address) == whole.first_seen(address)
+            assert half_a.last_seen(address) == whole.last_seen(address)
+
+    @given(events)
+    def test_merge_counts_additive(self, event_list):
+        whole = corpus_from("whole", event_list)
+        split = corpus_from("a", event_list[::2])
+        split.merge(corpus_from("b", event_list[1::2]))
+        for address in whole.addresses():
+            assert split.observation_count(address) == (
+                whole.observation_count(address)
+            )
+
+
+class TestStorageLaws:
+    @given(events)
+    @settings(max_examples=50)
+    def test_save_load_is_identity(self, event_list):
+        corpus = corpus_from("persisted", event_list)
+        stream = io.BytesIO()
+        save_corpus_binary(corpus, stream)
+        stream.seek(0)
+        loaded = load_corpus_binary(stream)
+        assert snapshot(loaded) == snapshot(corpus)
+        assert loaded.name == corpus.name
+
+    @given(events, events)
+    @settings(max_examples=50)
+    def test_persist_then_merge_equals_merge_then_persist(self, e1, e2):
+        direct = corpus_from("m", e1)
+        direct.merge(corpus_from("n", e2))
+
+        stream = io.BytesIO()
+        save_corpus_binary(corpus_from("m", e1), stream)
+        stream.seek(0)
+        reloaded = load_corpus_binary(stream)
+        reloaded.merge(corpus_from("n", e2))
+        assert snapshot(reloaded) == snapshot(direct)

@@ -1,0 +1,54 @@
+"""Tests for repro.core.decay — hitlist rust measurement."""
+
+import pytest
+
+from repro.core.decay import corpus_decay, responsiveness_decay
+from repro.world import CAMPAIGN_EPOCH, WEEK
+
+
+class TestResponsivenessDecay:
+    def test_validation(self, core_world, study):
+        snapshots = study.hitlist_service.snapshots
+        with pytest.raises(ValueError):
+            responsiveness_decay(core_world, snapshots, max_age_weeks=-1)
+        with pytest.raises(ValueError):
+            responsiveness_decay(
+                core_world, snapshots, sample_per_snapshot=0
+            )
+
+    def test_fresh_snapshots_mostly_responsive(self, core_world, study):
+        curve = responsiveness_decay(
+            core_world, study.hitlist_service.snapshots[:3],
+            max_age_weeks=2, sample_per_snapshot=100,
+        )
+        assert curve[0] > 0.9
+
+    def test_decay_is_monotone_nonincreasing_roughly(self, core_world, study):
+        curve = responsiveness_decay(
+            core_world, study.hitlist_service.snapshots[:4],
+            max_age_weeks=4, sample_per_snapshot=100,
+        )
+        assert curve[4] <= curve[0] + 1e-9
+
+    def test_empty_snapshots_give_empty_curve(self, core_world):
+        assert responsiveness_decay(core_world, []) == {}
+
+
+class TestCorpusDecay:
+    def test_validation(self, core_world, study):
+        with pytest.raises(ValueError):
+            corpus_decay(core_world, [], CAMPAIGN_EPOCH, [0])
+        with pytest.raises(ValueError):
+            corpus_decay(core_world, [1], CAMPAIGN_EPOCH, [0], sample=0)
+
+    def test_passive_addresses_rust_fast(self, core_world, study):
+        window = (CAMPAIGN_EPOCH + 3 * WEEK, CAMPAIGN_EPOCH + 4 * WEEK)
+        addresses = list(study.ntp.addresses_in_window(*window))
+        curve = corpus_decay(
+            core_world, addresses, observed_at=window[1],
+            ages_weeks=[0, 4], sample=150,
+        )
+        # Much of a passive corpus is unreachable even immediately
+        # (firewalls, churn); it does not improve with age.
+        assert curve[0] < 0.9
+        assert curve[4] <= curve[0] + 0.1

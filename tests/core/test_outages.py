@@ -1,0 +1,160 @@
+"""Tests for repro.core.outages and the world's outage injection."""
+
+import pytest
+
+from repro.core.campaign import CampaignConfig, NTPCampaign
+from repro.core.outages import ASActivityRecorder, OutageEvent, detect_outages
+from repro.world import CAMPAIGN_EPOCH, DAY, WorldConfig, build_world
+
+
+class TestASActivityRecorder:
+    def test_counts_per_as_day(self):
+        recorder = ASActivityRecorder(lambda a: 64500, epoch=0.0)
+        recorder(1, 10.0)
+        recorder(2, 20.0)
+        recorder(3, DAY + 5.0)
+        assert recorder.series(64500, 3) == [2, 1, 0]
+        assert recorder.ases() == [64500]
+
+    def test_unrouted_skipped(self):
+        recorder = ASActivityRecorder(lambda a: None, epoch=0.0)
+        recorder(1, 10.0)
+        assert recorder.ases() == []
+
+    def test_multiple_ases(self):
+        recorder = ASActivityRecorder(lambda a: a, epoch=0.0)
+        recorder(1, 0.0)
+        recorder(2, 0.0)
+        assert recorder.ases() == [1, 2]
+
+
+def synthetic_recorder(series_by_asn):
+    recorder = ASActivityRecorder(lambda a: a, epoch=0.0)
+    for asn, series in series_by_asn.items():
+        for day, count in enumerate(series):
+            for _ in range(count):
+                recorder(asn, day * DAY + 1.0)
+    return recorder
+
+
+class TestDetectOutages:
+    def test_detects_synthetic_outage(self):
+        series = [20] * 10 + [0] * 4 + [20] * 10
+        recorder = synthetic_recorder({1: series})
+        events = detect_outages(recorder, len(series))
+        assert len(events) == 1
+        event = events[0]
+        assert event.asn == 1
+        assert event.start_day == 10
+        assert event.end_day == 14
+        assert event.duration_days == 4
+        assert event.depth == 0.0
+        assert event.baseline == 20.0
+
+    def test_healthy_as_no_events(self):
+        recorder = synthetic_recorder({1: [20, 18, 22, 19, 21] * 4})
+        assert detect_outages(recorder, 20) == []
+
+    def test_low_baseline_skipped(self):
+        series = [2] * 10 + [0] * 5 + [2] * 5
+        recorder = synthetic_recorder({1: series})
+        assert detect_outages(recorder, 20, min_baseline=5.0) == []
+
+    def test_short_dips_ignored(self):
+        series = [20] * 10 + [0] + [20] * 9
+        recorder = synthetic_recorder({1: series})
+        assert detect_outages(recorder, 20, min_duration=2) == []
+
+    def test_partial_collapse_counted_when_below_threshold(self):
+        series = [20] * 10 + [3, 3, 3] + [20] * 7
+        recorder = synthetic_recorder({1: series})
+        events = detect_outages(recorder, 20, threshold=0.2)
+        assert len(events) == 1
+        assert 0.0 < events[0].depth <= 0.2
+
+    def test_outage_at_series_end(self):
+        series = [20] * 15 + [0] * 5
+        recorder = synthetic_recorder({1: series})
+        events = detect_outages(recorder, 20)
+        assert events[0].end_day == 20
+
+    def test_validation(self):
+        recorder = synthetic_recorder({})
+        with pytest.raises(ValueError):
+            detect_outages(recorder, 0)
+        with pytest.raises(ValueError):
+            detect_outages(recorder, 10, threshold=1.0)
+        with pytest.raises(ValueError):
+            detect_outages(recorder, 10, min_duration=0)
+
+
+class TestEndToEndOutageDetection:
+    def test_injected_outage_is_detected(self):
+        config = WorldConfig(
+            seed=57,
+            n_fixed_ases=8,
+            n_cellular_ases=4,
+            n_hosting_ases=4,
+            n_home_networks=160,
+            n_cellular_subscribers=60,
+            n_hosting_networks=10,
+            outage_as_count=1,
+            outage_min_days=4,
+            outage_max_days=6,
+            campaign_weeks=8,
+        )
+        world = build_world(config)
+        assert len(world.outages) == 1
+        (outage_asn, windows), = world.outages.items()
+        (start, end), = windows
+
+        campaign = NTPCampaign(
+            world, CampaignConfig(start=CAMPAIGN_EPOCH, weeks=8, seed=57)
+        )
+        recorder = ASActivityRecorder(
+            world.ipv6_origin_asn, epoch=CAMPAIGN_EPOCH
+        )
+        campaign.extra_sinks.append(recorder)
+        campaign.run()
+
+        events = detect_outages(recorder, days=8 * 7, min_baseline=3.0)
+        matching = [event for event in events if event.asn == outage_asn]
+        if not matching:
+            pytest.skip(
+                "outage AS too small for detection at this scale "
+                f"(baseline series: {recorder.series(outage_asn, 56)})"
+            )
+        event = matching[0]
+        true_start = int((start - CAMPAIGN_EPOCH) // DAY)
+        true_end = int((end - CAMPAIGN_EPOCH) // DAY)
+        # Detected window overlaps the injected one.
+        assert event.start_day < true_end
+        assert event.end_day > true_start
+
+    def test_probe_oracle_respects_outage(self):
+        config = WorldConfig(
+            seed=57,
+            n_fixed_ases=8,
+            n_cellular_ases=4,
+            n_hosting_ases=4,
+            n_home_networks=160,
+            n_cellular_subscribers=60,
+            n_hosting_networks=10,
+            outage_as_count=1,
+            campaign_weeks=8,
+        )
+        world = build_world(config)
+        (outage_asn, windows), = world.outages.items()
+        (start, end), = windows
+        profile = world.profiles[outage_asn]
+        # Find a device address that responds outside the outage window.
+        for network in world.networks.values():
+            if network.asn != outage_asn or network.firewalled:
+                continue
+            for device in network.present_devices(start - 3600.0):
+                address = network.device_address(device, start - 3600.0)
+                if world.probe(address, start - 3600.0) is not None:
+                    inside = network.device_address(device, start + 1.0)
+                    assert world.probe(inside, start + 1.0) is None
+                    return
+        pytest.skip("no probe-responsive device in the outage AS")

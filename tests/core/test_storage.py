@@ -1,0 +1,156 @@
+"""Tests for repro.core.storage — corpus persistence."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.corpus import AddressCorpus
+from repro.core.storage import (
+    load_corpus,
+    load_corpus_binary,
+    load_corpus_text,
+    save_corpus,
+    save_corpus_binary,
+    save_corpus_text,
+)
+
+
+def sample_corpus():
+    corpus = AddressCorpus("sample")
+    corpus.record_interval(0x20010DB8 << 96 | 1, 10.0, 20.5, 3)
+    corpus.record_interval(0x20010DB8 << 96 | 2, 0.25, 0.25, 1)
+    corpus.record_interval((1 << 128) - 1, 1e9, 2e9, 100)
+    return corpus
+
+
+def assert_corpora_equal(a, b):
+    assert a.name == b.name
+    assert len(a) == len(b)
+    assert dict(a.items()) == dict(b.items())
+
+
+class TestTextFormat:
+    def test_roundtrip(self):
+        corpus = sample_corpus()
+        stream = io.StringIO()
+        written = save_corpus_text(corpus, stream)
+        assert written == 3
+        stream.seek(0)
+        assert_corpora_equal(corpus, load_corpus_text(stream))
+
+    def test_rejects_garbage_header(self):
+        with pytest.raises(ValueError):
+            load_corpus_text(io.StringIO("not a corpus\n"))
+
+    def test_rejects_missing_columns(self):
+        with pytest.raises(ValueError):
+            load_corpus_text(io.StringIO("# repro-corpus v1 name=x\nbad\n"))
+
+    def test_rejects_malformed_record(self):
+        text = (
+            "# repro-corpus v1 name=x\n"
+            "address,first_seen,last_seen,count\n"
+            "2001:db8::1,1.0\n"
+        )
+        with pytest.raises(ValueError):
+            load_corpus_text(io.StringIO(text))
+
+    def test_skips_comments_and_blanks(self):
+        text = (
+            "# repro-corpus v1 name=x\n"
+            "address,first_seen,last_seen,count\n"
+            "\n"
+            "# comment\n"
+            "2001:db8::1,1.0,2.0,2\n"
+        )
+        corpus = load_corpus_text(io.StringIO(text))
+        assert len(corpus) == 1
+
+    def test_empty_corpus(self):
+        stream = io.StringIO()
+        save_corpus_text(AddressCorpus("empty"), stream)
+        stream.seek(0)
+        loaded = load_corpus_text(stream)
+        assert loaded.name == "empty"
+        assert len(loaded) == 0
+
+
+class TestBinaryFormat:
+    def test_roundtrip(self):
+        corpus = sample_corpus()
+        stream = io.BytesIO()
+        assert save_corpus_binary(corpus, stream) == 3
+        stream.seek(0)
+        assert_corpora_equal(corpus, load_corpus_binary(stream))
+
+    def test_rejects_bad_magic(self):
+        with pytest.raises(ValueError):
+            load_corpus_binary(io.BytesIO(b"XXXX" + b"\x00" * 32))
+
+    def test_rejects_truncation(self):
+        corpus = sample_corpus()
+        stream = io.BytesIO()
+        save_corpus_binary(corpus, stream)
+        data = stream.getvalue()[:-8]
+        with pytest.raises(ValueError):
+            load_corpus_binary(io.BytesIO(data))
+
+    def test_timestamps_preserved_exactly(self):
+        corpus = AddressCorpus("precise")
+        corpus.record_interval(7, 0.1 + 0.2, 1e308, 1)
+        stream = io.BytesIO()
+        save_corpus_binary(corpus, stream)
+        stream.seek(0)
+        loaded = load_corpus_binary(stream)
+        assert loaded.first_seen(7) == 0.1 + 0.2
+        assert loaded.last_seen(7) == 1e308
+
+    def test_smaller_than_text(self):
+        corpus = sample_corpus()
+        text = io.StringIO()
+        save_corpus_text(corpus, text)
+        binary = io.BytesIO()
+        save_corpus_binary(corpus, binary)
+        assert len(binary.getvalue()) < len(text.getvalue())
+
+
+class TestPathInterface:
+    def test_suffix_dispatch(self, tmp_path):
+        corpus = sample_corpus()
+        text_path = tmp_path / "c.corpus.csv"
+        binary_path = tmp_path / "c.corpus.bin"
+        save_corpus(corpus, text_path)
+        save_corpus(corpus, binary_path)
+        assert_corpora_equal(corpus, load_corpus(text_path))
+        assert_corpora_equal(corpus, load_corpus(binary_path))
+        # Binary file is not valid text input and vice versa.
+        with pytest.raises(ValueError):
+            load_corpus_binary(text_path.open("rb"))
+
+
+class TestPropertyRoundtrip:
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=(1 << 128) - 1),
+            st.tuples(
+                st.floats(min_value=0, max_value=1e12),
+                st.floats(min_value=0, max_value=1e12),
+                st.integers(min_value=1, max_value=1_000_000),
+            ),
+            max_size=30,
+        )
+    )
+    def test_both_formats_roundtrip(self, records):
+        corpus = AddressCorpus("prop")
+        for address, (first, extra, count) in records.items():
+            corpus.record_interval(address, first, first + extra, count)
+        text = io.StringIO()
+        save_corpus_text(corpus, text)
+        text.seek(0)
+        assert_corpora_equal(corpus, load_corpus_text(text))
+        binary = io.BytesIO()
+        save_corpus_binary(corpus, binary)
+        binary.seek(0)
+        assert_corpora_equal(corpus, load_corpus_binary(binary))

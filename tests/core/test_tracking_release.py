@@ -1,0 +1,182 @@
+"""Tests for repro.core.tracking and repro.core.release."""
+
+import io
+
+import pytest
+
+from repro.addr.eui64 import mac_to_address
+from repro.addr.ipv6 import parse
+from repro.core.corpus import AddressCorpus
+from repro.core.release import build_release, verify_release_safety
+from repro.core.tracking import (
+    TRANSITION_THRESHOLD,
+    TrackingClass,
+    analyze_tracking,
+    build_mac_tracks,
+)
+
+MAC = 0x001122334455
+P = [parse(f"2001:db8:0:{i}::") for i in range(20)]
+
+
+def synthetic_corpus(sightings):
+    """sightings: list of (prefix64, time) for MAC."""
+    corpus = AddressCorpus("synthetic")
+    for prefix, when in sightings:
+        corpus.record(mac_to_address(prefix, MAC), when)
+    return corpus
+
+
+def constant_maps(asn=1, country="US"):
+    return (lambda a: asn), (lambda a: country)
+
+
+class TestBuildMacTracks:
+    def test_single_sighting(self):
+        corpus = synthetic_corpus([(P[0], 10.0)])
+        origin, country = constant_maps()
+        tracks = build_mac_tracks(corpus, origin, country)
+        track = tracks[MAC]
+        assert track.transitions == 0
+        assert not track.multi_slash64
+        assert track.lifetime == 0.0
+        assert track.slash64s == (P[0],)
+
+    def test_transitions_counted_in_time_order(self):
+        corpus = synthetic_corpus(
+            [(P[0], 0.0), (P[1], 10.0), (P[0], 20.0)]
+        )
+        # Note: address (P[0], MAC) has interval [0, 20]; orders by
+        # first_seen so sequence is P0, P1 -> 1 transition.
+        origin, country = constant_maps()
+        track = build_mac_tracks(corpus, origin, country)[MAC]
+        assert track.transitions == 1
+        assert len(track.slash64s) == 2
+
+    def test_timeline_records_asn(self):
+        corpus = synthetic_corpus([(P[0], 0.0), (P[1], 5.0)])
+        origin, country = constant_maps(asn=7)
+        track = build_mac_tracks(corpus, origin, country)[MAC]
+        assert all(asn == 7 for _, _, asn in track.timeline)
+
+
+class TestClassification:
+    def _track(self, sightings, asns=None, countries=None):
+        corpus = synthetic_corpus(sightings)
+        asn_of = (
+            (lambda a: asns[a & ((1 << 80) - 1) >> 64])
+            if asns
+            else (lambda a: 1)
+        )
+        return corpus, asn_of
+
+    def test_mostly_static(self):
+        corpus = synthetic_corpus([(P[0], 0.0), (P[1], 10.0)])
+        origin, country = constant_maps()
+        track = build_mac_tracks(corpus, origin, country)[MAC]
+        assert track.classify() is TrackingClass.MOSTLY_STATIC
+
+    def test_prefix_reassignment(self):
+        sightings = [(P[i % 15], float(i)) for i in range(TRANSITION_THRESHOLD + 2)]
+        corpus = synthetic_corpus(sightings)
+        origin, country = constant_maps()
+        track = build_mac_tracks(corpus, origin, country)[MAC]
+        assert track.transitions > TRANSITION_THRESHOLD
+        assert track.classify() is TrackingClass.PREFIX_REASSIGNMENT
+
+    def test_changing_providers(self):
+        corpus = synthetic_corpus([(P[0], 0.0), (P[1], 10.0)])
+        origin = lambda a: 1 if (a >> 64) & 0xFFFF == 0 else 2
+        country = lambda a: "BR"
+        track = build_mac_tracks(corpus, origin, country)[MAC]
+        assert len(track.asns) == 2
+        assert track.classify() is TrackingClass.CHANGING_PROVIDERS
+
+    def test_user_movement(self):
+        sightings = [(P[i % 12], float(i)) for i in range(14)]
+        corpus = synthetic_corpus(sightings)
+        origin = lambda a: 1 + (((a >> 64) & 0xFFFF) % 2)
+        country = lambda a: "CN"
+        track = build_mac_tracks(corpus, origin, country)[MAC]
+        assert track.classify() is TrackingClass.USER_MOVEMENT
+
+    def test_mac_reuse(self):
+        corpus = synthetic_corpus([(P[0], 0.0), (P[1], 10.0)])
+        origin = lambda a: 1 if (a >> 64) & 0xFFFF == 0 else 2
+        country = lambda a: "US" if (a >> 64) & 0xFFFF == 0 else "DE"
+        track = build_mac_tracks(corpus, origin, country)[MAC]
+        assert track.classify() is TrackingClass.MAC_REUSE
+
+
+class TestAnalyzeTracking:
+    def test_report_counts(self):
+        corpus = synthetic_corpus([(P[0], 0.0), (P[1], 10.0)])
+        corpus.record(parse("2001:db8::1"), 5.0)  # non-EUI-64
+        origin, country = constant_maps()
+        report = analyze_tracking(corpus, origin, country)
+        assert report.corpus_size == 3
+        assert report.eui64_addresses == 2
+        assert report.unique_macs == 1
+        assert report.multi_slash64_macs == 1
+        assert report.eui64_fraction == pytest.approx(2 / 3)
+        assert report.multi_slash64_fraction == 1.0
+        assert report.classes[TrackingClass.MOSTLY_STATIC] == 1
+
+    def test_exemplar(self):
+        corpus = synthetic_corpus([(P[0], 0.0), (P[1], 10.0)])
+        origin, country = constant_maps()
+        report = analyze_tracking(corpus, origin, country)
+        exemplar = report.exemplar(TrackingClass.MOSTLY_STATIC)
+        assert exemplar is not None
+        assert exemplar.mac == MAC
+        assert report.exemplar(TrackingClass.MAC_REUSE) is None
+
+    def test_slash64_counts(self):
+        corpus = synthetic_corpus([(P[0], 0.0), (P[1], 10.0)])
+        origin, country = constant_maps()
+        report = analyze_tracking(corpus, origin, country)
+        assert report.slash64_counts() == [2]
+
+    def test_study_integration(self, core_world, study):
+        report = analyze_tracking(
+            study.ntp, core_world.ipv6_origin_asn, core_world.country_of
+        )
+        assert report.unique_macs > 0
+        assert 0.0 < report.eui64_fraction < 0.3
+        assert report.eui64_addresses > report.expected_random
+        assert sum(report.classes.values()) == report.multi_slash64_macs
+
+
+class TestRelease:
+    def test_truncates_to_48(self, study):
+        artifact = build_release(study.ntp)
+        assert artifact.prefix_count == len(study.ntp.slash48_set())
+        assert artifact.address_count == len(study.ntp)
+        assert verify_release_safety(artifact) == []
+
+    def test_lines_format(self):
+        corpus = AddressCorpus("x")
+        corpus.record(parse("2001:db8::1"), 0.0)
+        corpus.record(parse("2001:db8::2"), 0.0)
+        artifact = build_release(corpus)
+        assert artifact.lines() == ["2001:db8::/48,2"]
+
+    def test_write_includes_ethics_note(self):
+        corpus = AddressCorpus("x")
+        corpus.record(parse("2001:db8::1"), 0.0)
+        stream = io.StringIO()
+        build_release(corpus).write(stream)
+        text = stream.getvalue()
+        assert "withheld" in text
+        assert "2001:db8::/48,1" in text
+
+    def test_safety_audit_catches_leaks(self):
+        from repro.core.release import ReleaseArtifact
+
+        bad = ReleaseArtifact(
+            source_name="bad",
+            prefix_counts={parse("2001:db8::1"): 1},
+        )
+        violations = verify_release_safety(bad)
+        assert violations
+        assert "below /48" in violations[0]

@@ -1,0 +1,73 @@
+"""Tests for repro.geo.bssid_db."""
+
+import pytest
+
+from repro.addr.mac import with_nic
+from repro.geo.bssid_db import BSSIDDatabase, GeoPoint
+
+BERLIN = GeoPoint(52.5, 13.4, "DE")
+PARIS = GeoPoint(48.9, 2.35, "FR")
+
+
+class TestGeoPoint:
+    def test_valid(self):
+        assert BERLIN.country == "DE"
+
+    def test_rejects_bad_latitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0, "DE")
+
+    def test_rejects_bad_longitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 181.0, "DE")
+
+    def test_rejects_bad_country(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 0.0, "Deutschland")
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            BERLIN.latitude = 0.0
+
+
+class TestBSSIDDatabase:
+    def test_add_lookup(self):
+        db = BSSIDDatabase()
+        bssid = with_nic(0x3810D5, 7)
+        db.add(bssid, BERLIN)
+        assert db.lookup(bssid) == BERLIN
+        assert bssid in db
+        assert len(db) == 1
+
+    def test_lookup_missing(self):
+        assert BSSIDDatabase().lookup(1) is None
+
+    def test_readd_updates(self):
+        db = BSSIDDatabase()
+        bssid = with_nic(0x3810D5, 7)
+        db.add(bssid, BERLIN)
+        db.add(bssid, PARIS)
+        assert db.lookup(bssid) == PARIS
+        assert len(db) == 1
+        assert db.bssids_in_oui(0x3810D5) == [bssid]
+
+    def test_rejects_bad_bssid(self):
+        with pytest.raises(ValueError):
+            BSSIDDatabase().add(1 << 48, BERLIN)
+
+    def test_by_oui_index(self):
+        db = BSSIDDatabase()
+        a = with_nic(0x3810D5, 1)
+        b = with_nic(0x3810D5, 2)
+        c = with_nic(0xF00220, 1)
+        for bssid in (a, b, c):
+            db.add(bssid, BERLIN)
+        assert sorted(db.bssids_in_oui(0x3810D5)) == [a, b]
+        assert db.bssids_in_oui(0xF00220) == [c]
+        assert db.bssids_in_oui(0x123456) == []
+        assert sorted(db.ouis()) == [0x3810D5, 0xF00220]
+
+    def test_items(self):
+        db = BSSIDDatabase()
+        db.add(5, BERLIN)
+        assert list(db.items()) == [(5, BERLIN)]

@@ -1,0 +1,153 @@
+"""Tests for repro.geo.offsets and repro.geo.ipvseeyou."""
+
+import random
+
+import pytest
+
+from repro.addr.eui64 import mac_to_address
+from repro.addr.mac import apply_offset, with_nic
+from repro.geo.bssid_db import BSSIDDatabase, GeoPoint
+from repro.geo.ipvseeyou import geolocate_corpus
+from repro.geo.offsets import infer_offsets
+
+OUI_A = 0x3810D5  # "AVM"
+OUI_B = 0xF00220  # unlisted
+BERLIN = GeoPoint(52.5, 13.4, "DE")
+DELHI = GeoPoint(28.6, 77.2, "IN")
+
+
+def build_population(oui, count, offset, rng, db=None, point=BERLIN,
+                     coverage=1.0):
+    """Create ``count`` wired MACs whose BSSIDs are at ``offset``."""
+    macs = []
+    for _ in range(count):
+        mac = with_nic(oui, rng.getrandbits(24))
+        macs.append(mac)
+        if db is not None and rng.random() < coverage:
+            db.add(apply_offset(mac, offset), point)
+    return macs
+
+
+class TestInferOffsets:
+    def test_recovers_true_offset(self):
+        rng = random.Random(1)
+        db = BSSIDDatabase()
+        macs = build_population(OUI_A, 600, 2, rng, db)
+        offsets = infer_offsets(macs, db.bssids_in_oui, min_pairs=500)
+        assert OUI_A in offsets
+        assert offsets[OUI_A].offset == 2
+
+    def test_recovers_negative_offset(self):
+        rng = random.Random(2)
+        db = BSSIDDatabase()
+        macs = build_population(OUI_A, 600, -3, rng, db)
+        offsets = infer_offsets(macs, db.bssids_in_oui, min_pairs=500)
+        assert offsets[OUI_A].offset == -3
+
+    def test_survives_noise(self):
+        rng = random.Random(3)
+        db = BSSIDDatabase()
+        macs = build_population(OUI_A, 600, 1, rng, db, coverage=0.7)
+        # Unrelated APs in the same OUI.
+        for _ in range(300):
+            db.add(with_nic(OUI_A, rng.getrandbits(24)), BERLIN)
+        offsets = infer_offsets(macs, db.bssids_in_oui, min_pairs=500)
+        assert offsets[OUI_A].offset == 1
+
+    def test_min_pairs_threshold(self):
+        rng = random.Random(4)
+        db = BSSIDDatabase()
+        macs = build_population(OUI_A, 100, 1, rng, db)
+        assert infer_offsets(macs, db.bssids_in_oui, min_pairs=500) == {}
+        assert OUI_A in infer_offsets(macs, db.bssids_in_oui, min_pairs=50)
+
+    def test_oui_without_bssids_skipped(self):
+        rng = random.Random(5)
+        db = BSSIDDatabase()
+        macs = build_population(OUI_B, 600, 1, rng, db=None)
+        assert infer_offsets(macs, db.bssids_in_oui, min_pairs=10) == {}
+
+    def test_exhaustive_matches_nearest(self):
+        rng = random.Random(6)
+        db = BSSIDDatabase()
+        macs = build_population(OUI_A, 120, 2, rng, db)
+        nearest = infer_offsets(macs, db.bssids_in_oui, min_pairs=50,
+                                mode="nearest")
+        exhaustive = infer_offsets(macs, db.bssids_in_oui, min_pairs=50,
+                                   mode="exhaustive")
+        assert nearest[OUI_A].offset == exhaustive[OUI_A].offset == 2
+
+    def test_zero_offset_supported(self):
+        rng = random.Random(7)
+        db = BSSIDDatabase()
+        macs = build_population(OUI_A, 600, 0, rng, db)
+        assert infer_offsets(macs, db.bssids_in_oui, min_pairs=500)[
+            OUI_A
+        ].offset == 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            infer_offsets([], lambda oui: [], mode="bogus")
+        with pytest.raises(ValueError):
+            infer_offsets([], lambda oui: [], neighbors=0)
+
+    def test_per_oui_independence(self):
+        rng = random.Random(8)
+        db = BSSIDDatabase()
+        macs_a = build_population(OUI_A, 600, 1, rng, db)
+        macs_b = build_population(OUI_B, 600, 4, rng, db, point=DELHI)
+        offsets = infer_offsets(macs_a + macs_b, db.bssids_in_oui,
+                                min_pairs=500)
+        assert offsets[OUI_A].offset == 1
+        assert offsets[OUI_B].offset == 4
+
+
+class TestGeolocateCorpus:
+    def _corpus(self, macs, prefix=0x20010DB8 << 96):
+        return [mac_to_address(prefix, mac) for mac in macs]
+
+    def test_end_to_end(self):
+        rng = random.Random(9)
+        db = BSSIDDatabase()
+        macs = build_population(OUI_A, 600, 2, rng, db, coverage=0.8)
+        report = geolocate_corpus(self._corpus(macs), db, min_pairs=400)
+        assert report.eui64_addresses == 600
+        assert report.unique_macs == 600
+        # ~80% of BSSIDs are in the DB, so ~80% geolocate.
+        assert 0.7 < report.located_count / 600 < 0.9
+        assert report.country_distribution()["DE"] == report.located_count
+
+    def test_non_eui64_addresses_skipped(self):
+        rng = random.Random(10)
+        db = BSSIDDatabase()
+        corpus = [rng.getrandbits(128) for _ in range(100)]
+        report = geolocate_corpus(corpus, db)
+        assert report.eui64_addresses <= 1  # 2^-16 marker chance
+        assert report.located_count == 0
+
+    def test_top_countries(self):
+        rng = random.Random(11)
+        db = BSSIDDatabase()
+        macs_de = build_population(OUI_A, 700, 1, rng, db, point=BERLIN)
+        macs_in = build_population(OUI_B, 600, 1, rng, db, point=DELHI,
+                                   coverage=0.3)
+        report = geolocate_corpus(
+            self._corpus(macs_de + macs_in), db, min_pairs=400
+        )
+        top = report.top_countries(2)
+        assert top[0][0] == "DE"
+        assert top[0][1] > 0.5
+
+    def test_empty_corpus(self):
+        report = geolocate_corpus([], BSSIDDatabase())
+        assert report.eui64_addresses == 0
+        assert report.top_countries() == []
+
+    def test_duplicate_macs_deduplicated(self):
+        rng = random.Random(12)
+        db = BSSIDDatabase()
+        macs = build_population(OUI_A, 600, 1, rng, db)
+        corpus = self._corpus(macs) + self._corpus(macs[:100])
+        report = geolocate_corpus(corpus, db, min_pairs=400)
+        assert report.eui64_addresses == 700
+        assert report.unique_macs == 600

@@ -1,0 +1,139 @@
+"""Tests for repro.net.routing and repro.net.geodb."""
+
+from collections import Counter
+
+import pytest
+
+from repro.addr import ipv6
+from repro.net.geodb import GeoDatabase, country_histogram, top_country_share
+from repro.net.prefixes import parse_ipv4_prefix, parse_prefix
+from repro.net.routing import RoutedPrefix, RoutingTable
+
+
+class TestRoutedPrefix:
+    def test_equality_and_hash(self):
+        a = RoutedPrefix(parse_prefix("2001:db8::/32"), 64496)
+        b = RoutedPrefix(parse_prefix("2001:db8::/32"), 64496)
+        c = RoutedPrefix(parse_prefix("2001:db8::/32"), 64497)
+        assert a == b and a != c
+        assert len({a, b}) == 1
+
+    def test_rejects_bad_asn(self):
+        with pytest.raises(ValueError):
+            RoutedPrefix(parse_prefix("2001:db8::/32"), 0)
+
+    def test_repr(self):
+        routed = RoutedPrefix(parse_prefix("2001:db8::/32"), 64496)
+        assert "AS64496" in repr(routed)
+
+
+class TestRoutingTable:
+    def test_announce_and_lookup(self):
+        table = RoutingTable()
+        table.announce(parse_prefix("2001:db8::/32"), 64496)
+        assert table.origin_asn(ipv6.parse("2001:db8::1")) == 64496
+        assert table.origin_asn(ipv6.parse("2001:db9::1")) is None
+        assert table.is_routed(ipv6.parse("2001:db8::1"))
+        assert not table.is_routed(ipv6.parse("2001:db9::1"))
+
+    def test_most_specific_wins(self):
+        table = RoutingTable()
+        table.announce(parse_prefix("2001:db8::/32"), 64496)
+        table.announce(parse_prefix("2001:db8:1::/48"), 64497)
+        assert table.origin_asn(ipv6.parse("2001:db8:1::1")) == 64497
+        assert table.origin_asn(ipv6.parse("2001:db8:2::1")) == 64496
+
+    def test_covering_prefix(self):
+        table = RoutingTable()
+        table.announce(parse_prefix("2001:db8::/32"), 64496)
+        assert table.covering_prefix(ipv6.parse("2001:db8::1")) == parse_prefix(
+            "2001:db8::/32"
+        )
+        assert table.covering_prefix(ipv6.parse("2001:db9::1")) is None
+
+    def test_reannouncement_replaces(self):
+        table = RoutingTable()
+        prefix = parse_prefix("2001:db8::/32")
+        table.announce(prefix, 64496)
+        table.announce(prefix, 64497)
+        assert table.origin_asn(ipv6.parse("2001:db8::1")) == 64497
+        assert len(table) == 1
+        assert len(list(table.routed_prefixes())) == 1
+
+    def test_routed_prefixes_order(self):
+        table = RoutingTable()
+        table.announce(parse_prefix("2001:db9::/32"), 1)
+        table.announce(parse_prefix("2001:db8::/32"), 2)
+        assert [routed.asn for routed in table.routed_prefixes()] == [1, 2]
+
+    def test_prefixes_of(self):
+        table = RoutingTable()
+        table.announce(parse_prefix("2001:db8::/32"), 64496)
+        table.announce(parse_prefix("2001:db9::/32"), 64496)
+        table.announce(parse_prefix("2001:dba::/32"), 64497)
+        assert len(table.prefixes_of(64496)) == 2
+        assert table.prefixes_of(9999) == []
+
+    def test_rejects_bad_asn(self):
+        table = RoutingTable()
+        with pytest.raises(ValueError):
+            table.announce(parse_prefix("2001:db8::/32"), 0)
+
+    def test_ipv4_table(self):
+        table = RoutingTable(width=32)
+        table.announce(parse_ipv4_prefix("192.0.2.0/24"), 64496)
+        assert table.origin_asn(0xC0000201) == 64496
+        assert table.width == 32
+
+    def test_items(self):
+        table = RoutingTable()
+        table.announce(parse_prefix("2001:db8::/32"), 64496)
+        assert list(table.items()) == [(parse_prefix("2001:db8::/32"), 64496)]
+
+
+class TestGeoDatabase:
+    def test_add_and_lookup(self):
+        db = GeoDatabase()
+        db.add(parse_prefix("2001:db8::/32"), "DE")
+        assert db.country(ipv6.parse("2001:db8::1")) == "DE"
+        assert db.country(ipv6.parse("2001:db9::1")) is None
+        assert len(db) == 1
+
+    def test_most_specific_wins(self):
+        db = GeoDatabase()
+        db.add(parse_prefix("2001:db8::/32"), "DE")
+        db.add(parse_prefix("2001:db8:1::/48"), "FR")
+        assert db.country(ipv6.parse("2001:db8:1::1")) == "FR"
+
+    def test_rejects_bad_country(self):
+        db = GeoDatabase()
+        with pytest.raises(ValueError):
+            db.add(parse_prefix("2001:db8::/32"), "Germany")
+
+    def test_country_histogram(self):
+        db = GeoDatabase()
+        db.add(parse_prefix("2001:db8::/32"), "DE")
+        histogram = country_histogram(
+            [ipv6.parse("2001:db8::1"), ipv6.parse("2001:db8::2"),
+             ipv6.parse("2001:db9::1")],
+            db,
+        )
+        assert histogram["DE"] == 2
+        assert histogram[None] == 1
+
+
+class TestTopCountryShare:
+    def test_basic(self):
+        histogram = Counter({"IN": 50, "CN": 30, "US": 15, None: 100, "DE": 5})
+        ranked, share = top_country_share(histogram, top=2)
+        assert ranked == [("IN", 50), ("CN", 30)]
+        assert share == pytest.approx(0.8)
+
+    def test_fewer_countries_than_top(self):
+        ranked, share = top_country_share(Counter({"DE": 10}), top=5)
+        assert ranked == [("DE", 10)]
+        assert share == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            top_country_share(Counter({None: 5}))

@@ -1,0 +1,209 @@
+"""Tests for repro.net.topology — AS graph, paths, router addressing."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.addr import ipv6
+from repro.net.prefixes import parse_prefix
+from repro.net.topology import (
+    ASTopology,
+    RouterAddressPlan,
+    preferential_attachment_topology,
+)
+
+
+def line_topology(*asns):
+    topology = ASTopology()
+    for a, b in zip(asns, asns[1:]):
+        topology.add_link(a, b)
+    return topology
+
+
+class TestASTopology:
+    def test_add_as_idempotent(self):
+        topology = ASTopology()
+        topology.add_as(1)
+        topology.add_as(1)
+        assert len(topology) == 1
+        assert 1 in topology
+
+    def test_add_link(self):
+        topology = ASTopology()
+        topology.add_link(1, 2)
+        assert topology.neighbors(1) == (2,)
+        assert topology.neighbors(2) == (1,)
+
+    def test_link_idempotent(self):
+        topology = ASTopology()
+        topology.add_link(1, 2)
+        topology.add_link(2, 1)
+        assert topology.neighbors(1) == (2,)
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError):
+            ASTopology().add_link(1, 1)
+
+    def test_neighbors_sorted(self):
+        topology = ASTopology()
+        topology.add_link(1, 3)
+        topology.add_link(1, 2)
+        assert topology.neighbors(1) == (2, 3)
+
+    def test_path_line(self):
+        topology = line_topology(1, 2, 3, 4)
+        assert topology.path(1, 4) == [1, 2, 3, 4]
+        assert topology.distance(1, 4) == 3
+
+    def test_path_self(self):
+        topology = line_topology(1, 2)
+        assert topology.path(1, 1) == [1]
+        assert topology.distance(1, 1) == 0
+
+    def test_path_disconnected(self):
+        topology = ASTopology()
+        topology.add_as(1)
+        topology.add_as(2)
+        assert topology.path(1, 2) is None
+        assert topology.distance(1, 2) is None
+
+    def test_path_unknown_as(self):
+        topology = line_topology(1, 2)
+        with pytest.raises(KeyError):
+            topology.path(1, 99)
+        with pytest.raises(KeyError):
+            topology.path(99, 1)
+
+    def test_path_shortest_taken(self):
+        # 1-2-3 and 1-3 direct: shortest is direct.
+        topology = line_topology(1, 2, 3)
+        topology.add_link(1, 3)
+        assert topology.path(1, 3) == [1, 3]
+
+    def test_cache_invalidated_by_new_link(self):
+        topology = line_topology(1, 2, 3)
+        assert topology.path(1, 3) == [1, 2, 3]
+        topology.add_link(1, 3)
+        assert topology.path(1, 3) == [1, 3]
+
+    def test_is_connected(self):
+        assert ASTopology().is_connected()
+        topology = line_topology(1, 2, 3)
+        assert topology.is_connected()
+        topology.add_as(9)
+        assert not topology.is_connected()
+
+    def test_deterministic_tie_break(self):
+        # Two equal-length paths 1-2-4 and 1-3-4: BFS from 1 reaches 4 via
+        # the lower-numbered neighbor first.
+        topology = ASTopology()
+        topology.add_link(1, 2)
+        topology.add_link(1, 3)
+        topology.add_link(2, 4)
+        topology.add_link(3, 4)
+        assert topology.path(1, 4) == [1, 2, 4]
+
+
+class TestRouterAddressPlan:
+    def _plan(self):
+        topology = line_topology(1, 2, 3)
+        infra = {
+            1: parse_prefix("2001:db8:1::/48"),
+            2: parse_prefix("2001:db8:2::/48"),
+            # AS3 is a stub with no infrastructure space.
+        }
+        return topology, RouterAddressPlan(topology, infra)
+
+    def test_interface_address_structure(self):
+        _, plan = self._plan()
+        address = plan.interface_address(2, 1)
+        assert address is not None
+        # AS2 neighbors sorted: (1, 3); link to 1 is index 0 -> first /64.
+        assert ipv6.format_address(address) == "2001:db8:2::1"
+        address = plan.interface_address(2, 3)
+        assert ipv6.format_address(address) == "2001:db8:2:1::1"
+
+    def test_interface_without_infra_is_none(self):
+        _, plan = self._plan()
+        assert plan.interface_address(3, 2) is None
+
+    def test_unknown_link_rejected(self):
+        _, plan = self._plan()
+        with pytest.raises(KeyError):
+            plan.interface_address(1, 3)
+
+    def test_hop_addresses_along_path(self):
+        topology, plan = self._plan()
+        hops = plan.hop_addresses(topology.path(1, 3))
+        assert len(hops) == 2
+        assert ipv6.format_address(hops[0]) == "2001:db8:2::1"
+        assert hops[1] is None  # stub AS3 has no infra space
+
+    def test_all_interface_addresses(self):
+        _, plan = self._plan()
+        table = plan.all_interface_addresses()
+        assert set(table) == {1, 2}
+        assert len(table[2]) == 2
+
+    def test_low_byte_iids(self):
+        # Router interfaces use ::1 — the low-byte pattern of Fig. 5.
+        _, plan = self._plan()
+        for addresses in plan.all_interface_addresses().values():
+            for address in addresses:
+                assert ipv6.iid_of(address) == 1
+
+    def test_rejects_long_infra_prefix(self):
+        topology = line_topology(1, 2)
+        with pytest.raises(ValueError):
+            RouterAddressPlan(topology, {1: parse_prefix("2001:db8::/64")})
+
+
+class TestPreferentialAttachment:
+    def test_connected_and_complete(self):
+        asns = list(range(100, 180))
+        topology = preferential_attachment_topology(
+            asns, random.Random(1), links_per_as=2
+        )
+        assert len(topology) == len(asns)
+        assert topology.is_connected()
+
+    def test_deterministic(self):
+        asns = list(range(1, 50))
+        a = preferential_attachment_topology(asns, random.Random(7))
+        b = preferential_attachment_topology(asns, random.Random(7))
+        assert {n: a.neighbors(n) for n in a.ases()} == {
+            n: b.neighbors(n) for n in b.ases()
+        }
+
+    def test_skewed_degree_distribution(self):
+        asns = list(range(1, 300))
+        topology = preferential_attachment_topology(asns, random.Random(3))
+        degrees = sorted(len(topology.neighbors(n)) for n in topology.ases())
+        # Scale-free: max degree far exceeds the median.
+        assert degrees[-1] > 4 * degrees[len(degrees) // 2]
+
+    def test_small_inputs(self):
+        assert len(preferential_attachment_topology([], random.Random(1))) == 0
+        single = preferential_attachment_topology([5], random.Random(1))
+        assert single.ases() == (5,)
+        pair = preferential_attachment_topology([5, 6], random.Random(1))
+        assert pair.neighbors(5) == (6,)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_topology([1, 1], random.Random(1))
+
+    def test_rejects_bad_links_per_as(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_topology([1, 2], random.Random(1), 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=3, max_value=60), st.integers(min_value=0, max_value=2**32 - 1))
+    def test_always_connected(self, count, seed):
+        asns = list(range(10, 10 + count))
+        topology = preferential_attachment_topology(
+            asns, random.Random(seed), links_per_as=2
+        )
+        assert topology.is_connected()

@@ -1,0 +1,148 @@
+"""Tests for repro.ntp.dhcp — RFC 5908 NTP option codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.addr.ipv6 import parse
+from repro.ntp.dhcp import (
+    NTP_SUBOPTION_SRV_ADDR,
+    OPTION_NTP_SERVER,
+    NTPMulticastAddress,
+    NTPServerAddress,
+    NTPServerFQDN,
+    encode_fqdn,
+    encode_ntp_option,
+    parse_fqdn,
+    parse_ntp_option,
+)
+
+labels = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=20
+)
+domain_names = st.lists(labels, min_size=1, max_size=5).map(".".join)
+
+
+class TestFQDN:
+    def test_encode_known(self):
+        assert encode_fqdn("pool.ntp.org") == (
+            b"\x04pool\x03ntp\x03org\x00"
+        )
+
+    def test_trailing_dot_accepted(self):
+        assert encode_fqdn("ntp.org.") == encode_fqdn("ntp.org")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            encode_fqdn("")
+        with pytest.raises(ValueError):
+            encode_fqdn(".")
+
+    def test_rejects_long_label(self):
+        with pytest.raises(ValueError):
+            encode_fqdn("a" * 64 + ".org")
+
+    def test_rejects_empty_label(self):
+        with pytest.raises(ValueError):
+            encode_fqdn("a..b")
+
+    def test_parse_rejects_truncation(self):
+        with pytest.raises(ValueError):
+            parse_fqdn(b"\x04poo")
+        with pytest.raises(ValueError):
+            parse_fqdn(b"\x04pool")  # missing root
+
+    def test_parse_rejects_trailing_bytes(self):
+        with pytest.raises(ValueError):
+            parse_fqdn(b"\x03ntp\x00extra")
+
+    @given(domain_names)
+    def test_roundtrip(self, name):
+        assert parse_fqdn(encode_fqdn(name)) == name
+
+
+class TestSuboptions:
+    def test_server_address_encode(self):
+        address = parse("2001:db8::123")
+        wire = NTPServerAddress(address).encode()
+        assert wire[:4] == bytes([0, NTP_SUBOPTION_SRV_ADDR, 0, 16])
+        assert int.from_bytes(wire[4:], "big") == address
+
+    def test_multicast_requires_ff00(self):
+        NTPMulticastAddress(parse("ff05::101"))
+        with pytest.raises(ValueError):
+            NTPMulticastAddress(parse("2001:db8::1"))
+
+    def test_fqdn_validates_eagerly(self):
+        with pytest.raises(ValueError):
+            NTPServerFQDN("")
+
+    def test_address_range(self):
+        with pytest.raises(ValueError):
+            NTPServerAddress(1 << 128)
+
+
+class TestOptionRoundtrip:
+    def test_single_address(self):
+        suboptions = [NTPServerAddress(parse("2001:db8::1"))]
+        assert parse_ntp_option(encode_ntp_option(suboptions)) == suboptions
+
+    def test_mixed_suboptions(self):
+        suboptions = [
+            NTPServerAddress(parse("2001:db8::1")),
+            NTPServerFQDN("android.pool.ntp.org"),
+            NTPMulticastAddress(parse("ff05::101")),
+        ]
+        assert parse_ntp_option(encode_ntp_option(suboptions)) == suboptions
+
+    def test_option_code_in_frame(self):
+        wire = encode_ntp_option([NTPServerFQDN("ntp.org")])
+        assert int.from_bytes(wire[:2], "big") == OPTION_NTP_SERVER
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            encode_ntp_option([])
+
+    def test_parse_rejects_wrong_code(self):
+        wire = bytearray(encode_ntp_option([NTPServerFQDN("ntp.org")]))
+        wire[1] = 23  # DNS servers option
+        with pytest.raises(ValueError):
+            parse_ntp_option(bytes(wire))
+
+    def test_parse_rejects_length_mismatch(self):
+        wire = encode_ntp_option([NTPServerFQDN("ntp.org")])
+        with pytest.raises(ValueError):
+            parse_ntp_option(wire + b"\x00")
+        with pytest.raises(ValueError):
+            parse_ntp_option(wire[:-1])
+
+    def test_parse_rejects_unknown_suboption(self):
+        body = bytes([0, 9, 0, 2, 0xAB, 0xCD])  # suboption code 9
+        frame = bytes([0, OPTION_NTP_SERVER, 0, len(body)]) + body
+        with pytest.raises(ValueError):
+            parse_ntp_option(frame)
+
+    def test_parse_rejects_bad_address_length(self):
+        body = bytes([0, NTP_SUBOPTION_SRV_ADDR, 0, 4]) + b"\x00" * 4
+        frame = bytes([0, OPTION_NTP_SERVER, 0, len(body)]) + body
+        with pytest.raises(ValueError):
+            parse_ntp_option(frame)
+
+    def test_parse_rejects_truncated(self):
+        with pytest.raises(ValueError):
+            parse_ntp_option(b"\x00")
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.integers(min_value=0, max_value=(1 << 128) - 1).map(
+                    NTPServerAddress
+                ),
+                domain_names.map(NTPServerFQDN),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_roundtrip_property(self, suboptions):
+        assert parse_ntp_option(encode_ntp_option(suboptions)) == suboptions

@@ -1,0 +1,151 @@
+"""Tests for repro.ntp.dns and the pool's wire-format DNS interface."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.addr.ipv6 import parse
+from repro.ntp.client import TimeSource
+from repro.ntp.dns import (
+    DNSQuery,
+    build_query,
+    build_response,
+    parse_query,
+    parse_response,
+)
+from repro.ntp.pool import NTPPool
+from repro.ntp.server import StratumTwoServer
+
+addresses = st.lists(
+    st.integers(min_value=0, max_value=(1 << 128) - 1), max_size=6
+)
+
+
+class TestQueryRoundtrip:
+    def test_roundtrip(self):
+        wire = build_query("pool.ntp.org", qid=0x1234)
+        query = parse_query(wire)
+        assert query == DNSQuery(qid=0x1234, qname="pool.ntp.org")
+
+    def test_rejects_bad_qid(self):
+        with pytest.raises(ValueError):
+            build_query("ntp.org", qid=1 << 16)
+
+    def test_rejects_response_as_query(self):
+        query = DNSQuery(1, "pool.ntp.org")
+        wire = build_response(query, [1])
+        with pytest.raises(ValueError):
+            parse_query(wire)
+
+    def test_rejects_truncated(self):
+        with pytest.raises(ValueError):
+            parse_query(b"\x00\x01\x00")
+
+    def test_rejects_compression_pointers(self):
+        wire = bytearray(build_query("pool.ntp.org", 1))
+        wire[12] = 0xC0  # pointer where a label length belongs
+        with pytest.raises(ValueError):
+            parse_query(bytes(wire))
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_qid_preserved(self, qid):
+        assert parse_query(build_query("android.pool.ntp.org", qid)).qid == qid
+
+
+class TestResponseRoundtrip:
+    def test_roundtrip(self):
+        query = DNSQuery(7, "pool.ntp.org")
+        answer_addresses = [parse("2001:db8::1"), parse("2001:db8::2")]
+        wire = build_response(query, answer_addresses, ttl=150)
+        response = parse_response(wire)
+        assert response.qid == 7
+        assert response.qname == "pool.ntp.org"
+        assert list(response.addresses) == answer_addresses
+        assert response.ttl == 150
+
+    def test_empty_answer(self):
+        response = parse_response(build_response(DNSQuery(1, "ntp.org"), []))
+        assert response.addresses == ()
+
+    def test_rejects_query_as_response(self):
+        with pytest.raises(ValueError):
+            parse_response(build_query("ntp.org", 1))
+
+    def test_rejects_trailing_bytes(self):
+        wire = build_response(DNSQuery(1, "ntp.org"), [5])
+        with pytest.raises(ValueError):
+            parse_response(wire + b"\x00")
+
+    def test_rejects_bad_ttl(self):
+        with pytest.raises(ValueError):
+            build_response(DNSQuery(1, "ntp.org"), [1], ttl=-1)
+
+    def test_rejects_bad_address(self):
+        with pytest.raises(ValueError):
+            build_response(DNSQuery(1, "ntp.org"), [1 << 128])
+
+    @given(addresses, st.integers(min_value=0, max_value=(1 << 31) - 1))
+    def test_roundtrip_property(self, answer, ttl):
+        query = DNSQuery(9, "debian.pool.ntp.org")
+        response = parse_response(build_response(query, answer, ttl))
+        assert list(response.addresses) == answer
+        if answer:
+            assert response.ttl == ttl
+
+
+class TestPoolDNSInterface:
+    def _pool(self):
+        pool = NTPPool()
+        for host, country in enumerate(["US", "US", "DE"], start=1):
+            pool.join(
+                StratumTwoServer(parse(f"2001:db8::{host}"), country)
+            )
+        return pool
+
+    def test_answers_pool_zone(self):
+        pool = self._pool()
+        wire = pool.handle_dns_query(
+            build_query("pool.ntp.org", 42), "US"
+        )
+        assert wire is not None
+        response = parse_response(wire)
+        assert response.qid == 42
+        assert response.addresses
+        member_addresses = {server.address for server in pool.members()}
+        assert set(response.addresses) <= member_addresses
+
+    def test_vendor_zone_answered(self):
+        pool = self._pool()
+        wire = pool.handle_dns_query(
+            build_query("android.pool.ntp.org", 1), "DE"
+        )
+        assert wire is not None
+        assert parse_response(wire).addresses
+
+    def test_non_pool_name_unanswered(self):
+        pool = self._pool()
+        assert pool.handle_dns_query(
+            build_query("time.apple.com", 1), "US"
+        ) is None
+
+    def test_unknown_name_unanswered(self):
+        pool = self._pool()
+        assert pool.handle_dns_query(
+            build_query("example.org", 1), "US"
+        ) is None
+
+    def test_garbage_unanswered(self):
+        pool = self._pool()
+        assert pool.handle_dns_query(b"\x00" * 5, "US") is None
+
+    def test_round_robin_visible_on_the_wire(self):
+        pool = NTPPool()
+        for host in range(1, 9):
+            pool.join(StratumTwoServer(parse(f"2001:db8::{host}"), "US"))
+        first = parse_response(
+            pool.handle_dns_query(build_query("pool.ntp.org", 1), "US")
+        )
+        second = parse_response(
+            pool.handle_dns_query(build_query("pool.ntp.org", 2), "US")
+        )
+        assert set(first.addresses) != set(second.addresses)

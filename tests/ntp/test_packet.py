@@ -1,0 +1,123 @@
+"""Tests for repro.ntp.packet — RFC 5905 header wire format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ntp.packet import (
+    LeapIndicator,
+    Mode,
+    NTPPacket,
+    NTP_VERSION,
+    PACKET_LENGTH,
+)
+
+timestamps = st.integers(min_value=0, max_value=(1 << 64) - 1)
+shorts = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+def packet_strategy():
+    return st.builds(
+        NTPPacket,
+        leap=st.sampled_from(list(LeapIndicator)),
+        version=st.integers(min_value=1, max_value=7),
+        mode=st.sampled_from(list(Mode)),
+        stratum=st.integers(min_value=0, max_value=255),
+        poll=st.integers(min_value=-128, max_value=127),
+        precision=st.integers(min_value=-128, max_value=127),
+        root_delay=shorts,
+        root_dispersion=shorts,
+        reference_id=st.binary(min_size=4, max_size=4),
+        reference_timestamp=timestamps,
+        origin_timestamp=timestamps,
+        receive_timestamp=timestamps,
+        transmit_timestamp=timestamps,
+    )
+
+
+class TestPackParse:
+    def test_length(self):
+        assert len(NTPPacket().pack()) == PACKET_LENGTH
+
+    def test_default_roundtrip(self):
+        packet = NTPPacket()
+        assert NTPPacket.parse(packet.pack()) == packet
+
+    def test_first_byte_layout(self):
+        packet = NTPPacket(
+            leap=LeapIndicator.UNSYNCHRONIZED, version=4, mode=Mode.CLIENT
+        )
+        first = packet.pack()[0]
+        assert first == (3 << 6) | (4 << 3) | 3
+
+    def test_parse_short_datagram_rejected(self):
+        with pytest.raises(ValueError):
+            NTPPacket.parse(b"\x00" * 47)
+
+    def test_parse_ignores_trailing_bytes(self):
+        packet = NTPPacket(transmit_timestamp=12345)
+        assert NTPPacket.parse(packet.pack() + b"extension") == packet
+
+    def test_negative_precision_survives(self):
+        packet = NTPPacket(precision=-23)
+        assert NTPPacket.parse(packet.pack()).precision == -23
+
+    @given(packet_strategy())
+    def test_roundtrip_all_fields(self, packet):
+        assert NTPPacket.parse(packet.pack()) == packet
+
+
+class TestValidation:
+    def test_rejects_bad_version(self):
+        with pytest.raises(ValueError):
+            NTPPacket(version=0)
+        with pytest.raises(ValueError):
+            NTPPacket(version=8)
+
+    def test_rejects_bad_stratum(self):
+        with pytest.raises(ValueError):
+            NTPPacket(stratum=256)
+
+    def test_rejects_bad_refid(self):
+        with pytest.raises(ValueError):
+            NTPPacket(reference_id=b"abc")
+
+    def test_rejects_bad_timestamp(self):
+        with pytest.raises(ValueError):
+            NTPPacket(transmit_timestamp=1 << 64)
+
+    def test_rejects_bad_short(self):
+        with pytest.raises(ValueError):
+            NTPPacket(root_delay=1 << 32)
+
+    def test_rejects_bad_poll(self):
+        with pytest.raises(ValueError):
+            NTPPacket(poll=128)
+
+
+class TestRequestPredicate:
+    def test_client_mode_is_valid(self):
+        assert NTPPacket(mode=Mode.CLIENT).is_valid_request()
+
+    def test_server_mode_is_not(self):
+        assert not NTPPacket(mode=Mode.SERVER).is_valid_request()
+
+    def test_future_version_rejected(self):
+        packet = NTPPacket(mode=Mode.CLIENT, version=NTP_VERSION + 1)
+        assert not packet.is_valid_request()
+
+    def test_v3_accepted(self):
+        assert NTPPacket(mode=Mode.CLIENT, version=3).is_valid_request()
+
+
+class TestWithFields:
+    def test_replaces(self):
+        packet = NTPPacket()
+        changed = packet.with_fields(stratum=2, mode=Mode.SERVER)
+        assert changed.stratum == 2
+        assert changed.mode is Mode.SERVER
+        assert packet.stratum == 0  # original untouched
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            NTPPacket().with_fields(stratum=999)

@@ -1,0 +1,134 @@
+"""Tests for repro.ntp.pool — membership and geo DNS resolution."""
+
+import pytest
+
+from repro.addr import ipv6
+from repro.ntp.client import TimeSource
+from repro.ntp.pool import COUNTRY_CONTINENT, NTPPool, continent_of
+from repro.ntp.server import StratumTwoServer
+
+
+def make_server(host, country):
+    return StratumTwoServer(ipv6.parse(f"2001:db8::{host}"), country)
+
+
+def make_pool(*countries):
+    pool = NTPPool()
+    for index, country in enumerate(countries, start=1):
+        pool.join(make_server(index, country))
+    return pool
+
+
+class TestContinentMap:
+    def test_known_countries(self):
+        assert continent_of("DE") == "EU"
+        assert continent_of("IN") == "AS"
+        assert continent_of("BR") == "SA"
+        assert continent_of("US") == "NA"
+        assert continent_of("ZA") == "AF"
+        assert continent_of("AU") == "OC"
+
+    def test_unknown_country(self):
+        assert continent_of("XX") is None
+
+    def test_paper_vantage_countries_covered(self):
+        # The paper ran servers in these 20 countries (§3).
+        vantage_countries = [
+            "US", "JP", "DE", "AU", "BH", "BR", "BG", "HK", "IN", "ID",
+            "MX", "NL", "PL", "SG", "ZA", "KR", "ES", "SE", "TW", "GB",
+        ]
+        for country in vantage_countries:
+            assert country in COUNTRY_CONTINENT, country
+
+
+class TestMembership:
+    def test_join_and_len(self):
+        pool = make_pool("US", "DE")
+        assert len(pool) == 2
+        assert len(pool.members()) == 2
+
+    def test_duplicate_join_rejected(self):
+        pool = NTPPool()
+        server = make_server(1, "US")
+        pool.join(server)
+        with pytest.raises(ValueError):
+            pool.join(server)
+
+    def test_leave(self):
+        pool = NTPPool()
+        server = make_server(1, "US")
+        pool.join(server)
+        pool.leave(server.address)
+        assert len(pool) == 0
+        assert pool.resolve(TimeSource.POOL, "US") == []
+
+    def test_leave_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            NTPPool().leave(1)
+
+    def test_member_lookup(self):
+        pool = NTPPool()
+        server = make_server(1, "US")
+        pool.join(server)
+        assert pool.member(server.address) is server
+        assert pool.member(999) is None
+
+
+class TestResolution:
+    def test_same_country_preferred(self):
+        pool = make_pool("US", "DE", "DE")
+        answer = pool.resolve(TimeSource.POOL, "DE")
+        servers = {pool.member(address).country for address in answer}
+        assert servers == {"DE"}
+
+    def test_same_continent_fallback(self):
+        pool = make_pool("DE", "US")
+        # French client: no FR member, falls back to EU members.
+        answer = pool.resolve(TimeSource.POOL, "FR")
+        assert {pool.member(a).country for a in answer} == {"DE"}
+
+    def test_world_fallback(self):
+        pool = make_pool("US", "DE")
+        # South-African client with no AF members gets the world tier.
+        answer = pool.resolve(TimeSource.POOL, "ZA")
+        assert len(answer) == 2
+
+    def test_unknown_country_gets_world(self):
+        pool = make_pool("US")
+        assert len(pool.resolve(TimeSource.POOL, "XX")) == 1
+
+    def test_non_pool_source_empty(self):
+        pool = make_pool("US")
+        assert pool.resolve(TimeSource.TIME_APPLE, "US") == []
+        assert pool.resolve(TimeSource.TIME_ANDROID, "US") == []
+
+    def test_vendor_zone_resolves(self):
+        pool = make_pool("US")
+        assert len(pool.resolve(TimeSource.POOL_ANDROID, "US")) == 1
+
+    def test_answer_size_cap(self):
+        pool = make_pool(*(["US"] * 10))
+        assert len(pool.resolve(TimeSource.POOL, "US")) == NTPPool.ANSWER_SIZE
+        assert len(pool.resolve(TimeSource.POOL, "US", count=2)) == 2
+
+    def test_round_robin_rotates(self):
+        pool = make_pool(*(["US"] * 8))
+        first = pool.resolve(TimeSource.POOL, "US")
+        second = pool.resolve(TimeSource.POOL, "US")
+        assert first != second
+        # Over two answers of 4 from 8 members, all members appear.
+        assert len(set(first) | set(second)) == 8
+
+    def test_rotation_covers_all_members_evenly(self):
+        pool = make_pool(*(["US"] * 5))
+        seen = []
+        for _ in range(5):
+            seen.extend(pool.resolve(TimeSource.POOL, "US"))
+        # 5 answers x 4 records over 5 members: each appears 4 times.
+        from collections import Counter
+
+        counts = Counter(seen)
+        assert set(counts.values()) == {4}
+
+    def test_empty_pool(self):
+        assert NTPPool().resolve(TimeSource.POOL, "US") == []

@@ -1,0 +1,162 @@
+"""Tests for repro.ntp.server and repro.ntp.client."""
+
+import pytest
+
+from repro.addr import ipv6
+from repro.ntp.client import (
+    OperatingSystem,
+    TimeSource,
+    build_request,
+    time_source_for,
+    validate_response,
+)
+from repro.ntp.packet import Mode, NTPPacket
+from repro.ntp.server import StratumTwoServer
+from repro.ntp.timestamps import ntp_to_unix, unix_to_ntp
+
+SERVER_ADDR = ipv6.parse("2001:db8:100::53")
+CLIENT_ADDR = ipv6.parse("2001:db8:200::1234")
+
+
+def make_server(sink=None):
+    return StratumTwoServer(SERVER_ADDR, "US", sink=sink)
+
+
+class TestServerHandling:
+    def test_valid_request_gets_response(self):
+        server = make_server()
+        request = build_request(1000.0)
+        response_bytes = server.handle_datagram(request.pack(), CLIENT_ADDR, 1000.05)
+        assert response_bytes is not None
+        response = NTPPacket.parse(response_bytes)
+        assert response.mode is Mode.SERVER
+        assert response.stratum == 2
+        assert response.origin_timestamp == request.transmit_timestamp
+        assert ntp_to_unix(response.transmit_timestamp) == pytest.approx(1000.05)
+
+    def test_response_validates_client_side(self):
+        server = make_server()
+        request = build_request(1000.0)
+        response = NTPPacket.parse(
+            server.handle_datagram(request.pack(), CLIENT_ADDR, 1000.05)
+        )
+        assert validate_response(request, response)
+
+    def test_malformed_dropped(self):
+        server = make_server()
+        assert server.handle_datagram(b"short", CLIENT_ADDR, 1.0) is None
+        assert server.stats.malformed == 1
+        assert server.stats.responses == 0
+
+    def test_non_client_mode_dropped(self):
+        server = make_server()
+        packet = NTPPacket(mode=Mode.SERVER)
+        assert server.handle_datagram(packet.pack(), CLIENT_ADDR, 1.0) is None
+        assert server.stats.dropped_mode == 1
+
+    def test_sink_records_source(self):
+        observed = []
+        server = make_server(
+            sink=lambda addr, when, srv: observed.append((addr, when, srv))
+        )
+        request = build_request(5.0)
+        server.handle_datagram(request.pack(), CLIENT_ADDR, 5.01)
+        assert observed == [(CLIENT_ADDR, 5.01, server)]
+
+    def test_sink_not_called_for_garbage(self):
+        observed = []
+        server = make_server(sink=lambda *args: observed.append(args))
+        server.handle_datagram(b"\x00" * 10, CLIENT_ADDR, 1.0)
+        assert observed == []
+
+    def test_set_sink(self):
+        server = make_server()
+        observed = []
+        server.set_sink(lambda addr, when, srv: observed.append(addr))
+        server.handle_datagram(build_request(1.0).pack(), CLIENT_ADDR, 1.0)
+        assert observed == [CLIENT_ADDR]
+
+    def test_version_mirrors_client(self):
+        server = make_server()
+        request = build_request(1.0).with_fields(version=3)
+        response = NTPPacket.parse(
+            server.handle_datagram(request.pack(), CLIENT_ADDR, 1.0)
+        )
+        assert response.version == 3
+
+    def test_stats_counts(self):
+        server = make_server()
+        server.handle_datagram(build_request(1.0).pack(), CLIENT_ADDR, 1.0)
+        server.handle_datagram(build_request(2.0).pack(), CLIENT_ADDR, 2.0)
+        server.handle_datagram(b"junk", CLIENT_ADDR, 3.0)
+        assert server.stats.requests == 3
+        assert server.stats.responses == 2
+
+    def test_rejects_bad_country(self):
+        with pytest.raises(ValueError):
+            StratumTwoServer(SERVER_ADDR, "usa")
+
+
+class TestClientConfig:
+    @pytest.mark.parametrize(
+        "os_family,expected",
+        [
+            (OperatingSystem.WINDOWS, TimeSource.TIME_WINDOWS),
+            (OperatingSystem.MACOS, TimeSource.TIME_APPLE),
+            (OperatingSystem.ANDROID_MODERN, TimeSource.TIME_ANDROID),
+            (OperatingSystem.ANDROID_LEGACY, TimeSource.POOL_ANDROID),
+            (OperatingSystem.LINUX_UBUNTU, TimeSource.POOL_UBUNTU),
+            (OperatingSystem.IOT_GENERIC, TimeSource.POOL),
+        ],
+    )
+    def test_defaults(self, os_family, expected):
+        assert time_source_for(os_family) is expected
+
+    def test_dhcp_override(self):
+        assert (
+            time_source_for(OperatingSystem.WINDOWS, TimeSource.POOL)
+            is TimeSource.POOL
+        )
+
+    def test_pool_zone_predicate(self):
+        assert TimeSource.POOL.is_pool_zone
+        assert TimeSource.POOL_ANDROID.is_pool_zone
+        assert not TimeSource.TIME_APPLE.is_pool_zone
+        assert not TimeSource.TIME_ANDROID.is_pool_zone
+
+    def test_modern_android_misses_pool(self):
+        # The paper's stated blind spot: Android >= 8 doesn't hit the Pool.
+        assert not time_source_for(OperatingSystem.ANDROID_MODERN).is_pool_zone
+
+
+class TestValidateResponse:
+    def _pair(self):
+        request = build_request(100.0)
+        response = NTPPacket(
+            mode=Mode.SERVER,
+            stratum=2,
+            origin_timestamp=request.transmit_timestamp,
+            transmit_timestamp=unix_to_ntp(100.05),
+        )
+        return request, response
+
+    def test_valid(self):
+        request, response = self._pair()
+        assert validate_response(request, response)
+
+    def test_origin_mismatch(self):
+        request, response = self._pair()
+        assert not validate_response(
+            request, response.with_fields(origin_timestamp=1)
+        )
+
+    def test_unsynchronized_stratum(self):
+        request, response = self._pair()
+        assert not validate_response(request, response.with_fields(stratum=0))
+        assert not validate_response(request, response.with_fields(stratum=16))
+
+    def test_wrong_mode(self):
+        request, response = self._pair()
+        assert not validate_response(
+            request, response.with_fields(mode=Mode.CLIENT)
+        )

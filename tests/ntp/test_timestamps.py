@@ -1,0 +1,87 @@
+"""Tests for repro.ntp.timestamps — NTP fixed-point conversions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ntp.timestamps import (
+    NTP_FRACTION,
+    NTP_UNIX_OFFSET,
+    ntp_short,
+    ntp_to_unix,
+    short_to_seconds,
+    unix_to_ntp,
+)
+
+
+class TestUnixToNtp:
+    def test_unix_epoch(self):
+        # 1970-01-01 is exactly NTP_UNIX_OFFSET seconds into era 0.
+        assert unix_to_ntp(0.0) == NTP_UNIX_OFFSET << 32
+
+    def test_fraction_half_second(self):
+        value = unix_to_ntp(0.5)
+        assert value & 0xFFFFFFFF == NTP_FRACTION // 2
+
+    def test_rounding_carry(self):
+        # A fraction that rounds to 1.0 must carry into the seconds.
+        value = unix_to_ntp(0.9999999999)
+        assert value & 0xFFFFFFFF == 0
+        assert value >> 32 == NTP_UNIX_OFFSET + 1
+
+    def test_prime_epoch_boundary(self):
+        assert unix_to_ntp(-NTP_UNIX_OFFSET) == 0
+        with pytest.raises(ValueError):
+            unix_to_ntp(-NTP_UNIX_OFFSET - 1)
+
+    def test_era_wrap(self):
+        # Era 0 ends in 2036; times past it wrap modulo 2**32 seconds.
+        era_end_unix = (1 << 32) - NTP_UNIX_OFFSET
+        assert unix_to_ntp(float(era_end_unix)) == 0
+
+    @given(st.floats(min_value=0, max_value=2_000_000_000))
+    def test_roundtrip_within_precision(self, unix_time):
+        recovered = ntp_to_unix(unix_to_ntp(unix_time))
+        assert recovered == pytest.approx(unix_time, abs=1e-9 * max(unix_time, 1) + 1e-6)
+
+
+class TestNtpToUnix:
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ntp_to_unix(-1)
+        with pytest.raises(ValueError):
+            ntp_to_unix(1 << 64)
+
+    def test_era_1(self):
+        era_end_unix = (1 << 32) - NTP_UNIX_OFFSET
+        assert ntp_to_unix(0, era=1) == pytest.approx(era_end_unix)
+
+
+class TestNtpShort:
+    def test_zero(self):
+        assert ntp_short(0.0) == 0
+        assert short_to_seconds(0) == 0.0
+
+    def test_known_value(self):
+        assert ntp_short(1.0) == 1 << 16
+        assert short_to_seconds(1 << 16) == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ntp_short(-0.001)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            ntp_short(70000.0)
+
+    def test_short_to_seconds_range(self):
+        with pytest.raises(ValueError):
+            short_to_seconds(1 << 32)
+        with pytest.raises(ValueError):
+            short_to_seconds(-1)
+
+    @given(st.floats(min_value=0, max_value=1000))
+    def test_roundtrip(self, seconds):
+        assert short_to_seconds(ntp_short(seconds)) == pytest.approx(
+            seconds, abs=1 / (1 << 16)
+        )

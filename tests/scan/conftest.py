@@ -1,0 +1,22 @@
+"""Shared fixtures for scan-layer tests: one small deterministic world."""
+
+import pytest
+
+from repro.world import CAMPAIGN_EPOCH, WorldConfig, build_world
+
+NOW = CAMPAIGN_EPOCH + 3600.0
+
+
+@pytest.fixture(scope="session")
+def scan_world():
+    return build_world(
+        WorldConfig(
+            seed=23,
+            n_fixed_ases=8,
+            n_cellular_ases=4,
+            n_hosting_ases=4,
+            n_home_networks=80,
+            n_cellular_subscribers=40,
+            n_hosting_networks=10,
+        )
+    )

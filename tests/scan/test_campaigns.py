@@ -1,0 +1,128 @@
+"""Tests for repro.scan.caida and repro.scan.hitlist_service."""
+
+import pytest
+
+from repro.addr.entropy import normalized_iid_entropy
+from repro.addr.ipv6 import iid_of
+from repro.scan.caida import CAIDACampaign, split_routed_prefixes
+from repro.scan.hitlist_service import HitlistService
+from repro.world import CAMPAIGN_EPOCH, WEEK
+
+
+def vantage_asns(world):
+    return sorted({v.asn for v in world.vantages})
+
+
+class TestSplitRoutedPrefixes:
+    def test_splits_customer_blocks(self, scan_world):
+        units = list(split_routed_prefixes(scan_world))
+        lengths = {unit.length for unit in units}
+        assert lengths == {48}
+        # Each /40 customer block contributes 256 /48s; infra /48s one each.
+        assert len(units) > len(scan_world.profiles)
+
+    def test_max_split_cap(self, scan_world):
+        capped = list(split_routed_prefixes(scan_world, max_split=4))
+        uncapped = list(split_routed_prefixes(scan_world))
+        assert len(capped) < len(uncapped)
+
+
+class TestCAIDACampaign:
+    def test_run_discovers_low_entropy_addresses(self, scan_world):
+        campaign = CAIDACampaign(scan_world, vantage_asns(scan_world), seed=1)
+        history = campaign.run(
+            CAMPAIGN_EPOCH, CAMPAIGN_EPOCH + 4 * WEEK, cycle_days=14
+        )
+        assert history
+        entropies = sorted(
+            normalized_iid_entropy(iid_of(address)) for address in history
+        )
+        # Traceroute-derived data is dominated by ::1-style addresses.
+        assert entropies[len(entropies) // 2] < 0.25
+
+    def test_history_intervals_well_formed(self, scan_world):
+        campaign = CAIDACampaign(scan_world, vantage_asns(scan_world), seed=1)
+        history = campaign.run(
+            CAMPAIGN_EPOCH, CAMPAIGN_EPOCH + 4 * WEEK, cycle_days=7
+        )
+        for first, last in history.values():
+            assert first <= last
+
+    def test_multiple_cycles_extend_last_seen(self, scan_world):
+        campaign = CAIDACampaign(scan_world, vantage_asns(scan_world), seed=1)
+        history = campaign.run(
+            CAMPAIGN_EPOCH, CAMPAIGN_EPOCH + 8 * WEEK, cycle_days=7
+        )
+        assert any(last > first for first, last in history.values())
+
+    def test_validation(self, scan_world):
+        with pytest.raises(ValueError):
+            CAIDACampaign(scan_world, [])
+        campaign = CAIDACampaign(scan_world, vantage_asns(scan_world))
+        with pytest.raises(ValueError):
+            campaign.run(CAMPAIGN_EPOCH, CAMPAIGN_EPOCH)
+        with pytest.raises(ValueError):
+            campaign.run(CAMPAIGN_EPOCH, CAMPAIGN_EPOCH + WEEK, cycle_days=0)
+
+    def test_includes_router_interfaces(self, scan_world):
+        campaign = CAIDACampaign(scan_world, vantage_asns(scan_world), seed=1)
+        history = campaign.run(CAMPAIGN_EPOCH, CAMPAIGN_EPOCH + WEEK)
+        routers = scan_world.router_addresses
+        assert any(address in routers for address in history)
+
+
+class TestHitlistService:
+    @pytest.fixture(scope="class")
+    def service_run(self, scan_world):
+        service = HitlistService(
+            scan_world, vantage_asns(scan_world)[0], seed=3
+        )
+        history = service.run(CAMPAIGN_EPOCH, 4)
+        return service, history
+
+    def test_snapshots_published(self, service_run):
+        service, _ = service_run
+        assert len(service.snapshots) == 4
+        assert [snapshot.week for snapshot in service.snapshots] == [0, 1, 2, 3]
+
+    def test_responsive_excludes_aliased(self, service_run, scan_world):
+        service, history = service_run
+        for address in history:
+            assert not service.is_aliased(address)
+
+    def test_aliased_detection_finds_world_aliases(self, service_run, scan_world):
+        service, _ = service_run
+        aliased_profiles = [
+            profile for profile in scan_world.profiles.values() if profile.aliased
+        ]
+        # If any responsive candidate landed in aliased space, APD must
+        # have flagged its /64.
+        if service.aliased_prefixes:
+            for prefix in service.aliased_prefixes:
+                asn = scan_world.routing.origin_asn(prefix.network)
+                assert scan_world.profiles[asn].aliased
+
+    def test_history_grows_weekly(self, service_run):
+        service, history = service_run
+        first_week = len(service.snapshots[0].responsive)
+        assert len(history) >= first_week
+
+    def test_candidates_exceed_responsive(self, service_run):
+        service, _ = service_run
+        for snapshot in service.snapshots:
+            assert snapshot.candidates_probed >= len(snapshot.responsive)
+
+    def test_validation(self, scan_world):
+        with pytest.raises(ValueError):
+            HitlistService(scan_world, 1, seed_fraction=0.0)
+        with pytest.raises(ValueError):
+            HitlistService(scan_world, 1, cpe_seed_fraction=1.5)
+        service = HitlistService(scan_world, vantage_asns(scan_world)[0])
+        with pytest.raises(ValueError):
+            service.run(CAMPAIGN_EPOCH, 0)
+
+    def test_all_responsive_addresses_respond(self, service_run, scan_world):
+        service, _ = service_run
+        snapshot = service.snapshots[0]
+        for address in list(snapshot.responsive)[:50]:
+            assert scan_world.is_responsive(address, snapshot.when)

@@ -1,0 +1,158 @@
+"""Tests for repro.scan.icmpv6 — RFC 4443 wire format and checksums."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.addr.ipv6 import parse
+from repro.scan.icmpv6 import (
+    ECHO_REPLY,
+    ECHO_REQUEST,
+    TIME_EXCEEDED,
+    EchoMessage,
+    TimeExceededMessage,
+    icmpv6_checksum,
+    parse_message,
+)
+
+SRC = parse("2001:db8::1")
+DST = parse("2001:db8::2")
+
+addresses = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+class TestChecksum:
+    def test_deterministic(self):
+        assert icmpv6_checksum(SRC, DST, b"\x80\x00\x00\x00") == (
+            icmpv6_checksum(SRC, DST, b"\x80\x00\x00\x00")
+        )
+
+    def test_depends_on_endpoints(self):
+        message = b"\x80\x00\x00\x00\x00\x01\x00\x01"
+        assert icmpv6_checksum(SRC, DST, message) != icmpv6_checksum(
+            SRC, DST + 1, message
+        )
+
+    def test_odd_length_padded(self):
+        # Must not raise and must differ from the even-length variant.
+        a = icmpv6_checksum(SRC, DST, b"\x80\x00\x00\x00\xab")
+        b = icmpv6_checksum(SRC, DST, b"\x80\x00\x00\x00")
+        assert a != b
+
+    def test_never_zero_on_wire(self):
+        # Ones-complement arithmetic maps 0 to 0xFFFF.
+        assert icmpv6_checksum(0, 0, b"") != 0
+
+    def test_rejects_bad_addresses(self):
+        with pytest.raises(ValueError):
+            icmpv6_checksum(1 << 128, 0, b"")
+
+    @given(addresses, addresses, st.binary(max_size=64))
+    def test_verification_identity(self, source, destination, payload):
+        # A packed message always verifies against its own endpoints:
+        # inserting the computed checksum then re-checksumming the
+        # zeroed message reproduces it.
+        message = b"\x80\x00\x00\x00" + payload
+        checksum = icmpv6_checksum(source, destination, message)
+        wire = message[:2] + checksum.to_bytes(2, "big") + message[4:]
+        zeroed = wire[:2] + b"\x00\x00" + wire[4:]
+        assert icmpv6_checksum(source, destination, zeroed) == checksum
+
+
+class TestEchoMessage:
+    def test_pack_structure(self):
+        wire = EchoMessage(True, 0x1234, 0x0001, b"zmap").pack(SRC, DST)
+        assert wire[0] == ECHO_REQUEST
+        assert wire[1] == 0
+        assert wire[4:8] == b"\x12\x34\x00\x01"
+        assert wire.endswith(b"zmap")
+
+    def test_reply_mirrors_request(self):
+        request = EchoMessage(True, 7, 9, b"state")
+        reply = request.reply()
+        assert not reply.is_request
+        assert (reply.identifier, reply.sequence, reply.payload) == (
+            7, 9, b"state"
+        )
+
+    def test_reply_of_reply_rejected(self):
+        with pytest.raises(ValueError):
+            EchoMessage(False, 1, 1).reply()
+
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            EchoMessage(True, 1 << 16, 0)
+        with pytest.raises(ValueError):
+            EchoMessage(True, 0, -1)
+
+    def test_roundtrip_with_verification(self):
+        request = EchoMessage(True, 0xBEEF, 42, b"yarrp-ttl-7")
+        wire = request.pack(SRC, DST)
+        parsed = parse_message(wire, SRC, DST)
+        assert parsed == request
+
+    def test_reply_type_on_wire(self):
+        wire = EchoMessage(False, 1, 2).pack(DST, SRC)
+        assert wire[0] == ECHO_REPLY
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.binary(max_size=32),
+    )
+    def test_roundtrip_property(self, identifier, sequence, payload):
+        message = EchoMessage(True, identifier, sequence, payload)
+        assert parse_message(message.pack(SRC, DST), SRC, DST) == message
+
+
+class TestTimeExceeded:
+    def test_roundtrip(self):
+        invoking = EchoMessage(True, 1, 1).pack(SRC, DST)
+        wire = TimeExceededMessage(invoking).pack(parse("2001:db8::99"), SRC)
+        parsed = parse_message(wire, parse("2001:db8::99"), SRC)
+        assert isinstance(parsed, TimeExceededMessage)
+        assert parsed.invoking_packet == invoking
+
+    def test_wire_type(self):
+        wire = TimeExceededMessage(b"x").pack(SRC, DST)
+        assert wire[0] == TIME_EXCEEDED
+
+    def test_truncates_large_invoking_packet(self):
+        wire = TimeExceededMessage(b"\xaa" * 5000).pack(SRC, DST)
+        assert len(wire) <= 1232
+
+
+class TestParseRejections:
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            parse_message(b"\x80\x00\x00", SRC, DST)
+
+    def test_corrupt_checksum(self):
+        wire = bytearray(EchoMessage(True, 1, 1).pack(SRC, DST))
+        wire[-1] ^= 0xFF if len(wire) > 8 else 0x01
+        wire = bytearray(EchoMessage(True, 1, 1, b"p").pack(SRC, DST))
+        wire[-1] ^= 0xFF
+        with pytest.raises(ValueError):
+            parse_message(bytes(wire), SRC, DST)
+
+    def test_wrong_endpoints_fail_verification(self):
+        wire = EchoMessage(True, 1, 1).pack(SRC, DST)
+        with pytest.raises(ValueError):
+            parse_message(wire, SRC, DST + 1)
+
+    def test_verification_can_be_skipped(self):
+        wire = EchoMessage(True, 1, 1).pack(SRC, DST)
+        parsed = parse_message(wire, SRC, DST + 1, verify=False)
+        assert isinstance(parsed, EchoMessage)
+
+    def test_unknown_type(self):
+        wire = bytearray(EchoMessage(True, 1, 1).pack(SRC, DST))
+        wire[0] = 200
+        with pytest.raises(ValueError):
+            parse_message(bytes(wire), SRC, DST, verify=False)
+
+    def test_nonzero_echo_code(self):
+        wire = bytearray(EchoMessage(True, 1, 1).pack(SRC, DST))
+        wire[1] = 5
+        with pytest.raises(ValueError):
+            parse_message(bytes(wire), SRC, DST, verify=False)

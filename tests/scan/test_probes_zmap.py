@@ -1,0 +1,140 @@
+"""Tests for repro.scan.probes and repro.scan.zmap6."""
+
+import pytest
+
+from repro.scan.probes import Protocol, probe_once
+from repro.scan.zmap6 import ZMap6
+from repro.world import DeviceType, ResponderKind
+from tests.scan.conftest import NOW
+
+
+def find_device_address(world, predicate, when=NOW, firewalled=None):
+    for network in world.networks.values():
+        if network.profile.aliased:
+            continue
+        if firewalled is not None and network.firewalled != firewalled:
+            continue
+        for device in network.present_devices(when):
+            if predicate(device):
+                return network.device_address(device, when), device
+    raise AssertionError("no matching device in world")
+
+
+class TestProbeOnce:
+    def test_icmp_hits_live_device(self, scan_world):
+        address, device = find_device_address(
+            scan_world,
+            lambda d: d.device_type is DeviceType.CPE_ROUTER,
+        )
+        result = probe_once(scan_world, address, NOW, Protocol.ICMPV6)
+        assert result.responsive
+        assert result.responder_kind is ResponderKind.DEVICE
+
+    def test_icmp_miss_unrouted(self, scan_world):
+        result = probe_once(scan_world, 0x20010DB8 << 96, NOW, Protocol.ICMPV6)
+        assert not result.responsive
+        assert result.responder_kind is None
+
+    def test_tcp_requires_service_device(self, scan_world):
+        # A non-infrastructure client answering ICMP must not answer TCP.
+        address, device = find_device_address(
+            scan_world,
+            lambda d: not d.device_type.is_infrastructure,
+            firewalled=False,
+        )
+        icmp = probe_once(scan_world, address, NOW, Protocol.ICMPV6)
+        tcp = probe_once(scan_world, address, NOW, Protocol.TCP80)
+        assert icmp.responsive
+        assert not tcp.responsive
+
+    def test_tcp_hits_server(self, scan_world):
+        address, _ = find_device_address(
+            scan_world, lambda d: d.device_type is DeviceType.SERVER
+        )
+        assert probe_once(scan_world, address, NOW, Protocol.TCP443).responsive
+
+    def test_router_ignores_tcp(self, scan_world):
+        router = sorted(scan_world.router_addresses)[0]
+        assert probe_once(scan_world, router, NOW, Protocol.ICMPV6).responsive
+        assert not probe_once(scan_world, router, NOW, Protocol.TCP80).responsive
+
+    def test_alias_answers_all_protocols(self, scan_world):
+        aliased = next(
+            p for p in scan_world.profiles.values() if p.aliased
+        )
+        target = aliased.customer_block.network | 0xABCDEF
+        for protocol in Protocol:
+            result = probe_once(scan_world, target, NOW, protocol)
+            assert result.responsive
+            assert result.responder_kind is ResponderKind.ALIAS
+
+
+class TestZMap6:
+    def test_scan_counts_and_dedup(self, scan_world):
+        router = sorted(scan_world.router_addresses)[0]
+        scanner = ZMap6(scan_world, seed=1)
+        results = scanner.scan([router, router, router + 1], NOW)
+        assert len(results) == 2
+        assert scanner.last_stats.sent == 2
+        assert scanner.last_stats.duplicates_suppressed == 1
+        assert scanner.last_stats.responsive >= 1
+        assert 0.0 <= scanner.last_stats.hit_rate <= 1.0
+
+    def test_scan_results_address_complete(self, scan_world):
+        targets = sorted(scan_world.router_addresses)[:10]
+        scanner = ZMap6(scan_world, seed=2)
+        results = scanner.scan(targets, NOW)
+        assert {result.target for result in results} == set(targets)
+        assert all(result.responsive for result in results)
+
+    def test_shuffle_differs_across_scans_but_results_agree(self, scan_world):
+        targets = sorted(scan_world.router_addresses)[:10]
+        scanner = ZMap6(scan_world, seed=3)
+        first = scanner.scan(targets, NOW)
+        second = scanner.scan(targets, NOW)
+        assert {r.target: r.responsive for r in first} == {
+            r.target: r.responsive for r in second
+        }
+
+    def test_responsive_addresses_multiprotocol(self, scan_world):
+        server_address, _ = find_device_address(
+            scan_world, lambda d: d.device_type is DeviceType.SERVER
+        )
+        router = sorted(scan_world.router_addresses)[0]
+        scanner = ZMap6(scan_world, seed=4)
+        responsive = scanner.responsive_addresses(
+            [server_address, router], NOW,
+            protocols=(Protocol.ICMPV6, Protocol.TCP80),
+        )
+        assert Protocol.ICMPV6 in responsive[server_address]
+        assert Protocol.TCP80 in responsive[server_address]
+        assert responsive[router] == [Protocol.ICMPV6]
+
+    def test_empty_scan(self, scan_world):
+        scanner = ZMap6(scan_world)
+        assert scanner.scan([], NOW) == []
+        assert scanner.last_stats.hit_rate == 0.0
+
+
+class TestZMap6WireFidelity:
+    def test_same_results_as_fast_path(self, scan_world):
+        targets = sorted(scan_world.router_addresses)[:15]
+        fast = ZMap6(scan_world, seed=7)
+        wire = ZMap6(scan_world, seed=7, wire_fidelity=True)
+        fast_results = {r.target: r.responsive for r in fast.scan(targets, NOW)}
+        wire_results = {r.target: r.responsive for r in wire.scan(targets, NOW)}
+        assert fast_results == wire_results
+
+    def test_wire_mode_only_affects_icmp(self, scan_world):
+        targets = sorted(scan_world.router_addresses)[:5]
+        wire = ZMap6(scan_world, seed=7, wire_fidelity=True)
+        results = wire.scan(targets, NOW, Protocol.TCP80)
+        assert all(not r.responsive for r in results)
+
+    def test_custom_source_address(self, scan_world):
+        scanner = ZMap6(
+            scan_world, seed=7, wire_fidelity=True,
+            source_address=(0x20010DB8 << 96) | 0xFACE,
+        )
+        targets = sorted(scan_world.router_addresses)[:3]
+        assert any(r.responsive for r in scanner.scan(targets, NOW))

@@ -1,0 +1,89 @@
+"""Tests for repro.scan.targetgen."""
+
+import pytest
+
+from repro.addr.ipv6 import parse, slash48_of
+from repro.scan.targetgen import (
+    low_byte_candidates,
+    pattern_candidates,
+    subnet_low_byte_candidates,
+)
+
+
+class TestLowByteCandidates:
+    def test_basic(self):
+        base = parse("2001:db8::")
+        out = list(low_byte_candidates([base], hosts=3))
+        assert out == [base | 1, base | 2, base | 3]
+
+    def test_truncates_input_to_48(self):
+        noisy = parse("2001:db8:0:5::dead")
+        out = list(low_byte_candidates([noisy], hosts=1))
+        assert out == [parse("2001:db8::1")]
+
+    def test_rejects_bad_hosts(self):
+        with pytest.raises(ValueError):
+            list(low_byte_candidates([0], hosts=0))
+
+
+class TestSubnetLowByte:
+    def test_walks_subnets(self):
+        base = parse("2001:db8::")
+        out = list(subnet_low_byte_candidates([base], subnets=2, hosts=1))
+        assert out == [
+            parse("2001:db8::1"),
+            parse("2001:db8:0:1::1"),
+        ]
+
+    def test_count(self):
+        out = list(
+            subnet_low_byte_candidates([parse("2001:db8::")], subnets=4, hosts=2)
+        )
+        assert len(out) == 8
+        assert len(set(out)) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(subnet_low_byte_candidates([0], subnets=0))
+        with pytest.raises(ValueError):
+            list(subnet_low_byte_candidates([0], hosts=0))
+
+
+class TestPatternCandidates:
+    def test_recombines_across_observed_64s(self):
+        a = parse("2001:db8:0:1::aaaa")
+        b = parse("2001:db8:0:2::bbbb")
+        out = set(pattern_candidates([a, b]))
+        assert parse("2001:db8:0:1::bbbb") in out
+        assert parse("2001:db8:0:2::aaaa") in out
+        # Seeds themselves are not re-emitted.
+        assert a not in out and b not in out
+
+    def test_single_slash64_yields_nothing(self):
+        a = parse("2001:db8::aaaa")
+        b = parse("2001:db8::bbbb")
+        assert list(pattern_candidates([a, b])) == []
+
+    def test_isolated_slash48s_do_not_mix(self):
+        a = parse("2001:db8:1:1::aaaa")
+        b = parse("2001:db9:0:2::bbbb")
+        assert list(pattern_candidates([a, b])) == []
+
+    def test_cap_respected(self):
+        seeds = [
+            parse("2001:db8::") | (subnet << 64) | iid
+            for subnet in range(8)
+            for iid in range(1, 9)
+        ]
+        out = list(pattern_candidates(seeds, max_per_slash48=10))
+        assert len(out) <= 10
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            list(pattern_candidates([], max_per_slash48=0))
+
+    def test_candidates_stay_in_slash48(self):
+        a = parse("2001:db8:7:1::1234")
+        b = parse("2001:db8:7:2::5678")
+        for candidate in pattern_candidates([a, b]):
+            assert slash48_of(candidate) == slash48_of(a)

@@ -1,0 +1,142 @@
+"""Tests for repro.scan.tga — target-generation algorithms."""
+
+import random
+
+import pytest
+
+from repro.addr.ipv6 import iid_of, parse, prefix_of
+from repro.scan.tga import ClusterExpansion, NibbleModel
+
+
+def seeds_low_byte(count=20):
+    """Training set of low-byte addresses across several /64s.
+
+    Even subnets hold ::1, odd subnets ::2 — so recombinations (::2 in an
+    even subnet, ::1 in an odd one) are legitimate non-seed candidates.
+    """
+    return [
+        parse("2001:db8::") | (subnet << 64) | (1 + subnet % 2)
+        for subnet in range(count)
+    ]
+
+
+def seeds_structured():
+    """Two /64s whose IIDs share an obvious pattern (prefix 0xdead)."""
+    base = parse("2001:db8:7::")
+    return [
+        base | (subnet << 64) | (0xDEAD << 16) | low
+        for subnet in (0, 1)
+        for low in (0x0001, 0x0002, 0x0003)
+    ]
+
+
+class TestNibbleModel:
+    def test_fit_requires_seeds(self):
+        with pytest.raises(ValueError):
+            NibbleModel().fit([])
+
+    def test_generate_requires_fit(self):
+        with pytest.raises(ValueError):
+            NibbleModel().generate(5, random.Random(1))
+
+    def test_rejects_negative_budget(self):
+        model = NibbleModel().fit(seeds_low_byte())
+        with pytest.raises(ValueError):
+            model.generate(-1, random.Random(1))
+
+    def test_candidates_in_training_prefixes(self):
+        seeds = seeds_low_byte()
+        model = NibbleModel().fit(seeds)
+        prefixes = {prefix_of(seed) for seed in seeds}
+        for candidate in model.generate(50, random.Random(2)):
+            assert prefix_of(candidate) in prefixes
+
+    def test_candidates_exclude_seeds_and_duplicates(self):
+        seeds = seeds_low_byte()
+        model = NibbleModel().fit(seeds)
+        candidates = model.generate(100, random.Random(3))
+        assert not set(candidates) & set(seeds)
+        assert len(candidates) == len(set(candidates))
+
+    def test_learns_low_byte_bias(self):
+        # Trained on ::1/::2 addresses, generated IIDs stay tiny.
+        model = NibbleModel().fit(seeds_low_byte())
+        candidates = model.generate(60, random.Random(4))
+        assert candidates
+        assert all(iid_of(candidate) <= 0xFF for candidate in candidates)
+
+    def test_learns_structured_pattern(self):
+        model = NibbleModel().fit(seeds_structured())
+        candidates = model.generate(40, random.Random(5))
+        for candidate in candidates:
+            # Positions fixed in training stay fixed in generation.
+            assert (iid_of(candidate) >> 16) & 0xFFFF == 0xDEAD
+
+    def test_degenerate_single_seed_terminates(self):
+        model = NibbleModel().fit([parse("2001:db8::1")])
+        # Only one derivable candidate exists, and it IS the seed:
+        # generation must terminate empty rather than loop.
+        assert model.generate(10, random.Random(6)) == []
+
+    def test_budget_respected(self):
+        model = NibbleModel().fit(seeds_low_byte())
+        assert len(model.generate(7, random.Random(7))) <= 7
+        assert model.generate(0, random.Random(7)) == []
+
+
+class TestClusterExpansion:
+    def test_fit_requires_seeds(self):
+        with pytest.raises(ValueError):
+            ClusterExpansion().fit([])
+
+    def test_generate_requires_fit(self):
+        with pytest.raises(ValueError):
+            ClusterExpansion().generate(5, random.Random(1))
+
+    def test_expands_cluster_cross_product(self):
+        # IIDs ::11, ::12, ::21 -> alphabets {1,2} x {1,2} at the two low
+        # positions: the missing combination ::22 must be generated.
+        base = parse("2001:db8:9::")
+        seeds = [base | 0x11, base | 0x12, base | 0x21]
+        generator = ClusterExpansion().fit(seeds)
+        candidates = generator.generate(10, random.Random(1))
+        assert base | 0x22 in candidates
+
+    def test_candidates_exclude_seeds(self):
+        seeds = seeds_structured()
+        generator = ClusterExpansion().fit(seeds)
+        candidates = generator.generate(100, random.Random(1))
+        assert not set(candidates) & set(seeds)
+
+    def test_tight_clusters_first(self):
+        base_tight = parse("2001:db8:1::")
+        base_loose = parse("2001:db8:2::")
+        # Tight: expansion 4 (two 2-value positions), two fresh combos.
+        tight = [base_tight | iid for iid in (0x11, 0x22)]
+        rng = random.Random(9)
+        # Loose: expansion in the hundreds (three seeds of 16 nibbles).
+        loose = [base_loose | rng.getrandbits(64) for _ in range(3)]
+        generator = ClusterExpansion().fit(tight + loose)
+        first = generator.generate(1, random.Random(1))
+        assert first
+        assert prefix_of(first[0]) == base_tight
+
+    def test_huge_clusters_skipped(self):
+        rng = random.Random(11)
+        base = parse("2001:db8:3::")
+        # 30 random IIDs -> alphabet sizes ~ each position near 16:
+        # expansion astronomically exceeds the cap, cluster is skipped.
+        seeds = [base | rng.getrandbits(64) for _ in range(30)]
+        generator = ClusterExpansion().fit(seeds)
+        assert generator.generate(50, random.Random(1)) == []
+
+    def test_budget_respected(self):
+        generator = ClusterExpansion().fit(seeds_structured())
+        assert len(generator.generate(3, random.Random(1))) <= 3
+
+    def test_candidates_stay_in_cluster_prefix(self):
+        seeds = seeds_structured()
+        prefixes = {prefix_of(seed) for seed in seeds}
+        generator = ClusterExpansion().fit(seeds)
+        for candidate in generator.generate(50, random.Random(1)):
+            assert prefix_of(candidate) in prefixes

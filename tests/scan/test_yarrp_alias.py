@@ -1,0 +1,124 @@
+"""Tests for repro.scan.yarrp and repro.scan.alias."""
+
+import pytest
+
+from repro.net.prefixes import Prefix, parse_prefix
+from repro.scan.alias import AliasDetector, filter_aliased
+from repro.scan.yarrp import Yarrp
+from tests.scan.conftest import NOW
+
+
+def vantage_asn(world):
+    return sorted({v.asn for v in world.vantages})[0]
+
+
+class TestYarrp:
+    def test_trace_reaches_router(self, scan_world):
+        router = sorted(scan_world.router_addresses)[0]
+        yarrp = Yarrp(scan_world, vantage_asn(scan_world))
+        result = yarrp.trace(router, NOW)
+        assert result.destination_reached
+        # Hops are along the AS path; some ASes have infra space.
+        assert isinstance(result.hops, tuple)
+
+    def test_trace_unrouted_target(self, scan_world):
+        yarrp = Yarrp(scan_world, vantage_asn(scan_world))
+        result = yarrp.trace(0x20010DB8 << 96, NOW)
+        assert not result.destination_reached
+        assert result.hops == ()
+
+    def test_trace_unresponsive_target_still_reveals_hops(self, scan_world):
+        # An unallocated address in a distant normal AS: destination
+        # unreachable but transit hops respond.
+        normal = next(
+            p for p in scan_world.profiles.values()
+            if not p.aliased and not p.cellular
+            and p.asn != vantage_asn(scan_world)
+        )
+        target = normal.customer_block.last_address - 7
+        yarrp = Yarrp(scan_world, vantage_asn(scan_world))
+        result = yarrp.trace(target, NOW)
+        if not result.destination_reached:
+            assert len(result.hops) >= 1
+
+    def test_hops_are_router_interfaces(self, scan_world):
+        router = sorted(scan_world.router_addresses)[-1]
+        yarrp = Yarrp(scan_world, vantage_asn(scan_world))
+        result = yarrp.trace(router, NOW)
+        for hop in result.responsive_hops:
+            assert hop in scan_world.router_addresses
+
+    def test_trace_many_deduplicates(self, scan_world):
+        router = sorted(scan_world.router_addresses)[0]
+        yarrp = Yarrp(scan_world, vantage_asn(scan_world), seed=5)
+        results = list(yarrp.trace_many([router, router], NOW))
+        assert len(results) == 1
+
+    def test_discovered_addresses_includes_target_and_hops(self, scan_world):
+        routers = sorted(scan_world.router_addresses)[:5]
+        yarrp = Yarrp(scan_world, vantage_asn(scan_world), seed=6)
+        discovered = yarrp.discovered_addresses(routers, NOW)
+        assert set(routers) <= discovered
+
+    def test_rejects_unknown_vantage(self, scan_world):
+        with pytest.raises(ValueError):
+            Yarrp(scan_world, 99999)
+
+
+class TestAliasDetector:
+    def test_detects_aliased_block(self, scan_world):
+        aliased = next(p for p in scan_world.profiles.values() if p.aliased)
+        detector = AliasDetector(scan_world, seed=1)
+        verdict = detector.check(aliased.customer_block, NOW)
+        assert verdict.aliased
+        assert verdict.responses == verdict.probes
+
+    def test_normal_slash64_not_aliased(self, scan_world):
+        normal = next(
+            p for p in scan_world.profiles.values()
+            if not p.aliased and not p.cellular
+        )
+        prefix = Prefix(normal.customer_block.network, 64)
+        detector = AliasDetector(scan_world, seed=2)
+        verdict = detector.check(prefix, NOW)
+        assert not verdict.aliased
+
+    def test_detect_many(self, scan_world):
+        aliased = next(p for p in scan_world.profiles.values() if p.aliased)
+        normal = next(
+            p for p in scan_world.profiles.values()
+            if not p.aliased and not p.cellular
+        )
+        prefixes = [aliased.customer_block, Prefix(normal.customer_block.network, 64)]
+        detector = AliasDetector(scan_world, seed=3)
+        result = detector.aliased_prefixes(prefixes, NOW)
+        assert result == {aliased.customer_block}
+
+    def test_threshold_validation(self, scan_world):
+        with pytest.raises(ValueError):
+            AliasDetector(scan_world, probes_per_prefix=0)
+        with pytest.raises(ValueError):
+            AliasDetector(scan_world, threshold=0.0)
+        with pytest.raises(ValueError):
+            AliasDetector(scan_world, threshold=1.5)
+
+    def test_deterministic(self, scan_world):
+        aliased = next(p for p in scan_world.profiles.values() if p.aliased)
+        a = AliasDetector(scan_world, seed=9).check(aliased.customer_block, NOW)
+        b = AliasDetector(scan_world, seed=9).check(aliased.customer_block, NOW)
+        assert a == b
+
+
+class TestFilterAliased:
+    def test_drops_covered(self):
+        aliased = [parse_prefix("2001:db8::/32")]
+        addresses = [
+            (0x20010DB8 << 96) | 1,   # inside
+            (0x20010DB9 << 96) | 1,   # outside
+        ]
+        kept = filter_aliased(addresses, aliased)
+        assert kept == [(0x20010DB9 << 96) | 1]
+
+    def test_empty_alias_list_keeps_all(self):
+        addresses = [1, 2, 3]
+        assert filter_aliased(addresses, []) == addresses

@@ -1,0 +1,107 @@
+"""Tests for repro.cli — the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import load_corpus
+from repro.core.corpus import AddressCorpus
+from repro.core.storage import save_corpus
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_study_defaults(self):
+        args = build_parser().parse_args(["study"])
+        assert args.seed == 7
+        assert args.weeks == 31
+        assert args.scale == "tiny"
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study", "--scale", "galactic"])
+
+    def test_release_args(self):
+        args = build_parser().parse_args(
+            ["release", "c.bin", "--output", "out.csv"]
+        )
+        assert args.corpus == "c.bin"
+        assert args.output == "out.csv"
+
+
+@pytest.fixture(scope="module")
+def study_dir(tmp_path_factory):
+    output = tmp_path_factory.mktemp("cli-study")
+    code = main(
+        [
+            "study",
+            "--seed", "3",
+            "--weeks", "10",
+            "--scale", "tiny",
+            "--output-dir", str(output),
+        ]
+    )
+    assert code == 0
+    return output
+
+
+class TestStudyCommand:
+    def test_saves_three_corpora(self, study_dir):
+        names = sorted(path.name for path in study_dir.iterdir())
+        assert names == [
+            "caida-routed-48.corpus.bin",
+            "ipv6-hitlist.corpus.bin",
+            "ntp-pool.corpus.bin",
+        ]
+
+    def test_saved_corpora_load(self, study_dir):
+        corpus = load_corpus(study_dir / "ntp-pool.corpus.bin")
+        assert corpus.name == "ntp-pool"
+        assert len(corpus) > 0
+
+    def test_prints_table(self, study_dir, capsys):
+        # The fixture already ran; re-run quickly to capture output.
+        main(
+            [
+                "study", "--seed", "3", "--weeks", "10",
+                "--scale", "tiny", "--output-dir", str(study_dir),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "ntp-pool" in out
+        assert "Table 1" in out
+
+
+class TestAnalyzeCommand:
+    def test_analyze_saved_corpus(self, study_dir, capsys):
+        code = main(["analyze", str(study_dir / "ntp-pool.corpus.bin")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "seen once" in out
+        assert "EUI-64" in out
+
+
+class TestReleaseCommand:
+    def test_release_roundtrip(self, study_dir, tmp_path, capsys):
+        output = tmp_path / "release.csv"
+        code = main(
+            [
+                "release",
+                str(study_dir / "ntp-pool.corpus.bin"),
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        text = output.read_text()
+        assert "prefix,addresses" in text
+        assert "/48," in text
+
+    def test_release_empty_corpus(self, tmp_path, capsys):
+        empty = tmp_path / "empty.corpus.bin"
+        save_corpus(AddressCorpus("empty"), empty)
+        output = tmp_path / "release.csv"
+        code = main(["release", str(empty), "--output", str(output)])
+        assert code == 0
+        assert "prefix,addresses" in output.read_text()

@@ -1,0 +1,116 @@
+"""Failure injection and fuzzing across trust boundaries.
+
+Everything that parses bytes off the wire or answers arbitrary-address
+queries must be total: either a well-formed result or a clean
+``ValueError`` — never a crash, never an amplification.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.addr import ipv6
+from repro.ntp.dhcp import parse_fqdn, parse_ntp_option
+from repro.ntp.packet import Mode, NTPPacket
+from repro.ntp.server import StratumTwoServer
+from repro.world import CAMPAIGN_EPOCH, WorldConfig, build_world
+
+SERVER = StratumTwoServer(ipv6.parse("2001:db8::53"), "US")
+CLIENT = ipv6.parse("2001:db8::c1")
+
+
+class TestNTPServerFuzz:
+    @given(st.binary(max_size=96))
+    def test_never_crashes_on_garbage(self, data):
+        SERVER.handle_datagram(data, CLIENT, 1000.0)
+
+    @given(st.binary(min_size=48, max_size=48))
+    def test_responds_only_to_client_mode(self, data):
+        response = SERVER.handle_datagram(data, CLIENT, 1000.0)
+        if response is not None:
+            request = NTPPacket.parse(data)
+            assert request.is_valid_request()
+
+    @given(st.binary(min_size=48, max_size=48))
+    def test_response_is_never_larger_than_request(self, data):
+        # No amplification: a 48-byte query gets a 48-byte answer.
+        response = SERVER.handle_datagram(data, CLIENT, 1000.0)
+        if response is not None:
+            assert len(response) <= len(data)
+
+    @given(st.binary(min_size=48, max_size=48))
+    def test_response_parses_and_echoes_origin(self, data):
+        response = SERVER.handle_datagram(data, CLIENT, 1000.0)
+        if response is not None:
+            parsed = NTPPacket.parse(response)
+            request = NTPPacket.parse(data)
+            assert parsed.mode is Mode.SERVER
+            assert parsed.origin_timestamp == request.transmit_timestamp
+
+
+class TestDHCPv6Fuzz:
+    @given(st.binary(max_size=128))
+    def test_option_parser_total(self, data):
+        try:
+            suboptions = parse_ntp_option(data)
+        except ValueError:
+            return
+        assert suboptions  # success implies at least one suboption
+
+    @given(st.binary(max_size=64))
+    def test_fqdn_parser_total(self, data):
+        try:
+            name = parse_fqdn(data)
+        except (ValueError, UnicodeDecodeError):
+            return
+        assert name
+
+
+class TestPacketParserFuzz:
+    @given(st.binary(min_size=48, max_size=96))
+    def test_ntp_parse_total(self, data):
+        # Either a clean rejection (e.g. version 0 on the wire) or a
+        # packet that re-serializes to the same 48 bytes.
+        try:
+            packet = NTPPacket.parse(data)
+        except ValueError:
+            return
+        assert packet.pack() == data[:48]
+
+    @given(st.binary(max_size=47))
+    def test_short_datagrams_rejected(self, data):
+        with pytest.raises(ValueError):
+            NTPPacket.parse(data)
+
+
+@pytest.fixture(scope="module")
+def fuzz_world():
+    return build_world(
+        WorldConfig(
+            seed=71,
+            n_fixed_ases=6,
+            n_cellular_ases=4,
+            n_hosting_ases=4,
+            n_home_networks=40,
+            n_cellular_subscribers=20,
+            n_hosting_networks=6,
+        )
+    )
+
+
+class TestProbeOracleFuzz:
+    @settings(suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(
+        st.integers(min_value=0, max_value=(1 << 128) - 1),
+        st.floats(min_value=0, max_value=CAMPAIGN_EPOCH + 1e8),
+    )
+    def test_oracle_total_and_routed_only(self, fuzz_world, address, when):
+        response = fuzz_world.probe(address, when)
+        if response is not None:
+            assert fuzz_world.ipv6_origin_asn(address) == response.asn
+
+    @settings(suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_country_lookup_total(self, fuzz_world, address):
+        country = fuzz_world.country_of(address)
+        assert country is None or len(country) == 2

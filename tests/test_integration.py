@@ -1,0 +1,180 @@
+"""Cross-module integration invariants over one full study.
+
+These tests assert relationships *between* subsystems that no unit test
+can see: corpus contents versus world ground truth, hitlist snapshots
+versus the probe oracle, tracking verdicts versus the device population,
+and geolocation hits versus the wardriving database.
+"""
+
+import pytest
+
+from repro.addr.eui64 import extract_mac
+from repro.addr.ipv6 import iid_of, slash48_of
+from repro.core import StudyConfig, run_study
+from repro.geo import geolocate_corpus
+from repro.core.tracking import analyze_tracking
+from repro.world import CAMPAIGN_EPOCH, WEEK, WorldConfig, build_world
+from repro.world.strategies import StrategyKind
+
+
+@pytest.fixture(scope="module")
+def integration():
+    world = build_world(
+        WorldConfig(
+            seed=99,
+            n_fixed_ases=12,
+            n_cellular_ases=4,
+            n_hosting_ases=4,
+            n_home_networks=200,
+            n_cellular_subscribers=100,
+            n_hosting_networks=15,
+        )
+    )
+    study = run_study(
+        world, StudyConfig(start=CAMPAIGN_EPOCH, weeks=12, seed=99)
+    )
+    return world, study
+
+
+class TestCorpusWorldConsistency:
+    def test_every_ntp_address_is_routed_client_space(self, integration):
+        world, study = integration
+        for address in study.ntp.addresses():
+            asn = world.ipv6_origin_asn(address)
+            assert asn is not None
+            profile = world.profiles[asn]
+            assert profile.customer_block.contains(address)
+
+    def test_vantage_addresses_never_in_corpus(self, integration):
+        world, study = integration
+        vantage_addresses = {v.address for v in world.vantages}
+        assert not vantage_addresses & set(study.ntp.addresses())
+
+    def test_observation_times_inside_campaign(self, integration):
+        world, study = integration
+        start = study.campaign.config.start
+        end = study.campaign.config.end
+        for _, (first, last, _) in study.ntp.items():
+            assert start <= first <= last < end
+
+    def test_corpus_addresses_were_really_held(self, integration):
+        # Every observed address must be reconstructible as some
+        # device's address at its first sighting time.
+        world, study = integration
+        sample = sorted(study.ntp.addresses())[:300]
+        for address in sample:
+            when = study.ntp.first_seen(address)
+            asn = world.ipv6_origin_asn(address)
+            profile = world.profiles[asn]
+            located = profile.delegation.locate(address, when)
+            assert located is not None
+            network = world._by_slot[asn][located]
+            holder = network.holder_of(address, when)
+            assert holder is not None
+            assert holder.uses_pool
+
+
+class TestHitlistWorldConsistency:
+    def test_snapshot_addresses_respond_at_snapshot_time(self, integration):
+        world, study = integration
+        for snapshot in study.hitlist_service.snapshots[:3]:
+            for address in sorted(snapshot.responsive)[:100]:
+                assert world.is_responsive(address, snapshot.when)
+
+    def test_alias_list_matches_world_truth(self, integration):
+        world, study = integration
+        for prefix in study.hitlist_service.aliased_prefixes:
+            asn = world.routing.origin_asn(prefix.network)
+            assert world.profiles[asn].aliased
+
+    def test_no_aliased_addresses_in_published_list(self, integration):
+        world, study = integration
+        service = study.hitlist_service
+        for address in study.hitlist.addresses():
+            assert not service.is_aliased(address)
+
+
+class TestTrackingWorldConsistency:
+    def test_tracked_macs_belong_to_eui64_devices(self, integration):
+        world, study = integration
+        report = analyze_tracking(
+            study.ntp, world.ipv6_origin_asn, world.country_of
+        )
+        device_macs = {
+            device.mac
+            for device in world.iter_devices()
+            if device.strategy.kind is StrategyKind.EUI64
+        }
+        for mac in report.tracks:
+            assert mac in device_macs
+
+    def test_reused_macs_classified_as_reuse_or_static(self, integration):
+        world, study = integration
+        report = analyze_tracking(
+            study.ntp, world.ipv6_origin_asn, world.country_of
+        )
+        for mac in world.reused_macs:
+            track = report.tracks.get(mac)
+            if track is None or not track.multi_slash64:
+                continue
+            # A reused MAC seen in several countries must classify as
+            # MAC_REUSE; if only one of its devices was captured it can
+            # degrade to a same-AS class, never to USER_MOVEMENT with
+            # multiple countries.
+            if len(track.countries) > 1:
+                assert track.classify().value == "likely_mac_reuse"
+
+
+class TestGeolocationWorldConsistency:
+    def test_geolocated_macs_are_real_ap_devices(self, integration):
+        world, study = integration
+        report = geolocate_corpus(
+            list(study.ntp.eui64_addresses()), world.bssid_db, min_pairs=8
+        )
+        device_by_mac = {
+            device.mac: device for device in world.iter_devices()
+        }
+        for located in report.located:
+            device = device_by_mac.get(located.mac)
+            # A genuine hit is a device whose BSSID we inserted; the
+            # geolocation must match the wardriving record exactly.
+            if device is not None and device.wifi_bssid == located.bssid:
+                assert world.bssid_db.lookup(located.bssid) == located.point
+
+    def test_release_covers_exactly_corpus_48s(self, integration):
+        from repro.core import build_release
+
+        world, study = integration
+        artifact = build_release(study.ntp)
+        assert set(artifact.prefix_counts) == {
+            slash48_of(address) for address in study.ntp.addresses()
+        }
+
+
+class TestDatasetDisjointness:
+    def test_caida_is_infrastructure_flavoured(self, integration):
+        world, study = integration
+        # CAIDA's discoveries are routers, ::1 hosts or aliased space —
+        # never high-entropy client addresses.
+        from repro.addr.entropy import normalized_iid_entropy
+
+        high = sum(
+            1
+            for address in study.caida.addresses()
+            if normalized_iid_entropy(iid_of(address)) >= 0.75
+            and not world.profiles[
+                world.ipv6_origin_asn(address)
+            ].aliased
+        )
+        assert high / max(1, len(study.caida)) < 0.05
+
+    def test_eui64_never_in_caida(self, integration):
+        # Traceroute targets are ::1 addresses; EUI-64 can only enter
+        # via router interfaces, which are low-byte by construction.
+        world, study = integration
+        eui = [
+            address
+            for address in study.caida.addresses()
+            if extract_mac(address) is not None
+        ]
+        assert len(eui) / max(1, len(study.caida)) < 0.01

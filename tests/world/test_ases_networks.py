@@ -1,0 +1,243 @@
+"""Tests for repro.world.ases and repro.world.networks."""
+
+import pytest
+
+from repro.net.asn import ASCategory, ASRecord, ISPSubtype
+from repro.net.prefixes import Prefix, parse_prefix
+from repro.ntp.client import OperatingSystem
+from repro.world.ases import ASProfile, PrefixDelegation
+from repro.world.clock import DAY
+from repro.world.devices import Device, DeviceType
+from repro.world.networks import CustomerNetwork
+from repro.world.strategies import LowByteStrategy, PrivacyExtensionsStrategy
+
+BLOCK = parse_prefix("2a00::/40")
+
+
+def make_delegation(rotating=4, static=4, interval=DAY, **overrides):
+    kwargs = dict(
+        customer_block=BLOCK,
+        delegated_length=56,
+        rotating_count=rotating,
+        static_count=static,
+        rotation_interval=interval,
+        root_seed=1,
+        asn=64500,
+    )
+    kwargs.update(overrides)
+    return PrefixDelegation(**kwargs)
+
+
+def make_profile(delegation=None, **overrides):
+    record = ASRecord(
+        asn=64500, name="TestNet", country="US",
+        category=ASCategory.ISP, subtype=ISPSubtype.FIXED_LINE,
+    )
+    kwargs = dict(
+        record=record,
+        customer_block=BLOCK,
+        delegation=delegation or make_delegation(),
+        infra_prefix=parse_prefix("2b00::/48"),
+    )
+    kwargs.update(overrides)
+    return ASProfile(**kwargs)
+
+
+def make_device(device_id=1, strategy=None, **overrides):
+    kwargs = dict(
+        device_id=device_id,
+        device_type=DeviceType.LAPTOP,
+        os_family=OperatingSystem.LINUX_UBUNTU,
+        strategy=strategy or LowByteStrategy(9),
+        root_seed=1,
+    )
+    kwargs.update(overrides)
+    return Device(**kwargs)
+
+
+class TestPrefixDelegation:
+    def test_static_customer_is_stable(self):
+        delegation = make_delegation()
+        a = delegation.delegated_base(2, False, 0.0)
+        b = delegation.delegated_base(2, False, 100 * DAY)
+        assert a == b
+
+    def test_rotating_customer_changes_per_epoch(self):
+        delegation = make_delegation()
+        a = delegation.delegated_base(0, True, 0.0)
+        b = delegation.delegated_base(0, True, DAY + 1)
+        assert a != b
+
+    def test_within_epoch_stable(self):
+        delegation = make_delegation()
+        a = delegation.delegated_base(0, True, 10.0)
+        b = delegation.delegated_base(0, True, DAY - 10.0)
+        assert a == b
+
+    def test_all_prefixes_inside_block(self):
+        delegation = make_delegation()
+        for epoch in range(5):
+            for index in range(4):
+                base = delegation.delegated_base(index, True, epoch * DAY)
+                assert BLOCK.contains(base)
+
+    def test_no_collisions_within_epoch(self):
+        delegation = make_delegation(rotating=8, static=8)
+        when = 5 * DAY
+        bases = [delegation.delegated_base(i, True, when) for i in range(8)]
+        bases += [delegation.delegated_base(i, False, when) for i in range(8)]
+        assert len(set(bases)) == 16
+
+    def test_locate_inverts_rotating(self):
+        delegation = make_delegation(rotating=8)
+        for when in (0.0, 3 * DAY + 7, 100 * DAY):
+            for index in range(8):
+                base = delegation.delegated_base(index, True, when)
+                assert delegation.locate(base + 12345, when) == (index, True)
+
+    def test_locate_inverts_static(self):
+        delegation = make_delegation(static=8)
+        for index in range(8):
+            base = delegation.delegated_base(index, False, 17.0)
+            assert delegation.locate(base + 1, 99 * DAY) == (index, False)
+
+    def test_locate_unallocated_slot(self):
+        delegation = make_delegation(rotating=1, static=1)
+        # The very top slot of the static half is unallocated.
+        top = BLOCK.network | ((1 << 16) - 1) << 72
+        assert delegation.locate(top, 0.0) is None
+
+    def test_locate_outside_block_rejected(self):
+        delegation = make_delegation()
+        with pytest.raises(ValueError):
+            delegation.locate(parse_prefix("3000::/40").network, 0.0)
+
+    def test_delegated_prefix_object(self):
+        delegation = make_delegation()
+        prefix = delegation.delegated_prefix(0, False, 0.0)
+        assert prefix.length == 56
+        assert BLOCK.contains_prefix(prefix)
+
+    def test_rejects_overfull(self):
+        with pytest.raises(ValueError):
+            make_delegation(rotating=1 << 16)
+        with pytest.raises(ValueError):
+            make_delegation(static=(1 << 15) + 1)
+
+    def test_rejects_rotation_without_interval(self):
+        with pytest.raises(ValueError):
+            make_delegation(rotating=2, interval=None)
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            make_delegation(delegated_length=40)
+        with pytest.raises(ValueError):
+            make_delegation(delegated_length=65)
+
+    def test_static_only_needs_no_interval(self):
+        delegation = make_delegation(rotating=0, interval=None)
+        assert delegation.locate(
+            delegation.delegated_base(0, False, 0.0), 0.0
+        ) == (0, False)
+
+    def test_bijection_over_epochs(self):
+        # Rotation must remain a bijection at every epoch.
+        delegation = make_delegation(rotating=16)
+        for epoch in range(10):
+            when = epoch * DAY + 1
+            slots = {
+                delegation.delegated_base(i, True, when) for i in range(16)
+            }
+            assert len(slots) == 16
+
+
+class TestASProfile:
+    def test_owns(self):
+        profile = make_profile()
+        assert profile.owns(BLOCK.network | 5)
+        assert profile.owns(parse_prefix("2b00::/48").network | 1)
+        assert not profile.owns(parse_prefix("3000::/4").network | 1)
+
+    def test_owns_without_infra(self):
+        profile = make_profile(infra_prefix=None)
+        assert not profile.owns(parse_prefix("2b00::/48").network | 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_profile(firewall_probability=1.5)
+        with pytest.raises(ValueError):
+            make_profile(infra_prefix=parse_prefix("2b00::/64"))
+
+    def test_asn_country_shortcuts(self):
+        profile = make_profile()
+        assert profile.asn == 64500
+        assert profile.country == "US"
+
+
+class TestCustomerNetwork:
+    def _network(self, rotating=False, firewalled=False):
+        profile = make_profile()
+        return CustomerNetwork(
+            network_id=1, profile=profile, customer_index=0,
+            rotating=rotating, firewalled=firewalled,
+        )
+
+    def test_attach_sets_home(self):
+        network = self._network()
+        device = make_device()
+        network.attach(device)
+        assert device.home_network_id == 1
+        assert network.devices == [device]
+
+    def test_attach_visitor_keeps_home(self):
+        network = self._network()
+        device = make_device()
+        device.home_network_id = 99
+        network.attach(device, home=False)
+        assert device.home_network_id == 99
+
+    def test_device_address_composition(self):
+        network = self._network()
+        device = make_device(subnet_index=3)
+        network.attach(device)
+        address = network.device_address(device, 0.0)
+        base = network.delegated_base(0.0)
+        assert address == base | (3 << 64) | 9
+
+    def test_subnet_wraps_into_delegation(self):
+        network = self._network()
+        device = make_device(subnet_index=256)  # /56 has 256 subnets: 0-255
+        network.attach(device)
+        # 256 wraps to subnet 0 of the /56.
+        assert network.prefix64_for(device, 0.0) == network.delegated_base(0.0)
+
+    def test_holder_of_finds_device(self):
+        network = self._network()
+        device = make_device()
+        network.attach(device)
+        address = network.device_address(device, 5.0)
+        assert network.holder_of(address, 5.0) is device
+
+    def test_holder_of_misses_rotated_address(self):
+        profile = make_profile()
+        network = CustomerNetwork(1, profile, 0, rotating=True)
+        strategy = PrivacyExtensionsStrategy(1, 42, rotation_interval=DAY)
+        device = make_device(strategy=strategy)
+        network.attach(device)
+        address = network.device_address(device, 0.0)
+        # Two days later both the prefix and the IID have moved on.
+        assert network.holder_of(address, 2 * DAY) is None
+
+    def test_present_devices_respects_mobility(self):
+        from repro.world.mobility import StaticPlan
+
+        network = self._network()
+        device = make_device()
+        network.attach(device)
+        device.mobility_plan = StaticPlan(999)  # device is elsewhere
+        assert list(network.present_devices(0.0)) == []
+        assert network.holder_of(network.device_address(device, 0.0), 0.0) is None
+
+    def test_repr(self):
+        network = self._network()
+        assert "AS64500" in repr(network)

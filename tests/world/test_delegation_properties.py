@@ -1,0 +1,95 @@
+"""Property-based tests for the prefix-delegation scheme.
+
+The rotation scheme is the foundation the probe oracle stands on: if the
+customer↔slot mapping ever stopped being a bijection, two customers
+would silently share a prefix and every downstream analysis would be
+corrupt.  These tests let hypothesis hunt for parameter combinations
+that break it.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.prefixes import Prefix
+from repro.world.ases import PrefixDelegation
+from repro.world.clock import DAY
+
+BLOCK = Prefix(0x2A << 120, 40)
+
+
+@st.composite
+def delegations(draw):
+    delegated_length = draw(st.sampled_from([48, 52, 56, 60, 64]))
+    capacity = 1 << (delegated_length - BLOCK.length)
+    rotating = draw(st.integers(min_value=0, max_value=min(64, capacity // 2)))
+    static = draw(
+        st.integers(min_value=0, max_value=min(64, capacity - capacity // 2))
+    )
+    interval = draw(st.sampled_from([0.5 * DAY, DAY, 7 * DAY, 45 * DAY]))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return PrefixDelegation(
+        customer_block=BLOCK,
+        delegated_length=delegated_length,
+        rotating_count=rotating,
+        static_count=static,
+        rotation_interval=interval if rotating else None,
+        root_seed=seed,
+        asn=64500,
+    )
+
+
+times = st.floats(min_value=0, max_value=400 * DAY)
+
+
+class TestDelegationProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(delegations(), times, st.data())
+    def test_locate_inverts_delegation(self, delegation, when, data):
+        total = delegation.rotating_count + delegation.static_count
+        if total == 0:
+            return
+        index = data.draw(st.integers(min_value=0, max_value=total - 1))
+        if index < delegation.rotating_count:
+            customer, rotating = index, True
+        else:
+            customer, rotating = index - delegation.rotating_count, False
+        base = delegation.delegated_base(customer, rotating, when)
+        assert BLOCK.contains(base)
+        assert delegation.locate(base, when) == (customer, rotating)
+        # Any address inside the delegated prefix locates identically.
+        host_bits = 128 - delegation.delegated_length
+        offset = data.draw(
+            st.integers(min_value=0, max_value=(1 << host_bits) - 1)
+        )
+        assert delegation.locate(base | offset, when) == (customer, rotating)
+
+    @settings(max_examples=100, deadline=None)
+    @given(delegations(), times)
+    def test_no_collisions_at_any_instant(self, delegation, when):
+        bases = set()
+        for index in range(delegation.rotating_count):
+            bases.add(delegation.delegated_base(index, True, when))
+        for index in range(delegation.static_count):
+            bases.add(delegation.delegated_base(index, False, when))
+        assert len(bases) == delegation.rotating_count + delegation.static_count
+
+    @settings(max_examples=100, deadline=None)
+    @given(delegations(), times)
+    def test_static_customers_never_move(self, delegation, when):
+        for index in range(min(4, delegation.static_count)):
+            assert delegation.delegated_base(
+                index, False, 0.0
+            ) == delegation.delegated_base(index, False, when)
+
+    @settings(max_examples=100, deadline=None)
+    @given(delegations(), st.integers(min_value=0, max_value=1000))
+    def test_rotation_epoch_stability(self, delegation, epoch):
+        if delegation.rotating_count == 0:
+            return
+        interval = delegation.rotation_interval
+        early = epoch * interval + 0.001 * interval
+        late = (epoch + 1) * interval - 0.001 * interval
+        for index in range(min(4, delegation.rotating_count)):
+            assert delegation.delegated_base(
+                index, True, early
+            ) == delegation.delegated_base(index, True, late)

@@ -1,0 +1,168 @@
+"""Tests for repro.world.devices and repro.world.mobility."""
+
+import pytest
+
+from repro.ntp.client import OperatingSystem, TimeSource
+from repro.world.clock import DAY, HOUR
+from repro.world.devices import Device, DeviceType
+from repro.world.mobility import CommuterPlan, ProviderChangePlan, StaticPlan
+from repro.world.strategies import LowByteStrategy
+
+
+def make_device(**overrides):
+    kwargs = dict(
+        device_id=1,
+        device_type=DeviceType.LAPTOP,
+        os_family=OperatingSystem.LINUX_UBUNTU,
+        strategy=LowByteStrategy(5),
+        root_seed=7,
+    )
+    kwargs.update(overrides)
+    return Device(**kwargs)
+
+
+class TestDeviceType:
+    def test_infrastructure_flags(self):
+        assert DeviceType.SERVER.is_infrastructure
+        assert DeviceType.CPE_ROUTER.is_infrastructure
+        assert not DeviceType.SMARTPHONE.is_infrastructure
+
+    def test_mobile_flag(self):
+        assert DeviceType.SMARTPHONE.is_mobile
+        assert not DeviceType.IOT.is_mobile
+
+
+class TestDevice:
+    def test_time_source_from_os(self):
+        device = make_device(os_family=OperatingSystem.WINDOWS)
+        assert device.time_source is TimeSource.TIME_WINDOWS
+        assert not device.uses_pool
+
+    def test_pool_user(self):
+        device = make_device(os_family=OperatingSystem.IOT_GENERIC)
+        assert device.uses_pool
+
+    def test_dhcp_override(self):
+        device = make_device(
+            os_family=OperatingSystem.WINDOWS,
+            dhcp_time_source=TimeSource.POOL,
+        )
+        assert device.uses_pool
+
+    def test_address_composition(self):
+        device = make_device()
+        prefix = 0x20010DB8 << 96
+        assert device.address_at(0.0, prefix) == prefix | 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_device(queries_per_day=-1)
+        with pytest.raises(ValueError):
+            make_device(subnet_index=-1)
+
+    def test_query_counts_deterministic(self):
+        a = make_device()
+        b = make_device()
+        assert [a.query_count_on(day) for day in range(10)] == [
+            b.query_count_on(day) for day in range(10)
+        ]
+
+    def test_query_counts_near_rate(self):
+        device = make_device(queries_per_day=4.0)
+        total = sum(device.query_count_on(day) for day in range(300))
+        assert 3.0 < total / 300 < 5.0
+
+    def test_zero_rate_never_queries(self):
+        device = make_device(queries_per_day=0.0)
+        assert all(device.query_count_on(day) == 0 for day in range(30))
+        assert device.query_offsets_on(0) == []
+
+    def test_query_offsets_sorted_in_day(self):
+        device = make_device(queries_per_day=6.0)
+        for day in range(20):
+            offsets = device.query_offsets_on(day)
+            assert offsets == sorted(offsets)
+            assert all(0.0 <= offset < DAY for offset in offsets)
+            assert len(offsets) == device.query_count_on(day)
+
+    def test_current_network_defaults_to_home(self):
+        device = make_device()
+        device.home_network_id = 12
+        assert device.current_network_id(0.0) == 12
+
+    def test_current_network_uses_plan(self):
+        device = make_device()
+        device.home_network_id = 12
+        device.mobility_plan = StaticPlan(34)
+        assert device.current_network_id(0.0) == 34
+
+    def test_no_home_returns_none(self):
+        assert make_device().current_network_id(0.0) is None
+
+
+class TestStaticPlan:
+    def test_constant(self):
+        plan = StaticPlan(5)
+        assert plan.network_id_at(0.0) == 5
+        assert plan.network_id_at(1e9) == 5
+        assert plan.networks() == (5,)
+
+
+class TestProviderChangePlan:
+    def test_switches_once(self):
+        plan = ProviderChangePlan(1, 2, switch_time=100.0)
+        assert plan.network_id_at(99.9) == 1
+        assert plan.network_id_at(100.0) == 2
+        assert plan.network_id_at(1e9) == 2
+        assert plan.networks() == (1, 2)
+        assert plan.switch_time == 100.0
+
+    def test_rejects_no_change(self):
+        with pytest.raises(ValueError):
+            ProviderChangePlan(1, 1, 0.0)
+
+
+class TestCommuterPlan:
+    def _plan(self, away=0.4):
+        return CommuterPlan(
+            home_id=1, cellular_id=2, root_seed=3, device_key=9,
+            away_probability=away,
+        )
+
+    def test_oscillates(self):
+        plan = self._plan()
+        seen = {plan.network_id_at(block * 6 * HOUR) for block in range(200)}
+        assert seen == {1, 2}
+
+    def test_stable_within_block(self):
+        plan = self._plan()
+        assert plan.network_id_at(10.0) == plan.network_id_at(6 * HOUR - 10.0)
+
+    def test_away_fraction_tracks_probability(self):
+        plan = self._plan(away=0.3)
+        blocks = 2000
+        away = sum(
+            plan.network_id_at(block * 6 * HOUR) == 2 for block in range(blocks)
+        )
+        assert abs(away / blocks - 0.3) < 0.05
+
+    def test_extremes(self):
+        always_home = self._plan(away=0.0)
+        assert all(
+            always_home.network_id_at(b * 6 * HOUR) == 1 for b in range(50)
+        )
+        always_away = self._plan(away=1.0)
+        assert all(
+            always_away.network_id_at(b * 6 * HOUR) == 2 for b in range(50)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CommuterPlan(1, 1, 0, 0)
+        with pytest.raises(ValueError):
+            CommuterPlan(1, 2, 0, 0, away_probability=1.5)
+        with pytest.raises(ValueError):
+            CommuterPlan(1, 2, 0, 0, block_seconds=0.0)
+
+    def test_networks(self):
+        assert self._plan().networks() == (1, 2)

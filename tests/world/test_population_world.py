@@ -1,0 +1,322 @@
+"""Tests for repro.world.population and repro.world.world (integration)."""
+
+import pytest
+
+from repro.addr.eui64 import extract_mac
+from repro.net.asn import ISPSubtype
+from repro.world import (
+    CAMPAIGN_EPOCH,
+    DAY,
+    DeviceType,
+    ResponderKind,
+    StrategyKind,
+    WorldConfig,
+    build_world,
+)
+
+NOW = CAMPAIGN_EPOCH + 2 * 3600.0
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        seed=11,
+        n_fixed_ases=8,
+        n_cellular_ases=4,
+        n_hosting_ases=4,
+        n_home_networks=60,
+        n_cellular_subscribers=40,
+        n_hosting_networks=8,
+    )
+    defaults.update(overrides)
+    return WorldConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(tiny_config())
+
+
+class TestBuildDeterminism:
+    def test_same_seed_same_world(self):
+        a = build_world(tiny_config())
+        b = build_world(tiny_config())
+        assert a.stats() == b.stats()
+        time = NOW + 3 * DAY
+        for device_id in list(a.devices)[:50]:
+            assert a.device_address(
+                a.devices[device_id], time
+            ) == b.device_address(b.devices[device_id], time)
+
+    def test_different_seed_differs(self):
+        a = build_world(tiny_config(seed=1))
+        b = build_world(tiny_config(seed=2))
+        addresses_a = {
+            a.device_address(d, NOW) for d in list(a.iter_devices())[:50]
+        }
+        addresses_b = {
+            b.device_address(d, NOW) for d in list(b.iter_devices())[:50]
+        }
+        assert addresses_a != addresses_b
+
+
+class TestInventory(object):
+    def test_as_counts(self, world):
+        config = world.config
+        assert len(world.profiles) == (
+            config.n_fixed_ases + config.n_cellular_ases + config.n_hosting_ases
+        )
+
+    def test_vantage_plan_honored(self, world):
+        assert len(world.vantages) == 27
+        countries = {vantage.country for vantage in world.vantages}
+        assert len(countries) == 20
+
+    def test_vantage_addresses_unique_and_routed(self, world):
+        addresses = [vantage.address for vantage in world.vantages]
+        assert len(set(addresses)) == len(addresses)
+        for vantage in world.vantages:
+            assert world.ipv6_origin_asn(vantage.address) == vantage.asn
+
+    def test_cellular_ases_are_phone_providers(self, world):
+        cellular = [
+            profile for profile in world.profiles.values() if profile.cellular
+        ]
+        assert cellular
+        for profile in cellular:
+            assert profile.record.subtype is ISPSubtype.PHONE_PROVIDER
+
+    def test_every_network_has_devices(self, world):
+        for network in world.networks.values():
+            assert network.devices, repr(network)
+
+    def test_home_networks_have_cpe(self, world):
+        hosting = {
+            profile.asn
+            for profile in world.profiles.values()
+            if profile.record.subtype is ISPSubtype.HOSTING
+        }
+        for network in world.networks.values():
+            if network.profile.cellular or network.asn in hosting:
+                continue
+            types = [device.device_type for device in network.devices]
+            # Twin networks for movers hold a single non-CPE device.
+            if DeviceType.CPE_ROUTER not in types:
+                assert len(network.devices) == 1
+            else:
+                assert types.count(DeviceType.CPE_ROUTER) == 1
+
+    def test_strategy_diversity(self, world):
+        kinds = {
+            device.strategy.kind for device in world.iter_devices()
+        }
+        assert StrategyKind.PRIVACY in kinds
+        assert StrategyKind.EUI64 in kinds
+        assert StrategyKind.LOW_BYTE in kinds
+
+    def test_devices_have_macs(self, world):
+        assert all(device.mac is not None for device in world.iter_devices())
+
+
+class TestAddressing:
+    def test_addresses_are_routed_to_home_as(self, world):
+        for device in list(world.iter_devices())[:200]:
+            network = world.device_network(device, NOW)
+            address = world.device_address(device, NOW)
+            assert world.ipv6_origin_asn(address) == network.asn
+
+    def test_eui64_devices_expose_mac(self, world):
+        eui64_devices = [
+            device
+            for device in world.iter_devices()
+            if device.strategy.kind is StrategyKind.EUI64
+        ]
+        assert eui64_devices
+        for device in eui64_devices[:50]:
+            address = world.device_address(device, NOW)
+            assert extract_mac(address) == device.mac
+
+    def test_country_of_matches_as(self, world):
+        for device in list(world.iter_devices())[:100]:
+            network = world.device_network(device, NOW)
+            address = world.device_address(device, NOW)
+            assert world.country_of(address) == network.country
+
+    def test_rotation_changes_address(self, world):
+        rotating = [
+            network
+            for network in world.networks.values()
+            if network.rotating and network.devices
+        ]
+        assert rotating
+        network = rotating[0]
+        device = network.devices[0]
+        interval = network.profile.delegation.rotation_interval
+        base_now = network.delegated_base(NOW)
+        base_later = network.delegated_base(NOW + 2 * interval)
+        assert base_now != base_later
+
+
+class TestProbeOracle:
+    def test_unrouted_address_silent(self, world):
+        assert world.probe(0x20010DB8 << 96, NOW) is None
+
+    def test_router_interfaces_respond(self, world):
+        addresses = sorted(world.router_addresses)[:20]
+        assert addresses
+        for address in addresses:
+            response = world.probe(address, NOW)
+            assert response is not None
+            assert response.kind is ResponderKind.ROUTER
+
+    def test_infra_non_interface_silent(self, world):
+        profile = next(
+            p for p in world.profiles.values() if p.infra_prefix is not None
+        )
+        address = profile.infra_prefix.network | 0xDEAD
+        if address not in world.router_addresses:
+            assert world.probe(address, NOW) is None
+
+    def test_aliased_as_answers_everything(self, world):
+        aliased = [p for p in world.profiles.values() if p.aliased]
+        assert aliased
+        profile = aliased[0]
+        for offset in (1, 12345, 0xDEADBEEF):
+            response = world.probe(profile.customer_block.network | offset, NOW)
+            assert response is not None
+            assert response.kind is ResponderKind.ALIAS
+
+    def test_live_unfirewalled_device_responds(self, world):
+        for network in world.networks.values():
+            if network.firewalled or network.profile.aliased:
+                continue
+            for device in network.present_devices(NOW):
+                address = network.device_address(device, NOW)
+                response = world.probe(address, NOW)
+                assert response is not None
+                assert response.device is device
+                return
+        pytest.skip("no unfirewalled populated network in tiny world")
+
+    def test_firewalled_client_silent_but_cpe_responds(self, world):
+        for network in world.networks.values():
+            if not network.firewalled or network.profile.aliased:
+                continue
+            cpe = [d for d in network.devices
+                   if d.device_type is DeviceType.CPE_ROUTER]
+            clients = [d for d in network.present_devices(NOW)
+                       if not d.device_type.is_infrastructure]
+            if not (cpe and clients):
+                continue
+            client_addr = network.device_address(clients[0], NOW)
+            assert world.probe(client_addr, NOW) is None
+            cpe_addr = network.device_address(cpe[0], NOW)
+            assert world.probe(cpe_addr, NOW) is not None
+            return
+        pytest.skip("no firewalled network with CPE and clients")
+
+    def test_random_address_in_normal_as_silent(self, world):
+        normal = next(
+            p for p in world.profiles.values()
+            if not p.aliased and not p.cellular
+        )
+        # An address in an unallocated corner of the customer block.
+        address = normal.customer_block.last_address - 5
+        located = normal.delegation.locate(address, NOW)
+        if located is None:
+            assert world.probe(address, NOW) is None
+
+    def test_churned_address_goes_silent(self, world):
+        # A privacy-extension device's old address should not respond a
+        # couple of days later.
+        for network in world.networks.values():
+            if network.firewalled or network.profile.aliased:
+                continue
+            for device in network.devices:
+                if device.strategy.kind is StrategyKind.PRIVACY and (
+                    device.mobility_plan is None
+                ):
+                    old_address = world.device_address(device, NOW)
+                    later = NOW + 3 * DAY
+                    response = world.probe(old_address, later)
+                    assert response is None or response.device is not device
+                    return
+        pytest.skip("no privacy device found")
+
+
+class TestSpecialPopulations:
+    def test_commuters_exist_and_alternate(self, world):
+        commuters = [
+            device
+            for device in world.iter_devices()
+            if device.mobility_plan is not None
+            and len(device.mobility_plan.networks()) == 2
+            and device.device_type is DeviceType.SMARTPHONE
+        ]
+        assert commuters
+        device = commuters[0]
+        networks = {
+            device.current_network_id(NOW + block * 6 * 3600.0)
+            for block in range(120)
+        }
+        assert networks == set(device.mobility_plan.networks())
+
+    def test_commuter_cellular_is_other_as(self, world):
+        for device in world.iter_devices():
+            plan = device.mobility_plan
+            if plan is None or device.device_type is not DeviceType.SMARTPHONE:
+                continue
+            home, cell = plan.networks()
+            assert world.networks[home].asn != world.networks[cell].asn
+            assert world.networks[cell].profile.cellular
+            return
+        pytest.skip("no commuter found")
+
+    def test_reused_macs_span_devices(self, world):
+        if not world.reused_macs:
+            pytest.skip("tiny world produced no reused MACs")
+        for mac in world.reused_macs:
+            holders = [
+                device
+                for device in world.iter_devices()
+                if device.mac == mac
+            ]
+            assert len(holders) >= 2
+
+    def test_world_stats_keys(self, world):
+        stats = world.stats()
+        for key in ("ases", "networks", "devices", "pool_clients", "vantages"):
+            assert stats[key] > 0
+
+    def test_pool_clients_subset(self, world):
+        clients = world.pool_client_devices()
+        assert 0 < len(clients) < len(world.devices)
+        assert all(device.uses_pool for device in clients)
+
+
+class TestWorldRegistration:
+    def test_duplicate_device_rejected(self, world):
+        device = next(world.iter_devices())
+        with pytest.raises(ValueError):
+            world.add_device(device)
+
+    def test_duplicate_slot_rejected(self, world):
+        network = next(iter(world.networks.values()))
+        with pytest.raises(ValueError):
+            world.add_network(
+                network.profile, network.customer_index, network.rotating,
+                firewalled=False,
+            )
+
+
+class TestConfigValidation:
+    def test_rejects_too_few_ases(self):
+        with pytest.raises(ValueError):
+            WorldConfig(n_fixed_ases=3)
+
+    def test_rejects_bad_delegated_length(self):
+        with pytest.raises(ValueError):
+            WorldConfig(delegated_length=47)
+
+    def test_rejects_rotating_fractions_over_one(self):
+        with pytest.raises(ValueError):
+            WorldConfig(slow_rotating_fraction=0.8, fast_rotating_fraction=0.5)

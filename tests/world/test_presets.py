@@ -1,0 +1,44 @@
+"""Tests for repro.world.presets."""
+
+import pytest
+
+from repro.world import WorldConfig, build_world, preset_config, preset_names
+from repro.world.presets import PRESETS
+
+
+class TestPresets:
+    def test_names_ordered_smallest_first(self):
+        names = preset_names()
+        assert names[0] == "tiny"
+        sizes = [PRESETS[name][3] for name in names]  # home networks
+        assert sizes == sorted(sizes)
+
+    def test_config_fields(self):
+        config = preset_config("tiny", seed=3)
+        assert isinstance(config, WorldConfig)
+        assert config.seed == 3
+        assert config.n_home_networks == PRESETS["tiny"][3]
+
+    def test_overrides(self):
+        config = preset_config("tiny", outage_as_count=2)
+        assert config.outage_as_count == 2
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError):
+            preset_config("galactic")
+
+    def test_tiny_builds(self):
+        world = build_world(preset_config("tiny", seed=1))
+        stats = world.stats()
+        assert stats["vantages"] == 27
+        assert stats["devices"] > 100
+
+    def test_presets_scale_monotonically(self):
+        tiny = preset_config("tiny")
+        small = preset_config("small")
+        medium = preset_config("medium")
+        assert (
+            tiny.n_home_networks
+            < small.n_home_networks
+            < medium.n_home_networks
+        )

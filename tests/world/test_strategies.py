@@ -1,0 +1,181 @@
+"""Tests for repro.world.strategies — IID assignment behaviours."""
+
+import pytest
+
+from repro.addr.entropy import normalized_iid_entropy
+from repro.addr.eui64 import iid_to_mac, looks_like_eui64
+from repro.addr.patterns import embedded_ipv4_candidates
+from repro.world.clock import DAY, HOUR
+from repro.world.strategies import (
+    Dhcpv6SequentialStrategy,
+    Eui64Strategy,
+    IPv4EmbeddedStrategy,
+    LowByteStrategy,
+    LowTwoBytesStrategy,
+    PrivacyExtensionsStrategy,
+    RandomLow4Strategy,
+    StableRandomStrategy,
+    StrategyKind,
+)
+
+PREFIX_A = 0x20010DB8_00010000 << 64
+PREFIX_B = 0x20010DB8_00020000 << 64
+
+
+class TestLowByte:
+    def test_fixed_iid(self):
+        strategy = LowByteStrategy(7)
+        assert strategy.iid_at(0.0, PREFIX_A) == 7
+        assert strategy.iid_at(1e9, PREFIX_B) == 7
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            LowByteStrategy(0)
+        with pytest.raises(ValueError):
+            LowByteStrategy(256)
+
+    def test_flags(self):
+        strategy = LowByteStrategy(1)
+        assert not strategy.rotates_over_time
+        assert not strategy.depends_on_prefix
+        assert strategy.kind is StrategyKind.LOW_BYTE
+
+
+class TestLowTwoBytes:
+    def test_fixed_iid(self):
+        assert LowTwoBytesStrategy(0x1234).iid_at(0.0, PREFIX_A) == 0x1234
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            LowTwoBytesStrategy(0xFF)
+        with pytest.raises(ValueError):
+            LowTwoBytesStrategy(0x10000)
+
+
+class TestDhcpv6:
+    def test_sequential_pool(self):
+        a = Dhcpv6SequentialStrategy(0)
+        b = Dhcpv6SequentialStrategy(1)
+        assert b.iid_at(0.0, PREFIX_A) - a.iid_at(0.0, PREFIX_A) == 1
+        assert a.iid_at(0.0, PREFIX_A) == Dhcpv6SequentialStrategy.POOL_BASE
+
+    def test_low_entropy(self):
+        iid = Dhcpv6SequentialStrategy(42).iid_at(0.0, PREFIX_A)
+        assert normalized_iid_entropy(iid) < 0.25
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            Dhcpv6SequentialStrategy(-1)
+        with pytest.raises(ValueError):
+            Dhcpv6SequentialStrategy(1 << 24)
+
+
+class TestEui64:
+    def test_embeds_mac(self):
+        mac = 0x001122334455
+        strategy = Eui64Strategy(mac)
+        iid = strategy.iid_at(0.0, PREFIX_A)
+        assert looks_like_eui64(iid)
+        assert iid_to_mac(iid) == mac
+
+    def test_stable_everywhere(self):
+        strategy = Eui64Strategy(0xAABBCCDDEEFF)
+        assert strategy.iid_at(0.0, PREFIX_A) == strategy.iid_at(1e9, PREFIX_B)
+
+    def test_rejects_bad_mac(self):
+        with pytest.raises(ValueError):
+            Eui64Strategy(1 << 48)
+
+
+class TestPrivacyExtensions:
+    def test_rotates_per_interval(self):
+        strategy = PrivacyExtensionsStrategy(1, 10, rotation_interval=DAY)
+        first = strategy.iid_at(0.0, PREFIX_A)
+        same_epoch = strategy.iid_at(DAY - 1, PREFIX_A)
+        next_epoch = strategy.iid_at(DAY + 1, PREFIX_A)
+        assert first == same_epoch
+        assert first != next_epoch
+
+    def test_prefix_independent(self):
+        strategy = PrivacyExtensionsStrategy(1, 10, rotation_interval=DAY)
+        assert strategy.iid_at(0.0, PREFIX_A) == strategy.iid_at(0.0, PREFIX_B)
+
+    def test_device_specific(self):
+        a = PrivacyExtensionsStrategy(1, 10, DAY)
+        b = PrivacyExtensionsStrategy(1, 11, DAY)
+        assert a.iid_at(0.0, PREFIX_A) != b.iid_at(0.0, PREFIX_A)
+
+    def test_high_entropy_typical(self):
+        strategy = PrivacyExtensionsStrategy(1, 10, DAY)
+        entropies = [
+            normalized_iid_entropy(strategy.iid_at(day * DAY, PREFIX_A))
+            for day in range(100)
+        ]
+        assert sum(e >= 0.75 for e in entropies) / len(entropies) > 0.6
+
+    def test_flags(self):
+        strategy = PrivacyExtensionsStrategy(1, 10, DAY)
+        assert strategy.rotates_over_time
+        assert not strategy.depends_on_prefix
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            PrivacyExtensionsStrategy(1, 10, 0.0)
+
+
+class TestStableRandom:
+    def test_stable_in_prefix(self):
+        strategy = StableRandomStrategy(1, 10)
+        assert strategy.iid_at(0.0, PREFIX_A) == strategy.iid_at(1e9, PREFIX_A)
+
+    def test_changes_across_prefixes(self):
+        strategy = StableRandomStrategy(1, 10)
+        assert strategy.iid_at(0.0, PREFIX_A) != strategy.iid_at(0.0, PREFIX_B)
+        assert strategy.depends_on_prefix
+
+
+class TestRandomLow4:
+    def test_only_low_bytes_set(self):
+        strategy = RandomLow4Strategy(1, 10, DAY)
+        for day in range(30):
+            iid = strategy.iid_at(day * DAY, PREFIX_A)
+            assert iid < (1 << 32)
+
+    def test_rotates(self):
+        strategy = RandomLow4Strategy(1, 10, DAY)
+        assert strategy.iid_at(0.0, PREFIX_A) != strategy.iid_at(2 * DAY, PREFIX_A)
+
+    def test_medium_entropy_mode(self):
+        # The Jio-style pattern lands well below full-random entropy:
+        # eight zero nibbles cap normalized entropy around 0.6.
+        strategy = RandomLow4Strategy(1, 10, DAY)
+        entropies = [
+            normalized_iid_entropy(strategy.iid_at(day * DAY, PREFIX_A))
+            for day in range(100)
+        ]
+        mean = sum(entropies) / len(entropies)
+        assert 0.4 < mean < 0.65
+
+
+class TestIPv4Embedded:
+    def test_hex32(self):
+        strategy = IPv4EmbeddedStrategy(0xC0000201, "hex32")
+        iid = strategy.iid_at(0.0, PREFIX_A)
+        assert embedded_ipv4_candidates(iid)["hex32"] == 0xC0000201
+
+    def test_decimal_groups(self):
+        strategy = IPv4EmbeddedStrategy(0xC0000201, "decimal_groups")
+        iid = strategy.iid_at(0.0, PREFIX_A)
+        assert embedded_ipv4_candidates(iid)["decimal_groups"] == 0xC0000201
+
+    def test_rejects_bad_encoding(self):
+        with pytest.raises(ValueError):
+            IPv4EmbeddedStrategy(1, "nope")
+
+    def test_rejects_bad_ipv4(self):
+        with pytest.raises(ValueError):
+            IPv4EmbeddedStrategy(1 << 32)
+
+    def test_stable(self):
+        strategy = IPv4EmbeddedStrategy(0x0A000001)
+        assert strategy.iid_at(0.0, PREFIX_A) == strategy.iid_at(1e9, PREFIX_B)
