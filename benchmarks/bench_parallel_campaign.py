@@ -1,0 +1,60 @@
+"""Throughput — serial vs sharded multi-process NTP collection.
+
+The keyed per-device×day RNG makes the campaign embarrassingly parallel:
+any partition of the device population yields bit-identical corpora once
+merged.  This bench measures what that buys in wall-clock terms on a
+moderate world, one collection week, for 1/2/4 worker processes, and
+asserts the corpora really are record-identical.
+"""
+
+import time
+
+from repro.core.campaign import CampaignConfig, NTPCampaign
+from repro.core.parallel import run_campaign_parallel
+from repro.world import CAMPAIGN_EPOCH
+
+from conftest import publish
+
+
+def _campaign(world):
+    return NTPCampaign(
+        world,
+        CampaignConfig(start=CAMPAIGN_EPOCH, weeks=1, seed=77),
+    )
+
+
+def _observations(corpus):
+    return sum(count for _, (_, _, count) in corpus.items())
+
+
+def test_parallel_campaign_throughput(benchmark, bench_world):
+    t0 = time.perf_counter()
+    serial = _campaign(bench_world).run()
+    serial_seconds = time.perf_counter() - t0
+    observations = _observations(serial)
+
+    lines = [
+        "Sharded campaign execution: serial vs multi-process (1 week)",
+        "",
+        f"addresses: {len(serial):,}, observations: {observations:,}",
+        f"serial: {serial_seconds:.2f}s "
+        f"({observations / serial_seconds:,.0f} obs/s)",
+    ]
+    for workers in (2, 4):
+        campaign = _campaign(bench_world)
+        t0 = time.perf_counter()
+        merged = run_campaign_parallel(campaign, workers=workers)
+        seconds = time.perf_counter() - t0
+        assert dict(merged.items()) == dict(serial.items())
+        lines.append(
+            f"{workers} workers: {seconds:.2f}s "
+            f"({observations / seconds:,.0f} obs/s, "
+            f"{serial_seconds / seconds:.2f}x serial)"
+        )
+
+    publish("parallel_campaign", "\n".join(lines))
+
+    # The timed loop the harness reports: a 2-worker sharded week.
+    benchmark(
+        lambda: run_campaign_parallel(_campaign(bench_world), workers=2)
+    )

@@ -44,13 +44,37 @@ def _world_config(args):
     return preset_config(args.scale, seed=args.seed)
 
 
+def _study_config(args) -> StudyConfig:
+    if getattr(args, "workers", 1) < 1:
+        print(f"--workers must be >= 1: {args.workers}", file=sys.stderr)
+        raise SystemExit(2)
+    resume_from = None
+    if getattr(args, "resume", False):
+        if not args.checkpoint:
+            print("--resume requires --checkpoint", file=sys.stderr)
+            raise SystemExit(2)
+        if Path(args.checkpoint).exists():
+            resume_from = args.checkpoint
+        else:
+            print(
+                f"no checkpoint at {args.checkpoint}; starting fresh",
+                file=sys.stderr,
+            )
+    return StudyConfig(
+        start=CAMPAIGN_EPOCH,
+        weeks=args.weeks,
+        seed=args.seed,
+        workers=getattr(args, "workers", 1),
+        checkpoint=getattr(args, "checkpoint", None),
+        resume_from=resume_from,
+    )
+
+
 def _cmd_study(args) -> int:
+    study_config = _study_config(args)
     world = build_world(_world_config(args))
     print(f"world: {world.stats()}", file=sys.stderr)
-    results = run_study(
-        world,
-        StudyConfig(start=CAMPAIGN_EPOCH, weeks=args.weeks, seed=args.seed),
-    )
+    results = run_study(world, study_config)
     comparison = compare_datasets(
         results.ntp,
         [results.hitlist, results.caida],
@@ -94,11 +118,9 @@ def _cmd_analyze(args) -> int:
 def _cmd_report(args) -> int:
     from .analysis.report import study_report
 
+    study_config = _study_config(args)
     world = build_world(_world_config(args))
-    results = run_study(
-        world,
-        StudyConfig(start=CAMPAIGN_EPOCH, weeks=args.weeks, seed=args.seed),
-    )
+    results = run_study(world, study_config)
     text = study_report(world, results)
     if args.output:
         Path(args.output).write_text(text)
@@ -134,6 +156,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    def add_campaign_options(subparser) -> None:
+        subparser.add_argument(
+            "--workers", type=int, default=1,
+            help="worker processes for the NTP collection "
+                 "(sharded by device; results are identical for any count)",
+        )
+        subparser.add_argument(
+            "--checkpoint", default=None, metavar="PATH",
+            help="snapshot the NTP corpus atomically to PATH after each "
+                 "collected week",
+        )
+        subparser.add_argument(
+            "--resume", action="store_true",
+            help="resume the NTP collection from --checkpoint if it exists",
+        )
+
     study = commands.add_parser(
         "study", help="run the full three-campaign study and save corpora"
     )
@@ -144,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="world size preset",
     )
     study.add_argument("--output-dir", default="corpora")
+    add_campaign_options(study)
     study.set_defaults(handler=_cmd_study)
 
     analyze = commands.add_parser(
@@ -168,6 +207,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", choices=sorted(preset_names()), default="tiny"
     )
     report.add_argument("--output", default=None)
+    add_campaign_options(report)
     report.set_defaults(handler=_cmd_report)
 
     return parser

@@ -32,12 +32,18 @@ from .lifetime import (
 )
 from .decay import corpus_decay, responsiveness_decay
 from .outages import ASActivityRecorder, OutageEvent, detect_outages
+from .parallel import ShardSpec, run_campaign_parallel
 from .release import (
     ReleaseArtifact,
     build_release,
     verify_release_safety,
 )
-from .storage import load_corpus, save_corpus
+from .storage import (
+    load_checkpoint,
+    load_corpus,
+    save_checkpoint,
+    save_corpus,
+)
 from .study import StudyConfig, StudyResults, run_study
 from .tracking import (
     MACTrack,
@@ -62,6 +68,7 @@ __all__ = [
     "NTPCampaign",
     "OutageEvent",
     "ReleaseArtifact",
+    "ShardSpec",
     "StudyConfig",
     "StudyResults",
     "TRANSITION_THRESHOLD",
@@ -78,10 +85,13 @@ __all__ = [
     "detect_outages",
     "eui64_iid_lifetimes",
     "iid_lifetimes_by_entropy",
+    "load_checkpoint",
     "load_corpus",
     "phone_provider_shares",
     "responsiveness_decay",
+    "run_campaign_parallel",
     "run_study",
+    "save_checkpoint",
     "save_corpus",
     "top_as_entropy_distributions",
     "verify_release_safety",

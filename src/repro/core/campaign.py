@@ -173,22 +173,42 @@ class NTPCampaign:
     # -- collection ---------------------------------------------------------------
 
     def run(
-        self, start_week: int = 0, end_week: Optional[int] = None
+        self,
+        start_week: int = 0,
+        end_week: Optional[int] = None,
+        *,
+        shard_index: int = 0,
+        shard_count: int = 1,
     ) -> AddressCorpus:
         """Collect observations for weeks ``[start_week, end_week)``.
 
         Calling repeatedly with adjacent windows accumulates into the
         same corpus, so studies can interleave collection with other
         campaign events.
+
+        ``shard_index``/``shard_count`` restrict the walk to every
+        ``shard_count``-th pool client (by position in the stable
+        ``pool_client_devices`` order).  Because every capture decision
+        draws from ``split_rng(seed, "capture", device_id, day)``, a
+        device's outcomes are independent of which other devices ran, so
+        merging the corpora of all shards reproduces the unsharded run
+        exactly — this is what :func:`repro.core.parallel.run_campaign_parallel`
+        builds on.
         """
         config = self.config
         if end_week is None:
             end_week = config.weeks
         if not 0 <= start_week < end_week <= config.weeks:
             raise ValueError(f"bad week window: [{start_week}, {end_week})")
+        if shard_count < 1 or not 0 <= shard_index < shard_count:
+            raise ValueError(
+                f"bad shard: index {shard_index} of {shard_count}"
+            )
         first_day = start_week * 7
         last_day = end_week * 7
-        for device in self.world.pool_client_devices():
+        for position, device in enumerate(self.world.pool_client_devices()):
+            if position % shard_count != shard_index:
+                continue
             for day in range(first_day, last_day):
                 self._collect_device_day(device, day)
         return self.corpus

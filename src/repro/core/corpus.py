@@ -13,6 +13,7 @@ the ablation bench (DESIGN.md §6) quantifies why.
 
 from __future__ import annotations
 
+import math
 from collections import Counter, defaultdict
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
@@ -28,6 +29,12 @@ class AddressCorpus:
     def __init__(self, name: str) -> None:
         if not name:
             raise ValueError("corpus needs a name")
+        # Newlines (or other line separators) in the name would corrupt
+        # the one-line text header the storage layer writes.
+        if "\n" in name or "\r" in name:
+            raise ValueError(
+                f"corpus name must not contain line breaks: {name!r}"
+            )
         self.name = name
         # address -> [first_seen, last_seen, observation_count]
         self._records: Dict[int, List[float]] = {}
@@ -36,6 +43,8 @@ class AddressCorpus:
 
     def record(self, address: int, when: float) -> None:
         """Record one sighting of ``address`` at ``when``."""
+        if not math.isfinite(when):
+            raise ValueError(f"non-finite sighting timestamp: {when!r}")
         record = self._records.get(address)
         if record is None:
             self._records[address] = [when, when, 1]
@@ -50,6 +59,12 @@ class AddressCorpus:
         self, address: int, first: float, last: float, count: int = 2
     ) -> None:
         """Import a pre-compacted sighting interval (from scan histories)."""
+        # NaN must be rejected explicitly: ``last < first`` is False for
+        # NaN operands, so it would slip past the ordering guard below.
+        if not (math.isfinite(first) and math.isfinite(last)):
+            raise ValueError(
+                f"non-finite interval timestamps: {first!r}, {last!r}"
+            )
         if last < first:
             raise ValueError("interval ends before it starts")
         if count < 1:

@@ -1,0 +1,199 @@
+"""Sharded, multi-process campaign execution with crash-safe checkpoints.
+
+The serial :meth:`NTPCampaign.run` walks every device × day in one
+process; at "Clusters in the Expanse"-scale populations that is
+wall-clock bound on a single core.  This module partitions the
+pool-client population into shards and runs each shard in a
+``ProcessPoolExecutor`` worker.
+
+Two properties make that safe:
+
+* **Keyed RNG** — every capture decision draws from
+  ``split_rng(seed, "capture", device_id, day)``, so a device's outcomes
+  never depend on which other devices were evaluated, in which order, or
+  in which process.  Merging per-shard corpora therefore reproduces the
+  serial corpus *exactly*, for any shard count (the invariant the
+  parallel tests assert record-for-record).
+* **Deterministic worlds** — a worker rebuilds the world from its
+  :class:`WorldConfig` (everything is derived from ``config.seed``), so
+  only the small picklable :class:`ShardSpec` crosses the process
+  boundary.  On fork-based platforms the parent's already-built world is
+  inherited through :data:`_WORLD_CACHE` and never rebuilt; with spawn
+  each worker builds once and caches it for all subsequent windows.
+
+Crash safety is layered on top: the campaign proceeds in week windows,
+and after each completed window the accumulated corpus is snapshotted
+through :func:`repro.core.storage.save_checkpoint` (temp file +
+``os.replace``, so an interrupted write never destroys the previous
+snapshot).  ``resume_from=`` restarts an interrupted run at the last
+completed window.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from ..world.world import World
+from .campaign import CampaignConfig, NTPCampaign
+from .corpus import AddressCorpus
+from .storage import load_checkpoint, save_checkpoint
+
+__all__ = ["ShardSpec", "run_shard", "run_campaign_parallel"]
+
+#: Worker-side world cache keyed by the world config's repr.  Fork-based
+#: executors inherit the parent's entry (primed by
+#: :func:`run_campaign_parallel`); spawn-based workers populate it on
+#: their first shard and reuse it across week windows.
+_WORLD_CACHE: Dict[str, World] = {}
+
+#: Frozen outage windows carried inside a picklable spec:
+#: ``((asn, ((start, end), ...)), ...)``.
+_OutageSpec = Tuple[Tuple[int, Tuple[Tuple[float, float], ...]], ...]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker needs to run one shard of one week window."""
+
+    world_config: object
+    campaign_config: CampaignConfig
+    shard_index: int
+    shard_count: int
+    start_week: int
+    end_week: int
+    outages: _OutageSpec = ()
+
+
+def _freeze_outages(outages: Dict[int, list]) -> _OutageSpec:
+    return tuple(
+        (asn, tuple((start, end) for start, end in windows))
+        for asn, windows in sorted(outages.items())
+    )
+
+
+def _world_for(spec: ShardSpec) -> World:
+    from ..world.population import build_world
+
+    key = repr(spec.world_config)
+    world = _WORLD_CACHE.get(key)
+    if world is None:
+        world = build_world(spec.world_config)
+        _WORLD_CACHE[key] = world
+    # Outages are injected after build, so they travel in the spec and
+    # are re-applied here (idempotent for fork-inherited worlds).
+    world.outages = {
+        asn: list(windows) for asn, windows in spec.outages
+    }
+    return world
+
+
+def run_shard(spec: ShardSpec) -> AddressCorpus:
+    """Process-pool entry point: collect one shard's week window."""
+    campaign = NTPCampaign(_world_for(spec), spec.campaign_config)
+    return campaign.run(
+        spec.start_week,
+        spec.end_week,
+        shard_index=spec.shard_index,
+        shard_count=spec.shard_count,
+    )
+
+
+def run_campaign_parallel(
+    campaign: NTPCampaign,
+    *,
+    workers: int = 1,
+    shard_count: Optional[int] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    checkpoint_interval_weeks: int = 1,
+    resume_from: Optional[Union[str, Path]] = None,
+    start_week: int = 0,
+    end_week: Optional[int] = None,
+) -> AddressCorpus:
+    """Run a campaign sharded across processes, checkpointing as it goes.
+
+    The result accumulates into ``campaign.corpus`` (exactly as a serial
+    :meth:`NTPCampaign.run` would) and is also returned.
+
+    * ``workers`` — process count; 1 runs in-process (no pool) but still
+      honours windowed checkpointing.
+    * ``shard_count`` — device partitions per window; defaults to
+      ``workers``.  Any value yields the identical merged corpus.
+    * ``checkpoint`` — path snapshotted atomically after every
+      ``checkpoint_interval_weeks`` completed weeks.
+    * ``resume_from`` — a previous checkpoint; collection restarts at
+      the first week that snapshot had not completed.
+    """
+    config = campaign.config
+    if end_week is None:
+        end_week = config.weeks
+    if not 0 <= start_week < end_week <= config.weeks:
+        raise ValueError(f"bad week window: [{start_week}, {end_week})")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1: {workers}")
+    if shard_count is None:
+        shard_count = workers
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1: {shard_count}")
+    if checkpoint_interval_weeks < 1:
+        raise ValueError(
+            f"checkpoint interval must be >= 1 week: "
+            f"{checkpoint_interval_weeks}"
+        )
+
+    current_week = start_week
+    if resume_from is not None:
+        snapshot, completed_weeks = load_checkpoint(resume_from)
+        if completed_weeks > end_week:
+            raise ValueError(
+                f"checkpoint is ahead of the requested window: "
+                f"{completed_weeks} > {end_week}"
+            )
+        campaign.corpus.merge(snapshot)
+        current_week = max(current_week, completed_weeks)
+
+    def windows():
+        week = current_week
+        while week < end_week:
+            yield week, min(week + checkpoint_interval_weeks, end_week)
+            week = week + checkpoint_interval_weeks
+
+    outages = _freeze_outages(campaign.world.outages)
+
+    def collect_window(window_start: int, window_end: int, pool) -> None:
+        if pool is None:
+            campaign.run(window_start, window_end)
+            return
+        specs = [
+            ShardSpec(
+                world_config=campaign.world.config,
+                campaign_config=config,
+                shard_index=index,
+                shard_count=shard_count,
+                start_week=window_start,
+                end_week=window_end,
+                outages=outages,
+            )
+            for index in range(shard_count)
+        ]
+        for shard_corpus in pool.map(run_shard, specs):
+            campaign.corpus.merge(shard_corpus)
+
+    if workers == 1:
+        for window_start, window_end in windows():
+            collect_window(window_start, window_end, None)
+            if checkpoint is not None:
+                save_checkpoint(campaign.corpus, checkpoint, window_end)
+        return campaign.corpus
+
+    # Prime the cache so fork-based workers inherit the built world
+    # instead of rebuilding it from config.
+    _WORLD_CACHE[repr(campaign.world.config)] = campaign.world
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for window_start, window_end in windows():
+            collect_window(window_start, window_end, pool)
+            if checkpoint is not None:
+                save_checkpoint(campaign.corpus, checkpoint, window_end)
+    return campaign.corpus

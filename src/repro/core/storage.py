@@ -5,20 +5,33 @@ collected corpora without re-running the world.  Two formats:
 
 * **text** (``.corpus.csv``) — one ``address,first,last,count`` line per
   record, human-greppable, with a header carrying the corpus name.
-* **binary** (``.corpus.bin``) — fixed 36-byte records (16-byte address,
-  two float64 timestamps, uint32 count) behind a magic/version header;
-  ~3x smaller and ~5x faster to load than text.
+* **binary** (``.corpus.bin``) — fixed-size records (16-byte address,
+  two float64 timestamps, observation count) behind a magic/version
+  header; ~3x smaller and ~5x faster to load than text.  The current
+  **v2** record carries a uint64 count; the original v1 record used a
+  uint32 count and overflowed at 2^32−1 sightings — v1 files still load.
 
-Both round-trip exactly (timestamps are preserved bit-for-bit in binary
-and via ``repr`` precision in text).
+Records are written in ascending address order, so two corpora with the
+same contents serialize to identical bytes regardless of the order the
+observations arrived in (the sharded executor relies on this for its
+determinism checks).  Both formats round-trip exactly (timestamps are
+preserved bit-for-bit in binary and via ``repr`` precision in text).
+
+Path-based saves (:func:`save_corpus`, :func:`save_checkpoint`) are
+**atomic**: data is written to a sibling temp file, fsynced, then moved
+over the destination with ``os.replace`` — a crash mid-write leaves the
+previous good file untouched.  Checkpoint files wrap a binary corpus in
+a small header carrying the number of completed campaign weeks, which is
+what lets an interrupted sharded run resume at the last finished window.
 """
 
 from __future__ import annotations
 
-import io
+import contextlib
+import os
 import struct
 from pathlib import Path
-from typing import BinaryIO, TextIO, Union
+from typing import BinaryIO, Iterator, TextIO, Tuple, Union
 
 from ..addr.ipv6 import format_address, parse
 from .corpus import AddressCorpus
@@ -30,19 +43,33 @@ __all__ = [
     "load_corpus_binary",
     "save_corpus",
     "load_corpus",
+    "save_checkpoint",
+    "load_checkpoint",
 ]
 
 _TEXT_HEADER = "# repro-corpus v1 name="
-_BINARY_MAGIC = b"RPC1"
-_RECORD = struct.Struct(">16s d d I")
+_BINARY_MAGIC_V1 = b"RPC1"
+_BINARY_MAGIC_V2 = b"RPC2"
+_RECORD_V1 = struct.Struct(">16s d d I")
+_RECORD_V2 = struct.Struct(">16s d d Q")
+_MAX_COUNT = {1: 0xFFFFFFFF, 2: 0xFFFFFFFFFFFFFFFF}
+
+#: Checkpoint container: magic, then uint32 completed-week counter, then
+#: an ordinary binary corpus.
+_CHECKPOINT_MAGIC = b"RPCW"
 
 
 def save_corpus_text(corpus: AddressCorpus, stream: TextIO) -> int:
     """Write the text format; returns the number of records written."""
-    stream.write(f"{_TEXT_HEADER}{corpus.name}\n")
+    name = corpus.name
+    if "\n" in name or "\r" in name:
+        raise ValueError(
+            f"corpus name would corrupt the text header: {name!r}"
+        )
+    stream.write(f"{_TEXT_HEADER}{name}\n")
     stream.write("address,first_seen,last_seen,count\n")
     written = 0
-    for address, (first, last, count) in corpus.items():
+    for address, (first, last, count) in sorted(corpus.items()):
         stream.write(
             f"{format_address(address)},{first!r},{last!r},{count}\n"
         )
@@ -68,59 +95,114 @@ def load_corpus_text(stream: TextIO) -> AddressCorpus:
         if len(parts) != 4:
             raise ValueError(f"malformed record on line {line_number}: {line!r}")
         address, first, last, count = parts
-        corpus.record_interval(
-            parse(address), float(first), float(last), int(count)
-        )
+        try:
+            corpus.record_interval(
+                parse(address), float(first), float(last), int(count)
+            )
+        except ValueError as error:
+            raise ValueError(
+                f"bad record on line {line_number}: {error}"
+            ) from error
     return corpus
 
 
-def save_corpus_binary(corpus: AddressCorpus, stream: BinaryIO) -> int:
-    """Write the binary format; returns the number of records written."""
+def save_corpus_binary(
+    corpus: AddressCorpus, stream: BinaryIO, version: int = 2
+) -> int:
+    """Write the binary format; returns the number of records written.
+
+    ``version`` selects the record layout: 2 (default, uint64 count) or
+    1 (the legacy uint32 layout, kept so compatibility tests can produce
+    old-style files).  Counts outside the selected layout's range raise
+    ``ValueError`` instead of a bare ``struct.error``.
+    """
+    if version == 2:
+        magic, record = _BINARY_MAGIC_V2, _RECORD_V2
+    elif version == 1:
+        magic, record = _BINARY_MAGIC_V1, _RECORD_V1
+    else:
+        raise ValueError(f"unknown binary corpus version: {version}")
+    max_count = _MAX_COUNT[version]
     name_bytes = corpus.name.encode("utf-8")
     if len(name_bytes) > 0xFFFF:
         raise ValueError("corpus name too long for the binary header")
-    stream.write(_BINARY_MAGIC)
+    stream.write(magic)
     stream.write(len(name_bytes).to_bytes(2, "big"))
     stream.write(name_bytes)
     stream.write(len(corpus).to_bytes(8, "big"))
     written = 0
-    for address, (first, last, count) in corpus.items():
+    for address, (first, last, count) in sorted(corpus.items()):
+        if count > max_count:
+            raise ValueError(
+                f"observation count {count:,} of "
+                f"{format_address(address)} exceeds the uint"
+                f"{32 if version == 1 else 64} range of binary format "
+                f"v{version}"
+                + ("; save as v2 instead" if version == 1 else "")
+            )
         stream.write(
-            _RECORD.pack(address.to_bytes(16, "big"), first, last, count)
+            record.pack(address.to_bytes(16, "big"), first, last, count)
         )
         written += 1
     return written
 
 
 def load_corpus_binary(stream: BinaryIO) -> AddressCorpus:
-    """Read the binary format back into a corpus."""
+    """Read the binary format (v1 or v2) back into a corpus."""
     magic = stream.read(4)
-    if magic != _BINARY_MAGIC:
+    if magic == _BINARY_MAGIC_V2:
+        record = _RECORD_V2
+    elif magic == _BINARY_MAGIC_V1:
+        record = _RECORD_V1
+    else:
         raise ValueError(f"not a repro binary corpus: magic {magic!r}")
     name_length = int.from_bytes(stream.read(2), "big")
     name = stream.read(name_length).decode("utf-8")
     corpus = AddressCorpus(name or "loaded")
     expected = int.from_bytes(stream.read(8), "big")
     for index in range(expected):
-        raw = stream.read(_RECORD.size)
-        if len(raw) != _RECORD.size:
+        raw = stream.read(record.size)
+        if len(raw) != record.size:
             raise ValueError(
                 f"truncated corpus: record {index} of {expected}"
             )
-        packed_address, first, last, count = _RECORD.unpack(raw)
+        packed_address, first, last, count = record.unpack(raw)
         corpus.record_interval(
             int.from_bytes(packed_address, "big"), first, last, count
         )
     return corpus
 
 
+@contextlib.contextmanager
+def _atomic_stream(path: Path, binary: bool) -> Iterator:
+    """A write stream that atomically replaces ``path`` on clean exit.
+
+    Data goes to a sibling temp file; only after a successful flush and
+    fsync is it moved over the destination with ``os.replace``, so a
+    crash (or exception) mid-write never destroys the previous file.
+    """
+    temp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    stream = temp.open("wb" if binary else "w")
+    try:
+        yield stream
+        stream.flush()
+        os.fsync(stream.fileno())
+        stream.close()
+        os.replace(temp, path)
+    except BaseException:
+        stream.close()
+        with contextlib.suppress(FileNotFoundError):
+            temp.unlink()
+        raise
+
+
 def save_corpus(corpus: AddressCorpus, path: Union[str, Path]) -> int:
-    """Save to a path; format chosen by suffix (``.bin`` → binary)."""
+    """Atomically save to a path; format chosen by suffix (``.bin`` → binary)."""
     path = Path(path)
     if path.suffix == ".bin":
-        with path.open("wb") as stream:
+        with _atomic_stream(path, binary=True) as stream:
             return save_corpus_binary(corpus, stream)
-    with path.open("w") as stream:
+    with _atomic_stream(path, binary=False) as stream:
         return save_corpus_text(corpus, stream)
 
 
@@ -132,3 +214,35 @@ def load_corpus(path: Union[str, Path]) -> AddressCorpus:
             return load_corpus_binary(stream)
     with path.open("r") as stream:
         return load_corpus_text(stream)
+
+
+def save_checkpoint(
+    corpus: AddressCorpus,
+    path: Union[str, Path],
+    completed_weeks: int,
+) -> int:
+    """Atomically snapshot a campaign corpus plus its progress marker.
+
+    ``completed_weeks`` is the number of campaign weeks fully collected
+    into ``corpus`` (i.e. the next run should resume at that week).
+    Returns the number of corpus records written.
+    """
+    if completed_weeks < 0 or completed_weeks > 0xFFFFFFFF:
+        raise ValueError(f"bad completed week count: {completed_weeks}")
+    path = Path(path)
+    with _atomic_stream(path, binary=True) as stream:
+        stream.write(_CHECKPOINT_MAGIC)
+        stream.write(completed_weeks.to_bytes(4, "big"))
+        return save_corpus_binary(corpus, stream)
+
+
+def load_checkpoint(path: Union[str, Path]) -> Tuple[AddressCorpus, int]:
+    """Load a checkpoint; returns ``(corpus, completed_weeks)``."""
+    with Path(path).open("rb") as stream:
+        magic = stream.read(4)
+        if magic != _CHECKPOINT_MAGIC:
+            raise ValueError(
+                f"not a repro campaign checkpoint: magic {magic!r}"
+            )
+        completed_weeks = int.from_bytes(stream.read(4), "big")
+        return load_corpus_binary(stream), completed_weeks

@@ -21,6 +21,7 @@ from ..world.clock import WEEK
 from ..world.world import World
 from .campaign import CampaignConfig, NTPCampaign
 from .corpus import AddressCorpus
+from .parallel import run_campaign_parallel
 
 __all__ = ["StudyConfig", "StudyResults", "run_study"]
 
@@ -41,12 +42,22 @@ class StudyConfig:
     hitlist_cpe_seed_fraction: float = 0.55
     caida_cycle_days: float = 14.0
     full_packet_path: bool = True
+    #: Worker processes for the NTP collection; 1 keeps the serial path.
+    workers: int = 1
+    #: Path the NTP campaign snapshots atomically after each completed
+    #: week window (and resumes from via ``resume_from``).
+    checkpoint: Optional[str] = None
+    checkpoint_interval_weeks: int = 1
+    #: Previous checkpoint to resume the NTP collection from.
+    resume_from: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.weeks < CAIDA_LAST_WEEK:
             raise ValueError(
                 f"study must span at least {CAIDA_LAST_WEEK} weeks"
             )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1: {self.workers}")
 
 
 @dataclass
@@ -76,7 +87,16 @@ def run_study(world: World, config: StudyConfig) -> StudyResults:
             full_packet_path=config.full_packet_path,
         ),
     )
-    ntp_corpus = campaign.run()
+    if config.workers > 1 or config.checkpoint or config.resume_from:
+        ntp_corpus = run_campaign_parallel(
+            campaign,
+            workers=config.workers,
+            checkpoint=config.checkpoint,
+            checkpoint_interval_weeks=config.checkpoint_interval_weeks,
+            resume_from=config.resume_from,
+        )
+    else:
+        ntp_corpus = campaign.run()
 
     vantage_asns = sorted({vantage.asn for vantage in world.vantages})
     hitlist_service = HitlistService(

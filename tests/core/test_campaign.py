@@ -1,6 +1,8 @@
 """Tests for repro.core.campaign — the passive NTP collection."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.campaign import CampaignConfig, CaptureModel, NTPCampaign
 from repro.ntp.client import TimeSource
@@ -125,3 +127,35 @@ class TestCapturedEvents:
             assert vantage == chosen[0]
         all_events = list(campaign.captured_events_on_day(0))
         assert len(events) <= len(all_events)
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_replay_is_exact_for_any_seed(self, core_world, seed):
+        """captured_events_on_day must replay run()'s decisions verbatim.
+
+        Backscanning re-derives the capture stream instead of storing
+        it, so the replay must agree with the recording on the full
+        (when, client, vantage) triple — not just the address set — for
+        every seed.
+        """
+        campaign = NTPCampaign(
+            core_world, CampaignConfig(start=CAMPAIGN_EPOCH, weeks=1, seed=seed)
+        )
+        delivered = []
+        original_deliver = campaign._deliver
+
+        def spying_deliver(client_address, when, vantage_address):
+            delivered.append((when, client_address, vantage_address))
+            original_deliver(client_address, when, vantage_address)
+
+        campaign._deliver = spying_deliver
+        campaign.run(0, 1)
+        replayed = [
+            event
+            for day in range(7)
+            for event in campaign.captured_events_on_day(day)
+        ]
+        assert sorted(delivered) == sorted(replayed)
+        assert {client for _, client, _ in replayed} == set(
+            campaign.corpus.addresses()
+        )

@@ -53,6 +53,31 @@ class TestRecording:
         with pytest.raises(ValueError):
             corpus.record_interval(A, 5.0, 10.0, count=0)
 
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_record_rejects_non_finite(self, bad):
+        corpus = AddressCorpus("test")
+        with pytest.raises(ValueError):
+            corpus.record(A, bad)
+
+    @pytest.mark.parametrize(
+        "first,last",
+        [
+            (float("nan"), 5.0),
+            # NaN as `last` slipped past the old `last < first` guard,
+            # since every NaN comparison is False.
+            (5.0, float("nan")),
+            (float("nan"), float("nan")),
+            (float("-inf"), 5.0),
+            (5.0, float("inf")),
+        ],
+    )
+    def test_record_interval_rejects_non_finite(self, first, last):
+        corpus = AddressCorpus("test")
+        with pytest.raises(ValueError):
+            corpus.record_interval(A, first, last)
+
     def test_from_history(self):
         corpus = AddressCorpus.from_history("h", {A: (1.0, 1.0), B: (2.0, 9.0)})
         assert len(corpus) == 2
@@ -72,6 +97,12 @@ class TestRecording:
     def test_name_required(self):
         with pytest.raises(ValueError):
             AddressCorpus("")
+
+    @pytest.mark.parametrize("name", ["a\nb", "a\rb", "\n"])
+    def test_name_rejects_line_breaks(self, name):
+        # A newline in the name would corrupt the text storage header.
+        with pytest.raises(ValueError):
+            AddressCorpus(name)
 
     def test_repr(self):
         corpus = AddressCorpus("x")

@@ -1,0 +1,206 @@
+"""Tests for repro.core.parallel — sharded execution and checkpoints.
+
+The load-bearing invariant: because every capture decision draws from
+``split_rng(seed, "capture", device_id, day)``, partitioning the device
+population across processes and merging the per-shard corpora must
+reproduce the serial corpus *exactly* — same addresses, same first/last
+timestamps, same observation counts — for any worker or shard count.
+"""
+
+import io
+
+import pytest
+
+from repro.core.campaign import CampaignConfig, NTPCampaign
+from repro.core.corpus import AddressCorpus
+from repro.core.parallel import ShardSpec, run_campaign_parallel, run_shard
+from repro.core.storage import (
+    load_checkpoint,
+    save_checkpoint,
+    save_corpus_binary,
+)
+from repro.world import CAMPAIGN_EPOCH
+
+
+def make_campaign(world, weeks=2, **overrides):
+    config = CampaignConfig(
+        start=CAMPAIGN_EPOCH, weeks=weeks, seed=5, **overrides
+    )
+    return NTPCampaign(world, config)
+
+
+def records(corpus):
+    return dict(corpus.items())
+
+
+@pytest.fixture(scope="module")
+def serial_corpus(core_world):
+    return make_campaign(core_world).run()
+
+
+class TestShardedIdentity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_workers_reproduce_serial_run(
+        self, core_world, serial_corpus, workers
+    ):
+        campaign = make_campaign(core_world)
+        merged = run_campaign_parallel(campaign, workers=workers)
+        assert records(merged) == records(serial_corpus)
+        assert merged is campaign.corpus
+
+    def test_shard_count_independent_of_workers(
+        self, core_world, serial_corpus
+    ):
+        campaign = make_campaign(core_world)
+        merged = run_campaign_parallel(campaign, workers=2, shard_count=5)
+        assert records(merged) == records(serial_corpus)
+
+    def test_serialized_bytes_identical(self, core_world, serial_corpus):
+        # Saves are canonically ordered, so the sharded corpus is
+        # bit-identical to the serial one on disk, not just record-equal.
+        campaign = make_campaign(core_world)
+        run_campaign_parallel(campaign, workers=4)
+        serial_bytes, sharded_bytes = io.BytesIO(), io.BytesIO()
+        save_corpus_binary(serial_corpus, serial_bytes)
+        save_corpus_binary(campaign.corpus, sharded_bytes)
+        assert serial_bytes.getvalue() == sharded_bytes.getvalue()
+
+    def test_in_process_shards_partition_devices(
+        self, core_world, serial_corpus
+    ):
+        # Shards computed directly (no pool) also merge to the serial run.
+        merged = AddressCorpus("merged")
+        for index in range(3):
+            shard = make_campaign(core_world)
+            shard.run(shard_index=index, shard_count=3)
+            merged.merge(shard.corpus)
+        assert records(merged) == records(serial_corpus)
+
+    def test_run_shard_matches_in_process(self, core_world):
+        spec = ShardSpec(
+            world_config=core_world.config,
+            campaign_config=CampaignConfig(
+                start=CAMPAIGN_EPOCH, weeks=2, seed=5
+            ),
+            shard_index=0,
+            shard_count=2,
+            start_week=0,
+            end_week=2,
+        )
+        worker_corpus = run_shard(spec)
+        local = make_campaign(core_world)
+        local.run(shard_index=0, shard_count=2)
+        assert records(worker_corpus) == records(local.corpus)
+
+
+class TestCheckpointing:
+    def test_checkpoint_written_per_window(self, core_world, tmp_path):
+        path = tmp_path / "ntp.ckpt"
+        campaign = make_campaign(core_world)
+        run_campaign_parallel(campaign, workers=2, checkpoint=path)
+        corpus, completed = load_checkpoint(path)
+        assert completed == 2
+        assert records(corpus) == records(campaign.corpus)
+
+    def test_resume_restarts_at_last_window(
+        self, core_world, serial_corpus, tmp_path
+    ):
+        path = tmp_path / "ntp.ckpt"
+        # Interrupted run: only week 0 completes before the "crash".
+        interrupted = make_campaign(core_world)
+        run_campaign_parallel(
+            interrupted, workers=2, checkpoint=path, end_week=1
+        )
+        _, completed = load_checkpoint(path)
+        assert completed == 1
+        # A fresh process resumes from the snapshot and finishes.
+        resumed = make_campaign(core_world)
+        run_campaign_parallel(
+            resumed, workers=2, checkpoint=path, resume_from=path
+        )
+        assert records(resumed.corpus) == records(serial_corpus)
+        corpus, completed = load_checkpoint(path)
+        assert completed == 2
+        assert records(corpus) == records(serial_corpus)
+
+    def test_resume_serial_path(self, core_world, serial_corpus, tmp_path):
+        path = tmp_path / "ntp.ckpt"
+        run_campaign_parallel(
+            make_campaign(core_world), workers=1, checkpoint=path, end_week=1
+        )
+        resumed = make_campaign(core_world)
+        run_campaign_parallel(resumed, workers=1, resume_from=path)
+        assert records(resumed.corpus) == records(serial_corpus)
+
+    def test_kill_mid_checkpoint_preserves_previous(
+        self, core_world, tmp_path
+    ):
+        path = tmp_path / "ntp.ckpt"
+        campaign = make_campaign(core_world)
+        run_campaign_parallel(
+            campaign, workers=1, checkpoint=path, end_week=1
+        )
+        good = load_checkpoint(path)
+
+        class ExplodingCorpus(AddressCorpus):
+            def items(self):
+                iterator = super().items()
+                yield next(iterator)
+                raise OSError("simulated crash mid-write")
+
+        exploding = ExplodingCorpus("ntp-pool")
+        exploding.merge(campaign.corpus)
+        with pytest.raises(OSError):
+            save_checkpoint(exploding, path, 2)
+        # The interrupted write must not have destroyed the snapshot,
+        # nor left temp litter behind.
+        corpus, completed = load_checkpoint(path)
+        assert completed == good[1]
+        assert records(corpus) == records(good[0])
+        assert list(tmp_path.iterdir()) == [path]
+        # ... and the surviving snapshot is still resumable.
+        resumed = make_campaign(core_world)
+        run_campaign_parallel(resumed, workers=1, resume_from=path)
+        assert records(resumed.corpus) == records(
+            make_campaign(core_world).run()
+        )
+
+    def test_checkpoint_ahead_of_window_rejected(
+        self, core_world, tmp_path
+    ):
+        path = tmp_path / "ntp.ckpt"
+        save_checkpoint(AddressCorpus("ntp-pool"), path, 5)
+        campaign = make_campaign(core_world)
+        with pytest.raises(ValueError):
+            run_campaign_parallel(campaign, resume_from=path, end_week=1)
+
+
+class TestValidation:
+    def test_bad_workers(self, core_world):
+        with pytest.raises(ValueError):
+            run_campaign_parallel(make_campaign(core_world), workers=0)
+
+    def test_bad_shard_count(self, core_world):
+        with pytest.raises(ValueError):
+            run_campaign_parallel(
+                make_campaign(core_world), workers=2, shard_count=0
+            )
+
+    def test_bad_interval(self, core_world):
+        with pytest.raises(ValueError):
+            run_campaign_parallel(
+                make_campaign(core_world), checkpoint_interval_weeks=0
+            )
+
+    def test_bad_window(self, core_world):
+        with pytest.raises(ValueError):
+            run_campaign_parallel(make_campaign(core_world), end_week=99)
+
+    def test_campaign_shard_arguments(self, core_world):
+        campaign = make_campaign(core_world)
+        with pytest.raises(ValueError):
+            campaign.run(shard_index=2, shard_count=2)
+        with pytest.raises(ValueError):
+            campaign.run(shard_index=-1, shard_count=2)
+        with pytest.raises(ValueError):
+            campaign.run(shard_count=0)

@@ -1,6 +1,7 @@
 """Tests for repro.core.storage — corpus persistence."""
 
 import io
+import struct
 
 import pytest
 from hypothesis import given
@@ -8,9 +9,11 @@ from hypothesis import strategies as st
 
 from repro.core.corpus import AddressCorpus
 from repro.core.storage import (
+    load_checkpoint,
     load_corpus,
     load_corpus_binary,
     load_corpus_text,
+    save_checkpoint,
     save_corpus,
     save_corpus_binary,
     save_corpus_text,
@@ -114,6 +117,148 @@ class TestBinaryFormat:
         binary = io.BytesIO()
         save_corpus_binary(corpus, binary)
         assert len(binary.getvalue()) < len(text.getvalue())
+
+    def test_canonical_order_independent_of_insertion(self):
+        forward = sample_corpus()
+        backward = AddressCorpus("sample")
+        for address, (first, last, count) in reversed(
+            list(forward.items())
+        ):
+            backward.record_interval(address, first, last, count)
+        a, b = io.BytesIO(), io.BytesIO()
+        save_corpus_binary(forward, a)
+        save_corpus_binary(backward, b)
+        assert a.getvalue() == b.getvalue()
+
+
+def v1_corpus_bytes(name, records):
+    """Hand-roll a pre-PR v1 file (uint32 counts, RPC1 magic)."""
+    record = struct.Struct(">16s d d I")
+    out = io.BytesIO()
+    out.write(b"RPC1")
+    encoded = name.encode("utf-8")
+    out.write(len(encoded).to_bytes(2, "big"))
+    out.write(encoded)
+    out.write(len(records).to_bytes(8, "big"))
+    for address, first, last, count in records:
+        out.write(record.pack(address.to_bytes(16, "big"), first, last, count))
+    return out.getvalue()
+
+
+class TestBinaryVersions:
+    def test_v1_file_still_loads(self):
+        data = v1_corpus_bytes(
+            "legacy",
+            [(0x20010DB8 << 96 | 1, 10.0, 20.5, 3), (7, 0.25, 0.25, 1)],
+        )
+        corpus = load_corpus_binary(io.BytesIO(data))
+        assert corpus.name == "legacy"
+        assert dict(corpus.items()) == {
+            0x20010DB8 << 96 | 1: (10.0, 20.5, 3),
+            7: (0.25, 0.25, 1),
+        }
+
+    def test_v1_writer_roundtrip(self):
+        corpus = sample_corpus()
+        stream = io.BytesIO()
+        assert save_corpus_binary(corpus, stream, version=1) == 3
+        assert stream.getvalue().startswith(b"RPC1")
+        stream.seek(0)
+        assert_corpora_equal(corpus, load_corpus_binary(stream))
+
+    def test_v2_is_default_magic(self):
+        stream = io.BytesIO()
+        save_corpus_binary(sample_corpus(), stream)
+        assert stream.getvalue().startswith(b"RPC2")
+
+    def test_v2_holds_counts_beyond_uint32(self):
+        corpus = AddressCorpus("busy")
+        corpus.record_interval(9, 1.0, 2.0, (1 << 32) + 5)
+        stream = io.BytesIO()
+        save_corpus_binary(corpus, stream)
+        stream.seek(0)
+        loaded = load_corpus_binary(stream)
+        assert loaded.observation_count(9) == (1 << 32) + 5
+
+    def test_v1_overflow_raises_clear_error(self):
+        corpus = AddressCorpus("busy")
+        corpus.record_interval(9, 1.0, 2.0, (1 << 32) + 5)
+        with pytest.raises(ValueError, match="uint32.*v1"):
+            save_corpus_binary(corpus, io.BytesIO(), version=1)
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError):
+            save_corpus_binary(sample_corpus(), io.BytesIO(), version=3)
+
+
+class ExplodingCorpus(AddressCorpus):
+    """Raises partway through serialization, like a mid-write crash."""
+
+    def items(self):
+        iterator = super().items()
+        yield next(iterator)
+        raise OSError("simulated crash")
+
+
+class TestAtomicSave:
+    @pytest.mark.parametrize("suffix", [".bin", ".csv"])
+    def test_failed_save_keeps_previous_file(self, tmp_path, suffix):
+        path = tmp_path / f"c.corpus{suffix}"
+        good = sample_corpus()
+        save_corpus(good, path)
+        bad = ExplodingCorpus("sample")
+        bad.merge(good)
+        with pytest.raises(OSError):
+            save_corpus(bad, path)
+        assert_corpora_equal(good, load_corpus(path))
+        # No temp litter either.
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestCheckpoints:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "campaign.ckpt"
+        corpus = sample_corpus()
+        save_checkpoint(corpus, path, 17)
+        loaded, completed = load_checkpoint(path)
+        assert completed == 17
+        assert_corpora_equal(corpus, loaded)
+
+    def test_rejects_bad_magic(self, tmp_path):
+        path = tmp_path / "campaign.ckpt"
+        path.write_bytes(b"XXXX" + b"\x00" * 16)
+        with pytest.raises(ValueError):
+            load_checkpoint(path)
+
+    def test_rejects_bad_week(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_checkpoint(sample_corpus(), tmp_path / "c.ckpt", -1)
+
+
+class TestValidationOnLoad:
+    def test_text_loader_rejects_nan_timestamps(self):
+        text = (
+            "# repro-corpus v1 name=x\n"
+            "address,first_seen,last_seen,count\n"
+            "2001:db8::1,nan,2.0,2\n"
+        )
+        with pytest.raises(ValueError, match="line 3"):
+            load_corpus_text(io.StringIO(text))
+
+    def test_text_loader_rejects_inf_timestamps(self):
+        text = (
+            "# repro-corpus v1 name=x\n"
+            "address,first_seen,last_seen,count\n"
+            "2001:db8::1,1.0,inf,2\n"
+        )
+        with pytest.raises(ValueError, match="line 3"):
+            load_corpus_text(io.StringIO(text))
+
+    def test_text_saver_rejects_corrupting_name(self):
+        corpus = sample_corpus()
+        corpus.name = "evil\ninjected"  # bypass constructor validation
+        with pytest.raises(ValueError):
+            save_corpus_text(corpus, io.StringIO())
 
 
 class TestPathInterface:

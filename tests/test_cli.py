@@ -30,6 +30,20 @@ class TestParser:
         assert args.corpus == "c.bin"
         assert args.output == "out.csv"
 
+    def test_study_campaign_options(self):
+        args = build_parser().parse_args(
+            ["study", "--workers", "4", "--checkpoint", "c.ckpt", "--resume"]
+        )
+        assert args.workers == 4
+        assert args.checkpoint == "c.ckpt"
+        assert args.resume is True
+
+    def test_campaign_option_defaults(self):
+        args = build_parser().parse_args(["study"])
+        assert args.workers == 1
+        assert args.checkpoint is None
+        assert args.resume is False
+
 
 @pytest.fixture(scope="module")
 def study_dir(tmp_path_factory):
@@ -72,6 +86,36 @@ class TestStudyCommand:
         out = capsys.readouterr().out
         assert "ntp-pool" in out
         assert "Table 1" in out
+
+
+class TestParallelStudyCommand:
+    def test_sharded_study_matches_serial_bytes(
+        self, study_dir, tmp_path
+    ):
+        # Same seed, sharded across 2 workers with checkpointing: the
+        # saved NTP corpus must be byte-identical to the serial run's.
+        output = tmp_path / "parallel"
+        checkpoint = tmp_path / "ntp.ckpt"
+        code = main(
+            [
+                "study",
+                "--seed", "3",
+                "--weeks", "10",
+                "--scale", "tiny",
+                "--output-dir", str(output),
+                "--workers", "2",
+                "--checkpoint", str(checkpoint),
+            ]
+        )
+        assert code == 0
+        serial = (study_dir / "ntp-pool.corpus.bin").read_bytes()
+        sharded = (output / "ntp-pool.corpus.bin").read_bytes()
+        assert serial == sharded
+        assert checkpoint.exists()
+
+    def test_resume_without_checkpoint_flag_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["study", "--resume"])
 
 
 class TestAnalyzeCommand:
