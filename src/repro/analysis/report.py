@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import List
 
 from ..addr.entropy import normalized_iid_entropy
-from ..addr.ipv6 import iid_of
+from ..addr.ipv6 import format_address, iid_of
 from ..addr.oui_db import UNLISTED, manufacturer_counts
 from ..geo.ipvseeyou import geolocate_corpus
 from ..net.geodb import country_histogram, top_country_share
@@ -142,6 +142,42 @@ def study_report(world, results, geolocation_min_pairs: int = 12) -> str:
         "geolocated (%s)"
         % (len(report.offsets), report.located_count, country_text)
     )
+
+    # 6. Vantage availability (collection-infrastructure health, §3).
+    availability = results.campaign.vantage_availability()
+    if availability:
+        sections.append("")
+        fractions = [timeline.fraction for _, timeline in availability]
+        always_up = sum(
+            1 for _, timeline in availability if timeline.ejections == 0
+        )
+        sections.append(
+            "vantage availability: mean %.1f%% in DNS rotation, "
+            "%d/%d vantages never ejected"
+            % (
+                100 * sum(fractions) / len(fractions),
+                always_up,
+                len(availability),
+            )
+        )
+        degraded = sorted(
+            (
+                (vantage, timeline)
+                for vantage, timeline in availability
+                if timeline.ejections > 0
+            ),
+            key=lambda pair: pair[1].fraction,
+        )
+        for vantage, timeline in degraded[:5]:
+            sections.append(
+                "  %s (%s): %.1f%% available, %d ejection(s)"
+                % (
+                    format_address(vantage.address),
+                    vantage.country,
+                    100 * timeline.fraction,
+                    timeline.ejections,
+                )
+            )
 
     header = (
         f"Study report — world seed {world.config.seed}, "

@@ -34,7 +34,9 @@ from .core import (
     save_corpus,
     verify_release_safety,
 )
+from .core.storage import checkpoint_candidates
 from .core.tracking import TrackingClass
+from .faults import FaultPlan
 from .world import CAMPAIGN_EPOCH, build_world, preset_config, preset_names
 
 __all__ = ["main", "build_parser"]
@@ -44,16 +46,36 @@ def _world_config(args):
     return preset_config(args.scale, seed=args.seed)
 
 
+def _fault_plan(args) -> Optional[FaultPlan]:
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None
+    try:
+        return FaultPlan.parse(spec)
+    except ValueError as error:
+        print(f"bad --faults spec: {error}", file=sys.stderr)
+        raise SystemExit(2)
+
+
 def _study_config(args) -> StudyConfig:
     if getattr(args, "workers", 1) < 1:
         print(f"--workers must be >= 1: {args.workers}", file=sys.stderr)
+        raise SystemExit(2)
+    if getattr(args, "max_shard_retries", 2) < 0:
+        print(
+            f"--max-shard-retries must be >= 0: {args.max_shard_retries}",
+            file=sys.stderr,
+        )
         raise SystemExit(2)
     resume_from = None
     if getattr(args, "resume", False):
         if not args.checkpoint:
             print("--resume requires --checkpoint", file=sys.stderr)
             raise SystemExit(2)
-        if Path(args.checkpoint).exists():
+        if any(
+            candidate.exists()
+            for candidate in checkpoint_candidates(args.checkpoint)
+        ):
             resume_from = args.checkpoint
         else:
             print(
@@ -67,6 +89,8 @@ def _study_config(args) -> StudyConfig:
         workers=getattr(args, "workers", 1),
         checkpoint=getattr(args, "checkpoint", None),
         resume_from=resume_from,
+        faults=_fault_plan(args),
+        max_shard_retries=getattr(args, "max_shard_retries", 2),
     )
 
 
@@ -169,7 +193,21 @@ def build_parser() -> argparse.ArgumentParser:
         )
         subparser.add_argument(
             "--resume", action="store_true",
-            help="resume the NTP collection from --checkpoint if it exists",
+            help="resume the NTP collection from --checkpoint if it exists "
+                 "(falls back to rotated .1/.2 generations when the newest "
+                 "snapshot is corrupt)",
+        )
+        subparser.add_argument(
+            "--faults", default=None, metavar="SPEC",
+            help="deterministic fault-injection plan for the NTP "
+                 "collection, e.g. "
+                 "'flap=0.2,loss=0.05,corrupt=0.01,seed=3,loss.BR=0.2'; "
+                 "an empty spec injects nothing",
+        )
+        subparser.add_argument(
+            "--max-shard-retries", type=int, default=2, metavar="N",
+            help="resubmit a failed collection shard up to N times before "
+                 "recomputing it inline (default: 2)",
         )
 
     study = commands.add_parser(

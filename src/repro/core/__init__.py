@@ -32,15 +32,18 @@ from .lifetime import (
 )
 from .decay import corpus_decay, responsiveness_decay
 from .outages import ASActivityRecorder, OutageEvent, detect_outages
-from .parallel import ShardSpec, run_campaign_parallel
+from .parallel import ShardFailure, ShardSpec, run_campaign_parallel
 from .release import (
     ReleaseArtifact,
     build_release,
     verify_release_safety,
 )
 from .storage import (
+    CheckpointIntegrityError,
+    CorpusFormatError,
     load_checkpoint,
     load_corpus,
+    resolve_resume_checkpoint,
     save_checkpoint,
     save_corpus,
 )
@@ -61,6 +64,8 @@ __all__ = [
     "BackscanReport",
     "CampaignConfig",
     "CaptureModel",
+    "CheckpointIntegrityError",
+    "CorpusFormatError",
     "DatasetComparison",
     "DatasetRow",
     "LifetimeSummary",
@@ -68,6 +73,7 @@ __all__ = [
     "NTPCampaign",
     "OutageEvent",
     "ReleaseArtifact",
+    "ShardFailure",
     "ShardSpec",
     "StudyConfig",
     "StudyResults",
@@ -88,6 +94,7 @@ __all__ = [
     "load_checkpoint",
     "load_corpus",
     "phone_provider_shares",
+    "resolve_resume_checkpoint",
     "responsiveness_decay",
     "run_campaign_parallel",
     "run_study",

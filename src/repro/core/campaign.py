@@ -23,7 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..faults.injector import FaultInjector
+from ..faults.monitor import AvailabilityTimeline
+from ..faults.plan import FaultPlan
 from ..ntp.client import TimeSource, build_request
+from ..ntp.packet import NTPPacket
 from ..ntp.pool import NTPPool
 from ..ntp.server import StratumTwoServer
 from ..world.clock import DAY, WEEK
@@ -48,12 +52,19 @@ class CampaignConfig:
     #: Use the full NTP packet path per captured query (the honest mode);
     #: False skips serialization and records directly (ablation bench).
     full_packet_path: bool = True
+    #: Injected-fault schedule; ``None`` (or a zero plan) keeps every
+    #: code path byte-identical to a fault-free campaign.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.weeks < 1:
             raise ValueError("campaign needs at least one week")
         if self.background_per_country < 0 or self.background_extra < 0:
             raise ValueError("background counts must be non-negative")
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise TypeError(
+                f"faults must be a FaultPlan, not {type(self.faults).__name__}"
+            )
 
     @property
     def end(self) -> float:
@@ -123,8 +134,22 @@ class NTPCampaign:
         #: Extra per-observation callbacks ``(client_address, when)`` —
         #: e.g. the outage detector's activity recorder.
         self.extra_sinks: List = []
+        #: Per-shard failure records appended by the parallel executor.
+        self.shard_failures: List = []
         self._outages_active = bool(world.outages)
+        plan = config.faults
+        if plan is not None and plan.is_zero:
+            plan = None  # zero plan takes the exact fault-free fast path
+        self._injector: Optional[FaultInjector] = (
+            None
+            if plan is None
+            else FaultInjector(plan, world.vantages, config.start, config.end)
+        )
         self._build_pool()
+        if self._injector is not None:
+            # DNS-level view of the same ejections the capture path
+            # applies: time-aware resolve() skips out-of-rotation members.
+            self.pool.set_rotation_filter(self._injector.in_rotation)
         self._capture_model = CaptureModel(
             self.pool, [vantage.address for vantage in world.vantages]
         )
@@ -237,19 +262,78 @@ class NTPCampaign:
             if rng.random() >= probability:
                 continue
             vantage_address = vantages[rng.randrange(len(vantages))]
+            delivered, datagram = self._fault_gate(
+                device.device_id, day, query_index, when,
+                network.country, vantage_address,
+            )
+            if not delivered:
+                continue
             client_address = network.device_address(device, when)
-            self._deliver(client_address, when, vantage_address)
+            if datagram is None:
+                # Clean path: keep the historical 3-argument call shape
+                # (tests and subclasses wrap `_deliver` with it).
+                self._deliver(client_address, when, vantage_address)
+            else:
+                self._deliver(
+                    client_address, when, vantage_address, datagram
+                )
+
+    def _fault_gate(
+        self,
+        device_id: int,
+        day: int,
+        query_index: int,
+        when: float,
+        country: str,
+        vantage_address: int,
+    ) -> Tuple[bool, Optional[bytes]]:
+        """Apply the fault plan to one captured query.
+
+        Returns ``(delivered, datagram)``: ``delivered`` is False when
+        the query never reaches a recording vantage (ejected from the
+        pool rotation, or the datagram was lost); a non-``None``
+        ``datagram`` is the corrupted wire form the vantage must parse
+        (only in full-packet-path mode).  All decisions are keyed by the
+        query's identity, so :meth:`run` and
+        :meth:`captured_events_on_day` observe identical faults.
+        """
+        injector = self._injector
+        if injector is None:
+            return True, None
+        if not injector.in_rotation(vantage_address, when):
+            # Ejected from the DNS rotation: the pool hands the client a
+            # background member instead, so the vantage captures nothing.
+            return False, None
+        if injector.packet_lost(country, device_id, day, query_index):
+            return False, None
+        if not injector.corrupts(device_id, day, query_index):
+            return True, None
+        if not self.config.full_packet_path:
+            # Ablation mode has no wire bytes to mangle; approximate a
+            # corrupted datagram as never recorded.
+            return False, None
+        datagram = injector.corrupt_bytes(
+            build_request(when).pack(), device_id, day, query_index
+        )
+        return True, datagram
 
     def _deliver(
-        self, client_address: int, when: float, vantage_address: int
+        self,
+        client_address: int,
+        when: float,
+        vantage_address: int,
+        datagram: Optional[bytes] = None,
     ) -> None:
         server = self.servers[vantage_address]
         if self.config.full_packet_path:
-            request = build_request(when)
-            response = server.handle_datagram(
-                request.pack(), client_address, when
-            )
-            assert response is not None
+            corrupted = datagram is not None
+            if datagram is None:
+                datagram = build_request(when).pack()
+            response = server.handle_datagram(datagram, client_address, when)
+            # A well-formed request must always be answered; a corrupted
+            # one is the server's call (counted in stats.malformed /
+            # dropped_mode) and must never raise out of the hot loop.
+            assert corrupted or response is not None
         else:
             # Ablation mode: skip serialization, record directly.
             self._record_observation(client_address, when, server)
@@ -262,9 +346,12 @@ class NTPCampaign:
         """Yield ``(when, client_address, vantage_address)`` for one day.
 
         Re-derives the same capture decisions :meth:`run` makes (the
-        keyed RNG guarantees identical outcomes), optionally filtered to
-        a subset of vantages — used by the backscanning experiment, which
-        watched five of the 27 servers (§3).
+        keyed RNG guarantees identical outcomes) — including the fault
+        plan's drops: an event is yielded only if the vantage actually
+        recorded the query, so a campaign rebuilt from these events
+        matches the collected corpus under any plan.  Optionally
+        filtered to a subset of vantages — used by the backscanning
+        experiment, which watched five of the 27 servers (§3).
         """
         config = self.config
         vantage_filter = (
@@ -276,7 +363,7 @@ class NTPCampaign:
             if not offsets:
                 continue
             rng = None
-            for offset in offsets:
+            for query_index, offset in enumerate(offsets):
                 when = day_start + offset
                 network = self.world.networks.get(
                     device.current_network_id(when)
@@ -299,9 +386,54 @@ class NTPCampaign:
                 if rng.random() >= probability:
                     continue
                 vantage_address = vantages[rng.randrange(len(vantages))]
+                delivered, datagram = self._fault_gate(
+                    device.device_id, day, query_index, when,
+                    network.country, vantage_address,
+                )
+                if not delivered:
+                    continue
+                if datagram is not None and not self._records(datagram):
+                    continue
                 if vantage_filter is not None and (
                     vantage_address not in vantage_filter
                 ):
                     continue
                 client_address = network.device_address(device, when)
                 yield when, client_address, vantage_address
+
+    @staticmethod
+    def _records(datagram: bytes) -> bool:
+        """Would a vantage's serve path record this (corrupted) datagram?
+
+        Mirrors :meth:`StratumTwoServer.handle_datagram`: the sink fires
+        only for parseable, valid client-mode requests.
+        """
+        try:
+            packet = NTPPacket.parse(datagram)
+        except ValueError:
+            return False
+        return packet.is_valid_request()
+
+    # -- substrate health ----------------------------------------------------------
+
+    def vantage_availability(
+        self,
+    ) -> List[Tuple[VantagePoint, AvailabilityTimeline]]:
+        """Per-vantage in-rotation timelines over the campaign span.
+
+        Without a fault plan every vantage is available for the whole
+        span; with one, the timelines come from the pool-monitor score
+        model.  Deterministic, so the study report can render them even
+        when collection ran in worker processes.
+        """
+        config = self.config
+        if self._injector is None:
+            full = AvailabilityTimeline(
+                config.start, config.end, ((config.start, config.end),)
+            )
+            return [(vantage, full) for vantage in self.world.vantages]
+        timelines = self._injector.availability()
+        return [
+            (vantage, timelines[vantage.address])
+            for vantage in self.world.vantages
+        ]

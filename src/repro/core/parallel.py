@@ -21,27 +21,45 @@ Two properties make that safe:
   inherited through :data:`_WORLD_CACHE` and never rebuilt; with spawn
   each worker builds once and caches it for all subsequent windows.
 
-Crash safety is layered on top: the campaign proceeds in week windows,
-and after each completed window the accumulated corpus is snapshotted
-through :func:`repro.core.storage.save_checkpoint` (temp file +
-``os.replace``, so an interrupted write never destroys the previous
-snapshot).  ``resume_from=`` restarts an interrupted run at the last
-completed window.
+Failure containment is layered on top, because a months-long campaign
+*will* lose workers (OOM kills, host reboots) and disks *will* corrupt
+bytes:
+
+* A shard whose worker raises — or dies outright, breaking the process
+  pool — is retried up to ``max_shard_retries`` times with capped
+  exponential backoff, rebuilding the pool when it broke.  A shard that
+  keeps failing degrades to **inline** execution in the parent process
+  rather than aborting the whole campaign.  Shards are only ever merged
+  once, whatever mix of pool/retry/inline produced them, so the
+  determinism invariant survives every recovery path.  Each recovery is
+  recorded on ``campaign.shard_failures`` as a :class:`ShardFailure`.
+* The campaign proceeds in week windows, and after each completed
+  window the accumulated corpus is snapshotted through
+  :func:`repro.core.storage.save_checkpoint` (atomic replace + CRC32
+  footer + rotated prior generations).  ``resume_from=`` verifies the
+  snapshot's integrity and falls back to the newest prior good
+  generation when the latest is truncated or corrupt.
 """
 
 from __future__ import annotations
 
+import logging
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
+from ..faults.chaos import maybe_fail_shard
 from ..world.world import World
 from .campaign import CampaignConfig, NTPCampaign
 from .corpus import AddressCorpus
-from .storage import load_checkpoint, save_checkpoint
+from .storage import resolve_resume_checkpoint, save_checkpoint
 
-__all__ = ["ShardSpec", "run_shard", "run_campaign_parallel"]
+__all__ = ["ShardSpec", "ShardFailure", "run_shard", "run_campaign_parallel"]
+
+logger = logging.getLogger(__name__)
 
 #: Worker-side world cache keyed by the world config's repr.  Fork-based
 #: executors inherit the parent's entry (primed by
@@ -67,6 +85,22 @@ class ShardSpec:
     outages: _OutageSpec = ()
 
 
+@dataclass(frozen=True)
+class ShardFailure:
+    """One recovered shard failure, recorded on ``campaign.shard_failures``.
+
+    ``action`` is ``"retried"`` when the shard was resubmitted to the
+    pool and ``"inline"`` when retries were exhausted and the shard was
+    recomputed in the parent process instead.
+    """
+
+    window: Tuple[int, int]
+    shard_index: int
+    attempt: int
+    error: str
+    action: str
+
+
 def _freeze_outages(outages: Dict[int, list]) -> _OutageSpec:
     return tuple(
         (asn, tuple((start, end) for start, end in windows))
@@ -90,8 +124,8 @@ def _world_for(spec: ShardSpec) -> World:
     return world
 
 
-def run_shard(spec: ShardSpec) -> AddressCorpus:
-    """Process-pool entry point: collect one shard's week window."""
+def _run_shard_inline(spec: ShardSpec) -> AddressCorpus:
+    """Collect one shard's week window, with no failure injection."""
     campaign = NTPCampaign(_world_for(spec), spec.campaign_config)
     return campaign.run(
         spec.start_week,
@@ -99,6 +133,18 @@ def run_shard(spec: ShardSpec) -> AddressCorpus:
         shard_index=spec.shard_index,
         shard_count=spec.shard_count,
     )
+
+
+def run_shard(spec: ShardSpec) -> AddressCorpus:
+    """Process-pool entry point: collect one shard's week window.
+
+    Honours the ``REPRO_CHAOS_*`` failure-injection hooks (see
+    :mod:`repro.faults.chaos`); the inline degradation path goes through
+    :func:`_run_shard_inline` directly so a recovery run can never be
+    re-killed by its own chaos configuration.
+    """
+    maybe_fail_shard(spec.shard_index)
+    return _run_shard_inline(spec)
 
 
 def run_campaign_parallel(
@@ -111,6 +157,9 @@ def run_campaign_parallel(
     resume_from: Optional[Union[str, Path]] = None,
     start_week: int = 0,
     end_week: Optional[int] = None,
+    max_shard_retries: int = 2,
+    retry_backoff: float = 0.5,
+    retry_backoff_cap: float = 30.0,
 ) -> AddressCorpus:
     """Run a campaign sharded across processes, checkpointing as it goes.
 
@@ -124,7 +173,14 @@ def run_campaign_parallel(
     * ``checkpoint`` — path snapshotted atomically after every
       ``checkpoint_interval_weeks`` completed weeks.
     * ``resume_from`` — a previous checkpoint; collection restarts at
-      the first week that snapshot had not completed.
+      the first week that snapshot had not completed.  Corrupt or
+      truncated generations are skipped (logged) in favour of the
+      newest prior good one.
+    * ``max_shard_retries`` — failed shards are resubmitted this many
+      times (with capped exponential backoff starting at
+      ``retry_backoff`` seconds) before degrading to inline execution
+      in the parent.  Every recovery is recorded on
+      ``campaign.shard_failures``.
     """
     config = campaign.config
     if end_week is None:
@@ -142,10 +198,30 @@ def run_campaign_parallel(
             f"checkpoint interval must be >= 1 week: "
             f"{checkpoint_interval_weeks}"
         )
+    if max_shard_retries < 0:
+        raise ValueError(
+            f"max_shard_retries must be >= 0: {max_shard_retries}"
+        )
+    if retry_backoff < 0:
+        raise ValueError(f"retry_backoff must be >= 0: {retry_backoff}")
+    if retry_backoff_cap <= 0:
+        raise ValueError(
+            f"retry_backoff_cap must be > 0: {retry_backoff_cap}"
+        )
 
     current_week = start_week
     if resume_from is not None:
-        snapshot, completed_weeks = load_checkpoint(resume_from)
+        snapshot, completed_weeks, used, skipped = resolve_resume_checkpoint(
+            resume_from
+        )
+        for bad_path, error in skipped:
+            logger.warning(
+                "skipping corrupt checkpoint generation %s: %s",
+                bad_path,
+                error,
+            )
+        if skipped:
+            logger.warning("resuming from fallback checkpoint %s", used)
         if completed_weeks > end_week:
             raise ValueError(
                 f"checkpoint is ahead of the requested window: "
@@ -162,11 +238,15 @@ def run_campaign_parallel(
 
     outages = _freeze_outages(campaign.world.outages)
 
-    def collect_window(window_start: int, window_end: int, pool) -> None:
-        if pool is None:
+    if workers == 1:
+        for window_start, window_end in windows():
             campaign.run(window_start, window_end)
-            return
-        specs = [
+            if checkpoint is not None:
+                save_checkpoint(campaign.corpus, checkpoint, window_end)
+        return campaign.corpus
+
+    def specs_for(window_start: int, window_end: int) -> List[ShardSpec]:
+        return [
             ShardSpec(
                 world_config=campaign.world.config,
                 campaign_config=config,
@@ -178,22 +258,104 @@ def run_campaign_parallel(
             )
             for index in range(shard_count)
         ]
-        for shard_corpus in pool.map(run_shard, specs):
-            campaign.corpus.merge(shard_corpus)
 
-    if workers == 1:
-        for window_start, window_end in windows():
-            collect_window(window_start, window_end, None)
-            if checkpoint is not None:
-                save_checkpoint(campaign.corpus, checkpoint, window_end)
-        return campaign.corpus
+    def backoff_delay(attempt: int) -> float:
+        if retry_backoff <= 0:
+            return 0.0
+        return min(retry_backoff_cap, retry_backoff * (2 ** (attempt - 1)))
+
+    def collect_window(window_start: int, window_end: int, pool_box) -> None:
+        window = (window_start, window_end)
+        specs = specs_for(window_start, window_end)
+        # Completed shard corpora keyed by shard index: a shard is
+        # merged exactly once, no matter how many attempts (or which
+        # execution path) produced it.
+        completed: Dict[int, AddressCorpus] = {}
+        attempts = {index: 0 for index in range(shard_count)}
+        pending = list(range(shard_count))
+        while pending:
+            futures = {}
+            try:
+                for index in pending:
+                    futures[index] = pool_box[0].submit(
+                        run_shard, specs[index]
+                    )
+            except BrokenProcessPool:
+                # The pool died before this round's submissions went
+                # out (e.g. broken by the previous window); rebuild and
+                # resubmit without charging the shards an attempt.
+                pool_box[0] = _rebuild_pool(pool_box[0], workers)
+                continue
+            failed: Dict[int, str] = {}
+            pool_broken = False
+            for index in pending:
+                try:
+                    completed[index] = futures[index].result()
+                except BrokenProcessPool as error:
+                    pool_broken = True
+                    failed[index] = f"worker died: {error or 'process pool broken'}"
+                except Exception as error:
+                    failed[index] = f"{type(error).__name__}: {error}"
+            if pool_broken:
+                pool_box[0] = _rebuild_pool(pool_box[0], workers)
+            retry: List[int] = []
+            for index in sorted(failed):
+                attempts[index] += 1
+                action = (
+                    "retried"
+                    if attempts[index] <= max_shard_retries
+                    else "inline"
+                )
+                campaign.shard_failures.append(
+                    ShardFailure(
+                        window=window,
+                        shard_index=index,
+                        attempt=attempts[index],
+                        error=failed[index],
+                        action=action,
+                    )
+                )
+                logger.warning(
+                    "shard %d of window %s failed (attempt %d): %s -> %s",
+                    index,
+                    window,
+                    attempts[index],
+                    failed[index],
+                    action,
+                )
+                if action == "retried":
+                    retry.append(index)
+                else:
+                    # Retries exhausted: contain the failure by
+                    # computing the shard in this process (the chaos
+                    # hooks are bypassed on this path).
+                    completed[index] = _run_shard_inline(specs[index])
+            if retry:
+                delay = backoff_delay(max(attempts[i] for i in retry))
+                if delay > 0:
+                    time.sleep(delay)
+            pending = retry
+        for index in sorted(completed):
+            campaign.corpus.merge(completed[index])
 
     # Prime the cache so fork-based workers inherit the built world
     # instead of rebuilding it from config.
     _WORLD_CACHE[repr(campaign.world.config)] = campaign.world
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    pool_box = [ProcessPoolExecutor(max_workers=workers)]
+    try:
         for window_start, window_end in windows():
-            collect_window(window_start, window_end, pool)
+            collect_window(window_start, window_end, pool_box)
             if checkpoint is not None:
                 save_checkpoint(campaign.corpus, checkpoint, window_end)
+    finally:
+        pool_box[0].shutdown()
     return campaign.corpus
+
+
+def _rebuild_pool(
+    broken: ProcessPoolExecutor, workers: int
+) -> ProcessPoolExecutor:
+    """Replace a broken process pool with a fresh one."""
+    broken.shutdown(wait=False)
+    logger.warning("process pool broke; rebuilding with %d workers", workers)
+    return ProcessPoolExecutor(max_workers=workers)

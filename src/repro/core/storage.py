@@ -17,26 +17,37 @@ observations arrived in (the sharded executor relies on this for its
 determinism checks).  Both formats round-trip exactly (timestamps are
 preserved bit-for-bit in binary and via ``repr`` precision in text).
 
+Malformed or truncated input raises :class:`CorpusFormatError` naming
+the file and byte offset — never a bare ``struct.error`` or a silently
+shorter corpus.
+
 Path-based saves (:func:`save_corpus`, :func:`save_checkpoint`) are
 **atomic**: data is written to a sibling temp file, fsynced, then moved
 over the destination with ``os.replace`` — a crash mid-write leaves the
 previous good file untouched.  Checkpoint files wrap a binary corpus in
-a small header carrying the number of completed campaign weeks, which is
-what lets an interrupted sharded run resume at the last finished window.
+a small header carrying the number of completed campaign weeks and end
+in a CRC32 integrity footer; :func:`save_checkpoint` additionally
+rotates prior generations (``path.1``, ``path.2``) aside so that
+:func:`resolve_resume_checkpoint` can fall back to the newest prior
+good snapshot when the latest one is truncated or corrupt.
 """
 
 from __future__ import annotations
 
 import contextlib
+import io
 import os
 import struct
+import zlib
 from pathlib import Path
-from typing import BinaryIO, Iterator, TextIO, Tuple, Union
+from typing import BinaryIO, Iterator, List, Optional, TextIO, Tuple, Union
 
 from ..addr.ipv6 import format_address, parse
 from .corpus import AddressCorpus
 
 __all__ = [
+    "CorpusFormatError",
+    "CheckpointIntegrityError",
     "save_corpus_text",
     "load_corpus_text",
     "save_corpus_binary",
@@ -45,6 +56,8 @@ __all__ = [
     "load_corpus",
     "save_checkpoint",
     "load_checkpoint",
+    "checkpoint_candidates",
+    "resolve_resume_checkpoint",
 ]
 
 _TEXT_HEADER = "# repro-corpus v1 name="
@@ -55,8 +68,73 @@ _RECORD_V2 = struct.Struct(">16s d d Q")
 _MAX_COUNT = {1: 0xFFFFFFFF, 2: 0xFFFFFFFFFFFFFFFF}
 
 #: Checkpoint container: magic, then uint32 completed-week counter, then
-#: an ordinary binary corpus.
+#: an ordinary binary corpus, then the integrity footer.
 _CHECKPOINT_MAGIC = b"RPCW"
+#: Integrity footer: magic + CRC32 (big-endian) of every prior byte.
+_CHECKPOINT_FOOTER_MAGIC = b"RPCF"
+_CHECKPOINT_FOOTER_SIZE = 8
+
+#: Prior checkpoint generations retained by :func:`save_checkpoint`
+#: (``path.1`` is the previous snapshot, ``path.2`` the one before it).
+CHECKPOINT_GENERATIONS = 2
+
+
+class CorpusFormatError(ValueError):
+    """A corpus or checkpoint file is malformed.
+
+    Carries the offending ``path`` (when known) and the byte ``offset``
+    the problem was detected at, and renders both into the message —
+    "file X is broken at byte Y", not a bare ``struct.error``.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        path: Optional[Union[str, Path]] = None,
+        offset: Optional[int] = None,
+    ) -> None:
+        self.reason = reason
+        self.path = None if path is None else Path(path)
+        self.offset = offset
+        message = reason
+        if offset is not None:
+            message += f" (at byte offset {offset})"
+        if path is not None:
+            message += f" in {path}"
+        super().__init__(message)
+
+
+class CheckpointIntegrityError(CorpusFormatError):
+    """A checkpoint failed its CRC32 footer check (corrupt or truncated)."""
+
+
+def _with_path(error: CorpusFormatError, path: Union[str, Path]) -> CorpusFormatError:
+    """The same error, re-raised with the file name attached."""
+    cls = type(error)
+    return cls(error.reason, path=path, offset=error.offset)
+
+
+def _stream_offset(stream: BinaryIO) -> Optional[int]:
+    try:
+        return stream.tell()
+    except (OSError, AttributeError):
+        return None
+
+
+def _read_exact(stream: BinaryIO, size: int, what: str) -> bytes:
+    """Read exactly ``size`` bytes or raise a located truncation error."""
+    data = stream.read(size)
+    if len(data) != size:
+        offset = _stream_offset(stream)
+        if offset is not None:
+            offset -= len(data)
+        raise CorpusFormatError(
+            f"truncated file: wanted {size} bytes for {what}, "
+            f"got {len(data)}",
+            offset=offset,
+        )
+    return data
 
 
 def save_corpus_text(corpus: AddressCorpus, stream: TextIO) -> int:
@@ -81,12 +159,14 @@ def load_corpus_text(stream: TextIO) -> AddressCorpus:
     """Read the text format back into a corpus."""
     header = stream.readline().rstrip("\n")
     if not header.startswith(_TEXT_HEADER):
-        raise ValueError(f"not a repro corpus file: {header[:40]!r}")
+        raise CorpusFormatError(
+            f"not a repro corpus file: {header[:40]!r}", offset=0
+        )
     name = header[len(_TEXT_HEADER):]
     corpus = AddressCorpus(name or "loaded")
     column_line = stream.readline()
     if not column_line.startswith("address,"):
-        raise ValueError("missing column header")
+        raise CorpusFormatError("missing column header")
     for line_number, line in enumerate(stream, start=3):
         line = line.strip()
         if not line or line.startswith("#"):
@@ -148,28 +228,42 @@ def save_corpus_binary(
 
 
 def load_corpus_binary(stream: BinaryIO) -> AddressCorpus:
-    """Read the binary format (v1 or v2) back into a corpus."""
-    magic = stream.read(4)
+    """Read the binary format (v1 or v2) back into a corpus.
+
+    Truncated or malformed input raises :class:`CorpusFormatError`
+    pointing at the byte the problem was detected at.
+    """
+    magic = _read_exact(stream, 4, "format magic")
     if magic == _BINARY_MAGIC_V2:
         record = _RECORD_V2
     elif magic == _BINARY_MAGIC_V1:
         record = _RECORD_V1
     else:
-        raise ValueError(f"not a repro binary corpus: magic {magic!r}")
-    name_length = int.from_bytes(stream.read(2), "big")
-    name = stream.read(name_length).decode("utf-8")
-    corpus = AddressCorpus(name or "loaded")
-    expected = int.from_bytes(stream.read(8), "big")
-    for index in range(expected):
-        raw = stream.read(record.size)
-        if len(raw) != record.size:
-            raise ValueError(
-                f"truncated corpus: record {index} of {expected}"
-            )
-        packed_address, first, last, count = record.unpack(raw)
-        corpus.record_interval(
-            int.from_bytes(packed_address, "big"), first, last, count
+        raise CorpusFormatError(
+            f"not a repro binary corpus: magic {magic!r}", offset=0
         )
+    name_length = int.from_bytes(
+        _read_exact(stream, 2, "name length"), "big"
+    )
+    name = _read_exact(stream, name_length, "corpus name").decode("utf-8")
+    corpus = AddressCorpus(name or "loaded")
+    expected = int.from_bytes(_read_exact(stream, 8, "record count"), "big")
+    for index in range(expected):
+        raw = _read_exact(
+            stream, record.size, f"record {index} of {expected}"
+        )
+        packed_address, first, last, count = record.unpack(raw)
+        try:
+            corpus.record_interval(
+                int.from_bytes(packed_address, "big"), first, last, count
+            )
+        except ValueError as error:
+            offset = _stream_offset(stream)
+            if offset is not None:
+                offset -= record.size
+            raise CorpusFormatError(
+                f"bad record {index} of {expected}: {error}", offset=offset
+            ) from error
     return corpus
 
 
@@ -209,40 +303,152 @@ def save_corpus(corpus: AddressCorpus, path: Union[str, Path]) -> int:
 def load_corpus(path: Union[str, Path]) -> AddressCorpus:
     """Load from a path; format chosen by suffix (``.bin`` → binary)."""
     path = Path(path)
-    if path.suffix == ".bin":
-        with path.open("rb") as stream:
-            return load_corpus_binary(stream)
-    with path.open("r") as stream:
-        return load_corpus_text(stream)
+    try:
+        if path.suffix == ".bin":
+            with path.open("rb") as stream:
+                return load_corpus_binary(stream)
+        with path.open("r") as stream:
+            return load_corpus_text(stream)
+    except CorpusFormatError as error:
+        raise _with_path(error, path) from error
 
 
 def save_checkpoint(
     corpus: AddressCorpus,
     path: Union[str, Path],
     completed_weeks: int,
+    *,
+    keep_previous: int = CHECKPOINT_GENERATIONS,
 ) -> int:
     """Atomically snapshot a campaign corpus plus its progress marker.
 
     ``completed_weeks`` is the number of campaign weeks fully collected
     into ``corpus`` (i.e. the next run should resume at that week).
-    Returns the number of corpus records written.
+    The snapshot ends in a CRC32 footer so a resume can *detect*
+    corruption instead of loading garbage, and up to ``keep_previous``
+    prior generations are rotated aside (``path.1`` newest) so a resume
+    can *survive* it.  The rotation happens only after the new snapshot
+    is fully written and fsynced — a crash at any instant leaves at
+    least one good generation on disk.  Returns the number of corpus
+    records written.
     """
     if completed_weeks < 0 or completed_weeks > 0xFFFFFFFF:
         raise ValueError(f"bad completed week count: {completed_weeks}")
+    if keep_previous < 0:
+        raise ValueError(f"bad generation count: {keep_previous}")
     path = Path(path)
-    with _atomic_stream(path, binary=True) as stream:
-        stream.write(_CHECKPOINT_MAGIC)
-        stream.write(completed_weeks.to_bytes(4, "big"))
-        return save_corpus_binary(corpus, stream)
+    payload = io.BytesIO()
+    payload.write(_CHECKPOINT_MAGIC)
+    payload.write(completed_weeks.to_bytes(4, "big"))
+    written = save_corpus_binary(corpus, payload)
+    data = payload.getvalue()
+    footer = _CHECKPOINT_FOOTER_MAGIC + (
+        zlib.crc32(data) & 0xFFFFFFFF
+    ).to_bytes(4, "big")
+
+    temp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        with temp.open("wb") as stream:
+            stream.write(data)
+            stream.write(footer)
+            stream.flush()
+            os.fsync(stream.fileno())
+        # Rotate prior generations aside, oldest first, only now that
+        # the replacement is durably on disk.
+        for generation in range(keep_previous, 1, -1):
+            older = Path(f"{path}.{generation - 1}")
+            if older.exists():
+                os.replace(older, f"{path}.{generation}")
+        if keep_previous >= 1 and path.exists():
+            os.replace(path, f"{path}.1")
+        os.replace(temp, path)
+    except BaseException:
+        with contextlib.suppress(FileNotFoundError):
+            temp.unlink()
+        raise
+    return written
 
 
 def load_checkpoint(path: Union[str, Path]) -> Tuple[AddressCorpus, int]:
-    """Load a checkpoint; returns ``(corpus, completed_weeks)``."""
-    with Path(path).open("rb") as stream:
-        magic = stream.read(4)
-        if magic != _CHECKPOINT_MAGIC:
-            raise ValueError(
-                f"not a repro campaign checkpoint: magic {magic!r}"
-            )
-        completed_weeks = int.from_bytes(stream.read(4), "big")
-        return load_corpus_binary(stream), completed_weeks
+    """Load and integrity-check a checkpoint; ``(corpus, completed_weeks)``.
+
+    Raises :class:`CheckpointIntegrityError` when the footer is missing
+    (truncation) or its CRC32 does not match (corruption), and
+    :class:`CorpusFormatError` for structural damage — always naming the
+    file.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    try:
+        return _parse_checkpoint(data)
+    except CorpusFormatError as error:
+        raise _with_path(error, path) from error
+
+
+def _parse_checkpoint(data: bytes) -> Tuple[AddressCorpus, int]:
+    if data[:4] != _CHECKPOINT_MAGIC:
+        raise CorpusFormatError(
+            f"not a repro campaign checkpoint: magic {data[:4]!r}", offset=0
+        )
+    if len(data) < 8 + _CHECKPOINT_FOOTER_SIZE:
+        raise CheckpointIntegrityError(
+            f"checkpoint truncated to {len(data)} bytes", offset=len(data)
+        )
+    body, footer = data[:-_CHECKPOINT_FOOTER_SIZE], data[-_CHECKPOINT_FOOTER_SIZE:]
+    if footer[:4] != _CHECKPOINT_FOOTER_MAGIC:
+        raise CheckpointIntegrityError(
+            "checkpoint integrity footer missing (file truncated?)",
+            offset=len(body),
+        )
+    stored = int.from_bytes(footer[4:], "big")
+    computed = zlib.crc32(body) & 0xFFFFFFFF
+    if stored != computed:
+        raise CheckpointIntegrityError(
+            f"checkpoint CRC mismatch: stored {stored:#010x}, "
+            f"computed {computed:#010x}",
+            offset=len(body),
+        )
+    completed_weeks = int.from_bytes(data[4:8], "big")
+    return load_corpus_binary(io.BytesIO(body[8:])), completed_weeks
+
+
+def checkpoint_candidates(path: Union[str, Path]) -> List[Path]:
+    """Resume candidates, newest first: the path, then its generations."""
+    path = Path(path)
+    return [path] + [
+        Path(f"{path}.{generation}")
+        for generation in range(1, CHECKPOINT_GENERATIONS + 1)
+    ]
+
+
+def resolve_resume_checkpoint(
+    path: Union[str, Path],
+) -> Tuple[AddressCorpus, int, Path, List[Tuple[Path, CorpusFormatError]]]:
+    """Load the newest good checkpoint generation for a resume.
+
+    Tries ``path``, then ``path.1``, ``path.2`` … and returns
+    ``(corpus, completed_weeks, used_path, skipped)`` where ``skipped``
+    lists the corrupt/truncated candidates that were passed over —
+    resuming from garbage is never silent.  Raises
+    :class:`CheckpointIntegrityError` when every existing candidate is
+    bad, and ``FileNotFoundError`` when none exists at all.
+    """
+    skipped: List[Tuple[Path, CorpusFormatError]] = []
+    seen_any = False
+    for candidate in checkpoint_candidates(path):
+        if not candidate.exists():
+            continue
+        seen_any = True
+        try:
+            corpus, completed_weeks = load_checkpoint(candidate)
+        except CorpusFormatError as error:
+            skipped.append((candidate, error))
+            continue
+        return corpus, completed_weeks, candidate, skipped
+    if seen_any:
+        details = "; ".join(str(error) for _, error in skipped)
+        raise CheckpointIntegrityError(
+            f"no good checkpoint generation to resume from: {details}",
+            path=path,
+        )
+    raise FileNotFoundError(f"no checkpoint at {path}")

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..faults.plan import FaultPlan
 from ..scan.caida import CAIDACampaign
 from ..scan.hitlist_service import HitlistService
 from ..world.clock import WEEK
@@ -50,6 +51,12 @@ class StudyConfig:
     checkpoint_interval_weeks: int = 1
     #: Previous checkpoint to resume the NTP collection from.
     resume_from: Optional[str] = None
+    #: Fault-injection plan threaded into the NTP collection; ``None``
+    #: (or a zero plan) keeps the fault-free behaviour byte-identical.
+    faults: Optional[FaultPlan] = None
+    #: Failed shards are resubmitted this many times before degrading
+    #: to inline execution.
+    max_shard_retries: int = 2
 
     def __post_init__(self) -> None:
         if self.weeks < CAIDA_LAST_WEEK:
@@ -58,6 +65,14 @@ class StudyConfig:
             )
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1: {self.workers}")
+        if self.max_shard_retries < 0:
+            raise ValueError(
+                f"max_shard_retries must be >= 0: {self.max_shard_retries}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise TypeError(
+                f"faults must be a FaultPlan, not {type(self.faults).__name__}"
+            )
 
 
 @dataclass
@@ -85,6 +100,7 @@ def run_study(world: World, config: StudyConfig) -> StudyResults:
             weeks=config.weeks,
             seed=config.seed,
             full_packet_path=config.full_packet_path,
+            faults=config.faults,
         ),
     )
     if config.workers > 1 or config.checkpoint or config.resume_from:
@@ -94,6 +110,7 @@ def run_study(world: World, config: StudyConfig) -> StudyResults:
             checkpoint=config.checkpoint,
             checkpoint_interval_weeks=config.checkpoint_interval_weeks,
             resume_from=config.resume_from,
+            max_shard_retries=config.max_shard_retries,
         )
     else:
         ntp_corpus = campaign.run()

@@ -1,0 +1,34 @@
+"""Deterministic fault injection for the collection stack.
+
+The paper's 7-month campaign ran on infrastructure that failed
+constantly: the NTP Pool's monitoring system silently ejects members
+whose score falls below the join threshold, VPSes reboot, and UDP is
+lossy.  This package models those failure modes *deterministically* — a
+:class:`FaultPlan` is a small frozen value, every fault decision derives
+from ``split_rng``-style keyed hashing, and the same plan replays the
+same faults in any process, for any shard count.
+
+* :mod:`repro.faults.plan` — the :class:`FaultPlan` value and its CLI
+  spec parser;
+* :mod:`repro.faults.monitor` — the pool-monitor score model that turns
+  reachability incidents into in-rotation availability timelines;
+* :mod:`repro.faults.injector` — the runtime object campaigns query in
+  their hot loop;
+* :mod:`repro.faults.chaos` — environment-driven process-level chaos
+  (worker kills / raises) for the sharded executor's retry tests.
+"""
+
+from .chaos import ChaosInjected, maybe_fail_shard
+from .injector import FaultInjector
+from .monitor import AvailabilityTimeline, availability_timeline, incident_windows
+from .plan import FaultPlan
+
+__all__ = [
+    "AvailabilityTimeline",
+    "ChaosInjected",
+    "FaultInjector",
+    "FaultPlan",
+    "availability_timeline",
+    "incident_windows",
+    "maybe_fail_shard",
+]

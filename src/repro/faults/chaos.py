@@ -1,0 +1,60 @@
+"""Environment-driven process chaos for the sharded executor.
+
+The retry/containment machinery in :mod:`repro.core.parallel` needs a
+way to make real workers really die — an in-process monkeypatch does
+not cross the ``ProcessPoolExecutor`` boundary.  This module reads a
+small environment protocol at shard entry:
+
+* ``REPRO_CHAOS_TOKENS`` — a directory of token files; each triggered
+  failure atomically consumes one token, so the number of files placed
+  there is exactly the number of failures injected;
+* ``REPRO_CHAOS_SHARD`` — only shards with this index fail (optional;
+  default: any shard);
+* ``REPRO_CHAOS_MODE`` — ``"raise"`` (default) raises
+  :class:`ChaosInjected` inside the worker, exercising the exception
+  path; ``"kill"`` hard-exits the worker process, breaking the pool and
+  exercising crash containment.
+
+With no environment set this is a no-op costing one ``os.environ``
+lookup.  The CI chaos job and ``tests/core/test_shard_retry.py`` drive
+it; the inline-degradation fallback in the parent process deliberately
+bypasses it (a chaos kill must never take down the coordinating
+process).
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["ChaosInjected", "maybe_fail_shard"]
+
+#: Exit status of a chaos-killed worker (distinctive in pool tracebacks).
+KILL_STATUS = 17
+
+
+class ChaosInjected(RuntimeError):
+    """Raised inside a worker when a chaos token is consumed in raise mode."""
+
+
+def maybe_fail_shard(shard_index: int) -> None:
+    """Consume one chaos token and fail, if the environment says so."""
+    directory = os.environ.get("REPRO_CHAOS_TOKENS")
+    if not directory:
+        return
+    target = os.environ.get("REPRO_CHAOS_SHARD")
+    if target is not None and shard_index != int(target):
+        return
+    try:
+        tokens = sorted(os.listdir(directory))
+    except FileNotFoundError:
+        return
+    for token in tokens:
+        try:
+            os.unlink(os.path.join(directory, token))
+        except FileNotFoundError:
+            continue  # another worker claimed it first
+        if os.environ.get("REPRO_CHAOS_MODE", "raise") == "kill":
+            os._exit(KILL_STATUS)
+        raise ChaosInjected(
+            f"chaos token {token!r} consumed by shard {shard_index}"
+        )

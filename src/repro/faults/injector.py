@@ -1,0 +1,112 @@
+"""The runtime fault injector campaigns query in their hot loop.
+
+One :class:`FaultInjector` is built per campaign (per process — it is
+cheap and fully derived from the plan), precomputes every vantage's
+availability timeline, and answers three per-query questions:
+
+* :meth:`in_rotation` — would the pool's DNS still hand this vantage
+  out at this instant?
+* :meth:`packet_lost` — did this particular query's datagram survive
+  the (per-country lossy) path to the vantage?
+* :meth:`corrupts` / :meth:`corrupt_bytes` — was the datagram mangled
+  in flight, and into what?
+
+Every answer is keyed by the *identity* of the query
+(``device_id, day, query_index``), never by call order, so serial,
+sharded and replayed walks of the same campaign observe the same
+faults — the same invariant the capture RNG already provides.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from ..world.rng import keyed_uniform, split_rng
+from .monitor import AvailabilityTimeline, availability_timeline
+from .plan import FaultPlan
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Deterministic fault decisions for one campaign span."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        vantages: Iterable,
+        start: float,
+        end: float,
+    ) -> None:
+        self.plan = plan
+        self.start = start
+        self.end = end
+        self._base_loss = plan.packet_loss
+        self._country_loss: Dict[str, float] = dict(plan.country_loss)
+        self._timelines: Dict[int, AvailabilityTimeline] = {}
+        for vantage in vantages:
+            self._timelines[vantage.address] = availability_timeline(
+                plan, vantage.address, start, end
+            )
+
+    # -- vantage rotation ---------------------------------------------------------
+
+    def in_rotation(self, vantage_address: int, when: float) -> bool:
+        """True while the pool DNS would still hand the vantage out."""
+        timeline = self._timelines.get(vantage_address)
+        return timeline is None or timeline.available(when)
+
+    def availability(self) -> Dict[int, AvailabilityTimeline]:
+        """Per-vantage availability timelines (for study reports)."""
+        return dict(self._timelines)
+
+    # -- packet loss --------------------------------------------------------------
+
+    def loss_rate(self, country: str) -> float:
+        """Loss probability for clients in ``country``."""
+        return self._country_loss.get(country, self._base_loss)
+
+    def packet_lost(
+        self, country: str, device_id: int, day: int, query_index: int
+    ) -> bool:
+        """Did this query's datagram drop on the way to the vantage?"""
+        rate = self._country_loss.get(country, self._base_loss)
+        if rate <= 0.0:
+            return False
+        return (
+            keyed_uniform(self.plan.seed, "loss", device_id, day, query_index)
+            < rate
+        )
+
+    # -- corruption ---------------------------------------------------------------
+
+    def corrupts(self, device_id: int, day: int, query_index: int) -> bool:
+        """Was this query's datagram mangled in flight?"""
+        rate = self.plan.corruption_rate
+        if rate <= 0.0:
+            return False
+        return (
+            keyed_uniform(
+                self.plan.seed, "corrupt", device_id, day, query_index
+            )
+            < rate
+        )
+
+    def corrupt_bytes(
+        self, data: bytes, device_id: int, day: int, query_index: int
+    ) -> bytes:
+        """The mangled form of a datagram :meth:`corrupts` said to mangle.
+
+        Half of corruptions truncate the datagram (always malformed for
+        a 48-byte NTP header), half flip a single bit — which may still
+        parse, exactly like real line noise.
+        """
+        rng = split_rng(
+            self.plan.seed, "corrupt-bytes", device_id, day, query_index
+        )
+        if rng.random() < 0.5:
+            return data[: rng.randrange(0, len(data))]
+        bit = rng.randrange(len(data) * 8)
+        mangled = bytearray(data)
+        mangled[bit // 8] ^= 1 << (bit % 8)
+        return bytes(mangled)

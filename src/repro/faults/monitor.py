@@ -1,0 +1,174 @@
+"""The pool-monitor score model: incidents → in-rotation timelines.
+
+The real NTP Pool probes every member on a fixed cadence and keeps a
+per-member *score*: a reachable sample earns a point (capped), an
+unreachable one costs several, and the member is handed out by the
+pool's DNS rotation only while its score sits at or above the join
+threshold.  The asymmetry matters — a one-hour outage ejects a vantage
+within a few samples, but re-earning the threshold takes many reachable
+samples, so the vantage keeps capturing nothing for a while *after* its
+VPS recovers.  The paper's campaign operated under exactly this regime.
+
+Everything here is derived from the fault plan's seed with keyed
+hashing (:func:`repro.world.rng.split_rng`), so the timeline of any
+vantage is identical in every process that computes it.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Tuple
+
+from ..world.clock import DAY
+from ..world.rng import split_rng
+from .plan import FaultPlan
+
+__all__ = ["AvailabilityTimeline", "incident_windows", "availability_timeline"]
+
+
+class AvailabilityTimeline:
+    """In-rotation windows of one vantage over a campaign span.
+
+    ``windows`` are the disjoint, ascending ``[start, end)`` intervals
+    during which the pool's DNS would hand the vantage out; everywhere
+    else in ``[start, end)`` the vantage is ejected and captures
+    nothing.
+    """
+
+    __slots__ = ("start", "end", "windows", "_starts")
+
+    def __init__(
+        self,
+        start: float,
+        end: float,
+        windows: Tuple[Tuple[float, float], ...],
+    ) -> None:
+        self.start = start
+        self.end = end
+        self.windows = tuple(
+            (ws, we) for ws, we in windows if we > ws
+        )
+        self._starts = [ws for ws, _ in self.windows]
+
+    def available(self, when: float) -> bool:
+        """True while the vantage is in the DNS rotation at ``when``."""
+        index = bisect.bisect_right(self._starts, when) - 1
+        return index >= 0 and when < self.windows[index][1]
+
+    @property
+    def fraction(self) -> float:
+        """Fraction of the span spent in rotation."""
+        span = self.end - self.start
+        if span <= 0:
+            return 1.0
+        return sum(we - ws for ws, we in self.windows) / span
+
+    @property
+    def ejections(self) -> int:
+        """Number of distinct out-of-rotation gaps in the span."""
+        count = 0
+        cursor = self.start
+        for window_start, window_end in self.windows:
+            if window_start > cursor:
+                count += 1
+            cursor = window_end
+        if cursor < self.end:
+            count += 1
+        return count
+
+    def __repr__(self) -> str:
+        return (
+            f"AvailabilityTimeline({100 * self.fraction:.1f}% of "
+            f"[{self.start}, {self.end}), {self.ejections} ejections)"
+        )
+
+
+def incident_windows(
+    plan: FaultPlan, vantage_address: int, start: float, end: float
+) -> List[Tuple[float, float]]:
+    """Merged unreachability incidents of one vantage over a span.
+
+    Each campaign day independently starts an incident with probability
+    ``plan.vantage_flap_rate``, at a uniform time of day, with an
+    exponentially distributed duration — all drawn from an RNG keyed by
+    ``(plan.seed, "incident", vantage_address, day)``, so the schedule
+    never depends on which other vantages or days were evaluated.
+    """
+    if plan.vantage_flap_rate <= 0.0 or end <= start:
+        return []
+    days = int((end - start + DAY - 1) // DAY)
+    raw: List[Tuple[float, float]] = []
+    for day in range(days):
+        rng = split_rng(plan.seed, "incident", vantage_address, day)
+        if rng.random() >= plan.vantage_flap_rate:
+            continue
+        begin = start + day * DAY + rng.random() * DAY
+        duration = rng.expovariate(1.0 / plan.outage_duration)
+        if begin >= end:
+            continue
+        raw.append((begin, min(begin + duration, end)))
+    raw.sort()
+    merged: List[Tuple[float, float]] = []
+    for begin, finish in raw:
+        if merged and begin <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], finish))
+        else:
+            merged.append((begin, finish))
+    return merged
+
+
+def availability_timeline(
+    plan: FaultPlan, vantage_address: int, start: float, end: float
+) -> AvailabilityTimeline:
+    """Run the score model over a span and return the rotation windows.
+
+    The vantage starts as a healthy member (score at the cap).  The
+    monitor samples reachability every ``plan.monitor_interval``
+    seconds; score transitions across ``plan.join_threshold`` become
+    window boundaries.  Stretches with a full score and no incident in
+    sight are skipped in O(1) rather than sampled, so a mostly-healthy
+    31-week timeline costs time proportional to its incidents, not its
+    length.
+    """
+    incidents = incident_windows(plan, vantage_address, start, end)
+    if not incidents:
+        return AvailabilityTimeline(start, end, ((start, end),))
+
+    interval = plan.monitor_interval
+    score = plan.score_cap
+    floor = -plan.score_cap
+    in_rotation = True
+    window_start = start
+    windows: List[Tuple[float, float]] = []
+    index = 0  # first incident not entirely in the past
+    t = start
+    while t < end:
+        while index < len(incidents) and incidents[index][1] <= t:
+            index += 1
+        reachable = not (
+            index < len(incidents) and incidents[index][0] <= t
+        )
+        if reachable and score >= plan.score_cap:
+            # Healthy steady state: fast-forward to the last monitor
+            # tick at or before the next incident begins.
+            if index >= len(incidents):
+                break
+            ticks_until = int((incidents[index][0] - start) // interval)
+            skip_to = start + ticks_until * interval
+            t = skip_to if skip_to > t else t + interval
+            continue
+        if reachable:
+            score = min(score + plan.reach_gain, plan.score_cap)
+        else:
+            score = max(score - plan.unreach_penalty, floor)
+        now_in = score >= plan.join_threshold
+        if now_in != in_rotation:
+            if in_rotation:
+                windows.append((window_start, t))
+            else:
+                window_start = t
+            in_rotation = now_in
+        t += interval
+    if in_rotation:
+        windows.append((window_start, end))
+    return AvailabilityTimeline(start, end, tuple(windows))

@@ -122,9 +122,16 @@ class NTPPacket:
     def parse(cls, data: bytes) -> "NTPPacket":
         """Parse the first 48 bytes of ``data`` into a packet.
 
-        Raises ``ValueError`` for short datagrams.  Extra bytes (extension
-        fields / MAC) are ignored, as a tolerant server would.
+        Raises ``ValueError`` for short datagrams and for non-bytes
+        input — never ``struct.error`` or ``TypeError``, so serve paths
+        can treat ``ValueError`` as the complete "malformed datagram"
+        contract.  Extra bytes (extension fields / MAC) are ignored, as
+        a tolerant server would.
         """
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise ValueError(
+                f"datagram must be bytes-like, not {type(data).__name__}"
+            )
         if len(data) < PACKET_LENGTH:
             raise ValueError(
                 f"datagram too short for NTP: {len(data)} < {PACKET_LENGTH}"

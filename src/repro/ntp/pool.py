@@ -15,7 +15,7 @@ which matches how volunteers' servers actually serve vendor zone traffic.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .client import TimeSource
 from .server import StratumTwoServer
@@ -76,6 +76,23 @@ class NTPPool:
         self._by_continent: Dict[str, List[int]] = defaultdict(list)
         self._all: List[int] = []
         self._cursors: Dict[str, int] = defaultdict(int)
+        self._rotation_filter: Optional[Callable[[int, float], bool]] = None
+
+    def set_rotation_filter(
+        self, rotation_filter: Optional[Callable[[int, float], bool]]
+    ) -> None:
+        """Install the monitor's rotation gate (or remove it with ``None``).
+
+        ``rotation_filter(address, when) -> bool`` decides whether a
+        member is currently handed out by the DNS rotation — the pool's
+        monitoring system ejects members whose score has fallen below
+        the join threshold.  The filter only applies to time-aware
+        resolution (``resolve``/``handle_dns_query`` with ``now=``);
+        membership itself (:meth:`members`, :meth:`tier_members`) is
+        unaffected, exactly as a monitored-but-ejected server remains a
+        registered pool member.
+        """
+        self._rotation_filter = rotation_filter
 
     def join(self, server: StratumTwoServer) -> None:
         """Add a member server (the paper's 'joining the NTP Pool')."""
@@ -113,7 +130,11 @@ class NTPPool:
         return len(self._members)
 
     def resolve(
-        self, zone: TimeSource, client_country: str, count: Optional[int] = None
+        self,
+        zone: TimeSource,
+        client_country: str,
+        count: Optional[int] = None,
+        now: Optional[float] = None,
     ) -> List[int]:
         """Answer a DNS query for a pool zone from a client in a country.
 
@@ -121,12 +142,22 @@ class NTPPool:
         members, then same-continent, then the whole pool.  Non-pool time
         sources (``time.apple.com`` …) return an empty answer: those
         queries never reach pool vantage points.
+
+        When a rotation filter is installed (:meth:`set_rotation_filter`)
+        and the query carries a time (``now=``), members the monitor has
+        ejected at that instant are excluded from the answer.
         """
         if not zone.is_pool_zone:
             return []
         if count is None:
             count = self.ANSWER_SIZE
         candidates, tier = self._candidate_tier(client_country)
+        if self._rotation_filter is not None and now is not None:
+            candidates = [
+                address
+                for address in candidates
+                if self._rotation_filter(address, now)
+            ]
         if not candidates:
             return []
         cursor_key = f"{zone.value}/{tier}"
@@ -138,7 +169,10 @@ class NTPPool:
         return answer
 
     def handle_dns_query(
-        self, query_bytes: bytes, client_country: str
+        self,
+        query_bytes: bytes,
+        client_country: str,
+        now: Optional[float] = None,
     ) -> Optional[bytes]:
         """Answer one wire-format DNS query (the pool's actual interface).
 
@@ -160,7 +194,7 @@ class NTPPool:
             return None
         if not zone.is_pool_zone:
             return None
-        answer = self.resolve(zone, client_country)
+        answer = self.resolve(zone, client_country, now=now)
         return build_response(query, answer)
 
     def tier_members(self, client_country: str) -> Tuple[List[int], str]:

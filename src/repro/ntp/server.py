@@ -14,6 +14,7 @@ does two jobs, exactly like the paper's:
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -84,12 +85,15 @@ class StratumTwoServer:
 
         Malformed datagrams and non-client modes are counted and dropped
         — a public pool server must never reflect garbage (NTP reflection
-        was a notorious amplification vector).
+        was a notorious amplification vector).  *Any* parse failure is
+        contained here: one bad datagram — truncated, bit-flipped, or of
+        the wrong type entirely — must never kill a vantage that the
+        campaign depends on for weeks of collection.
         """
         self.stats.requests += 1
         try:
             request = NTPPacket.parse(data)
-        except ValueError:
+        except (ValueError, struct.error, TypeError):
             self.stats.malformed += 1
             return None
         if not request.is_valid_request():

@@ -1,0 +1,202 @@
+"""Tests for checkpoint CRC footers, generation rotation and fallback.
+
+A months-long collection writes thousands of checkpoints; eventually one
+of them lands on a dying disk or gets truncated by a power cut.  The
+storage layer must *detect* that (CRC32 footer) and the executor must
+*survive* it (fall back to the newest rotated prior generation).
+"""
+
+import io
+
+import pytest
+
+from repro.core.campaign import CampaignConfig, NTPCampaign
+from repro.core.corpus import AddressCorpus
+from repro.core.parallel import run_campaign_parallel
+from repro.core.storage import (
+    CheckpointIntegrityError,
+    CorpusFormatError,
+    checkpoint_candidates,
+    load_checkpoint,
+    load_corpus,
+    resolve_resume_checkpoint,
+    save_checkpoint,
+    save_corpus,
+    save_corpus_binary,
+)
+from repro.world import CAMPAIGN_EPOCH
+
+
+def make_corpus(n=5):
+    corpus = AddressCorpus("ntp-pool")
+    for index in range(n):
+        corpus.record((0x2001 << 112) | index, 1000.0 + index)
+    return corpus
+
+
+def make_campaign(world, weeks=2):
+    return NTPCampaign(
+        world, CampaignConfig(start=CAMPAIGN_EPOCH, weeks=weeks, seed=5)
+    )
+
+
+def records(corpus):
+    return dict(corpus.items())
+
+
+class TestCorruptionDetection:
+    def test_roundtrip_still_works(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(make_corpus(), path, 3)
+        corpus, completed = load_checkpoint(path)
+        assert completed == 3
+        assert records(corpus) == records(make_corpus())
+
+    def test_flipped_byte_detected(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(make_corpus(), path, 3)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointIntegrityError) as excinfo:
+            load_checkpoint(path)
+        assert str(path) in str(excinfo.value)
+        assert "CRC" in str(excinfo.value)
+
+    def test_truncation_detected(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(make_corpus(), path, 3)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 10])
+        with pytest.raises(CheckpointIntegrityError) as excinfo:
+            load_checkpoint(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_footerless_legacy_checkpoint_rejected(self, tmp_path):
+        # A pre-footer RPCW file has no integrity guarantee; resuming
+        # from it silently would defeat the whole point.
+        path = tmp_path / "c.ckpt"
+        body = io.BytesIO()
+        body.write(b"RPCW" + (3).to_bytes(4, "big"))
+        save_corpus_binary(make_corpus(), body)
+        path.write_bytes(body.getvalue())
+        with pytest.raises(CheckpointIntegrityError):
+            load_checkpoint(path)
+
+    def test_wrong_magic_is_format_error(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        path.write_bytes(b"JUNKJUNKJUNKJUNK")
+        with pytest.raises(CorpusFormatError) as excinfo:
+            load_checkpoint(path)
+        assert not isinstance(excinfo.value, CheckpointIntegrityError)
+
+
+class TestTruncatedCorpus:
+    def test_truncated_binary_corpus_names_file_and_offset(self, tmp_path):
+        path = tmp_path / "ntp.corpus.bin"
+        save_corpus(make_corpus(), path)
+        data = path.read_bytes()
+        cut = len(data) - 7  # mid-record
+        path.write_bytes(data[:cut])
+        with pytest.raises(CorpusFormatError) as excinfo:
+            load_corpus(path)
+        error = excinfo.value
+        assert error.path == path
+        assert error.offset is not None
+        assert str(path) in str(error)
+        assert "byte offset" in str(error)
+
+    def test_truncated_header_is_an_error_not_empty(self, tmp_path):
+        # Cutting the file inside the record-count field must raise —
+        # historically a short read here yielded a silently empty corpus.
+        path = tmp_path / "ntp.corpus.bin"
+        save_corpus(make_corpus(), path)
+        path.write_bytes(path.read_bytes()[:8])
+        with pytest.raises(CorpusFormatError):
+            load_corpus(path)
+
+
+class TestGenerationRotation:
+    def test_generations_rotate(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        for week in (1, 2, 3, 4):
+            save_checkpoint(make_corpus(week), path, week)
+        assert load_checkpoint(path)[1] == 4
+        assert load_checkpoint(f"{path}.1")[1] == 3
+        assert load_checkpoint(f"{path}.2")[1] == 2
+        # Older generations are not retained.
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "c.ckpt", "c.ckpt.1", "c.ckpt.2",
+        ]
+
+    def test_keep_previous_zero_keeps_only_current(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(make_corpus(), path, 1, keep_previous=0)
+        save_checkpoint(make_corpus(), path, 2, keep_previous=0)
+        assert [p.name for p in tmp_path.iterdir()] == ["c.ckpt"]
+
+    def test_candidates_order(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        names = [p.name for p in checkpoint_candidates(path)]
+        assert names == ["c.ckpt", "c.ckpt.1", "c.ckpt.2"]
+
+
+class TestResumeFallback:
+    def test_resolve_prefers_newest_good(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(make_corpus(1), path, 1)
+        save_checkpoint(make_corpus(2), path, 2)
+        corpus, weeks, used, skipped = resolve_resume_checkpoint(path)
+        assert (weeks, used, skipped) == (2, path, [])
+
+    def test_resolve_falls_back_past_corruption(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(make_corpus(1), path, 1)
+        save_checkpoint(make_corpus(2), path, 2)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0x01  # corrupt the newest generation
+        path.write_bytes(bytes(data))
+        corpus, weeks, used, skipped = resolve_resume_checkpoint(path)
+        assert weeks == 1
+        assert used == tmp_path / "c.ckpt.1"
+        assert len(skipped) == 1
+        assert skipped[0][0] == path
+
+    def test_all_corrupt_raises(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(make_corpus(1), path, 1)
+        save_checkpoint(make_corpus(2), path, 2)
+        for candidate in checkpoint_candidates(path):
+            if candidate.exists():
+                candidate.write_bytes(b"garbage")
+        with pytest.raises(CheckpointIntegrityError):
+            resolve_resume_checkpoint(path)
+
+    def test_missing_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            resolve_resume_checkpoint(tmp_path / "never.ckpt")
+
+    def test_campaign_resumes_from_fallback_generation(
+        self, core_world, tmp_path
+    ):
+        # Full end-to-end: a two-week checkpointed run leaves the week-2
+        # snapshot at `path` and week-1 at `path.1`.  Corrupting the
+        # newest must not strand the campaign — the resume falls back to
+        # week 1, recollects week 2, and matches the uninterrupted run.
+        serial = make_campaign(core_world).run()
+        path = tmp_path / "ntp.ckpt"
+        first = make_campaign(core_world)
+        run_campaign_parallel(first, workers=2, checkpoint=path)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 3] ^= 0x40
+        path.write_bytes(bytes(data))
+
+        resumed = make_campaign(core_world)
+        merged = run_campaign_parallel(
+            resumed, workers=2, checkpoint=path, resume_from=path
+        )
+        assert records(merged) == records(serial)
+        # The repaired checkpoint chain is good again.
+        corpus, completed = load_checkpoint(path)
+        assert completed == 2
+        assert records(corpus) == records(serial)

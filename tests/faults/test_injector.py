@@ -1,0 +1,152 @@
+"""Tests for repro.faults.injector and the chaos environment hooks."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.faults import ChaosInjected, FaultInjector, FaultPlan, maybe_fail_shard
+from repro.ntp.packet import PACKET_LENGTH
+from repro.world.clock import WEEK
+
+START = 1_000_000.0
+END = START + 8 * WEEK
+
+
+@dataclass(frozen=True)
+class FakeVantage:
+    address: int
+    country: str = "US"
+
+
+VANTAGES = [FakeVantage(0x2001_0DB8 << 96 | i) for i in range(6)]
+
+
+def make_injector(**kwargs):
+    plan = FaultPlan(seed=13, **kwargs)
+    return FaultInjector(plan, VANTAGES, START, END)
+
+
+class TestRotation:
+    def test_zero_plan_keeps_everything_in_rotation(self):
+        injector = make_injector()
+        for vantage in VANTAGES:
+            assert injector.in_rotation(vantage.address, START)
+            assert injector.in_rotation(vantage.address, END - 1)
+
+    def test_unknown_vantage_defaults_to_available(self):
+        assert make_injector().in_rotation(0xDEAD, START)
+
+    def test_flapping_ejects_some_vantage(self):
+        injector = make_injector(vantage_flap_rate=0.5, outage_duration=14400.0)
+        timelines = injector.availability()
+        assert len(timelines) == len(VANTAGES)
+        assert any(t.ejections > 0 for t in timelines.values())
+        # The injector's per-instant answer agrees with the timelines.
+        for vantage in VANTAGES:
+            timeline = timelines[vantage.address]
+            for window_start, _ in timeline.windows:
+                assert injector.in_rotation(vantage.address, window_start)
+
+
+class TestPacketLoss:
+    def test_zero_rate_never_loses(self):
+        injector = make_injector()
+        assert not any(
+            injector.packet_lost("US", device, 0, q)
+            for device in range(50)
+            for q in range(4)
+        )
+
+    def test_loss_rate_close_to_plan(self):
+        injector = make_injector(packet_loss=0.25)
+        trials = [
+            injector.packet_lost("US", device, day, q)
+            for device in range(200)
+            for day in range(5)
+            for q in range(2)
+        ]
+        rate = sum(trials) / len(trials)
+        assert 0.20 < rate < 0.30
+
+    def test_country_override(self):
+        injector = make_injector(
+            packet_loss=0.0, country_loss=(("BR", 1.0),)
+        )
+        assert injector.loss_rate("BR") == 1.0
+        assert injector.loss_rate("US") == 0.0
+        assert injector.packet_lost("BR", 1, 0, 0)
+        assert not injector.packet_lost("US", 1, 0, 0)
+
+    def test_decisions_keyed_by_identity_not_order(self):
+        a = make_injector(packet_loss=0.3)
+        b = make_injector(packet_loss=0.3)
+        forward = [a.packet_lost("US", d, 0, 0) for d in range(100)]
+        backward = [
+            b.packet_lost("US", d, 0, 0) for d in reversed(range(100))
+        ]
+        assert forward == list(reversed(backward))
+
+
+class TestCorruption:
+    def test_zero_rate_never_corrupts(self):
+        injector = make_injector()
+        assert not any(
+            injector.corrupts(device, 0, 0) for device in range(100)
+        )
+
+    def test_corrupt_bytes_deterministic(self):
+        injector = make_injector(corruption_rate=1.0)
+        data = bytes(range(48))
+        assert injector.corrupt_bytes(data, 7, 3, 1) == injector.corrupt_bytes(
+            data, 7, 3, 1
+        )
+        assert injector.corrupt_bytes(data, 7, 3, 1) != data
+
+    def test_corrupt_bytes_truncates_or_flips_one_bit(self):
+        injector = make_injector(corruption_rate=1.0)
+        data = bytes(PACKET_LENGTH)
+        saw_truncation = saw_flip = False
+        for identity in range(200):
+            mangled = injector.corrupt_bytes(data, identity, 0, 0)
+            if len(mangled) < len(data):
+                saw_truncation = True
+            else:
+                assert len(mangled) == len(data)
+                differing = [
+                    bin(a ^ b).count("1")
+                    for a, b in zip(data, mangled)
+                ]
+                assert sum(differing) == 1
+                saw_flip = True
+        assert saw_truncation and saw_flip
+
+
+class TestChaosHooks:
+    def test_no_environment_is_a_noop(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS_TOKENS", raising=False)
+        maybe_fail_shard(0)  # must not raise
+
+    def test_token_consumed_and_raises(self, tmp_path, monkeypatch):
+        (tmp_path / "token-1").touch()
+        monkeypatch.setenv("REPRO_CHAOS_TOKENS", str(tmp_path))
+        monkeypatch.setenv("REPRO_CHAOS_MODE", "raise")
+        monkeypatch.delenv("REPRO_CHAOS_SHARD", raising=False)
+        with pytest.raises(ChaosInjected):
+            maybe_fail_shard(0)
+        assert list(tmp_path.iterdir()) == []
+        maybe_fail_shard(0)  # tokens exhausted: no-op
+
+    def test_shard_filter(self, tmp_path, monkeypatch):
+        (tmp_path / "token-1").touch()
+        monkeypatch.setenv("REPRO_CHAOS_TOKENS", str(tmp_path))
+        monkeypatch.setenv("REPRO_CHAOS_SHARD", "2")
+        maybe_fail_shard(0)  # wrong shard: token untouched
+        assert len(list(tmp_path.iterdir())) == 1
+        with pytest.raises(ChaosInjected):
+            maybe_fail_shard(2)
+
+    def test_missing_token_directory_is_a_noop(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_CHAOS_TOKENS", str(tmp_path / "never-created")
+        )
+        maybe_fail_shard(0)

@@ -1,0 +1,143 @@
+"""Tests for repro.faults.monitor — the pool score model."""
+
+from repro.faults import FaultPlan, availability_timeline, incident_windows
+from repro.faults.monitor import AvailabilityTimeline
+from repro.world.clock import DAY, WEEK
+
+START = 1_000_000.0
+SPAN = 4 * WEEK
+ADDRESS = 0x2001_0DB8_0000_0000_0000_0000_0000_0001
+
+FLAPPY = FaultPlan(seed=11, vantage_flap_rate=0.4, outage_duration=7200.0)
+
+
+class TestAvailabilityTimeline:
+    def test_single_window_is_always_available(self):
+        timeline = AvailabilityTimeline(
+            0.0, 100.0, ((0.0, 100.0),)
+        )
+        assert timeline.fraction == 1.0
+        assert timeline.ejections == 0
+        assert timeline.available(0.0)
+        assert timeline.available(99.9)
+
+    def test_gap_counts_as_ejection(self):
+        timeline = AvailabilityTimeline(
+            0.0, 100.0, ((0.0, 40.0), (60.0, 100.0))
+        )
+        assert timeline.ejections == 1
+        assert timeline.fraction == 0.8
+        assert timeline.available(39.9)
+        assert not timeline.available(50.0)
+        assert timeline.available(60.0)
+
+    def test_leading_and_trailing_gaps(self):
+        timeline = AvailabilityTimeline(0.0, 100.0, ((20.0, 80.0),))
+        assert timeline.ejections == 2
+        assert not timeline.available(10.0)
+        assert not timeline.available(90.0)
+
+    def test_empty_windows_dropped(self):
+        timeline = AvailabilityTimeline(
+            0.0, 100.0, ((10.0, 10.0), (20.0, 30.0))
+        )
+        assert timeline.windows == ((20.0, 30.0),)
+
+
+class TestIncidentWindows:
+    def test_deterministic(self):
+        first = incident_windows(FLAPPY, ADDRESS, START, START + SPAN)
+        second = incident_windows(FLAPPY, ADDRESS, START, START + SPAN)
+        assert first == second
+        assert first  # 40%/day over 4 weeks: incidents all but certain
+
+    def test_zero_flap_rate_has_no_incidents(self):
+        plan = FaultPlan(seed=11, packet_loss=0.5)
+        assert incident_windows(plan, ADDRESS, START, START + SPAN) == []
+
+    def test_windows_sorted_disjoint_and_bounded(self):
+        windows = incident_windows(FLAPPY, ADDRESS, START, START + SPAN)
+        cursor = START
+        for begin, finish in windows:
+            assert cursor <= begin < finish <= START + SPAN
+            cursor = finish
+
+    def test_independent_per_vantage(self):
+        a = incident_windows(FLAPPY, ADDRESS, START, START + SPAN)
+        b = incident_windows(FLAPPY, ADDRESS + 1, START, START + SPAN)
+        assert a != b
+
+    def test_independent_per_seed(self):
+        other = FaultPlan(
+            seed=12, vantage_flap_rate=0.4, outage_duration=7200.0
+        )
+        assert incident_windows(
+            FLAPPY, ADDRESS, START, START + SPAN
+        ) != incident_windows(other, ADDRESS, START, START + SPAN)
+
+
+class TestScoreModel:
+    def test_no_incidents_means_full_availability(self):
+        plan = FaultPlan(seed=11)
+        timeline = availability_timeline(plan, ADDRESS, START, START + SPAN)
+        assert timeline.fraction == 1.0
+        assert timeline.ejections == 0
+
+    def test_outage_ejects_and_rejoins(self):
+        # High flap rate over a long span: some outage must cross the
+        # score threshold, and recovery must bring the vantage back.
+        timeline = availability_timeline(
+            FLAPPY, ADDRESS, START, START + 12 * WEEK
+        )
+        assert timeline.ejections > 0
+        assert 0.0 < timeline.fraction < 1.0
+
+    def test_recovery_lags_incident_end(self):
+        # The -5/+1 asymmetry: after the incident ends the vantage needs
+        # many reachable samples to re-earn the join threshold, so the
+        # out-of-rotation gap extends past the unreachability window.
+        plan = FaultPlan(seed=2, vantage_flap_rate=1.0, outage_duration=4 * 3600.0)
+        timeline = availability_timeline(plan, ADDRESS, START, START + 2 * DAY)
+        incidents = incident_windows(plan, ADDRESS, START, START + 2 * DAY)
+        assert timeline.ejections > 0
+        first_gap_end = None
+        cursor = timeline.start
+        for window_start, window_end in timeline.windows:
+            if window_start > cursor:
+                first_gap_end = window_start
+                break
+            cursor = window_end
+        if first_gap_end is not None:
+            # Rejoin strictly after the first incident ended.
+            assert first_gap_end > incidents[0][1]
+
+    def test_deterministic_across_calls(self):
+        a = availability_timeline(FLAPPY, ADDRESS, START, START + SPAN)
+        b = availability_timeline(FLAPPY, ADDRESS, START, START + SPAN)
+        assert a.windows == b.windows
+
+    def test_fast_forward_matches_dense_sampling(self):
+        # The O(incidents) fast path must agree with brute-force
+        # sampling of the same score recurrence at every monitor tick.
+        plan = FaultPlan(
+            seed=5, vantage_flap_rate=0.5, outage_duration=3 * 3600.0
+        )
+        end = START + WEEK
+        timeline = availability_timeline(plan, ADDRESS, START, end)
+        incidents = incident_windows(plan, ADDRESS, START, end)
+
+        def unreachable(when):
+            return any(b <= when < f for b, f in incidents)
+
+        score, in_rotation = plan.score_cap, True
+        t = START
+        while t + plan.monitor_interval < end:
+            if unreachable(t):
+                score = max(score - plan.unreach_penalty, -plan.score_cap)
+            else:
+                score = min(score + plan.reach_gain, plan.score_cap)
+            in_rotation = score >= plan.join_threshold
+            assert timeline.available(t + plan.monitor_interval / 2) == (
+                in_rotation
+            ), f"divergence at tick {t}"
+            t += plan.monitor_interval

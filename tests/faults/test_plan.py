@@ -1,0 +1,99 @@
+"""Tests for repro.faults.plan — the frozen fault schedule."""
+
+import pickle
+
+import pytest
+
+from repro.faults import FaultPlan
+
+
+class TestValidation:
+    def test_defaults_are_zero(self):
+        plan = FaultPlan()
+        assert plan.is_zero
+        assert FaultPlan.none().is_zero
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"vantage_flap_rate": -0.1},
+            {"vantage_flap_rate": 1.5},
+            {"packet_loss": 2.0},
+            {"corruption_rate": -1.0},
+            {"outage_duration": 0.0},
+            {"monitor_interval": -5.0},
+            {"reach_gain": 0.0},
+            {"unreach_penalty": -1.0},
+            {"join_threshold": 30.0},  # above the score cap
+            {"country_loss": (("brazil", 0.1),)},
+            {"country_loss": (("BR", 7.0),)},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+    def test_country_loss_canonical_order(self):
+        a = FaultPlan(country_loss=(("US", 0.1), ("BR", 0.2)))
+        b = FaultPlan(country_loss=(("BR", 0.2), ("US", 0.1)))
+        assert a == b
+        assert a.country_loss == (("BR", 0.2), ("US", 0.1))
+
+    def test_nonzero_when_any_rate_set(self):
+        assert not FaultPlan(vantage_flap_rate=0.1).is_zero
+        assert not FaultPlan(packet_loss=0.1).is_zero
+        assert not FaultPlan(corruption_rate=0.1).is_zero
+        assert not FaultPlan(country_loss=(("BR", 0.1),)).is_zero
+        # All-zero overrides still count as a zero plan.
+        assert FaultPlan(country_loss=(("BR", 0.0),)).is_zero
+
+    def test_loss_for(self):
+        plan = FaultPlan(packet_loss=0.05, country_loss=(("BR", 0.3),))
+        assert plan.loss_for("BR") == 0.3
+        assert plan.loss_for("US") == 0.05
+
+    def test_picklable_and_hashable(self):
+        plan = FaultPlan(
+            seed=9, vantage_flap_rate=0.2, country_loss=(("BR", 0.3),)
+        )
+        assert pickle.loads(pickle.dumps(plan)) == plan
+        assert hash(plan) == hash(pickle.loads(pickle.dumps(plan)))
+
+
+class TestSpec:
+    def test_parse_full_spec(self):
+        plan = FaultPlan.parse(
+            "flap=0.2,outage=7200,loss=0.05,loss.br=0.3,"
+            "corrupt=0.01,seed=9,monitor=600"
+        )
+        assert plan.vantage_flap_rate == 0.2
+        assert plan.outage_duration == 7200.0
+        assert plan.packet_loss == 0.05
+        assert plan.country_loss == (("BR", 0.3),)
+        assert plan.corruption_rate == 0.01
+        assert plan.seed == 9
+        assert plan.monitor_interval == 600.0
+
+    @pytest.mark.parametrize("spec", [None, "", "   ", ","])
+    def test_empty_spec_is_zero_plan(self, spec):
+        assert FaultPlan.parse(spec) == FaultPlan.none()
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["flap", "bogus=1", "flap=notanumber", "loss=2.0"],
+    )
+    def test_bad_specs_raise_value_error(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(spec)
+
+    def test_spec_round_trips(self):
+        plan = FaultPlan(
+            seed=3,
+            vantage_flap_rate=0.25,
+            outage_duration=1800.0,
+            packet_loss=0.1,
+            country_loss=(("BR", 0.3), ("US", 0.05)),
+            corruption_rate=0.02,
+        )
+        assert FaultPlan.parse(plan.spec()) == plan
+        assert FaultPlan.parse(FaultPlan.none().spec()) == FaultPlan.none()

@@ -132,3 +132,56 @@ class TestResolution:
 
     def test_empty_pool(self):
         assert NTPPool().resolve(TimeSource.POOL, "US") == []
+
+
+class TestRotationFilter:
+    def test_filter_excludes_ejected_members(self):
+        pool = make_pool("US", "US", "US")
+        ejected = pool.members()[0].address
+        pool.set_rotation_filter(
+            lambda address, when: address != ejected
+        )
+        for _ in range(6):
+            answer = pool.resolve(TimeSource.POOL, "US", now=100.0)
+            assert ejected not in answer
+            assert answer
+
+    def test_filter_only_applies_with_time(self):
+        pool = make_pool("US", "US")
+        pool.set_rotation_filter(lambda address, when: False)
+        # Timeless resolution (membership views) is unaffected.
+        assert pool.resolve(TimeSource.POOL, "US") != []
+        assert pool.resolve(TimeSource.POOL, "US", now=5.0) == []
+
+    def test_filter_is_time_aware(self):
+        pool = make_pool("US", "US")
+        target = pool.members()[0].address
+        pool.set_rotation_filter(
+            lambda address, when: address != target or when >= 50.0
+        )
+        early = [
+            a
+            for _ in range(4)
+            for a in pool.resolve(TimeSource.POOL, "US", now=10.0)
+        ]
+        late = [
+            a
+            for _ in range(4)
+            for a in pool.resolve(TimeSource.POOL, "US", now=60.0)
+        ]
+        assert target not in early
+        assert target in late
+
+    def test_filter_removal(self):
+        pool = make_pool("US", "US")
+        pool.set_rotation_filter(lambda address, when: False)
+        assert pool.resolve(TimeSource.POOL, "US", now=1.0) == []
+        pool.set_rotation_filter(None)
+        assert pool.resolve(TimeSource.POOL, "US", now=1.0) != []
+
+    def test_membership_unaffected_by_filter(self):
+        pool = make_pool("US", "US")
+        pool.set_rotation_filter(lambda address, when: False)
+        assert len(pool.members()) == 2
+        candidates, _ = pool.tier_members("US")
+        assert len(candidates) == 2

@@ -96,6 +96,44 @@ class TestServerHandling:
         with pytest.raises(ValueError):
             StratumTwoServer(SERVER_ADDR, "usa")
 
+    @pytest.mark.parametrize(
+        "datagram",
+        [
+            b"",
+            b"short",
+            b"\x00" * 47,  # one byte shy of a header
+            "not bytes at all",
+            None,
+            12345,
+            [0x23] * 48,
+        ],
+    )
+    def test_any_garbage_counts_as_malformed(self, datagram):
+        # The contract of the campaign hot loop: a vantage must survive
+        # *anything* thrown at handle_datagram by counting it, never by
+        # raising.
+        server = make_server()
+        assert server.handle_datagram(datagram, CLIENT_ADDR, 1.0) is None
+        assert server.stats.malformed == 1
+        assert server.stats.requests == 1
+        assert server.stats.responses == 0
+
+    def test_bit_flipped_request_never_raises(self):
+        # Flip every single bit of a valid request in turn; each variant
+        # must be served, mode-dropped, or counted malformed — the
+        # counters always reconcile and nothing propagates.
+        clean = build_request(1000.0).pack()
+        server = make_server()
+        for bit in range(len(clean) * 8):
+            mangled = bytearray(clean)
+            mangled[bit // 8] ^= 1 << (bit % 8)
+            server.handle_datagram(bytes(mangled), CLIENT_ADDR, 1000.0)
+        stats = server.stats
+        assert stats.requests == len(clean) * 8
+        assert stats.requests == (
+            stats.responses + stats.malformed + stats.dropped_mode
+        )
+
 
 class TestClientConfig:
     @pytest.mark.parametrize(

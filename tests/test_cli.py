@@ -43,6 +43,19 @@ class TestParser:
         assert args.workers == 1
         assert args.checkpoint is None
         assert args.resume is False
+        assert args.faults is None
+        assert args.max_shard_retries == 2
+
+    def test_fault_and_retry_options(self):
+        args = build_parser().parse_args(
+            [
+                "report",
+                "--faults", "flap=0.2,loss=0.05,seed=9",
+                "--max-shard-retries", "5",
+            ]
+        )
+        assert args.faults == "flap=0.2,loss=0.05,seed=9"
+        assert args.max_shard_retries == 5
 
 
 @pytest.fixture(scope="module")
@@ -116,6 +129,56 @@ class TestParallelStudyCommand:
     def test_resume_without_checkpoint_flag_exits(self, capsys):
         with pytest.raises(SystemExit):
             main(["study", "--resume"])
+
+    def test_bad_faults_spec_exits(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["study", "--faults", "flap=not-a-number"])
+        assert excinfo.value.code == 2
+        assert "bad --faults spec" in capsys.readouterr().err
+
+    def test_bad_max_shard_retries_exits(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["study", "--max-shard-retries", "-1"])
+        assert excinfo.value.code == 2
+
+    def test_faulty_study_runs_and_differs(self, study_dir, tmp_path):
+        # A non-zero plan must complete end-to-end and perturb the NTP
+        # corpus (while the active scanners are untouched by it).
+        output = tmp_path / "faulty"
+        code = main(
+            [
+                "study",
+                "--seed", "3",
+                "--weeks", "10",
+                "--scale", "tiny",
+                "--output-dir", str(output),
+                "--faults", "flap=0.3,loss=0.1,corrupt=0.02,seed=9",
+            ]
+        )
+        assert code == 0
+        serial = (study_dir / "ntp-pool.corpus.bin").read_bytes()
+        faulty = (output / "ntp-pool.corpus.bin").read_bytes()
+        assert serial != faulty
+        caida_serial = (study_dir / "caida-routed-48.corpus.bin").read_bytes()
+        caida_faulty = (output / "caida-routed-48.corpus.bin").read_bytes()
+        assert caida_serial == caida_faulty
+
+    def test_zero_fault_spec_is_byte_identical(self, study_dir, tmp_path):
+        output = tmp_path / "zero-faults"
+        code = main(
+            [
+                "study",
+                "--seed", "3",
+                "--weeks", "10",
+                "--scale", "tiny",
+                "--output-dir", str(output),
+                "--faults", "",
+            ]
+        )
+        assert code == 0
+        assert (study_dir / "ntp-pool.corpus.bin").read_bytes() == (
+            output / "ntp-pool.corpus.bin"
+        ).read_bytes()
 
 
 class TestAnalyzeCommand:
