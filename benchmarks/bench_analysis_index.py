@@ -1,0 +1,365 @@
+"""Analysis throughput — naive per-figure scans vs the columnar index.
+
+Every analysis in the report pipeline (Table 1 comparison, phone-provider
+shares, entropy CDF, lifetimes, addressing categories, per-AS entropy,
+EUI-64 tracking) used to re-scan the corpus and re-resolve one LPM origin
+per address.  The :class:`repro.core.index.CorpusIndex` materializes the
+shared per-address columns once and :class:`repro.core.index.CachedOrigins`
+memoizes origin resolution per distinct /64, so the whole suite reads the
+same pass.
+
+This bench builds a synthetic clustered corpus (few distinct /64s, ~60
+origin ASes, IIDs drawn from the paper's pattern families, announcements
+more specific than /64 included), runs the full analysis suite both ways,
+asserts the results are identical, and reports the end-to-end speedup —
+the indexed timing *includes* building the index.
+
+Runs standalone too (CI perf smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_analysis_index.py \
+        --addresses 30000 --check
+
+``--check`` exits non-zero when results diverge or the indexed path is
+slower than the naive one.  Results land in
+``benchmarks/output/BENCH_analysis.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import pathlib
+import random
+import sys
+import time
+
+_SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:  # standalone invocation without PYTHONPATH
+    sys.path.insert(0, str(_SRC))
+
+from repro.addr.eui64 import mac_to_iid
+from repro.addr.ipv6 import with_iid
+from repro.analysis.distributions import ECDF
+from repro.analysis.figures import corpus_entropy_samples
+from repro.core.categories import (
+    category_composition,
+    top_as_entropy_distributions,
+)
+from repro.core.compare import compare_datasets, phone_provider_shares
+from repro.core.corpus import AddressCorpus
+from repro.core.index import CachedOrigins
+from repro.core.lifetime import (
+    address_lifetime_summary,
+    eui64_iid_lifetimes,
+    iid_lifetimes_by_entropy,
+)
+from repro.core.tracking import analyze_tracking
+from repro.net.asn import ASCategory, ASRecord, ASRegistry, ISPSubtype
+from repro.net.prefixes import Prefix
+from repro.net.routing import RoutingTable
+
+from jsonout import publish_text, write_bench_json
+
+NUM_AS = 60
+COUNTRIES = ("DE", "US", "JP", "FR", "BR", "IN", "GB", "NL")
+#: Average addresses per distinct /64 — the clustering CachedOrigins
+#: exploits (the paper's corpora are similarly /64-heavy).
+CLUSTER = 24
+
+
+def build_routing():
+    """~60 origin ASes at /32 with /48, /64 and longer sub-announcements."""
+    table = RoutingTable()
+    registry = ASRegistry()
+    blocks = []
+    for n in range(NUM_AS):
+        asn = 64500 + n
+        block = (0x2001 << 112) | ((n + 1) << 96)
+        blocks.append(block)
+        table.announce(Prefix(block, 32), asn)
+        subtype = (
+            ISPSubtype.PHONE_PROVIDER if n % 3 == 0 else ISPSubtype.FIXED_LINE
+        )
+        registry.register(
+            ASRecord(
+                asn=asn,
+                name=f"SYNTH-{asn}",
+                country=COUNTRIES[n % len(COUNTRIES)],
+                category=ASCategory.ISP,
+                subtype=subtype,
+            )
+        )
+    for n in range(0, NUM_AS, 4):
+        table.announce(
+            Prefix(blocks[n] | (1 << 80), 48), 64500 + (n + 1) % NUM_AS
+        )
+    for n in range(0, NUM_AS, 7):
+        table.announce(
+            Prefix(blocks[n] | (2 << 80) | (1 << 64), 64),
+            64500 + (n + 2) % NUM_AS,
+        )
+    # Announcements more specific than /64: the memoization edge case.
+    # Each /80 covers the IIDs of its /64 whose top 16 bits are zero.
+    for n in (0, 5, 11):
+        table.announce(Prefix(blocks[n] | (3 << 80), 80), 65100 + n)
+    return table, registry, blocks
+
+
+def generate_events(n_events, seed, blocks, macs):
+    """Sighting tuples clustered into ``n_events / CLUSTER`` /64s."""
+    rng = random.Random(seed)
+    slash64s = [
+        rng.choice(blocks) | (rng.randrange(6) << 80) | (rng.randrange(4) << 64)
+        for _ in range(max(1, n_events // CLUSTER))
+    ]
+    events = []
+    for position in range(n_events):
+        prefix = slash64s[position % len(slash64s)]
+        kind = rng.random()
+        if kind < 0.20:
+            iid = mac_to_iid(rng.choice(macs))
+        elif kind < 0.45:
+            iid = rng.randrange(1 << 16)        # low-byte patterns
+        elif kind < 0.60:
+            iid = rng.randrange(1 << 32)        # hex32-decodable
+        else:
+            iid = rng.getrandbits(64)           # high entropy
+        first = rng.uniform(0.0, 8e6)
+        events.append(
+            (
+                with_iid(prefix, iid),
+                first,
+                first + rng.uniform(0.0, 8e6),
+                1 + rng.randrange(5),
+            )
+        )
+    return events
+
+
+def build_corpus(name, events):
+    corpus = AddressCorpus(name)
+    for address, first, last, count in events:
+        corpus.record_interval(address, first, last, count)
+    return corpus
+
+
+def run_suite(ntp, active, origin, registry, ipv4_origin, country_of):
+    """The corpus-bound analyses the full report runs, in report order."""
+    comparison = compare_datasets(ntp, [active], origin)
+    return {
+        "table1": comparison.render(),
+        "phone_shares": phone_provider_shares([ntp, active], registry, origin),
+        "entropy_median": ECDF(corpus_entropy_samples(ntp)).median,
+        "lifetimes": address_lifetime_summary(ntp),
+        "iid_lifetimes": iid_lifetimes_by_entropy(ntp),
+        "eui64_lifetimes": eui64_iid_lifetimes(ntp),
+        "categories": category_composition(
+            ntp, origin, ipv4_origin,
+            min_as_instances=2, min_as_fraction=0.001,
+        ),
+        "top_as_entropy": top_as_entropy_distributions(ntp, origin, top=10),
+        "tracking": analyze_tracking(ntp, origin, country_of),
+    }
+
+
+def results_match(naive, indexed):
+    if naive.keys() != indexed.keys():
+        return False
+    for key in naive:
+        left, right = naive[key], indexed[key]
+        if key == "tracking":
+            if (
+                left.tracks != right.tracks
+                or left.classes != right.classes
+                or left.eui64_addresses != right.eui64_addresses
+                or left.multi_slash64_macs != right.multi_slash64_macs
+            ):
+                return False
+        elif left != right:
+            return False
+    return True
+
+
+def run_bench(n_events, seed=11, repeat=2):
+    """Time the suite naive vs indexed; return the JSON payload."""
+    table, registry, blocks = build_routing()
+    macs = [(0x0011_22 << 24) + n for n in range(max(50, n_events // 150))]
+    events = generate_events(n_events, seed, blocks, macs)
+    active_events = events[::9]
+
+    def ipv4_origin(value):
+        return 64500 + (value % NUM_AS)
+
+    def country_getter(origin):
+        def country_of(address):
+            asn = origin(address)
+            record = registry.lookup(asn) if asn is not None else None
+            return None if record is None else record.country
+        return country_of
+
+    # Both timed regions get the same GC treatment: collect up front and
+    # pause cyclic collection while the clock runs, so neither path pays
+    # GC passes whose cost scales with the *other* path's retained
+    # results (whichever suite runs second would otherwise be penalized).
+    def isolated(fn):
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            result = fn()
+            return result, time.perf_counter() - t0
+        finally:
+            gc.enable()
+
+    # Each path runs ``repeat`` times and reports its best wall-clock
+    # (scheduler noise and cache pollution only ever add time); the
+    # equality check compares the first round's results.
+
+    # Naive: raw per-address LPM, every analysis re-scans the records.
+    naive = None
+    naive_seconds = float("inf")
+    for _ in range(repeat):
+        ntp = build_corpus("ntp-pool", events)
+        active = build_corpus("ipv6-hitlist", active_events)
+        origin = table.origin_asn
+        result, seconds = isolated(
+            lambda: run_suite(
+                ntp, active, origin, registry, ipv4_origin,
+                country_getter(origin),
+            )
+        )
+        naive = result if naive is None else naive
+        naive_seconds = min(naive_seconds, seconds)
+
+    # Indexed: one columnar pass per corpus (timed — the speedup is
+    # end-to-end, including the index build), /64-memoized origins
+    # shared by every analysis.  A fresh resolver per round keeps the
+    # cache cold so the LPM cost is not amortized across rounds.
+    indexed = None
+    indexed_seconds = float("inf")
+    build_seconds = float("inf")
+    origins = None
+    for _ in range(repeat):
+        ntp = build_corpus("ntp-pool", events)
+        active = build_corpus("ipv6-hitlist", active_events)
+        origins = CachedOrigins.from_routing_table(table)
+
+        def indexed_run():
+            ntp.build_index(origins)
+            active.build_index(origins)
+            return run_suite(
+                ntp, active, origins, registry, ipv4_origin,
+                country_getter(origins),
+            )
+
+        result, seconds = isolated(indexed_run)
+        indexed = result if indexed is None else indexed
+        if seconds < indexed_seconds:
+            indexed_seconds = seconds
+            build_seconds = (
+                ntp.index.build_seconds + active.index.build_seconds
+            )
+
+    info = origins.cache_info()
+    return {
+        "events": n_events,
+        "repeat": repeat,
+        "addresses": len(ntp),
+        "distinct_slash64s": len(ntp.slash64_set()),
+        "hot_slash64s": info["hot_slash64s"],
+        "lpm_calls": info["lpm_calls"],
+        "naive_seconds": round(naive_seconds, 4),
+        "indexed_seconds": round(indexed_seconds, 4),
+        "index_build_seconds": round(build_seconds, 4),
+        "speedup": round(naive_seconds / indexed_seconds, 2),
+        "results_equal": results_match(naive, indexed),
+    }
+
+
+def render(payload):
+    return "\n".join(
+        [
+            "Analysis suite: naive per-figure scans vs columnar index",
+            "",
+            f"addresses: {payload['addresses']:,} "
+            f"({payload['distinct_slash64s']:,} /64s, "
+            f"{payload['hot_slash64s']} hot)",
+            f"naive:   {payload['naive_seconds']:.2f}s "
+            "(per-address LPM, per-analysis re-scan)",
+            f"indexed: {payload['indexed_seconds']:.2f}s "
+            f"(incl. {payload['index_build_seconds']:.2f}s index build, "
+            f"{payload['lpm_calls']:,} LPM calls)",
+            f"speedup: {payload['speedup']:.2f}x end-to-end, "
+            f"results identical: {payload['results_equal']}",
+        ]
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--addresses", type=int, default=140_000, metavar="N",
+        help="sighting events to generate (default: 140000; unique "
+             "addresses come out slightly lower)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=11,
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=2, metavar="N",
+        help="rounds per path; the best wall-clock of N is reported "
+             "(default: 2)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when results diverge or speedup < --min-speedup",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.0, metavar="X",
+        help="with --check, fail when indexed/naive speedup is below X "
+             "(default: 1.0, i.e. indexed must not be slower)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_bench(args.addresses, seed=args.seed, repeat=args.repeat)
+    publish_text("analysis_index", render(payload))
+    write_bench_json("analysis", payload)
+
+    if args.check:
+        if not payload["results_equal"]:
+            print("FAIL: indexed results diverge from naive", file=sys.stderr)
+            return 1
+        if payload["speedup"] < args.min_speedup:
+            print(
+                f"FAIL: speedup {payload['speedup']:.2f}x "
+                f"< required {args.min_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"OK: {payload['speedup']:.2f}x, results identical")
+    return 0
+
+
+def test_analysis_index_speedup(benchmark):
+    """Harness entry: reduced scale, equality + not-slower assertions."""
+    payload = run_bench(30_000)
+    publish_text("analysis_index", render(payload))
+    write_bench_json("analysis", payload)
+    assert payload["results_equal"]
+    assert payload["speedup"] > 1.0
+
+    table, registry, blocks = build_routing()
+    macs = [(0x0011_22 << 24) + n for n in range(200)]
+    events = generate_events(10_000, 11, blocks, macs)
+
+    def indexed_round():
+        corpus = build_corpus("ntp-pool", events)
+        origins = CachedOrigins.from_routing_table(table)
+        corpus.build_index(origins)
+        return iid_lifetimes_by_entropy(corpus)
+
+    benchmark.pedantic(indexed_round, rounds=3, iterations=1)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@ from repro.core.parallel import run_campaign_parallel
 from repro.world import CAMPAIGN_EPOCH
 
 from conftest import publish
+from jsonout import write_bench_json
 
 
 def _campaign(world):
@@ -40,6 +41,12 @@ def test_parallel_campaign_throughput(benchmark, bench_world):
         f"serial: {serial_seconds:.2f}s "
         f"({observations / serial_seconds:,.0f} obs/s)",
     ]
+    payload = {
+        "addresses": len(serial),
+        "observations": observations,
+        "serial_seconds": round(serial_seconds, 4),
+        "workers": {},
+    }
     for workers in (2, 4):
         campaign = _campaign(bench_world)
         t0 = time.perf_counter()
@@ -51,8 +58,13 @@ def test_parallel_campaign_throughput(benchmark, bench_world):
             f"({observations / seconds:,.0f} obs/s, "
             f"{serial_seconds / seconds:.2f}x serial)"
         )
+        payload["workers"][str(workers)] = {
+            "seconds": round(seconds, 4),
+            "speedup": round(serial_seconds / seconds, 2),
+        }
 
     publish("parallel_campaign", "\n".join(lines))
+    write_bench_json("parallel", payload)
 
     # The timed loop the harness reports: a 2-worker sharded week.
     benchmark(

@@ -14,14 +14,12 @@ targets (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
-import pathlib
-
 import pytest
 
 from repro.core import StudyConfig, run_study
 from repro.world import CAMPAIGN_EPOCH, WorldConfig, build_world
 
-OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+from jsonout import OUTPUT_DIR, publish_text
 
 BENCH_SEED = 42
 
@@ -51,9 +49,4 @@ def bench_study(bench_world):
 
 def publish(name: str, text: str) -> None:
     """Print a bench's regenerated artifact and persist it to disk."""
-    OUTPUT_DIR.mkdir(exist_ok=True)
-    path = OUTPUT_DIR / f"{name}.txt"
-    path.write_text(text + "\n")
-    print()
-    print(text)
-    print(f"[artifact written to {path}]")
+    publish_text(name, text)

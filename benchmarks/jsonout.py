@@ -1,0 +1,45 @@
+"""Machine-readable benchmark artifacts.
+
+Each bench publishes two artifacts under ``benchmarks/output/``: a
+human-readable text rendering (via :func:`publish_text` or the conftest
+``publish`` helper) and a small JSON document named ``BENCH_<name>.json``
+(via :func:`write_bench_json`) that CI jobs and regression tooling can
+assert on without parsing prose.
+
+The JSON layout is deliberately flat: a ``bench`` name, the interpreter
+version the numbers were taken on, and whatever scalar measurements the
+bench reports.  Timings are wall-clock seconds as floats.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+from typing import Any, Dict
+
+__all__ = ["OUTPUT_DIR", "publish_text", "write_bench_json"]
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def publish_text(name: str, text: str) -> pathlib.Path:
+    """Print a bench's text artifact and persist it to disk."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print()
+    print(text)
+    print(f"[artifact written to {path}]")
+    return path
+
+
+def write_bench_json(name: str, payload: Dict[str, Any]) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` with the bench's measurements."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"BENCH_{name}.json"
+    document = {"bench": name, "python": platform.python_version()}
+    document.update(payload)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"[json written to {path}]")
+    return path

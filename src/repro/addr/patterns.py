@@ -31,8 +31,10 @@ from .ipv6 import IID_MASK, iid_of
 
 __all__ = [
     "AddressCategory",
+    "CATEGORY_BY_CODE",
     "MIN_AS_INSTANCES",
     "MIN_AS_FRACTION",
+    "STRUCTURAL_CODES",
     "embedded_ipv4_candidates",
     "classify_iid_structurally",
     "CategoryClassifier",
@@ -63,6 +65,15 @@ _ENTROPY_TO_CATEGORY = {
     EntropyClass.MEDIUM: AddressCategory.MEDIUM_ENTROPY,
     EntropyClass.HIGH: AddressCategory.HIGH_ENTROPY,
 }
+
+#: Stable small-int encoding of the structural (pre-IPv4-verdict)
+#: category, used by the columnar corpus index's pattern-class column.
+STRUCTURAL_CODES: Dict[AddressCategory, int] = {
+    category: code for code, category in enumerate(AddressCategory)
+}
+
+#: Inverse of :data:`STRUCTURAL_CODES`: ``CATEGORY_BY_CODE[code]``.
+CATEGORY_BY_CODE: Tuple[AddressCategory, ...] = tuple(AddressCategory)
 
 
 def _groups_of_iid(iid: int) -> Tuple[int, int, int, int]:
@@ -115,11 +126,13 @@ def embedded_ipv4_candidates(iid: int) -> Dict[str, int]:
 
     groups = _groups_of_iid(iid)
 
-    octets = [_decimal_coded_octet(group) for group in groups]
-    if all(octet is not None for octet in octets):
-        value = 0
-        for octet in octets:
-            value = (value << 8) | octet
+    value = 0
+    for group in groups:
+        octet = _decimal_coded_octet(group)
+        if octet is None:
+            break
+        value = (value << 8) | octet
+    else:
         candidates["decimal_groups"] = value
 
     if all(group <= 0xFF for group in groups):
@@ -217,6 +230,119 @@ class CategoryClassifier:
                     embedded = self._candidate_matches_asn(address, asn)
             counts[classify_iid_structurally(iid_of(address), embedded)] += 1
         return counts
+
+    def classify_index(
+        self, index, rows: Optional[Iterable[int]] = None
+    ) -> Dict[AddressCategory, int]:
+        """Classify via a columnar corpus index; equals classify_corpus.
+
+        ``index`` is a :class:`repro.core.index.CorpusIndex` (duck-typed:
+        only its ``addresses``, ``iids`` and ``pattern_codes`` columns
+        are read).  ``rows`` restricts classification to a row subset
+        (the windowed Fig. 5 variant); ``None`` means all rows.
+
+        The same two-pass acceptance rule runs, but structural classes
+        come from the precomputed pattern-code column, and candidate
+        decoding / IPv4-origin probes are memoized per distinct
+        ``(IID, ASN)`` pair — both pure functions of their inputs, so
+        the counts are exactly those of :meth:`classify_corpus`.
+        """
+        addresses = index.addresses
+        iids = index.iids
+        codes = index.pattern_codes
+        row_list = (
+            range(len(addresses)) if rows is None else list(rows)
+        )
+        asns = self._resolve_rows(index, row_list)
+        candidates_of: Dict[int, Dict[str, int]] = {}
+        match_cache: Dict[Tuple[int, int], bool] = {}
+
+        def matches(iid: int, asn: int) -> bool:
+            candidates = candidates_of.get(iid)
+            if candidates is None:
+                candidates = embedded_ipv4_candidates(iid)
+                candidates_of[iid] = candidates
+            if not candidates:
+                # The common case (no encoding decodes): no ASN can
+                # match, so skip the per-(IID, ASN) cache entirely.
+                return False
+            key = (iid, asn)
+            cached = match_cache.get(key)
+            if cached is None:
+                cached = any(
+                    self._ipv4_origin(candidate) == asn
+                    for candidate in candidates.values()
+                )
+                match_cache[key] = cached
+            return cached
+
+        accepted: set = set()
+        if self._ipv6_origin is not None and self._ipv4_origin is not None:
+            per_as_total: Counter = Counter()
+            per_as_embedded: Counter = Counter()
+            for position, row in enumerate(row_list):
+                asn = asns[position]
+                if asn is None:
+                    continue
+                per_as_total[asn] += 1
+                iid = iids[row]
+                # Structural categories 1-3 can never be IPv4-embedded.
+                if iid <= 0xFFFF:
+                    continue
+                if matches(iid, asn):
+                    per_as_embedded[asn] += 1
+            for asn, embedded_count in per_as_embedded.items():
+                if (
+                    embedded_count >= self._min_instances
+                    and embedded_count > self._min_fraction * per_as_total[asn]
+                ):
+                    accepted.add(asn)
+
+        counts: Dict[AddressCategory, int] = {
+            category: 0 for category in AddressCategory
+        }
+        for position, row in enumerate(row_list):
+            iid = iids[row]
+            if iid > 0xFFFF and accepted:
+                asn = asns[position]
+                if asn in accepted and matches(iid, asn):
+                    counts[AddressCategory.IPV4_MAPPED] += 1
+                    continue
+            counts[CATEGORY_BY_CODE[codes[row]]] += 1
+        return counts
+
+    def _resolve_rows(self, index, row_list) -> List[Optional[int]]:
+        """Origin ASN per row of ``row_list``, memoized per /64.
+
+        When the IPv6 origin resolver advertises which /64s contain an
+        announcement more specific than /64 (a ``hot_slash64s``
+        attribute, as :class:`repro.core.index.CachedOrigins` does),
+        every other /64 shares one origin across its addresses, so the
+        resolver runs once per distinct /64 key from the index's
+        ``slash64s`` column; hot /64s resolve per address.
+        """
+        origin = self._ipv6_origin
+        if origin is None:
+            return [None] * len(row_list)
+        addresses = index.addresses
+        slash64s = getattr(index, "slash64s", None)
+        hot = getattr(origin, "hot_slash64s", None)
+        if slash64s is None or hot is None:
+            return [origin(addresses[row]) for row in row_list]
+        cache: Dict[int, Optional[int]] = {}
+        asns: List[Optional[int]] = []
+        for row in row_list:
+            key = slash64s[row]
+            if key in hot:
+                asns.append(origin(addresses[row]))
+                continue
+            try:
+                asns.append(cache[key])
+            except KeyError:
+                asn = origin(addresses[row])
+                cache[key] = asn
+                asns.append(asn)
+        return asns
 
     def _accepted_ipv4_ases(self, addresses: List[int]) -> set:
         """First pass: the set of ASes whose IPv4-embeddings are trusted."""

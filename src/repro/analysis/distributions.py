@@ -34,6 +34,12 @@ class ECDF:
     def __len__(self) -> int:
         return len(self._values)
 
+    def __eq__(self, other: object) -> bool:
+        """Two ECDFs are equal iff their sorted samples are equal."""
+        if not isinstance(other, ECDF):
+            return NotImplemented
+        return self._values == other._values
+
     @property
     def min(self) -> float:
         """Smallest sample value."""

@@ -9,9 +9,17 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..addr.entropy import normalized_iid_entropy
+from ..addr.ipv6 import iid_of
 from .distributions import ECDF
 
-__all__ = ["render_cdf_chart", "render_ccdf_chart", "render_timeline"]
+__all__ = [
+    "corpus_entropy_samples",
+    "render_cdf_chart",
+    "render_ccdf_chart",
+    "render_entropy_cdf",
+    "render_timeline",
+]
 
 _GLYPHS = "*o+x#@%&"
 
@@ -50,6 +58,39 @@ def _render_grid(
     for index, name in enumerate(series):
         lines.append(f"      {_GLYPHS[index % len(_GLYPHS)]} {name}")
     return "\n".join(lines)
+
+
+def corpus_entropy_samples(corpus) -> List[float]:
+    """Per-address normalized IID entropy of a corpus (the Fig. 1 input).
+
+    Reads the precomputed entropy column when a
+    :class:`~repro.core.index.CorpusIndex` is attached to the corpus;
+    otherwise recomputes entropy per address.
+    """
+    index = getattr(corpus, "index", None)
+    if index is not None:
+        return list(index.entropy_samples())
+    return [
+        normalized_iid_entropy(iid_of(address))
+        for address in corpus.addresses()
+    ]
+
+
+def render_entropy_cdf(
+    corpora: Sequence,
+    width: int = 64,
+    height: int = 16,
+    points: int = 64,
+) -> str:
+    """Draw the paper's Fig. 1: overlaid IID-entropy CDFs per dataset."""
+    return render_cdf_chart(
+        {corpus.name: corpus_entropy_samples(corpus) for corpus in corpora},
+        "normalized IID entropy",
+        width=width,
+        height=height,
+        title="Figure 1: normalized IID entropy CDF",
+        points=points,
+    )
 
 
 def render_cdf_chart(

@@ -12,12 +12,12 @@ from __future__ import annotations
 
 from typing import List
 
-from ..addr.entropy import normalized_iid_entropy
-from ..addr.ipv6 import format_address, iid_of
+from ..addr.ipv6 import format_address
 from ..addr.oui_db import UNLISTED, manufacturer_counts
 from ..geo.ipvseeyou import geolocate_corpus
 from ..net.geodb import country_histogram, top_country_share
 from .distributions import ECDF
+from .figures import corpus_entropy_samples
 from .tables import format_table
 
 __all__ = ["study_report"]
@@ -27,22 +27,27 @@ __all__ = ["study_report"]
 
 
 def _median_entropy(corpus) -> float:
-    return ECDF(
-        [normalized_iid_entropy(iid_of(a)) for a in corpus.addresses()]
-    ).median
+    return ECDF(corpus_entropy_samples(corpus)).median
 
 
 def study_report(world, results, geolocation_min_pairs: int = 12) -> str:
-    """Render the complete findings report for one study run."""
+    """Render the complete findings report for one study run.
+
+    When the study built columnar indexes (the default), every section
+    reads the shared index columns and the study's /64-memoized origin
+    resolver; otherwise each analysis falls back to scanning the
+    corpora with the world's raw LPM lookup.
+    """
     from ..core.compare import compare_datasets, phone_provider_shares
     from ..core.lifetime import address_lifetime_summary
     from ..core.tracking import analyze_tracking
 
+    origin = getattr(results, "origins", None) or world.ipv6_origin_asn
     sections: List[str] = []
 
     # 1. Dataset comparison (Table 1).
     comparison = compare_datasets(
-        results.ntp, [results.hitlist, results.caida], world.ipv6_origin_asn
+        results.ntp, [results.hitlist, results.caida], origin
     )
     sections.append(comparison.render())
     sections.append(
@@ -54,7 +59,7 @@ def study_report(world, results, geolocation_min_pairs: int = 12) -> str:
     )
 
     shares = phone_provider_shares(
-        [results.ntp, results.hitlist], world.registry, world.ipv6_origin_asn
+        [results.ntp, results.hitlist], world.registry, origin
     )
     sections.append(
         "phone-provider share: NTP %.0f%% vs Hitlist %.0f%%"
@@ -91,9 +96,7 @@ def study_report(world, results, geolocation_min_pairs: int = 12) -> str:
     )
 
     # 4. EUI-64 and tracking (§5.1–5.2).
-    tracking = analyze_tracking(
-        results.ntp, world.ipv6_origin_asn, world.country_of
-    )
+    tracking = analyze_tracking(results.ntp, origin, world.country_of)
     sections.append("")
     sections.append(
         "EUI-64: %d addresses (%.2f%% of corpus, vs %.1f random "

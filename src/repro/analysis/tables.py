@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
-__all__ = ["format_count", "format_table"]
+__all__ = ["format_count", "format_table", "format_timings"]
 
 
 def format_count(value, precision: int = 1) -> str:
@@ -62,3 +62,25 @@ def format_table(
     lines.append("-+-".join("-" * width for width in widths))
     lines.extend(render_line(row) for row in rendered_rows)
     return "\n".join(lines)
+
+
+def format_timings(
+    stage_seconds: "dict",
+    title: Optional[str] = "per-stage timings",
+) -> str:
+    """Render a stage → seconds mapping as the ``--profile`` dump.
+
+    Stages appear in insertion (execution) order with their share of the
+    total; the total is appended as a final row.
+    """
+    total = sum(stage_seconds.values())
+    rows: List[List] = [
+        [
+            stage,
+            f"{seconds:10.3f}",
+            f"{100 * seconds / total:5.1f}%" if total else "-",
+        ]
+        for stage, seconds in stage_seconds.items()
+    ]
+    rows.append(["total", f"{total:10.3f}", "100.0%" if total else "-"])
+    return format_table(["stage", "seconds", "share"], rows, title=title)

@@ -19,10 +19,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
-from .analysis.tables import format_table
+from .analysis.tables import format_table, format_timings
 from .core import (
     StudyConfig,
     address_lifetime_summary,
@@ -94,28 +95,41 @@ def _study_config(args) -> StudyConfig:
     )
 
 
+def _print_profile(stage_seconds) -> None:
+    print(format_timings(stage_seconds), file=sys.stderr)
+
+
 def _cmd_study(args) -> int:
     study_config = _study_config(args)
     world = build_world(_world_config(args))
     print(f"world: {world.stats()}", file=sys.stderr)
     results = run_study(world, study_config)
+    origin = results.origins or world.ipv6_origin_asn
+    timings = dict(results.stage_seconds)
+    t0 = time.perf_counter()
     comparison = compare_datasets(
-        results.ntp,
-        [results.hitlist, results.caida],
-        world.ipv6_origin_asn,
+        results.ntp, [results.hitlist, results.caida], origin
     )
+    timings["table1-comparison"] = time.perf_counter() - t0
     print(comparison.render())
     output_dir = Path(args.output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
+    t0 = time.perf_counter()
     for corpus in results.corpora():
         path = output_dir / f"{corpus.name}.corpus.bin"
         count = save_corpus(corpus, path)
         print(f"saved {count:,} records to {path}")
+    timings["save-corpora"] = time.perf_counter() - t0
+    if args.profile:
+        _print_profile(timings)
     return 0
 
 
 def _cmd_analyze(args) -> int:
     corpus = load_corpus(args.corpus)
+    # One columnar pass up front; the analyses below then read shared
+    # index columns instead of re-scanning the records per headline.
+    corpus.build_index()
     print(f"corpus {corpus.name!r}: {len(corpus):,} addresses")
     summary = address_lifetime_summary(corpus)
     print(
@@ -145,12 +159,17 @@ def _cmd_report(args) -> int:
     study_config = _study_config(args)
     world = build_world(_world_config(args))
     results = run_study(world, study_config)
+    timings = dict(results.stage_seconds)
+    t0 = time.perf_counter()
     text = study_report(world, results)
+    timings["analysis-report"] = time.perf_counter() - t0
     if args.output:
         Path(args.output).write_text(text)
         print(f"report written to {args.output}", file=sys.stderr)
     else:
         print(text)
+    if args.profile:
+        _print_profile(timings)
     return 0
 
 
@@ -208,6 +227,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--max-shard-retries", type=int, default=2, metavar="N",
             help="resubmit a failed collection shard up to N times before "
                  "recomputing it inline (default: 2)",
+        )
+        subparser.add_argument(
+            "--profile", action="store_true",
+            help="print a per-stage wall-clock timing table (collection, "
+                 "comparison campaigns, corpus indexing, analysis) to "
+                 "stderr",
         )
 
     study = commands.add_parser(

@@ -24,6 +24,7 @@ from .compare import (
     phone_provider_shares,
 )
 from .corpus import AddressCorpus
+from .index import CachedOrigins, CorpusIndex
 from .lifetime import (
     LifetimeSummary,
     address_lifetime_summary,
@@ -62,10 +63,12 @@ __all__ = [
     "AddressCorpus",
     "BackscanCampaign",
     "BackscanReport",
+    "CachedOrigins",
     "CampaignConfig",
     "CaptureModel",
     "CheckpointIntegrityError",
     "CorpusFormatError",
+    "CorpusIndex",
     "DatasetComparison",
     "DatasetRow",
     "LifetimeSummary",

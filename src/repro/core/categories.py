@@ -47,6 +47,28 @@ def top_as_entropy_distributions(
     """
     if top < 1:
         raise ValueError("top must be >= 1")
+    index = getattr(corpus, "index", None)
+    if index is not None:
+        # Group precomputed entropy rows by (memoized) origin instead of
+        # re-walking the trie and re-deriving entropy per address.
+        if window is None:
+            rows = range(len(index))
+        else:
+            rows = index.rows_in_window(*window)
+        by_asn_rows: Dict[int, List[int]] = {}
+        for row in rows:
+            asn = origin(index.addresses[row])
+            if asn is not None:
+                by_asn_rows.setdefault(asn, []).append(row)
+        ranked_rows = sorted(
+            by_asn_rows.items(), key=lambda item: -len(item[1])
+        )[:top]
+        entropies = index.entropies
+        result = {}
+        for asn, as_rows in ranked_rows:
+            label = as_name(asn) if as_name is not None else f"AS{asn}"
+            result[label] = [entropies[row] for row in as_rows]
+        return result
     if window is None:
         addresses = list(corpus.addresses())
     else:
@@ -81,16 +103,20 @@ def category_composition(
     acceptance thresholds; the paper uses (100, 10%) against billions of
     addresses — scaled-down corpora should scale the instance floor too.
     """
-    if window is None:
-        addresses = corpus.addresses()
-    else:
-        addresses = corpus.addresses_in_window(*window)
     classifier = CategoryClassifier(
         ipv6_origin,
         ipv4_origin,
         min_as_instances=min_as_instances,
         min_as_fraction=min_as_fraction,
     )
+    index = getattr(corpus, "index", None)
+    if index is not None:
+        rows = None if window is None else index.rows_in_window(*window)
+        return category_fractions(classifier.classify_index(index, rows))
+    if window is None:
+        addresses = corpus.addresses()
+    else:
+        addresses = corpus.addresses_in_window(*window)
     return category_fractions(classifier.classify_corpus(addresses))
 
 

@@ -100,6 +100,20 @@ class DatasetComparison:
         )
 
 
+def _aggregates(
+    corpus: AddressCorpus, origin: Callable[[int], Optional[int]]
+):
+    """(origin-AS set, /48 set) — from the columnar index when attached.
+
+    The index's sets are memoized and shared; they are only read here
+    (intersections and ``len``), never mutated.
+    """
+    index = getattr(corpus, "index", None)
+    if index is not None:
+        return index.asn_set(origin), index.slash48_set()
+    return corpus.asn_set(origin), corpus.slash48_set()
+
+
 def _build_row(
     corpus: AddressCorpus,
     origin: Callable[[int], Optional[int]],
@@ -107,8 +121,7 @@ def _build_row(
     reference_asns: Optional[set],
     reference_48s: Optional[set],
 ) -> DatasetRow:
-    asns = corpus.asn_set(origin)
-    slash48s = corpus.slash48_set()
+    asns, slash48s = _aggregates(corpus, origin)
     if reference is None:
         common = common_asns = common_48s = None
     else:
@@ -137,8 +150,7 @@ def compare_datasets(
     ``reference`` is the NTP corpus; ``others`` are the active datasets.
     ``origin`` maps an address to its origin ASN.
     """
-    reference_asns = reference.asn_set(origin)
-    reference_48s = reference.slash48_set()
+    reference_asns, reference_48s = _aggregates(reference, origin)
     rows = [_build_row(reference, origin, None, None, None)]
     for corpus in others:
         rows.append(
@@ -159,7 +171,27 @@ def phone_provider_shares(
     """
     shares = {}
     for corpus in corpora:
-        shares[corpus.name] = registry.phone_provider_fraction(
-            origin(address) for address in corpus.addresses()
-        )
+        index = getattr(corpus, "index", None)
+        if index is not None:
+            # Weight the per-AS address counts (one memoized origin
+            # resolution per distinct /64) instead of streaming one
+            # origin lookup per address.
+            counts = index.asn_counts(origin)
+            total = sum(counts.values())
+            if total == 0:
+                raise ValueError(
+                    "cannot compute a fraction of zero addresses"
+                )
+            phone = 0
+            for asn, count in counts.items():
+                if asn is None:
+                    continue
+                record = registry.lookup(asn)
+                if record is not None and record.is_phone_provider:
+                    phone += count
+            shares[corpus.name] = phone / total
+        else:
+            shares[corpus.name] = registry.phone_provider_fraction(
+                origin(address) for address in corpus.addresses()
+            )
     return shares

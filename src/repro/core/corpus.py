@@ -9,6 +9,12 @@ IIDs.
 Storage is deliberately compact (one ``[first, last, count]`` record per
 address): the paper itself compacts raw request logs the same way, and
 the ablation bench (DESIGN.md §6) quantifies why.
+
+For analysis workloads a corpus can carry a columnar
+:class:`~repro.core.index.CorpusIndex` (see :meth:`AddressCorpus.build_index`);
+while one is attached, the aggregate accessors below answer from its
+memoized columns instead of re-scanning the records, and any mutation
+invalidates it.
 """
 
 from __future__ import annotations
@@ -38,6 +44,35 @@ class AddressCorpus:
         self.name = name
         # address -> [first_seen, last_seen, observation_count]
         self._records: Dict[int, List[float]] = {}
+        # Columnar index over the records; None until built, and reset
+        # to None by any mutation (the index is a frozen snapshot).
+        self._index = None
+
+    # -- columnar index ------------------------------------------------------
+
+    @property
+    def index(self):
+        """The attached :class:`CorpusIndex`, or ``None``."""
+        return self._index
+
+    def build_index(self, origins=None):
+        """Build, attach and return a columnar index over the records.
+
+        ``origins`` is an optional :class:`~repro.core.index.CachedOrigins`
+        resolver the index's origin aggregations default to.
+        """
+        from .index import CorpusIndex
+
+        self._index = CorpusIndex.build(self, origins=origins)
+        return self._index
+
+    def attach_index(self, index) -> None:
+        """Attach a prebuilt index (must match this corpus's size)."""
+        if index is not None and len(index) != len(self._records):
+            raise ValueError(
+                f"index has {len(index)} rows for {len(self._records)} records"
+            )
+        self._index = index
 
     # -- recording -----------------------------------------------------------
 
@@ -45,6 +80,7 @@ class AddressCorpus:
         """Record one sighting of ``address`` at ``when``."""
         if not math.isfinite(when):
             raise ValueError(f"non-finite sighting timestamp: {when!r}")
+        self._index = None
         record = self._records.get(address)
         if record is None:
             self._records[address] = [when, when, 1]
@@ -69,6 +105,7 @@ class AddressCorpus:
             raise ValueError("interval ends before it starts")
         if count < 1:
             raise ValueError("count must be >= 1")
+        self._index = None
         record = self._records.get(address)
         if record is None:
             self._records[address] = [first, last, count]
@@ -89,9 +126,37 @@ class AddressCorpus:
         return corpus
 
     def merge(self, other: "AddressCorpus") -> None:
-        """Fold another corpus's records into this one."""
-        for address, (first, last, count) in other.items():
-            self.record_interval(address, first, last, count)
+        """Fold another corpus's records into this one.
+
+        Records inside an :class:`AddressCorpus` were validated when
+        they were first recorded, so the merge skips the per-record
+        :meth:`record_interval` re-validation and manipulates the
+        record store directly — the hot path when a sharded campaign
+        folds worker snapshots back together.
+        """
+        if not isinstance(other, AddressCorpus):
+            for address, (first, last, count) in other.items():
+                self.record_interval(address, first, last, count)
+            return
+        self._index = None
+        records = self._records
+        if not records:
+            # Bulk copy: list copies keep the two corpora independent.
+            self._records = {
+                address: record.copy()
+                for address, record in other._records.items()
+            }
+            return
+        for address, record in other._records.items():
+            mine = records.get(address)
+            if mine is None:
+                records[address] = record.copy()
+            else:
+                if record[0] < mine[0]:
+                    mine[0] = record[0]
+                if record[1] > mine[1]:
+                    mine[1] = record[1]
+                mine[2] += record[2]
 
     # -- basic access ----------------------------------------------------------
 
@@ -131,20 +196,28 @@ class AddressCorpus:
 
     def lifetimes(self) -> List[float]:
         """Observed lifetimes of all addresses (Fig. 2a input)."""
+        if self._index is not None:
+            return list(self._index.lifetimes())
         return [record[1] - record[0] for record in self._records.values()]
 
     def slash48_set(self) -> Set[int]:
         """Distinct /48 prefixes covering the corpus."""
+        if self._index is not None:
+            return set(self._index.slash48_set())
         return {slash48_of(address) for address in self._records}
 
     def slash64_set(self) -> Set[int]:
         """Distinct /64 prefixes covering the corpus."""
+        if self._index is not None:
+            return set(self._index.slash64_set())
         return {slash64_of(address) for address in self._records}
 
     def asn_set(
         self, origin: Callable[[int], Optional[int]]
     ) -> Set[int]:
         """Distinct origin ASNs (unrouted addresses are skipped)."""
+        if self._index is not None:
+            return self._index.asn_set(origin)
         asns = set()
         for address in self._records:
             asn = origin(address)
@@ -156,6 +229,8 @@ class AddressCorpus:
         self, origin: Callable[[int], Optional[int]]
     ) -> Counter:
         """Address count per origin ASN (``None`` for unrouted)."""
+        if self._index is not None:
+            return self._index.asn_counts(origin)
         counts: Counter = Counter()
         for address in self._records:
             counts[origin(address)] += 1
@@ -181,6 +256,8 @@ class AddressCorpus:
 
     def iid_intervals(self) -> Dict[int, Tuple[float, float]]:
         """Per-IID sighting intervals across all addresses (Fig. 2b)."""
+        if self._index is not None:
+            return dict(self._index.iid_intervals())
         intervals: Dict[int, List[float]] = {}
         for address, record in self._records.items():
             iid = iid_of(address)
@@ -197,12 +274,22 @@ class AddressCorpus:
 
     def eui64_addresses(self) -> Iterator[int]:
         """Addresses whose IID carries the EUI-64 marker."""
+        if self._index is not None:
+            from .index import NO_MAC
+
+            index = self._index
+            for row, mac in enumerate(index.macs):
+                if mac != NO_MAC:
+                    yield index.addresses[row]
+            return
         for address in self._records:
             if extract_mac(address) is not None:
                 yield address
 
     def eui64_mac_addresses(self) -> Dict[int, List[int]]:
         """Embedded MAC → list of addresses exposing it (§5 input)."""
+        if self._index is not None:
+            return self._index.eui64_mac_addresses()
         by_mac: Dict[int, List[int]] = defaultdict(list)
         for address in self._records:
             mac = extract_mac(address)

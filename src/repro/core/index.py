@@ -1,0 +1,528 @@
+"""Single-pass columnar corpus index with cached LPM origin resolution.
+
+The paper's entire analysis section (§4–§5) is aggregate queries over one
+7.9B-address corpus.  Re-walking the corpus once per figure — and walking
+the 128-bit routing trie once per address per consumer — makes analysis
+cost O(figures × addresses × trie-depth).  Addresses cluster under few
+prefixes ("Clusters in the Expanse"; this paper's /48- and /64-level
+aggregation), so the right shape is the opposite: resolve each structural
+property of an address exactly once, resolve origin once per distinct
+/64, and let every figure and table read precomputed columns.
+
+Two classes implement that:
+
+* :class:`CorpusIndex` — a one-pass columnar materialization of an
+  :class:`~repro.core.corpus.AddressCorpus`: parallel columns for
+  address, first/last/count, /48 key, /64 key, IID, normalized IID
+  entropy, structural pattern class and extracted EUI-64 MAC, plus
+  lazily-memoized aggregate views (prefix sets, lifetimes, IID
+  intervals, per-MAC groupings, origin-AS counts) shared by every
+  consumer.
+* :class:`CachedOrigins` — a longest-prefix-match memoizer: origin ASN
+  is computed once per distinct /64 rather than once per address per
+  consumer.  **Correctness condition**: all addresses of a /64 share an
+  origin only when no announcement *longer* than /64 intersects that
+  /64.  Any announcement with length > 64 is wholly contained in a
+  single /64, so the resolver precomputes that "hot" /64 set and falls
+  back to per-address LPM inside it.
+
+Columns use :mod:`array` storage where the element width permits
+(timestamps, counts, 64-bit IIDs/MACs, entropy, pattern codes); 128-bit
+addresses and prefix keys stay in plain lists.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import Counter
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+# Entropy-class thresholds are inlined into the build pass so each IID
+# is classified without a second entropy computation.
+from ..addr.entropy import (
+    HIGH_THRESHOLD,
+    LOW_THRESHOLD,
+    normalized_iid_entropy,
+)
+from ..addr.eui64 import looks_like_eui64, iid_to_mac
+from ..addr.ipv6 import IID_MASK, PREFIX_MASK
+from ..addr.patterns import (
+    AddressCategory,
+    CATEGORY_BY_CODE,
+    STRUCTURAL_CODES,
+)
+
+__all__ = ["CachedOrigins", "CorpusIndex", "NO_MAC", "STRUCTURAL_CODES"]
+
+#: Sentinel in the MAC column for rows whose IID is not EUI-64 (MACs are
+#: 48-bit, so this 64-bit value can never collide with a real one).
+NO_MAC = (1 << 64) - 1
+
+_SLASH48_MASK = ~((1 << 80) - 1)
+
+_ZEROES = STRUCTURAL_CODES[AddressCategory.ZEROES]
+_LOW_BYTE = STRUCTURAL_CODES[AddressCategory.LOW_BYTE]
+_LOW_2_BYTES = STRUCTURAL_CODES[AddressCategory.LOW_2_BYTES]
+_LOW_ENTROPY = STRUCTURAL_CODES[AddressCategory.LOW_ENTROPY]
+_MEDIUM_ENTROPY = STRUCTURAL_CODES[AddressCategory.MEDIUM_ENTROPY]
+_HIGH_ENTROPY = STRUCTURAL_CODES[AddressCategory.HIGH_ENTROPY]
+
+
+class CachedOrigins:
+    """Memoizing origin-ASN resolver: one LPM walk per distinct /64.
+
+    Wraps any ``address -> Optional[int]`` origin callable (a
+    :meth:`~repro.net.routing.RoutingTable.origin_asn` bound method,
+    ``world.ipv6_origin_asn``, …).  Lookups inside a /64 that contains
+    no announcement longer than /64 are answered from a per-/64 cache;
+    lookups inside "hot" /64s (those containing a longer-than-/64
+    announcement) always fall back to the wrapped per-address LPM, so
+    the resolver is exactly equivalent to the callable it wraps.
+    """
+
+    __slots__ = ("_origin", "_cache", "_hot", "lpm_calls")
+
+    def __init__(
+        self,
+        origin: Callable[[int], Optional[int]],
+        long_prefixes: Iterable = (),
+    ) -> None:
+        self._origin = origin
+        self._cache: Dict[int, Optional[int]] = {}
+        # Any prefix longer than /64 fixes all 64 high bits, so it lies
+        # inside exactly one /64 — that /64 can never be memoized.
+        self._hot: Set[int] = {
+            prefix.network & PREFIX_MASK
+            for prefix in long_prefixes
+            if prefix.length > 64
+        }
+        #: Wrapped-LPM invocations actually performed (profiling aid).
+        self.lpm_calls = 0
+
+    @classmethod
+    def from_routing_table(cls, table) -> "CachedOrigins":
+        """Wrap a :class:`~repro.net.routing.RoutingTable`."""
+        return cls(
+            table.origin_asn,
+            (routed.prefix for routed in table.routed_prefixes()),
+        )
+
+    @classmethod
+    def from_world(cls, world) -> "CachedOrigins":
+        """Wrap a world's IPv6 origin lookup and its routing table."""
+        return cls(
+            world.ipv6_origin_asn,
+            (routed.prefix for routed in world.routing.routed_prefixes()),
+        )
+
+    @property
+    def hot_slash64s(self) -> Set[int]:
+        """/64 keys containing an announcement more specific than /64."""
+        return self._hot
+
+    def __call__(self, address: int) -> Optional[int]:
+        """Origin ASN of ``address`` (memoized per /64 where sound)."""
+        key = address & PREFIX_MASK
+        if key in self._hot:
+            self.lpm_calls += 1
+            return self._origin(address)
+        try:
+            return self._cache[key]
+        except KeyError:
+            self.lpm_calls += 1
+            asn = self._origin(address)
+            self._cache[key] = asn
+            return asn
+
+    def slash64_origin(self, key: int) -> Optional[int]:
+        """Origin shared by every address of a non-hot /64 ``key``.
+
+        ``key`` must be a /64 prefix key (low 64 bits zero) that is not
+        hot; calling this for a hot /64 raises, because its addresses do
+        not share a single origin.
+        """
+        if key in self._hot:
+            raise ValueError(
+                f"/64 {key:#x} contains a longer-than-/64 announcement; "
+                "resolve its addresses individually"
+            )
+        return self(key)
+
+    def cache_info(self) -> Dict[str, int]:
+        """Cache shape for profiling: distinct /64s, hot /64s, LPM calls."""
+        return {
+            "cached_slash64s": len(self._cache),
+            "hot_slash64s": len(self._hot),
+            "lpm_calls": self.lpm_calls,
+        }
+
+
+class CorpusIndex:
+    """One-pass columnar materialization of an address corpus.
+
+    Build once per corpus (``CorpusIndex.build(corpus, origins)``), then
+    every figure/table consumer reads shared columns and memoized
+    aggregates instead of re-scanning the corpus.  Rows are in corpus
+    record order, so order-sensitive derivations (per-MAC address lists,
+    lifetime vectors) are exactly equal to their naive per-consumer
+    recomputations.
+
+    Aggregate accessors return internal memoized objects; treat them as
+    read-only (``AddressCorpus`` delegation hands out copies).
+    """
+
+    __slots__ = (
+        "name",
+        "addresses",
+        "first",
+        "last",
+        "counts",
+        "slash48s",
+        "slash64s",
+        "iids",
+        "entropies",
+        "pattern_codes",
+        "macs",
+        "origins",
+        "build_seconds",
+        "_slash48_set",
+        "_slash64_set",
+        "_slash64_counts",
+        "_lifetimes",
+        "_iid_intervals",
+        "_iid_entropies",
+        "_eui64_rows",
+        "_eui64_intervals",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        addresses: List[int],
+        first: array,
+        last: array,
+        counts: array,
+        slash48s: List[int],
+        slash64s: List[int],
+        iids: array,
+        entropies: array,
+        pattern_codes: array,
+        macs: array,
+        origins: Optional[CachedOrigins] = None,
+        build_seconds: float = 0.0,
+    ) -> None:
+        size = len(addresses)
+        for column in (first, last, counts, slash48s, slash64s, iids,
+                       entropies, pattern_codes, macs):
+            if len(column) != size:
+                raise ValueError("index columns must have equal lengths")
+        self.name = name
+        self.addresses = addresses
+        self.first = first
+        self.last = last
+        self.counts = counts
+        self.slash48s = slash48s
+        self.slash64s = slash64s
+        self.iids = iids
+        self.entropies = entropies
+        self.pattern_codes = pattern_codes
+        self.macs = macs
+        self.origins = origins
+        self.build_seconds = build_seconds
+        self._slash48_set: Optional[Set[int]] = None
+        self._slash64_set: Optional[Set[int]] = None
+        self._slash64_counts: Optional[Dict[int, int]] = None
+        self._lifetimes: Optional[List[float]] = None
+        self._iid_intervals: Optional[Dict[int, Tuple[float, float]]] = None
+        self._iid_entropies: Optional[Dict[int, float]] = None
+        self._eui64_rows: Optional[Dict[int, List[int]]] = None
+        self._eui64_intervals: Optional[Dict[int, Tuple[float, float]]] = None
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, corpus, origins: Optional[CachedOrigins] = None
+    ) -> "CorpusIndex":
+        """Materialize all columns from ``corpus`` in a single pass."""
+        import time
+
+        t0 = time.perf_counter()
+        size = len(corpus)
+        addresses: List[int] = []
+        first = array("d", bytes(8 * size))
+        last = array("d", bytes(8 * size))
+        counts = array("Q", bytes(8 * size))
+        slash48s: List[int] = []
+        slash64s: List[int] = []
+        iids = array("Q", bytes(8 * size))
+        entropies = array("d", bytes(8 * size))
+        pattern_codes = array("B", bytes(size))
+        macs = array("Q", bytes(8 * size))
+        # Entropy, pattern class and MAC extraction depend only on the
+        # IID; memoizing per distinct IID collapses repeated IIDs (::1 in
+        # thousands of /64s, EUI-64 IIDs surviving prefix rotation) to
+        # one computation.  The per-IID union intervals and per-address
+        # lifetimes are accumulated in the same pass — the values are
+        # already in hand as Python objects, so deriving them here avoids
+        # a later full-column re-scan (array reads box every element).
+        info_of: Dict[int, Tuple[float, int, int]] = {}
+        intervals: Dict[int, List[float]] = {}
+        lifetimes: List[float] = []
+        info_get = info_of.get
+        interval_get = intervals.get
+        add_address = addresses.append
+        add_slash48 = slash48s.append
+        add_slash64 = slash64s.append
+        add_lifetime = lifetimes.append
+        row = 0
+        for address, (first_seen, last_seen, count) in corpus.items():
+            add_address(address)
+            first[row] = first_seen
+            last[row] = last_seen
+            counts[row] = count
+            add_slash48(address & _SLASH48_MASK)
+            add_slash64(address & PREFIX_MASK)
+            iid = address & IID_MASK
+            iids[row] = iid
+            info = info_get(iid)
+            if info is None:
+                entropy = normalized_iid_entropy(iid)
+                info = (
+                    entropy,
+                    _structural_code(iid, entropy),
+                    iid_to_mac(iid) if looks_like_eui64(iid) else NO_MAC,
+                )
+                info_of[iid] = info
+            entropies[row] = info[0]
+            pattern_codes[row] = info[1]
+            macs[row] = info[2]
+            add_lifetime(last_seen - first_seen)
+            interval = interval_get(iid)
+            if interval is None:
+                intervals[iid] = [first_seen, last_seen]
+            else:
+                if first_seen < interval[0]:
+                    interval[0] = first_seen
+                if last_seen > interval[1]:
+                    interval[1] = last_seen
+            row += 1
+        index = cls(
+            corpus.name,
+            addresses,
+            first,
+            last,
+            counts,
+            slash48s,
+            slash64s,
+            iids,
+            entropies,
+            pattern_codes,
+            macs,
+            origins=origins,
+        )
+        index._lifetimes = lifetimes
+        index._iid_intervals = {
+            iid: (interval[0], interval[1])
+            for iid, interval in intervals.items()
+        }
+        index._iid_entropies = {
+            iid: info[0] for iid, info in info_of.items()
+        }
+        index.build_seconds = time.perf_counter() - t0
+        return index
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def structural_category(self, row: int) -> AddressCategory:
+        """The row's structural pattern class (no IPv4-embedding verdict)."""
+        return CATEGORY_BY_CODE[self.pattern_codes[row]]
+
+    # -- memoized aggregate views ------------------------------------------------
+
+    def slash48_set(self) -> Set[int]:
+        """Distinct /48 prefix keys (shared memoized set)."""
+        if self._slash48_set is None:
+            self._slash48_set = set(self.slash48s)
+        return self._slash48_set
+
+    def slash64_set(self) -> Set[int]:
+        """Distinct /64 prefix keys (shared memoized set)."""
+        if self._slash64_set is None:
+            self._slash64_set = set(self.slash64s)
+        return self._slash64_set
+
+    def slash64_address_counts(self) -> Dict[int, int]:
+        """Address count per distinct /64 (shared memoized mapping)."""
+        if self._slash64_counts is None:
+            counts: Dict[int, int] = {}
+            for key in self.slash64s:
+                counts[key] = counts.get(key, 0) + 1
+            self._slash64_counts = counts
+        return self._slash64_counts
+
+    def lifetimes(self) -> List[float]:
+        """Per-address lifetimes in row order (shared memoized list)."""
+        if self._lifetimes is None:
+            last = self.last
+            self._lifetimes = [
+                last[row] - first for row, first in enumerate(self.first)
+            ]
+        return self._lifetimes
+
+    def iid_intervals(self) -> Dict[int, Tuple[float, float]]:
+        """Per-IID union sighting intervals (shared memoized mapping)."""
+        if self._iid_intervals is None:
+            intervals: Dict[int, List[float]] = {}
+            first = self.first
+            last = self.last
+            for row, iid in enumerate(self.iids):
+                existing = intervals.get(iid)
+                if existing is None:
+                    intervals[iid] = [first[row], last[row]]
+                else:
+                    if first[row] < existing[0]:
+                        existing[0] = first[row]
+                    if last[row] > existing[1]:
+                        existing[1] = last[row]
+            self._iid_intervals = {
+                iid: (interval[0], interval[1])
+                for iid, interval in intervals.items()
+            }
+        return self._iid_intervals
+
+    def iid_entropies(self) -> Dict[int, float]:
+        """Normalized entropy per distinct IID (shared memoized mapping)."""
+        if self._iid_entropies is None:
+            entropies = self.entropies
+            self._iid_entropies = {
+                iid: entropies[row] for row, iid in enumerate(self.iids)
+            }
+        return self._iid_entropies
+
+    def entropy_samples(self) -> Sequence[float]:
+        """Per-address normalized IID entropy, row order (the Fig. 1 input)."""
+        return self.entropies
+
+    def eui64_rows(self) -> Dict[int, List[int]]:
+        """Embedded MAC → row indices, in row order (shared memoized)."""
+        if self._eui64_rows is None:
+            groups: Dict[int, List[int]] = {}
+            for row, mac in enumerate(self.macs):
+                if mac == NO_MAC:
+                    continue
+                rows = groups.get(mac)
+                if rows is None:
+                    groups[mac] = [row]
+                else:
+                    rows.append(row)
+            self._eui64_rows = groups
+        return self._eui64_rows
+
+    def eui64_mac_addresses(self) -> Dict[int, List[int]]:
+        """Embedded MAC → addresses exposing it (fresh lists)."""
+        addresses = self.addresses
+        return {
+            mac: [addresses[row] for row in rows]
+            for mac, rows in self.eui64_rows().items()
+        }
+
+    def eui64_mac_intervals(self) -> Dict[int, Tuple[float, float]]:
+        """Embedded MAC → union sighting interval over its addresses."""
+        if self._eui64_intervals is None:
+            first = self.first
+            last = self.last
+            self._eui64_intervals = {
+                mac: (
+                    min(first[row] for row in rows),
+                    max(last[row] for row in rows),
+                )
+                for mac, rows in self.eui64_rows().items()
+            }
+        return self._eui64_intervals
+
+    def rows_in_window(self, start: float, end: float) -> List[int]:
+        """Rows whose sighting interval intersects ``[start, end)``."""
+        first = self.first
+        last = self.last
+        return [
+            row
+            for row in range(len(self.addresses))
+            if first[row] < end and last[row] >= start
+        ]
+
+    # -- origin aggregation -------------------------------------------------------
+
+    def asn_counts(
+        self, origin: Optional[Callable[[int], Optional[int]]] = None
+    ) -> Counter:
+        """Address count per origin ASN (``None`` for unrouted).
+
+        With a :class:`CachedOrigins` resolver (the attached one by
+        default) the tally runs over *distinct /64s* instead of
+        addresses, resolving each non-hot /64 exactly once; hot /64s
+        (containing a longer-than-/64 announcement) are resolved
+        per-address, preserving exact equivalence with the naive loop.
+        """
+        resolver = self.origins if origin is None else origin
+        if resolver is None:
+            raise ValueError("no origin resolver attached or supplied")
+        counts: Counter = Counter()
+        if isinstance(resolver, CachedOrigins):
+            hot = resolver.hot_slash64s
+            per_slash64 = self.slash64_address_counts()
+            live_hot = hot.intersection(per_slash64) if hot else ()
+            for key, n in per_slash64.items():
+                if key in live_hot:
+                    continue
+                counts[resolver.slash64_origin(key)] += n
+            if live_hot:
+                for row, key in enumerate(self.slash64s):
+                    if key in live_hot:
+                        counts[resolver(self.addresses[row])] += 1
+        else:
+            for address in self.addresses:
+                counts[resolver(address)] += 1
+        return counts
+
+    def asn_set(
+        self, origin: Optional[Callable[[int], Optional[int]]] = None
+    ) -> Set[int]:
+        """Distinct origin ASNs (unrouted addresses are skipped)."""
+        return {
+            asn for asn in self.asn_counts(origin) if asn is not None
+        }
+
+    def __repr__(self) -> str:
+        return f"CorpusIndex({self.name!r}, {len(self):,} rows)"
+
+
+def _structural_code(iid: int, entropy: float) -> int:
+    """Structural pattern code of an IID given its precomputed entropy.
+
+    Mirrors :func:`repro.addr.patterns.classify_iid_structurally` with
+    ``ipv4_embedded=False``, reusing the entropy already computed in the
+    build pass.
+    """
+    if iid == 0:
+        return _ZEROES
+    if iid <= 0xFF:
+        return _LOW_BYTE
+    if iid <= 0xFFFF:
+        return _LOW_2_BYTES
+    if entropy >= HIGH_THRESHOLD:
+        return _HIGH_ENTROPY
+    if entropy >= LOW_THRESHOLD:
+        return _MEDIUM_ENTROPY
+    return _LOW_ENTROPY

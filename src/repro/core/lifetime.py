@@ -72,6 +72,14 @@ def iid_lifetimes_by_entropy(
     buckets: Dict[EntropyClass, List[float]] = {
         cls: [] for cls in EntropyClass
     }
+    index = getattr(corpus, "index", None)
+    if index is not None:
+        # Entropy was computed once per distinct IID in the index build
+        # pass; read it instead of re-deriving it per interval.
+        entropies = index.iid_entropies()
+        for iid, (first, last) in index.iid_intervals().items():
+            buckets[entropy_class(entropies[iid])].append(last - first)
+        return buckets
     for iid, (first, last) in corpus.iid_intervals().items():
         cls = entropy_class(normalized_iid_entropy(iid))
         buckets[cls].append(last - first)
@@ -84,6 +92,12 @@ def eui64_iid_lifetimes(corpus: AddressCorpus) -> List[float]:
     Computed per embedded MAC: the union interval over every address
     exposing that MAC.
     """
+    index = getattr(corpus, "index", None)
+    if index is not None:
+        return [
+            last - first
+            for first, last in index.eui64_mac_intervals().values()
+        ]
     lifetimes = []
     for addresses in corpus.eui64_mac_addresses().values():
         first = min(corpus.first_seen(address) for address in addresses)

@@ -12,8 +12,9 @@ Returns the three corpora plus the service objects experiments interrogate
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional
 
 from ..faults.plan import FaultPlan
 from ..scan.caida import CAIDACampaign
@@ -22,6 +23,7 @@ from ..world.clock import WEEK
 from ..world.world import World
 from .campaign import CampaignConfig, NTPCampaign
 from .corpus import AddressCorpus
+from .index import CachedOrigins, CorpusIndex
 from .parallel import run_campaign_parallel
 
 __all__ = ["StudyConfig", "StudyResults", "run_study"]
@@ -57,6 +59,10 @@ class StudyConfig:
     #: Failed shards are resubmitted this many times before degrading
     #: to inline execution.
     max_shard_retries: int = 2
+    #: Build one columnar :class:`CorpusIndex` per corpus after the
+    #: campaigns finish; every downstream analysis then reads shared
+    #: columns instead of re-scanning the corpora.
+    build_index: bool = True
 
     def __post_init__(self) -> None:
         if self.weeks < CAIDA_LAST_WEEK:
@@ -85,14 +91,30 @@ class StudyResults:
     campaign: NTPCampaign
     hitlist_service: HitlistService
     caida_campaign: CAIDACampaign
+    #: The study's shared /64-memoized origin resolver (``None`` when
+    #: indexing was disabled); analyses should prefer it over the
+    #: world's raw per-address LPM lookup.
+    origins: Optional[CachedOrigins] = None
+    #: Wall-clock seconds per study stage, in execution order (the
+    #: ``--profile`` dump).
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     def corpora(self):
         """The three datasets in the paper's Table 1 order."""
         return [self.ntp, self.hitlist, self.caida]
 
+    def index_for(self, name: str) -> Optional[CorpusIndex]:
+        """The columnar index of the corpus called ``name``, if built."""
+        for corpus in self.corpora():
+            if corpus.name == name:
+                return corpus.index
+        raise KeyError(f"no dataset named {name!r}")
+
 
 def run_study(world: World, config: StudyConfig) -> StudyResults:
-    """Run all three campaigns against one world."""
+    """Run all three campaigns against one world, then index the corpora."""
+    timings: Dict[str, float] = {}
+    stage_start = time.perf_counter()
     campaign = NTPCampaign(
         world,
         CampaignConfig(
@@ -114,7 +136,9 @@ def run_study(world: World, config: StudyConfig) -> StudyResults:
         )
     else:
         ntp_corpus = campaign.run()
+    timings["ntp-collection"] = time.perf_counter() - stage_start
 
+    stage_start = time.perf_counter()
     vantage_asns = sorted({vantage.asn for vantage in world.vantages})
     hitlist_service = HitlistService(
         world,
@@ -128,7 +152,9 @@ def run_study(world: World, config: StudyConfig) -> StudyResults:
         config.weeks - HITLIST_FIRST_WEEK,
     )
     hitlist_corpus = AddressCorpus.from_history("ipv6-hitlist", hitlist_history)
+    timings["hitlist-snapshots"] = time.perf_counter() - stage_start
 
+    stage_start = time.perf_counter()
     caida_campaign = CAIDACampaign(world, vantage_asns, seed=config.seed + 2)
     caida_history = caida_campaign.run(
         config.start + CAIDA_FIRST_WEEK * WEEK,
@@ -136,6 +162,15 @@ def run_study(world: World, config: StudyConfig) -> StudyResults:
         cycle_days=config.caida_cycle_days,
     )
     caida_corpus = AddressCorpus.from_history("caida-routed-48", caida_history)
+    timings["caida-routed-48"] = time.perf_counter() - stage_start
+
+    origins: Optional[CachedOrigins] = None
+    if config.build_index:
+        stage_start = time.perf_counter()
+        origins = CachedOrigins.from_world(world)
+        for corpus in (ntp_corpus, hitlist_corpus, caida_corpus):
+            corpus.build_index(origins)
+        timings["corpus-index"] = time.perf_counter() - stage_start
 
     return StudyResults(
         ntp=ntp_corpus,
@@ -144,4 +179,6 @@ def run_study(world: World, config: StudyConfig) -> StudyResults:
         campaign=campaign,
         hitlist_service=hitlist_service,
         caida_campaign=caida_campaign,
+        origins=origins,
+        stage_seconds=timings,
     )

@@ -99,24 +99,49 @@ def build_mac_tracks(
     origin: Callable[[int], Optional[int]],
     country_of: Callable[[int], Optional[str]],
 ) -> Dict[int, MACTrack]:
-    """Aggregate every embedded MAC's sightings into a track."""
+    """Aggregate every embedded MAC's sightings into a track.
+
+    With a :class:`~repro.core.index.CorpusIndex` attached to the
+    corpus, sightings are read straight from the MAC / first-seen /
+    /64 columns; otherwise each EUI-64 address is re-derived from the
+    record store.  Both paths produce identical tracks.
+    """
+    index = getattr(corpus, "index", None)
     tracks: Dict[int, MACTrack] = {}
-    for mac, addresses in corpus.eui64_mac_addresses().items():
-        ordered = sorted(addresses, key=corpus.first_seen)
+    if index is not None:
+        groups = (
+            (mac, rows) for mac, rows in index.eui64_rows().items()
+        )
+    else:
+        groups = iter(corpus.eui64_mac_addresses().items())
+    for mac, sightings in groups:
+        if index is not None:
+            # Rows are in record order, so this stable sort matches the
+            # naive sorted(addresses, key=corpus.first_seen) exactly.
+            rows = sorted(sightings, key=index.first.__getitem__)
+            ordered = [index.addresses[row] for row in rows]
+            firsts = [index.first[row] for row in rows]
+            prefix64s = [index.slash64s[row] for row in rows]
+            last_seen = max(index.last[row] for row in rows)
+        else:
+            ordered = sorted(sightings, key=corpus.first_seen)
+            firsts = [corpus.first_seen(address) for address in ordered]
+            prefix64s = [slash64_of(address) for address in ordered]
+            last_seen = max(
+                corpus.last_seen(address) for address in ordered
+            )
         slash64s: List[int] = []
         transitions = 0
         timeline: List[Tuple[float, int, Optional[int]]] = []
         previous64: Optional[int] = None
-        for address in ordered:
-            prefix64 = slash64_of(address)
+        for position, address in enumerate(ordered):
+            prefix64 = prefix64s[position]
             if prefix64 not in slash64s:
                 slash64s.append(prefix64)
             if previous64 is not None and prefix64 != previous64:
                 transitions += 1
             previous64 = prefix64
-            timeline.append(
-                (corpus.first_seen(address), prefix64, origin(address))
-            )
+            timeline.append((firsts[position], prefix64, origin(address)))
         asns = tuple(
             sorted({asn for _, _, asn in timeline if asn is not None})
         )
@@ -138,8 +163,8 @@ def build_mac_tracks(
             asns=asns,
             countries=countries,
             transitions=transitions,
-            first_seen=corpus.first_seen(ordered[0]),
-            last_seen=max(corpus.last_seen(address) for address in ordered),
+            first_seen=firsts[0],
+            last_seen=last_seen,
             timeline=tuple(timeline),
         )
     return tracks

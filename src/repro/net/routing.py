@@ -11,7 +11,7 @@ routed-/48 campaign starts from.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from .prefixes import Prefix, PrefixTrie
 
@@ -53,7 +53,10 @@ class RoutingTable:
 
     def __init__(self, width: int = 128) -> None:
         self._trie: PrefixTrie[int] = PrefixTrie(width)
-        self._announcements: List[RoutedPrefix] = []
+        # Keyed by prefix so re-announcement is O(1) instead of a full
+        # rebuild of the announcement list; insertion order is the
+        # announcement order the routed-/48 enumeration relies on.
+        self._announcements: Dict[Prefix, RoutedPrefix] = {}
 
     @property
     def width(self) -> int:
@@ -68,15 +71,13 @@ class RoutingTable:
         different AS replaces the previous origin (as a newer BGP update
         would).
         """
-        if not 0 < asn < (1 << 32):
-            raise ValueError(f"ASN out of range: {asn}")
-        already = prefix in self._trie
+        routed = RoutedPrefix(prefix, asn)  # validates the ASN range
         self._trie.insert(prefix, asn)
-        if already:
-            self._announcements = [
-                routed for routed in self._announcements if routed.prefix != prefix
-            ]
-        self._announcements.append(RoutedPrefix(prefix, asn))
+        # A re-announcement moves the prefix to the end of the
+        # announcement order, as the previous list-rebuild did.
+        if prefix in self._announcements:
+            del self._announcements[prefix]
+        self._announcements[prefix] = routed
 
     def origin_asn(self, address: int) -> Optional[int]:
         """Origin AS of the most specific covering prefix, or ``None``."""
@@ -96,12 +97,14 @@ class RoutingTable:
 
         This is the seed list for the CAIDA routed-/48 splitting step.
         """
-        return iter(self._announcements)
+        return iter(list(self._announcements.values()))
 
     def prefixes_of(self, asn: int) -> List[Prefix]:
         """All prefixes currently originated by ``asn``."""
         return [
-            routed.prefix for routed in self._announcements if routed.asn == asn
+            routed.prefix
+            for routed in self._announcements.values()
+            if routed.asn == asn
         ]
 
     def items(self) -> Iterator[Tuple[Prefix, int]]:
