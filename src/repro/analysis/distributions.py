@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 __all__ = ["ECDF"]
 
@@ -85,7 +85,10 @@ class ECDF:
         return self.quantile(0.5)
 
     def sample_points(
-        self, points: int = 50, lo: float = None, hi: float = None
+        self,
+        points: int = 50,
+        lo: Optional[float] = None,
+        hi: Optional[float] = None,
     ) -> List[Tuple[float, float]]:
         """``points`` evenly spaced (x, cdf(x)) pairs for plotting."""
         if points < 2:
@@ -98,7 +101,10 @@ class ECDF:
         return [(lo + i * step, self.cdf(lo + i * step)) for i in range(points)]
 
     def ccdf_points(
-        self, points: int = 50, lo: float = None, hi: float = None
+        self,
+        points: int = 50,
+        lo: Optional[float] = None,
+        hi: Optional[float] = None,
     ) -> List[Tuple[float, float]]:
         """``points`` evenly spaced (x, ccdf(x)) pairs."""
         return [(x, 1.0 - y) for x, y in self.sample_points(points, lo, hi)]

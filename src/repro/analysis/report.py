@@ -182,6 +182,29 @@ def study_report(world, results, geolocation_min_pairs: int = 12) -> str:
                 )
             )
 
+    # 7. Operational telemetry (collection-run health; the counters are
+    # exported in full through ``--metrics-out``).
+    metrics = getattr(results, "metrics", None)
+    shard_failures = getattr(results.campaign, "shard_failures", [])
+    sections.append("")
+    sections.append("operational telemetry:")
+    sections.append("  shard failures: %d" % len(shard_failures))
+    if metrics is not None:
+        sections.append(
+            "  queries evaluated: %d"
+            % int(metrics.counter_value("repro_campaign_queries_total"))
+        )
+        sections.append(
+            "  packets dropped by faults: %d"
+            % int(metrics.counter_value("repro_faults_packets_lost_total"))
+        )
+        sections.append(
+            "  rotation ejections: %d"
+            % int(
+                metrics.counter_value("repro_faults_rotation_ejections_total")
+            )
+        )
+
     header = (
         f"Study report — world seed {world.config.seed}, "
         f"{len(world.devices):,} devices, "

@@ -18,8 +18,8 @@ arguments produce identical bytes.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
-import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -38,9 +38,12 @@ from .core import (
 from .core.storage import checkpoint_candidates
 from .core.tracking import TrackingClass
 from .faults import FaultPlan
+from .obs import MetricsRegistry
 from .world import CAMPAIGN_EPOCH, build_world, preset_config, preset_names
 
 __all__ = ["main", "build_parser"]
+
+logger = logging.getLogger("repro.cli")
 
 
 def _world_config(args):
@@ -54,24 +57,23 @@ def _fault_plan(args) -> Optional[FaultPlan]:
     try:
         return FaultPlan.parse(spec)
     except ValueError as error:
-        print(f"bad --faults spec: {error}", file=sys.stderr)
+        logger.error("bad --faults spec: %s", error)
         raise SystemExit(2)
 
 
 def _study_config(args) -> StudyConfig:
     if getattr(args, "workers", 1) < 1:
-        print(f"--workers must be >= 1: {args.workers}", file=sys.stderr)
+        logger.error("--workers must be >= 1: %d", args.workers)
         raise SystemExit(2)
     if getattr(args, "max_shard_retries", 2) < 0:
-        print(
-            f"--max-shard-retries must be >= 0: {args.max_shard_retries}",
-            file=sys.stderr,
+        logger.error(
+            "--max-shard-retries must be >= 0: %d", args.max_shard_retries
         )
         raise SystemExit(2)
     resume_from = None
     if getattr(args, "resume", False):
         if not args.checkpoint:
-            print("--resume requires --checkpoint", file=sys.stderr)
+            logger.error("--resume requires --checkpoint")
             raise SystemExit(2)
         if any(
             candidate.exists()
@@ -79,9 +81,8 @@ def _study_config(args) -> StudyConfig:
         ):
             resume_from = args.checkpoint
         else:
-            print(
-                f"no checkpoint at {args.checkpoint}; starting fresh",
-                file=sys.stderr,
+            logger.warning(
+                "no checkpoint at %s; starting fresh", args.checkpoint
             )
     return StudyConfig(
         start=CAMPAIGN_EPOCH,
@@ -96,32 +97,42 @@ def _study_config(args) -> StudyConfig:
 
 
 def _print_profile(stage_seconds) -> None:
-    print(format_timings(stage_seconds), file=sys.stderr)
+    logger.info("per-stage timings:\n%s", format_timings(stage_seconds))
+
+
+def _write_metrics(registry: MetricsRegistry, path: str) -> None:
+    """Export the study's telemetry: JSON snapshot by default, the
+    Prometheus text exposition for ``.prom``/``.txt`` paths."""
+    target = Path(path)
+    if target.suffix in {".prom", ".txt"}:
+        target.write_text(registry.render_prometheus())
+    else:
+        target.write_text(registry.to_json())
+    logger.info("metrics written to %s", target)
 
 
 def _cmd_study(args) -> int:
     study_config = _study_config(args)
     world = build_world(_world_config(args))
-    print(f"world: {world.stats()}", file=sys.stderr)
+    logger.info("world: %s", world.stats())
     results = run_study(world, study_config)
     origin = results.origins or world.ipv6_origin_asn
-    timings = dict(results.stage_seconds)
-    t0 = time.perf_counter()
-    comparison = compare_datasets(
-        results.ntp, [results.hitlist, results.caida], origin
-    )
-    timings["table1-comparison"] = time.perf_counter() - t0
+    with results.metrics.span("table1-comparison"):
+        comparison = compare_datasets(
+            results.ntp, [results.hitlist, results.caida], origin
+        )
     print(comparison.render())
     output_dir = Path(args.output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
-    t0 = time.perf_counter()
-    for corpus in results.corpora():
-        path = output_dir / f"{corpus.name}.corpus.bin"
-        count = save_corpus(corpus, path)
-        print(f"saved {count:,} records to {path}")
-    timings["save-corpora"] = time.perf_counter() - t0
+    with results.metrics.span("save-corpora"):
+        for corpus in results.corpora():
+            path = output_dir / f"{corpus.name}.corpus.bin"
+            count = save_corpus(corpus, path)
+            print(f"saved {count:,} records to {path}")
+    if args.metrics_out:
+        _write_metrics(results.metrics, args.metrics_out)
     if args.profile:
-        _print_profile(timings)
+        _print_profile(results.stage_seconds)
     return 0
 
 
@@ -159,17 +170,17 @@ def _cmd_report(args) -> int:
     study_config = _study_config(args)
     world = build_world(_world_config(args))
     results = run_study(world, study_config)
-    timings = dict(results.stage_seconds)
-    t0 = time.perf_counter()
-    text = study_report(world, results)
-    timings["analysis-report"] = time.perf_counter() - t0
+    with results.metrics.span("analysis-report"):
+        text = study_report(world, results)
     if args.output:
         Path(args.output).write_text(text)
-        print(f"report written to {args.output}", file=sys.stderr)
+        logger.info("report written to %s", args.output)
     else:
         print(text)
+    if args.metrics_out:
+        _write_metrics(results.metrics, args.metrics_out)
     if args.profile:
-        _print_profile(timings)
+        _print_profile(results.stage_seconds)
     return 0
 
 
@@ -196,6 +207,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction toolkit for 'IPv6 Hitlists at Scale' "
                     "(SIGCOMM 2023)",
+    )
+    parser.add_argument(
+        "--log-level", default="info", metavar="LEVEL",
+        choices=["debug", "info", "warning", "error", "critical"],
+        help="stderr logging verbosity (default: info)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -233,6 +249,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="print a per-stage wall-clock timing table (collection, "
                  "comparison campaigns, corpus indexing, analysis) to "
                  "stderr",
+        )
+        subparser.add_argument(
+            "--metrics-out", default=None, metavar="PATH",
+            help="write the study's telemetry snapshot to PATH when done "
+                 "(JSON by default; Prometheus text exposition for .prom "
+                 "or .txt paths)",
         )
 
     study = commands.add_parser(
@@ -279,6 +301,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    # force=True rebinds the handler to the *current* sys.stderr on
+    # every invocation (tests swap the stream between calls).
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(levelname)s %(name)s: %(message)s",
+        stream=sys.stderr,
+        force=True,
+    )
     return args.handler(args)
 
 

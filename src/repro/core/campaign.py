@@ -23,10 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..addr.ipv6 import format_address
 from ..faults.injector import FaultInjector
 from ..faults.monitor import AvailabilityTimeline
 from ..faults.plan import FaultPlan
 from ..ntp.client import TimeSource, build_request
+from ..obs import MetricsRegistry
 from ..ntp.packet import NTPPacket
 from ..ntp.pool import NTPPool
 from ..ntp.server import StratumTwoServer
@@ -123,7 +125,13 @@ class CaptureModel:
 class NTPCampaign:
     """Run the passive collection and produce the NTP corpus."""
 
-    def __init__(self, world: World, config: CampaignConfig) -> None:
+    def __init__(
+        self,
+        world: World,
+        config: CampaignConfig,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if not world.vantages:
             raise ValueError("world has no vantage points")
         self.world = world
@@ -136,6 +144,23 @@ class NTPCampaign:
         self.extra_sinks: List = []
         #: Per-shard failure records appended by the parallel executor.
         self.shard_failures: List = []
+        #: Telemetry sink.  Recording never touches the keyed RNG, so a
+        #: campaign with a live registry stays bit-identical to one with
+        #: ``NULL_REGISTRY`` (pinned by tests/core/test_metrics_determinism).
+        self.metrics = MetricsRegistry() if metrics is None else metrics
+        self._m_queries = self.metrics.counter(
+            "repro_campaign_queries_total",
+            "pool-client NTP queries evaluated by the capture model",
+        )
+        self._m_captured = self.metrics.counter(
+            "repro_campaign_captured_total",
+            "queries the geo-DNS round-robin landed on one of our vantages",
+        )
+        self._m_observations = self.metrics.counter(
+            "repro_campaign_observations_total",
+            "observations recorded into the corpus",
+        )
+        self._m_vantage_obs: Dict[int, object] = {}
         self._outages_active = bool(world.outages)
         plan = config.faults
         if plan is not None and plan.is_zero:
@@ -143,7 +168,10 @@ class NTPCampaign:
         self._injector: Optional[FaultInjector] = (
             None
             if plan is None
-            else FaultInjector(plan, world.vantages, config.start, config.end)
+            else FaultInjector(
+                plan, world.vantages, config.start, config.end,
+                metrics=self.metrics,
+            )
         )
         self._build_pool()
         if self._injector is not None:
@@ -160,6 +188,10 @@ class NTPCampaign:
         self, client_address: int, when: float, server: StratumTwoServer
     ) -> None:
         self.corpus.record(client_address, when)
+        self._m_observations.inc()
+        counter = self._m_vantage_obs.get(server.address)
+        if counter is not None:
+            counter.inc()
         for sink in self.extra_sinks:
             sink(client_address, when)
 
@@ -171,6 +203,16 @@ class NTPCampaign:
             )
             self.servers[vantage.address] = server
             self.pool.join(server)
+            # Per-vantage capture-rate telemetry (the paper's weekly
+            # per-vantage capture report, §3).
+            self._m_vantage_obs[vantage.address] = self.metrics.counter(
+                "repro_campaign_vantage_observations_total",
+                "observations recorded, per vantage",
+                labels={
+                    "vantage": format_address(vantage.address),
+                    "country": vantage.country,
+                },
+            )
         # Background volunteers: plain members with no sink.  Their
         # addresses come from reserved space; only their country matters.
         index = 0
@@ -231,11 +273,12 @@ class NTPCampaign:
             )
         first_day = start_week * 7
         last_day = end_week * 7
-        for position, device in enumerate(self.world.pool_client_devices()):
-            if position % shard_count != shard_index:
-                continue
-            for day in range(first_day, last_day):
-                self._collect_device_day(device, day)
+        with self.metrics.span("ntp-collect"):
+            for position, device in enumerate(self.world.pool_client_devices()):
+                if position % shard_count != shard_index:
+                    continue
+                for day in range(first_day, last_day):
+                    self._collect_device_day(device, day)
         return self.corpus
 
     def _collect_device_day(self, device, day: int) -> None:
@@ -245,6 +288,7 @@ class NTPCampaign:
         config = self.config
         day_start = config.start + day * DAY
         rng = None
+        self._m_queries.inc(len(offsets))
         for query_index, offset in enumerate(offsets):
             when = day_start + offset
             network = self.world.networks.get(device.current_network_id(when))
@@ -261,6 +305,7 @@ class NTPCampaign:
                 rng = split_rng(config.seed, "capture", device.device_id, day)
             if rng.random() >= probability:
                 continue
+            self._m_captured.inc()
             vantage_address = vantages[rng.randrange(len(vantages))]
             delivered, datagram = self._fault_gate(
                 device.device_id, day, query_index, when,
@@ -300,7 +345,7 @@ class NTPCampaign:
         injector = self._injector
         if injector is None:
             return True, None
-        if not injector.in_rotation(vantage_address, when):
+        if injector.ejects(vantage_address, when):
             # Ejected from the DNS rotation: the pool hands the client a
             # background member instead, so the vantage captures nothing.
             return False, None

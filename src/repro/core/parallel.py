@@ -43,6 +43,7 @@ bytes:
 
 from __future__ import annotations
 
+import hashlib
 import logging
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -52,20 +53,44 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..faults.chaos import maybe_fail_shard
+from ..obs import DEFAULT_SIZE_BUCKETS
 from ..world.world import World
 from .campaign import CampaignConfig, NTPCampaign
 from .corpus import AddressCorpus
 from .storage import resolve_resume_checkpoint, save_checkpoint
 
-__all__ = ["ShardSpec", "ShardFailure", "run_shard", "run_campaign_parallel"]
+__all__ = [
+    "ShardSpec",
+    "ShardFailure",
+    "run_shard",
+    "run_shard_telemetry",
+    "run_campaign_parallel",
+]
 
 logger = logging.getLogger(__name__)
 
-#: Worker-side world cache keyed by the world config's repr.  Fork-based
-#: executors inherit the parent's entry (primed by
+#: Worker-side world cache keyed by a stable digest of the world
+#: config's repr, bounded to the single most recent entry — a process
+#: that runs campaigns against several worlds (test suites, multi-world
+#: studies) must not accumulate one fully-built world per config.
+#: Fork-based executors inherit the parent's entry (primed by
 #: :func:`run_campaign_parallel`); spawn-based workers populate it on
 #: their first shard and reuse it across week windows.
 _WORLD_CACHE: Dict[str, World] = {}
+
+
+def _world_cache_key(world_config: object) -> str:
+    """Stable, bounded-size cache key for a world config."""
+    return hashlib.blake2b(
+        repr(world_config).encode("utf-8"), digest_size=16
+    ).hexdigest()
+
+
+def _cache_world(key: str, world: World) -> None:
+    """Install ``world`` as the process's single cached world."""
+    if key not in _WORLD_CACHE:
+        _WORLD_CACHE.clear()
+    _WORLD_CACHE[key] = world
 
 #: Frozen outage windows carried inside a picklable spec:
 #: ``((asn, ((start, end), ...)), ...)``.
@@ -111,11 +136,11 @@ def _freeze_outages(outages: Dict[int, list]) -> _OutageSpec:
 def _world_for(spec: ShardSpec) -> World:
     from ..world.population import build_world
 
-    key = repr(spec.world_config)
+    key = _world_cache_key(spec.world_config)
     world = _WORLD_CACHE.get(key)
     if world is None:
         world = build_world(spec.world_config)
-        _WORLD_CACHE[key] = world
+        _cache_world(key, world)
     # Outages are injected after build, so they travel in the spec and
     # are re-applied here (idempotent for fork-inherited worlds).
     world.outages = {
@@ -124,15 +149,22 @@ def _world_for(spec: ShardSpec) -> World:
     return world
 
 
-def _run_shard_inline(spec: ShardSpec) -> AddressCorpus:
-    """Collect one shard's week window, with no failure injection."""
+def _run_shard_inline(spec: ShardSpec) -> Tuple[AddressCorpus, dict]:
+    """Collect one shard's week window, with no failure injection.
+
+    Returns the shard corpus plus the shard campaign's telemetry
+    snapshot, so the coordinating process can fold worker-side counters
+    (queries evaluated, captures, injected faults) into its own
+    registry — shard counters sum to exactly the serial campaign's.
+    """
     campaign = NTPCampaign(_world_for(spec), spec.campaign_config)
-    return campaign.run(
+    corpus = campaign.run(
         spec.start_week,
         spec.end_week,
         shard_index=spec.shard_index,
         shard_count=spec.shard_count,
     )
+    return corpus, campaign.metrics.snapshot()
 
 
 def run_shard(spec: ShardSpec) -> AddressCorpus:
@@ -142,6 +174,16 @@ def run_shard(spec: ShardSpec) -> AddressCorpus:
     :mod:`repro.faults.chaos`); the inline degradation path goes through
     :func:`_run_shard_inline` directly so a recovery run can never be
     re-killed by its own chaos configuration.
+    """
+    maybe_fail_shard(spec.shard_index)
+    return _run_shard_inline(spec)[0]
+
+
+def run_shard_telemetry(spec: ShardSpec) -> Tuple[AddressCorpus, dict]:
+    """:func:`run_shard` plus the shard's metrics snapshot.
+
+    The pool entry point :func:`run_campaign_parallel` actually submits
+    — ``run_shard`` is kept for callers that only want the corpus.
     """
     maybe_fail_shard(spec.shard_index)
     return _run_shard_inline(spec)
@@ -209,10 +251,37 @@ def run_campaign_parallel(
             f"retry_backoff_cap must be > 0: {retry_backoff_cap}"
         )
 
+    metrics = campaign.metrics
+    m_attempts = metrics.counter(
+        "repro_shard_attempts_total", "shard executions submitted to the pool"
+    )
+    m_retries = metrics.counter(
+        "repro_shard_retries_total", "failed shards resubmitted to the pool"
+    )
+    m_inline = metrics.counter(
+        "repro_shard_inline_total",
+        "shards degraded to inline execution after exhausting retries",
+    )
+    m_failures = metrics.counter(
+        "repro_shard_failures_total",
+        "recovered shard failures (matches campaign.shard_failures)",
+    )
+    m_rebuilds = metrics.counter(
+        "repro_pool_rebuilds_total", "broken process pools rebuilt"
+    )
+    m_checkpoints = metrics.counter(
+        "repro_checkpoints_saved_total", "checkpoint snapshots written"
+    )
+    m_merge = metrics.histogram(
+        "repro_shard_merge_records",
+        "per-shard corpus sizes at merge time",
+        buckets=DEFAULT_SIZE_BUCKETS,
+    )
+
     current_week = start_week
     if resume_from is not None:
-        snapshot, completed_weeks, used, skipped = resolve_resume_checkpoint(
-            resume_from
+        snapshot, completed_weeks, used, skipped, saved_metrics = (
+            resolve_resume_checkpoint(resume_from, with_metrics=True)
         )
         for bad_path, error in skipped:
             logger.warning(
@@ -228,6 +297,10 @@ def run_campaign_parallel(
                 f"{completed_weeks} > {end_week}"
             )
         campaign.corpus.merge(snapshot)
+        if saved_metrics is not None:
+            # Cumulative telemetry: the resumed run reports the whole
+            # campaign's counters, not just the post-resume remainder.
+            metrics.merge_snapshot(saved_metrics)
         current_week = max(current_week, completed_weeks)
 
     def windows():
@@ -240,9 +313,16 @@ def run_campaign_parallel(
 
     if workers == 1:
         for window_start, window_end in windows():
-            campaign.run(window_start, window_end)
+            with metrics.span("campaign-window"):
+                campaign.run(window_start, window_end)
             if checkpoint is not None:
-                save_checkpoint(campaign.corpus, checkpoint, window_end)
+                save_checkpoint(
+                    campaign.corpus,
+                    checkpoint,
+                    window_end,
+                    metrics=metrics.snapshot(),
+                )
+                m_checkpoints.inc()
         return campaign.corpus
 
     def specs_for(window_start: int, window_end: int) -> List[ShardSpec]:
@@ -267,10 +347,10 @@ def run_campaign_parallel(
     def collect_window(window_start: int, window_end: int, pool_box) -> None:
         window = (window_start, window_end)
         specs = specs_for(window_start, window_end)
-        # Completed shard corpora keyed by shard index: a shard is
+        # Completed shard results keyed by shard index: a shard is
         # merged exactly once, no matter how many attempts (or which
         # execution path) produced it.
-        completed: Dict[int, AddressCorpus] = {}
+        completed: Dict[int, Tuple[AddressCorpus, dict]] = {}
         attempts = {index: 0 for index in range(shard_count)}
         pending = list(range(shard_count))
         while pending:
@@ -278,13 +358,15 @@ def run_campaign_parallel(
             try:
                 for index in pending:
                     futures[index] = pool_box[0].submit(
-                        run_shard, specs[index]
+                        run_shard_telemetry, specs[index]
                     )
+                    m_attempts.inc()
             except BrokenProcessPool:
                 # The pool died before this round's submissions went
                 # out (e.g. broken by the previous window); rebuild and
                 # resubmit without charging the shards an attempt.
                 pool_box[0] = _rebuild_pool(pool_box[0], workers)
+                m_rebuilds.inc()
                 continue
             failed: Dict[int, str] = {}
             pool_broken = False
@@ -298,6 +380,7 @@ def run_campaign_parallel(
                     failed[index] = f"{type(error).__name__}: {error}"
             if pool_broken:
                 pool_box[0] = _rebuild_pool(pool_box[0], workers)
+                m_rebuilds.inc()
             retry: List[int] = []
             for index in sorted(failed):
                 attempts[index] += 1
@@ -315,6 +398,7 @@ def run_campaign_parallel(
                         action=action,
                     )
                 )
+                m_failures.inc()
                 logger.warning(
                     "shard %d of window %s failed (attempt %d): %s -> %s",
                     index,
@@ -324,29 +408,43 @@ def run_campaign_parallel(
                     action,
                 )
                 if action == "retried":
+                    m_retries.inc()
                     retry.append(index)
                 else:
                     # Retries exhausted: contain the failure by
                     # computing the shard in this process (the chaos
                     # hooks are bypassed on this path).
+                    m_inline.inc()
                     completed[index] = _run_shard_inline(specs[index])
             if retry:
                 delay = backoff_delay(max(attempts[i] for i in retry))
                 if delay > 0:
                     time.sleep(delay)
             pending = retry
+        # Merge in sorted shard order so both the corpus and the folded
+        # telemetry are independent of completion order.
         for index in sorted(completed):
-            campaign.corpus.merge(completed[index])
+            shard_corpus, shard_snapshot = completed[index]
+            m_merge.observe(len(shard_corpus))
+            campaign.corpus.merge(shard_corpus)
+            metrics.merge_snapshot(shard_snapshot)
 
     # Prime the cache so fork-based workers inherit the built world
     # instead of rebuilding it from config.
-    _WORLD_CACHE[repr(campaign.world.config)] = campaign.world
+    _cache_world(_world_cache_key(campaign.world.config), campaign.world)
     pool_box = [ProcessPoolExecutor(max_workers=workers)]
     try:
         for window_start, window_end in windows():
-            collect_window(window_start, window_end, pool_box)
+            with metrics.span("campaign-window"):
+                collect_window(window_start, window_end, pool_box)
             if checkpoint is not None:
-                save_checkpoint(campaign.corpus, checkpoint, window_end)
+                save_checkpoint(
+                    campaign.corpus,
+                    checkpoint,
+                    window_end,
+                    metrics=metrics.snapshot(),
+                )
+                m_checkpoints.inc()
     finally:
         pool_box[0].shutdown()
     return campaign.corpus

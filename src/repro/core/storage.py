@@ -36,11 +36,21 @@ from __future__ import annotations
 
 import contextlib
 import io
+import json
 import os
 import struct
 import zlib
 from pathlib import Path
-from typing import BinaryIO, Iterator, List, Optional, TextIO, Tuple, Union
+from typing import (
+    BinaryIO,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    TextIO,
+    Tuple,
+    Union,
+)
 
 from ..addr.ipv6 import format_address, parse
 from .corpus import AddressCorpus
@@ -56,6 +66,7 @@ __all__ = [
     "load_corpus",
     "save_checkpoint",
     "load_checkpoint",
+    "load_checkpoint_full",
     "checkpoint_candidates",
     "resolve_resume_checkpoint",
 ]
@@ -68,8 +79,15 @@ _RECORD_V2 = struct.Struct(">16s d d Q")
 _MAX_COUNT = {1: 0xFFFFFFFF, 2: 0xFFFFFFFFFFFFFFFF}
 
 #: Checkpoint container: magic, then uint32 completed-week counter, then
-#: an ordinary binary corpus, then the integrity footer.
+#: an ordinary binary corpus, then an optional metrics block, then the
+#: integrity footer.
 _CHECKPOINT_MAGIC = b"RPCW"
+#: Optional metrics block between corpus and footer: magic + uint32
+#: length + a UTF-8 JSON metrics snapshot (see ``repro.obs``).  Absent
+#: in pre-PR-4 checkpoints, which still load (metrics come back None);
+#: pre-PR-4 readers in turn ignored trailing body bytes, so the block is
+#: compatible in both directions.
+_CHECKPOINT_METRICS_MAGIC = b"RPCM"
 #: Integrity footer: magic + CRC32 (big-endian) of every prior byte.
 _CHECKPOINT_FOOTER_MAGIC = b"RPCF"
 _CHECKPOINT_FOOTER_SIZE = 8
@@ -318,12 +336,17 @@ def save_checkpoint(
     path: Union[str, Path],
     completed_weeks: int,
     *,
+    metrics: Optional[Dict[str, object]] = None,
     keep_previous: int = CHECKPOINT_GENERATIONS,
 ) -> int:
     """Atomically snapshot a campaign corpus plus its progress marker.
 
     ``completed_weeks`` is the number of campaign weeks fully collected
     into ``corpus`` (i.e. the next run should resume at that week).
+    ``metrics`` is an optional JSON-serializable telemetry snapshot
+    (``MetricsRegistry.snapshot()``) stored alongside the corpus so a
+    resumed campaign reports *cumulative* counters, not just the
+    post-resume remainder.
     The snapshot ends in a CRC32 footer so a resume can *detect*
     corruption instead of loading garbage, and up to ``keep_previous``
     prior generations are rotated aside (``path.1`` newest) so a resume
@@ -341,6 +364,13 @@ def save_checkpoint(
     payload.write(_CHECKPOINT_MAGIC)
     payload.write(completed_weeks.to_bytes(4, "big"))
     written = save_corpus_binary(corpus, payload)
+    if metrics is not None:
+        blob = json.dumps(metrics, sort_keys=True).encode("utf-8")
+        if len(blob) > 0xFFFFFFFF:
+            raise ValueError("metrics snapshot too large for checkpoint")
+        payload.write(_CHECKPOINT_METRICS_MAGIC)
+        payload.write(len(blob).to_bytes(4, "big"))
+        payload.write(blob)
     data = payload.getvalue()
     footer = _CHECKPOINT_FOOTER_MAGIC + (
         zlib.crc32(data) & 0xFFFFFFFF
@@ -377,6 +407,19 @@ def load_checkpoint(path: Union[str, Path]) -> Tuple[AddressCorpus, int]:
     :class:`CorpusFormatError` for structural damage — always naming the
     file.
     """
+    corpus, completed_weeks, _ = load_checkpoint_full(path)
+    return corpus, completed_weeks
+
+
+def load_checkpoint_full(
+    path: Union[str, Path],
+) -> Tuple[AddressCorpus, int, Optional[Dict[str, object]]]:
+    """:func:`load_checkpoint` plus the stored metrics snapshot.
+
+    The third element is the telemetry snapshot saved with the
+    checkpoint, or ``None`` for checkpoints written without one
+    (including every pre-metrics checkpoint).
+    """
     path = Path(path)
     data = path.read_bytes()
     try:
@@ -385,7 +428,9 @@ def load_checkpoint(path: Union[str, Path]) -> Tuple[AddressCorpus, int]:
         raise _with_path(error, path) from error
 
 
-def _parse_checkpoint(data: bytes) -> Tuple[AddressCorpus, int]:
+def _parse_checkpoint(
+    data: bytes,
+) -> Tuple[AddressCorpus, int, Optional[Dict[str, object]]]:
     if data[:4] != _CHECKPOINT_MAGIC:
         raise CorpusFormatError(
             f"not a repro campaign checkpoint: magic {data[:4]!r}", offset=0
@@ -409,7 +454,40 @@ def _parse_checkpoint(data: bytes) -> Tuple[AddressCorpus, int]:
             offset=len(body),
         )
     completed_weeks = int.from_bytes(data[4:8], "big")
-    return load_corpus_binary(io.BytesIO(body[8:])), completed_weeks
+    stream = io.BytesIO(body[8:])
+    corpus = load_corpus_binary(stream)
+    metrics = _parse_metrics_block(stream, body_offset=8)
+    return corpus, completed_weeks, metrics
+
+
+def _parse_metrics_block(
+    stream: io.BytesIO, body_offset: int
+) -> Optional[Dict[str, object]]:
+    """The optional RPCM telemetry block after the checkpoint corpus."""
+    magic = stream.read(4)
+    if not magic:
+        return None  # pre-metrics checkpoint
+    offset = body_offset + stream.tell() - len(magic)
+    if magic != _CHECKPOINT_METRICS_MAGIC:
+        # CRC already passed, so this is a version skew, not corruption.
+        raise CorpusFormatError(
+            f"unknown checkpoint trailer magic {magic!r}", offset=offset
+        )
+    length = int.from_bytes(
+        _read_exact(stream, 4, "metrics block length"), "big"
+    )
+    blob = _read_exact(stream, length, "metrics block")
+    try:
+        metrics = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise CorpusFormatError(
+            f"bad checkpoint metrics block: {error}", offset=offset
+        ) from error
+    if not isinstance(metrics, dict):
+        raise CorpusFormatError(
+            "checkpoint metrics block is not a JSON object", offset=offset
+        )
+    return metrics
 
 
 def checkpoint_candidates(path: Union[str, Path]) -> List[Path]:
@@ -423,13 +501,17 @@ def checkpoint_candidates(path: Union[str, Path]) -> List[Path]:
 
 def resolve_resume_checkpoint(
     path: Union[str, Path],
-) -> Tuple[AddressCorpus, int, Path, List[Tuple[Path, CorpusFormatError]]]:
+    *,
+    with_metrics: bool = False,
+):
     """Load the newest good checkpoint generation for a resume.
 
     Tries ``path``, then ``path.1``, ``path.2`` … and returns
     ``(corpus, completed_weeks, used_path, skipped)`` where ``skipped``
     lists the corrupt/truncated candidates that were passed over —
-    resuming from garbage is never silent.  Raises
+    resuming from garbage is never silent.  With ``with_metrics=True``
+    a fifth element carries the stored telemetry snapshot (or ``None``)
+    so resumed campaigns report cumulative counters.  Raises
     :class:`CheckpointIntegrityError` when every existing candidate is
     bad, and ``FileNotFoundError`` when none exists at all.
     """
@@ -440,10 +522,12 @@ def resolve_resume_checkpoint(
             continue
         seen_any = True
         try:
-            corpus, completed_weeks = load_checkpoint(candidate)
+            corpus, completed_weeks, metrics = load_checkpoint_full(candidate)
         except CorpusFormatError as error:
             skipped.append((candidate, error))
             continue
+        if with_metrics:
+            return corpus, completed_weeks, candidate, skipped, metrics
         return corpus, completed_weeks, candidate, skipped
     if seen_any:
         details = "; ".join(str(error) for _, error in skipped)

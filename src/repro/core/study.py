@@ -12,11 +12,11 @@ Returns the three corpora plus the service objects experiments interrogate
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..faults.plan import FaultPlan
+from ..obs import MetricsRegistry
 from ..scan.caida import CAIDACampaign
 from ..scan.hitlist_service import HitlistService
 from ..world.clock import WEEK
@@ -95,9 +95,15 @@ class StudyResults:
     #: indexing was disabled); analyses should prefer it over the
     #: world's raw per-address LPM lookup.
     origins: Optional[CachedOrigins] = None
-    #: Wall-clock seconds per study stage, in execution order (the
-    #: ``--profile`` dump).
-    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: The study-wide telemetry registry: every stage span, campaign
+    #: counter and fault counter recorded while the study ran.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def stage_seconds(self) -> Dict[str, float]:
+        """Wall-clock seconds per recorded stage span, in execution
+        order (the ``--profile`` dump) — a view over :attr:`metrics`."""
+        return self.metrics.span_seconds()
 
     def corpora(self):
         """The three datasets in the paper's Table 1 order."""
@@ -111,10 +117,19 @@ class StudyResults:
         raise KeyError(f"no dataset named {name!r}")
 
 
-def run_study(world: World, config: StudyConfig) -> StudyResults:
-    """Run all three campaigns against one world, then index the corpora."""
-    timings: Dict[str, float] = {}
-    stage_start = time.perf_counter()
+def run_study(
+    world: World,
+    config: StudyConfig,
+    *,
+    metrics: Optional[MetricsRegistry] = None,
+) -> StudyResults:
+    """Run all three campaigns against one world, then index the corpora.
+
+    All stages share one :class:`MetricsRegistry` (a fresh one unless
+    ``metrics`` is given); telemetry never feeds back into any keyed-RNG
+    decision, so a metered study is bit-identical to an unmetered one.
+    """
+    registry = MetricsRegistry() if metrics is None else metrics
     campaign = NTPCampaign(
         world,
         CampaignConfig(
@@ -124,21 +139,21 @@ def run_study(world: World, config: StudyConfig) -> StudyResults:
             full_packet_path=config.full_packet_path,
             faults=config.faults,
         ),
+        metrics=registry,
     )
-    if config.workers > 1 or config.checkpoint or config.resume_from:
-        ntp_corpus = run_campaign_parallel(
-            campaign,
-            workers=config.workers,
-            checkpoint=config.checkpoint,
-            checkpoint_interval_weeks=config.checkpoint_interval_weeks,
-            resume_from=config.resume_from,
-            max_shard_retries=config.max_shard_retries,
-        )
-    else:
-        ntp_corpus = campaign.run()
-    timings["ntp-collection"] = time.perf_counter() - stage_start
+    with registry.span("ntp-collection"):
+        if config.workers > 1 or config.checkpoint or config.resume_from:
+            ntp_corpus = run_campaign_parallel(
+                campaign,
+                workers=config.workers,
+                checkpoint=config.checkpoint,
+                checkpoint_interval_weeks=config.checkpoint_interval_weeks,
+                resume_from=config.resume_from,
+                max_shard_retries=config.max_shard_retries,
+            )
+        else:
+            ntp_corpus = campaign.run()
 
-    stage_start = time.perf_counter()
     vantage_asns = sorted({vantage.asn for vantage in world.vantages})
     hitlist_service = HitlistService(
         world,
@@ -146,31 +161,30 @@ def run_study(world: World, config: StudyConfig) -> StudyResults:
         seed_fraction=config.hitlist_seed_fraction,
         cpe_seed_fraction=config.hitlist_cpe_seed_fraction,
         seed=config.seed + 1,
+        metrics=registry,
     )
-    hitlist_history = hitlist_service.run(
-        config.start + HITLIST_FIRST_WEEK * WEEK,
-        config.weeks - HITLIST_FIRST_WEEK,
-    )
+    with registry.span("hitlist-snapshots"):
+        hitlist_history = hitlist_service.run(
+            config.start + HITLIST_FIRST_WEEK * WEEK,
+            config.weeks - HITLIST_FIRST_WEEK,
+        )
     hitlist_corpus = AddressCorpus.from_history("ipv6-hitlist", hitlist_history)
-    timings["hitlist-snapshots"] = time.perf_counter() - stage_start
 
-    stage_start = time.perf_counter()
     caida_campaign = CAIDACampaign(world, vantage_asns, seed=config.seed + 2)
-    caida_history = caida_campaign.run(
-        config.start + CAIDA_FIRST_WEEK * WEEK,
-        config.start + CAIDA_LAST_WEEK * WEEK,
-        cycle_days=config.caida_cycle_days,
-    )
+    with registry.span("caida-routed-48"):
+        caida_history = caida_campaign.run(
+            config.start + CAIDA_FIRST_WEEK * WEEK,
+            config.start + CAIDA_LAST_WEEK * WEEK,
+            cycle_days=config.caida_cycle_days,
+        )
     caida_corpus = AddressCorpus.from_history("caida-routed-48", caida_history)
-    timings["caida-routed-48"] = time.perf_counter() - stage_start
 
     origins: Optional[CachedOrigins] = None
     if config.build_index:
-        stage_start = time.perf_counter()
-        origins = CachedOrigins.from_world(world)
-        for corpus in (ntp_corpus, hitlist_corpus, caida_corpus):
-            corpus.build_index(origins)
-        timings["corpus-index"] = time.perf_counter() - stage_start
+        with registry.span("corpus-index"):
+            origins = CachedOrigins.from_world(world)
+            for corpus in (ntp_corpus, hitlist_corpus, caida_corpus):
+                corpus.build_index(origins)
 
     return StudyResults(
         ntp=ntp_corpus,
@@ -180,5 +194,5 @@ def run_study(world: World, config: StudyConfig) -> StudyResults:
         hitlist_service=hitlist_service,
         caida_campaign=caida_campaign,
         origins=origins,
-        stage_seconds=timings,
+        metrics=registry,
     )

@@ -19,8 +19,9 @@ faults — the same invariant the capture RNG already provides.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Optional
 
+from ..obs import MetricsRegistry, NULL_REGISTRY
 from ..world.rng import keyed_uniform, split_rng
 from .monitor import AvailabilityTimeline, availability_timeline
 from .plan import FaultPlan
@@ -29,7 +30,14 @@ __all__ = ["FaultInjector"]
 
 
 class FaultInjector:
-    """Deterministic fault decisions for one campaign span."""
+    """Deterministic fault decisions for one campaign span.
+
+    Every injected decision is double-entried: a plain integer in
+    :attr:`decisions` (always on, used by tests to cross-check exported
+    telemetry) and a counter on the ``metrics`` registry (a no-op
+    :data:`repro.obs.NULL_REGISTRY` unless the owning campaign wires its
+    own in).
+    """
 
     def __init__(
         self,
@@ -37,6 +45,8 @@ class FaultInjector:
         vantages: Iterable,
         start: float,
         end: float,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.plan = plan
         self.start = start
@@ -48,13 +58,54 @@ class FaultInjector:
             self._timelines[vantage.address] = availability_timeline(
                 plan, vantage.address, start, end
             )
+        #: Injected-fault decision counts: ``rotation_ejections`` (a
+        #: query hit an out-of-rotation vantage), ``packets_lost``,
+        #: ``corruptions``.
+        self.decisions: Dict[str, int] = {
+            "rotation_ejections": 0,
+            "packets_lost": 0,
+            "corruptions": 0,
+        }
+        registry = NULL_REGISTRY if metrics is None else metrics
+        self._m_ejected = registry.counter(
+            "repro_faults_rotation_ejections_total",
+            "queries dropped because their vantage was out of rotation",
+        )
+        self._m_lost = registry.counter(
+            "repro_faults_packets_lost_total",
+            "query datagrams dropped by injected packet loss",
+        )
+        self._m_corrupted = registry.counter(
+            "repro_faults_corruptions_total",
+            "query datagrams mangled by injected corruption",
+        )
+        # The pool-monitor score model's schedule is fully deterministic,
+        # so its ejection count exports as a gauge computed up front.
+        registry.gauge(
+            "repro_faults_monitor_ejections",
+            "distinct pool-monitor ejection gaps across all vantages",
+        ).set(sum(t.ejections for t in self._timelines.values()))
 
     # -- vantage rotation ---------------------------------------------------------
 
     def in_rotation(self, vantage_address: int, when: float) -> bool:
-        """True while the pool DNS would still hand the vantage out."""
+        """True while the pool DNS would still hand the vantage out.
+
+        Pure (uncounted) — this is also the pool's DNS rotation filter,
+        queried outside the capture path; the campaign's fault gate goes
+        through :meth:`ejects` so only real capture drops are counted.
+        """
         timeline = self._timelines.get(vantage_address)
         return timeline is None or timeline.available(when)
+
+    def ejects(self, vantage_address: int, when: float) -> bool:
+        """Counted gate form: True when the query must be dropped
+        because its chosen vantage is out of the DNS rotation."""
+        if self.in_rotation(vantage_address, when):
+            return False
+        self.decisions["rotation_ejections"] += 1
+        self._m_ejected.inc()
+        return True
 
     def availability(self) -> Dict[int, AvailabilityTimeline]:
         """Per-vantage availability timelines (for study reports)."""
@@ -73,10 +124,14 @@ class FaultInjector:
         rate = self._country_loss.get(country, self._base_loss)
         if rate <= 0.0:
             return False
-        return (
+        lost = (
             keyed_uniform(self.plan.seed, "loss", device_id, day, query_index)
             < rate
         )
+        if lost:
+            self.decisions["packets_lost"] += 1
+            self._m_lost.inc()
+        return lost
 
     # -- corruption ---------------------------------------------------------------
 
@@ -85,12 +140,16 @@ class FaultInjector:
         rate = self.plan.corruption_rate
         if rate <= 0.0:
             return False
-        return (
+        corrupted = (
             keyed_uniform(
                 self.plan.seed, "corrupt", device_id, day, query_index
             )
             < rate
         )
+        if corrupted:
+            self.decisions["corruptions"] += 1
+            self._m_corrupted.inc()
+        return corrupted
 
     def corrupt_bytes(
         self, data: bytes, device_id: int, day: int, query_index: int

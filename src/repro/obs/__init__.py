@@ -1,0 +1,40 @@
+"""Unified observability: metrics registry + lightweight span tracing.
+
+The paper's seven-month campaign lived on operational visibility —
+pool-monitor scores, per-vantage capture rates, weekly snapshot sizes.
+:mod:`repro.obs` is the substrate the reproduction reports the same
+signals through: a dependency-free registry of counters, gauges and
+histograms (fixed deterministic bucket boundaries), plus span timing
+driven by any monotonic clock (``time.perf_counter`` by default, a
+:class:`repro.world.clock.SimClock` where simulation time is the truth).
+
+The invariant everything else leans on: **recording telemetry never
+perturbs keyed-RNG determinism**.  Metrics draw no randomness and feed
+none back, so a campaign run with a live registry produces a corpus
+bit-identical to one run with :data:`NULL_REGISTRY` (test-pinned, like
+``FaultPlan.none()``).
+"""
+
+from .registry import (
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    NULL_REGISTRY,
+    SpanStats,
+)
+
+__all__ = [
+    "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+    "SpanStats",
+]

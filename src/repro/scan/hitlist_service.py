@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..net.prefixes import Prefix, PrefixTrie
+from ..obs import MetricsRegistry
 from ..world.clock import WEEK
 from ..world.devices import DeviceType
 from ..world.rng import keyed_uniform, split_rng
@@ -92,6 +93,7 @@ class HitlistService:
         seed_fraction: float = 0.5,
         cpe_seed_fraction: float = 0.55,
         seed: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if not 0.0 < seed_fraction <= 1.0:
             raise ValueError("seed_fraction must lie in (0, 1]")
@@ -104,7 +106,35 @@ class HitlistService:
         self._seed = seed
         self._known_responsive: Set[int] = set()
         self._aliased: Set[Prefix] = set()
+        #: Incrementally-maintained trie over ``_aliased`` — the single
+        #: source of truth for "does the alias list cover this address?"
+        #: (both the weekly filter and :meth:`is_aliased` read it; the
+        #: old code rebuilt a trie every week and linear-scanned here).
+        self._alias_trie: PrefixTrie[bool] = PrefixTrie()
         self.snapshots: List[WeeklySnapshot] = []
+        self.metrics = MetricsRegistry() if metrics is None else metrics
+        self._m_seeds = self.metrics.counter(
+            "repro_hitlist_seeds_total", "addresses harvested from seed sources"
+        )
+        self._m_routers = self.metrics.counter(
+            "repro_hitlist_router_interfaces_total",
+            "router interfaces revealed by topology traces",
+        )
+        self._m_candidates = self.metrics.counter(
+            "repro_hitlist_candidates_total", "candidate addresses probed"
+        )
+        self._m_responsive = self.metrics.counter(
+            "repro_hitlist_responsive_total",
+            "responsive addresses before alias filtering",
+        )
+        self._m_aliased = self.metrics.counter(
+            "repro_hitlist_aliased_prefixes_total",
+            "prefixes newly judged aliased by APD",
+        )
+        self._m_published = self.metrics.gauge(
+            "repro_hitlist_known_responsive",
+            "size of the accumulated responsive list",
+        )
 
     # -- pipeline stages ------------------------------------------------------
 
@@ -151,7 +181,9 @@ class HitlistService:
 
     def _probe(self, candidates: Set[int], when: float, week: int) -> Set[int]:
         """Multi-protocol ZMap6 pass; a target counts once it answers any."""
-        scanner = ZMap6(self._world, seed=self._seed + 1000 + week)
+        scanner = ZMap6(
+            self._world, seed=self._seed + 1000 + week, metrics=self.metrics
+        )
         responsive = scanner.responsive_addresses(
             candidates, when, protocols=HITLIST_PROTOCOLS
         )
@@ -177,12 +209,14 @@ class HitlistService:
             for address in responsive
         )
         newly_aliased = detector.aliased_prefixes(candidates, when)
+        for prefix in newly_aliased:
+            if prefix not in self._aliased:
+                self._alias_trie.insert(prefix, True)
         self._aliased.update(newly_aliased)
-        trie: PrefixTrie[bool] = PrefixTrie()
-        for prefix in self._aliased:
-            trie.insert(prefix, True)
         kept = {
-            address for address in responsive if trie.lookup(address) is None
+            address
+            for address in responsive
+            if self._alias_trie.lookup(address) is None
         }
         return kept, newly_aliased
 
@@ -190,13 +224,20 @@ class HitlistService:
 
     def run_week(self, week: int, when: float) -> WeeklySnapshot:
         """Execute one weekly pipeline run and publish its snapshot."""
-        seeds = self._harvest_seeds(when, week)
-        routers = self._trace_topology(seeds, when, week)
-        known = seeds | routers | self._known_responsive
-        candidates = self._generate_targets(known)
-        responsive = self._probe(candidates, when, week)
-        kept, newly_aliased = self._filter_aliases(responsive, when, week)
-        self._known_responsive.update(kept)
+        with self.metrics.span("hitlist-week"):
+            seeds = self._harvest_seeds(when, week)
+            routers = self._trace_topology(seeds, when, week)
+            known = seeds | routers | self._known_responsive
+            candidates = self._generate_targets(known)
+            responsive = self._probe(candidates, when, week)
+            kept, newly_aliased = self._filter_aliases(responsive, when, week)
+            self._known_responsive.update(kept)
+        self._m_seeds.inc(len(seeds))
+        self._m_routers.inc(len(routers))
+        self._m_candidates.inc(len(candidates))
+        self._m_responsive.inc(len(responsive))
+        self._m_aliased.inc(len(newly_aliased))
+        self._m_published.set(len(self._known_responsive))
         snapshot = WeeklySnapshot(
             week=week,
             when=when,
@@ -236,5 +277,10 @@ class HitlistService:
         return set(self._aliased)
 
     def is_aliased(self, address: int) -> bool:
-        """True when the service's alias list covers ``address``."""
-        return any(prefix.contains(address) for prefix in self._aliased)
+        """True when the service's alias list covers ``address``.
+
+        Answered from the incrementally-maintained trie in
+        O(prefix length) — pinned identical to a naive linear scan of
+        :attr:`aliased_prefixes` by tests/scan/test_alias_trie.py.
+        """
+        return self._alias_trie.lookup(address) is not None

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+from ..obs import MetricsRegistry, NULL_REGISTRY
 from ..world.rng import derive_seed, split_rng
 from ..world.world import World
 from .icmpv6 import EchoMessage, parse_message
@@ -49,7 +50,8 @@ class ZMap6:
         world: World,
         seed: int = 0,
         wire_fidelity: bool = False,
-        source_address: int = None,
+        source_address: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._world = world
         self._seed = seed
@@ -57,6 +59,17 @@ class ZMap6:
         self._wire_fidelity = wire_fidelity
         self._source_address = (
             self.DEFAULT_SOURCE if source_address is None else source_address
+        )
+        registry = NULL_REGISTRY if metrics is None else metrics
+        self._m_probes = registry.counter(
+            "repro_zmap6_probes_total", "probe packets sent"
+        )
+        self._m_hits = registry.counter(
+            "repro_zmap6_responsive_total", "probes that elicited a response"
+        )
+        self._m_duplicates = registry.counter(
+            "repro_zmap6_duplicates_suppressed_total",
+            "duplicate targets dropped before sending",
         )
 
     def scan(
@@ -89,6 +102,9 @@ class ZMap6:
             if result.responsive:
                 stats.responsive += 1
             results.append(result)
+        self._m_probes.inc(stats.sent)
+        self._m_hits.inc(stats.responsive)
+        self._m_duplicates.inc(stats.duplicates_suppressed)
         self.last_stats = stats
         return results
 

@@ -18,6 +18,7 @@ from repro.core.storage import (
     CorpusFormatError,
     checkpoint_candidates,
     load_checkpoint,
+    load_checkpoint_full,
     load_corpus,
     resolve_resume_checkpoint,
     save_checkpoint,
@@ -176,6 +177,23 @@ class TestResumeFallback:
         with pytest.raises(FileNotFoundError):
             resolve_resume_checkpoint(tmp_path / "never.ckpt")
 
+    def test_resolve_falls_back_past_two_corrupt_generations(self, tmp_path):
+        # Both the newest checkpoint AND its `.1` rotation are bad; the
+        # resolver must keep walking to `.2` rather than give up.
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(make_corpus(1), path, 1)
+        save_checkpoint(make_corpus(2), path, 2)
+        save_checkpoint(make_corpus(3), path, 3)
+        for victim in (path, tmp_path / "c.ckpt.1"):
+            data = bytearray(victim.read_bytes())
+            data[-1] ^= 0x01
+            victim.write_bytes(bytes(data))
+        corpus, weeks, used, skipped = resolve_resume_checkpoint(path)
+        assert weeks == 1
+        assert used == tmp_path / "c.ckpt.2"
+        assert records(corpus) == records(make_corpus(1))
+        assert [bad for bad, _ in skipped] == [path, tmp_path / "c.ckpt.1"]
+
     def test_campaign_resumes_from_fallback_generation(
         self, core_world, tmp_path
     ):
@@ -200,3 +218,54 @@ class TestResumeFallback:
         corpus, completed = load_checkpoint(path)
         assert completed == 2
         assert records(corpus) == records(serial)
+
+
+class TestCheckpointMetrics:
+    def test_metrics_block_round_trips(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        snapshot = {"counters": {"repro_campaign_queries_total": 42}}
+        save_checkpoint(make_corpus(), path, 3, metrics=snapshot)
+        corpus, completed, metrics = load_checkpoint_full(path)
+        assert completed == 3
+        assert records(corpus) == records(make_corpus())
+        assert metrics == snapshot
+
+    def test_metricless_checkpoint_reads_as_none(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(make_corpus(), path, 3)
+        assert load_checkpoint_full(path)[2] is None
+
+    def test_metrics_block_covered_by_crc(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(make_corpus(), path, 3, metrics={"counters": {}})
+        data = bytearray(path.read_bytes())
+        data[-10] ^= 0x08  # flip a bit inside the JSON payload
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointIntegrityError):
+            load_checkpoint_full(path)
+
+    def test_resumed_metrics_are_cumulative(self, core_world, tmp_path):
+        # A full uninterrupted run's counters are the reference; a run
+        # checkpointed at week 1 and resumed to week 2 must report the
+        # same cumulative totals, not just the post-resume remainder.
+        reference = make_campaign(core_world)
+        run_campaign_parallel(reference, workers=2)
+
+        path = tmp_path / "ntp.ckpt"
+        first = make_campaign(core_world)
+        run_campaign_parallel(
+            first, workers=2, checkpoint=path, end_week=1
+        )
+        resumed = make_campaign(core_world)
+        merged = run_campaign_parallel(
+            resumed, workers=2, checkpoint=path, resume_from=path
+        )
+        assert records(merged) == records(reference.corpus)
+        for name in (
+            "repro_campaign_queries_total",
+            "repro_campaign_captured_total",
+            "repro_campaign_observations_total",
+        ):
+            assert resumed.metrics.counter_value(
+                name
+            ) == reference.metrics.counter_value(name), name

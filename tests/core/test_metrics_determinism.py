@@ -1,0 +1,200 @@
+"""Telemetry must observe the campaigns without perturbing them.
+
+The anchor invariant (mirroring ``FaultPlan.none()``'s invisibility):
+a campaign wired to a live :class:`MetricsRegistry` produces a corpus
+**bit-identical** to one wired to :data:`NULL_REGISTRY` — metrics never
+touch the keyed RNG.  On top of that, the counters must be *accurate*:
+the injector's registry counters equal its plain-dict decision ledger,
+sharded runs fold worker snapshots to exactly the serial totals, and
+the executor's failure counter equals ``len(campaign.shard_failures)``.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.core.campaign import CampaignConfig, NTPCampaign
+from repro.core.parallel import run_campaign_parallel
+from repro.core.storage import save_corpus_binary
+from repro.faults import FaultPlan
+from repro.obs import NULL_REGISTRY, MetricsRegistry
+from repro.world import CAMPAIGN_EPOCH
+
+FAULTS = FaultPlan(
+    seed=9,
+    vantage_flap_rate=0.3,
+    outage_duration=6 * 3600.0,
+    packet_loss=0.05,
+    country_loss=(("BR", 0.3),),
+    corruption_rate=0.02,
+)
+
+
+def make_campaign(world, faults=None, metrics=None, weeks=2):
+    config = CampaignConfig(
+        start=CAMPAIGN_EPOCH, weeks=weeks, seed=5, faults=faults
+    )
+    return NTPCampaign(world, config, metrics=metrics)
+
+
+def corpus_bytes(corpus):
+    stream = io.BytesIO()
+    save_corpus_binary(corpus, stream)
+    return stream.getvalue()
+
+
+class TestMetricsInvisibility:
+    def test_metered_corpus_is_bit_identical_to_unmetered(self, core_world):
+        metered = make_campaign(core_world, metrics=MetricsRegistry())
+        unmetered = make_campaign(core_world, metrics=NULL_REGISTRY)
+        assert corpus_bytes(metered.run()) == corpus_bytes(unmetered.run())
+
+    def test_metered_faulty_corpus_is_bit_identical_too(self, core_world):
+        metered = make_campaign(
+            core_world, faults=FAULTS, metrics=MetricsRegistry()
+        )
+        unmetered = make_campaign(
+            core_world, faults=FAULTS, metrics=NULL_REGISTRY
+        )
+        assert corpus_bytes(metered.run()) == corpus_bytes(unmetered.run())
+
+    def test_metered_parallel_matches_unmetered_serial(self, core_world):
+        serial = make_campaign(core_world, metrics=NULL_REGISTRY).run()
+        campaign = make_campaign(core_world, metrics=MetricsRegistry())
+        merged = run_campaign_parallel(campaign, workers=2, shard_count=3)
+        assert corpus_bytes(merged) == corpus_bytes(serial)
+
+
+class TestCounterAccuracy:
+    def test_queries_and_captures_counted(self, core_world):
+        campaign = make_campaign(core_world)
+        corpus = campaign.run()
+        queries = campaign.metrics.counter_value("repro_campaign_queries_total")
+        observations = campaign.metrics.counter_value(
+            "repro_campaign_observations_total"
+        )
+        assert queries > 0
+        assert observations == sum(
+            record[2] for _, record in corpus.items()
+        )
+
+    def test_injector_counters_match_decision_ledger(self, core_world):
+        campaign = make_campaign(core_world, faults=FAULTS)
+        campaign.run()
+        injector = campaign._injector
+        assert injector is not None
+        ledger = injector.decisions
+        assert ledger["packets_lost"] > 0
+        for decision, counter in [
+            ("rotation_ejections", "repro_faults_rotation_ejections_total"),
+            ("packets_lost", "repro_faults_packets_lost_total"),
+            ("corruptions", "repro_faults_corruptions_total"),
+        ]:
+            assert campaign.metrics.counter_value(counter) == ledger[decision]
+
+    def test_sharded_counters_fold_to_serial_totals(self, core_world):
+        serial = make_campaign(core_world, faults=FAULTS)
+        serial.run()
+        sharded = make_campaign(core_world, faults=FAULTS)
+        run_campaign_parallel(sharded, workers=2, shard_count=3)
+        for name in (
+            "repro_campaign_queries_total",
+            "repro_campaign_captured_total",
+            "repro_campaign_observations_total",
+            "repro_faults_packets_lost_total",
+            "repro_faults_rotation_ejections_total",
+            "repro_faults_corruptions_total",
+        ):
+            assert sharded.metrics.counter_value(
+                name
+            ) == serial.metrics.counter_value(name), name
+
+    def test_snapshot_round_trips_through_json(self, core_world):
+        campaign = make_campaign(core_world, faults=FAULTS)
+        campaign.run()
+        snapshot = json.loads(json.dumps(campaign.metrics.snapshot()))
+        restored = MetricsRegistry()
+        restored.merge_snapshot(snapshot)
+        assert restored.counter_value(
+            "repro_campaign_queries_total"
+        ) == campaign.metrics.counter_value("repro_campaign_queries_total")
+
+
+@pytest.fixture()
+def chaos(tmp_path, monkeypatch):
+    tokens = tmp_path / "chaos-tokens"
+    tokens.mkdir()
+    monkeypatch.setenv("REPRO_CHAOS_TOKENS", str(tokens))
+    monkeypatch.delenv("REPRO_CHAOS_SHARD", raising=False)
+    monkeypatch.setenv("REPRO_CHAOS_MODE", "raise")
+
+    def arm(count, mode="raise"):
+        monkeypatch.setenv("REPRO_CHAOS_MODE", mode)
+        for index in range(count):
+            (tokens / f"token-{index}").touch()
+
+    return arm
+
+
+class TestExecutorTelemetry:
+    def test_clean_run_counts_shards_and_no_failures(self, core_world):
+        campaign = make_campaign(core_world, weeks=1)
+        run_campaign_parallel(campaign, workers=2, shard_count=3)
+        metrics = campaign.metrics
+        assert metrics.counter_value("repro_shard_attempts_total") == 3
+        assert metrics.counter_value("repro_shard_failures_total") == 0
+        assert metrics.counter_value("repro_shard_retries_total") == 0
+        merge = metrics.histogram("repro_shard_merge_records")
+        assert merge.count == 3
+
+    def test_failure_counter_matches_shard_failures(self, core_world, chaos):
+        chaos(1, mode="raise")
+        campaign = make_campaign(core_world, weeks=1)
+        run_campaign_parallel(campaign, workers=2, retry_backoff=0.0)
+        metrics = campaign.metrics
+        assert len(campaign.shard_failures) == 1
+        assert metrics.counter_value("repro_shard_failures_total") == len(
+            campaign.shard_failures
+        )
+        assert metrics.counter_value("repro_shard_retries_total") == 1
+        # The failed shard was submitted twice: 2 shards + 1 retry.
+        assert metrics.counter_value("repro_shard_attempts_total") == 3
+
+    def test_inline_degradation_counted(self, core_world, chaos):
+        chaos(10, mode="raise")
+        campaign = make_campaign(core_world, weeks=1)
+        run_campaign_parallel(
+            campaign, workers=2, max_shard_retries=0, retry_backoff=0.0
+        )
+        metrics = campaign.metrics
+        inline = metrics.counter_value("repro_shard_inline_total")
+        assert inline == sum(
+            1 for f in campaign.shard_failures if f.action == "inline"
+        )
+        assert inline > 0
+        assert metrics.counter_value("repro_shard_failures_total") == len(
+            campaign.shard_failures
+        )
+
+
+class TestStudyMetrics:
+    def test_stage_seconds_is_a_view_over_spans(self, study):
+        stages = study.stage_seconds
+        for stage in (
+            "ntp-collection",
+            "hitlist-snapshots",
+            "caida-routed-48",
+            "corpus-index",
+        ):
+            assert stage in stages
+            assert stages[stage] >= 0.0
+        assert stages == study.metrics.span_seconds()
+
+    def test_study_report_carries_telemetry_section(self, core_world, study):
+        from repro.analysis.report import study_report
+
+        text = study_report(core_world, study)
+        assert "operational telemetry:" in text
+        assert "shard failures: 0" in text
+        assert "queries evaluated:" in text

@@ -1,0 +1,77 @@
+"""Guard against ``arg: int = None``-style annotation lies.
+
+A parameter annotated with a plain (non-Optional) type but defaulted to
+``None`` misleads every reader and type checker (``ZMap6.__init__`` once
+declared ``source_address: int = None``).  This walks every function
+signature in the package via :mod:`ast` and fails on any parameter whose
+default is ``None`` while its annotation admits no ``None``.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Annotation spellings that admit None.
+_NULLABLE_MARKERS = ("Optional", "None", "Any", "object")
+
+
+def _annotation_admits_none(annotation: ast.expr) -> bool:
+    text = ast.dump(annotation)
+    return any(marker in text for marker in _NULLABLE_MARKERS)
+
+
+def _violations_in(path: Path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        arguments = node.args
+        positional = arguments.posonlyargs + arguments.args
+        pairs = []
+        defaults = arguments.defaults
+        if defaults:
+            pairs.extend(zip(positional[-len(defaults):], defaults))
+        pairs.extend(
+            (argument, default)
+            for argument, default in zip(
+                arguments.kwonlyargs, arguments.kw_defaults
+            )
+            if default is not None
+        )
+        for argument, default in pairs:
+            if not (
+                isinstance(default, ast.Constant) and default.value is None
+            ):
+                continue
+            if argument.annotation is None:
+                continue
+            if _annotation_admits_none(argument.annotation):
+                continue
+            yield (
+                f"{path.relative_to(SRC.parent)}:{argument.lineno} "
+                f"{node.name}({argument.arg}: "
+                f"{ast.unparse(argument.annotation)} = None)"
+            )
+
+
+def test_no_bare_none_defaults_on_non_optional_annotations():
+    violations = [
+        violation
+        for path in sorted(SRC.rglob("*.py"))
+        for violation in _violations_in(path)
+    ]
+    assert not violations, (
+        "parameters defaulted to None must be annotated Optional[...]:\n"
+        + "\n".join(violations)
+    )
+
+
+def test_lint_catches_the_original_bug():
+    source = "def f(source_address: int = None): pass\n"
+    tree = ast.parse(source)
+    function = tree.body[0]
+    argument = function.args.args[0]
+    default = function.args.defaults[0]
+    assert isinstance(default, ast.Constant) and default.value is None
+    assert not _annotation_admits_none(argument.annotation)

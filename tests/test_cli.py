@@ -1,5 +1,7 @@
 """Tests for repro.cli — the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -56,6 +58,22 @@ class TestParser:
         )
         assert args.faults == "flap=0.2,loss=0.05,seed=9"
         assert args.max_shard_retries == 5
+
+    def test_metrics_and_log_level_options(self):
+        args = build_parser().parse_args(
+            ["--log-level", "debug", "study", "--metrics-out", "m.json"]
+        )
+        assert args.log_level == "debug"
+        assert args.metrics_out == "m.json"
+
+    def test_metrics_out_defaults_off(self):
+        args = build_parser().parse_args(["report"])
+        assert args.metrics_out is None
+        assert args.log_level == "info"
+
+    def test_rejects_unknown_log_level(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--log-level", "chatty", "study"])
 
 
 @pytest.fixture(scope="module")
@@ -179,6 +197,59 @@ class TestParallelStudyCommand:
         assert (study_dir / "ntp-pool.corpus.bin").read_bytes() == (
             output / "ntp-pool.corpus.bin"
         ).read_bytes()
+
+
+class TestMetricsExport:
+    def test_study_writes_json_snapshot(self, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "study",
+                "--seed", "3",
+                "--weeks", "10",
+                "--scale", "tiny",
+                "--output-dir", str(tmp_path / "out"),
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        document = json.loads(metrics_path.read_text())
+        assert document["format"] == "repro-metrics-v1"
+        assert document["counters"]["repro_campaign_queries_total"] > 0
+        assert "ntp-collection" in document["spans"]
+        # The CLI's own stages are recorded too.
+        assert "table1-comparison" in document["spans"]
+        assert "save-corpora" in document["spans"]
+
+    def test_report_writes_prometheus_text(self, tmp_path):
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "report",
+                "--seed", "3",
+                "--weeks", "10",
+                "--scale", "tiny",
+                "--output", str(tmp_path / "report.txt"),
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        text = metrics_path.read_text()
+        assert "# TYPE repro_campaign_queries_total counter" in text
+        assert "repro_span_analysis_report_seconds_count 1" in text
+
+    def test_log_level_gates_stderr_chatter(self, tmp_path, capsys):
+        args = [
+            "study",
+            "--seed", "3",
+            "--weeks", "10",
+            "--scale", "tiny",
+            "--output-dir", str(tmp_path / "out"),
+        ]
+        assert main(["--log-level", "error"] + args) == 0
+        assert "world:" not in capsys.readouterr().err
+        assert main(["--log-level", "info"] + args) == 0
+        assert "world:" in capsys.readouterr().err
 
 
 class TestAnalyzeCommand:
