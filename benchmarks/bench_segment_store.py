@@ -1,0 +1,320 @@
+"""Memory — monolithic in-memory corpus vs the streaming segment store.
+
+A multi-month campaign used to hold its entire corpus in the collector
+process until the final ``save_corpus``.  With
+:class:`repro.core.segments.SegmentStore` the day-loop flushes sealed,
+CRC-covered segments whenever the buffer crosses a byte budget, so the
+resident set stays bounded by the budget instead of growing with the
+address population.
+
+This bench feeds the *same* deterministic ~30k-address observation
+stream to both sinks in separate subprocesses (so each child's peak RSS
+is its own), then loads both on-disk corpora back and asserts they are
+byte-identical — the fold over ``[first, last, count]`` records is
+associative, so any segmentation must reproduce the monolithic bytes.
+
+Runs standalone too (CI perf smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_segment_store.py \
+        --segment-bytes 8192 --check
+
+``--check`` exits non-zero when the corpora diverge or the segmented
+child's peak RSS is not below the monolithic child's.  Results land in
+``benchmarks/output/BENCH_segments.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import io
+import json
+import pathlib
+import random
+import resource
+import subprocess
+import sys
+import tempfile
+import time
+
+_SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:  # standalone invocation without PYTHONPATH
+    sys.path.insert(0, str(_SRC))
+
+MONOLITHIC_FILE = "monolithic.corpus.bin"
+
+
+def synth_address(seed: int, index: int) -> int:
+    """The ``index``-th synthetic address — a pure function, so neither
+    child has to hold the address population in memory."""
+    digest = hashlib.blake2b(
+        f"{seed}:{index}".encode(), digest_size=16
+    ).digest()
+    return int.from_bytes(digest, "big") | (1 << 127)
+
+
+def stream(events: int, addresses: int, seed: int):
+    """Deterministic sighting tuples; ~``events / addresses`` sightings
+    per address exercise the min/max/sum fold, not just insertion."""
+    rng = random.Random(seed)
+    for position in range(events):
+        address = synth_address(seed, rng.randrange(addresses))
+        first = rng.uniform(0.0, 8e6)
+        yield address, first, first + rng.uniform(0.0, 8e6), 1 + rng.randrange(4)
+
+
+def reset_peak_rss() -> None:
+    """Reset the kernel's peak-RSS watermark for this process.
+
+    On Linux ``ru_maxrss`` survives fork+exec — a child spawned from a
+    fat parent (say, a pytest session) inherits the parent's high-water
+    mark and the measurement is meaningless.  Writing ``5`` to
+    ``/proc/self/clear_refs`` resets ``VmHWM`` to the current RSS.
+    """
+    try:
+        with open("/proc/self/clear_refs", "w") as handle:
+            handle.write("5")
+    except OSError:
+        pass
+
+
+def peak_rss_kib() -> float:
+    """This process's high-water resident set in KiB.
+
+    Prefers ``VmHWM`` from ``/proc/self/status`` (the only counter
+    :func:`reset_peak_rss` can reset); falls back to
+    ``getrusage(RUSAGE_SELF).ru_maxrss`` where /proc is unavailable.
+    """
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return float(line.split()[1])
+    except OSError:
+        pass
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak / 1024.0 if sys.platform == "darwin" else float(peak)
+
+
+def run_child(mode: str, args) -> int:
+    """Child entry: consume the stream into one sink, print JSON."""
+    from repro.core.corpus import AddressCorpus
+    from repro.core.segments import SegmentBufferedCorpus, SegmentStore
+    from repro.core.storage import save_corpus
+
+    directory = pathlib.Path(args.child_dir)
+    reset_peak_rss()
+    observations = stream(args.events, args.addresses, args.seed)
+    t0 = time.perf_counter()
+    if mode == "monolithic":
+        corpus = AddressCorpus("bench")
+        for address, first, last, count in observations:
+            corpus.record_interval(address, first, last, count)
+        save_corpus(corpus, directory / MONOLITHIC_FILE)
+        distinct = len(corpus)
+    else:
+        store = SegmentStore(
+            directory, name="bench", segment_bytes=args.segment_bytes
+        )
+        buffered = SegmentBufferedCorpus("bench", store)
+        buffered.set_window(0, 7)
+        for address, first, last, count in observations:
+            buffered.record_interval(address, first, last, count)
+        buffered.seal()
+        store.commit(buffered.take_sealed(), completed_weeks=1)
+        distinct = sum(
+            meta.records for meta in store.load_manifest().segments
+        )
+    seconds = time.perf_counter() - t0
+    print(
+        json.dumps(
+            {
+                "peak_rss_kib": round(peak_rss_kib(), 1),
+                "seconds": round(seconds, 4),
+                "records": distinct,
+            }
+        )
+    )
+    return 0
+
+
+def measure(mode: str, directory: pathlib.Path, args) -> dict:
+    """Run one child subprocess and parse its JSON report."""
+    process = subprocess.run(
+        [
+            sys.executable,
+            str(pathlib.Path(__file__).resolve()),
+            "--child", mode,
+            "--child-dir", str(directory),
+            "--events", str(args.events),
+            "--addresses", str(args.addresses),
+            "--seed", str(args.seed),
+            "--segment-bytes", str(args.segment_bytes),
+        ],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(process.stdout.strip().splitlines()[-1])
+
+
+def corpora_identical(directory: pathlib.Path) -> bool:
+    from repro.core.segments import SegmentedCorpusReader
+    from repro.core.storage import load_corpus, save_corpus_binary
+
+    def as_bytes(corpus) -> bytes:
+        buffer = io.BytesIO()
+        save_corpus_binary(corpus, buffer)
+        return buffer.getvalue()
+
+    monolithic = load_corpus(directory / MONOLITHIC_FILE)
+    segmented = SegmentedCorpusReader.open(directory).load("bench")
+    return as_bytes(monolithic) == as_bytes(segmented)
+
+
+def run_bench(args) -> dict:
+    from repro.core.segments import SegmentedCorpusReader
+
+    with tempfile.TemporaryDirectory(prefix="bench-segments-") as name:
+        directory = pathlib.Path(name)
+        monolithic = measure("monolithic", directory, args)
+        segmented = measure("segmented", directory, args)
+        reader = SegmentedCorpusReader.open(directory)
+        metas = reader.segments()
+        identical = corpora_identical(directory)
+        monolithic_bytes = (directory / MONOLITHIC_FILE).stat().st_size
+        segment_bytes_total = sum(meta.size_bytes for meta in metas)
+    return {
+        "events": args.events,
+        "addresses": args.addresses,
+        "seed": args.seed,
+        "segment_bytes": args.segment_bytes,
+        "segments": len(metas),
+        "monolithic_peak_rss_kib": monolithic["peak_rss_kib"],
+        "segmented_peak_rss_kib": segmented["peak_rss_kib"],
+        "rss_ratio": round(
+            segmented["peak_rss_kib"] / monolithic["peak_rss_kib"], 4
+        ),
+        "monolithic_seconds": monolithic["seconds"],
+        "segmented_seconds": segmented["seconds"],
+        "monolithic_file_bytes": monolithic_bytes,
+        "segment_file_bytes": segment_bytes_total,
+        "corpora_identical": identical,
+    }
+
+
+def render(payload: dict) -> str:
+    saved = (
+        payload["monolithic_peak_rss_kib"]
+        - payload["segmented_peak_rss_kib"]
+    )
+    return "\n".join(
+        [
+            "Collector memory: monolithic corpus vs streaming segment store",
+            "",
+            f"stream: {payload['events']:,} sightings over "
+            f"{payload['addresses']:,} addresses "
+            f"(flush budget {payload['segment_bytes']:,} B, "
+            f"{payload['segments']} segments)",
+            f"monolithic: {payload['monolithic_peak_rss_kib']:,.0f} KiB "
+            f"peak RSS, {payload['monolithic_seconds']:.2f}s",
+            f"segmented:  {payload['segmented_peak_rss_kib']:,.0f} KiB "
+            f"peak RSS, {payload['segmented_seconds']:.2f}s",
+            f"memory: {payload['rss_ratio']:.2f}x of monolithic "
+            f"({saved:,.0f} KiB saved), "
+            f"corpora identical: {payload['corpora_identical']}",
+        ]
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--addresses", type=int, default=30_000, metavar="N",
+        help="distinct addresses in the synthetic stream (default: 30000)",
+    )
+    parser.add_argument(
+        "--events", type=int, default=90_000, metavar="N",
+        help="sighting events, i.e. re-observations included "
+             "(default: 90000)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--segment-bytes", type=int, default=8192, metavar="B",
+        help="flush budget handed to the segment store (default: 8192)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when the corpora diverge or the segmented "
+             "peak RSS is not below --max-rss-ratio of the monolithic",
+    )
+    parser.add_argument(
+        "--max-rss-ratio", type=float, default=1.0, metavar="X",
+        help="with --check, fail when segmented/monolithic peak RSS "
+             "is at or above X (default: 1.0, i.e. must be below)",
+    )
+    parser.add_argument("--child", choices=("monolithic", "segmented"),
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--child-dir", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.child:
+        return run_child(args.child, args)
+
+    from jsonout import publish_text, write_bench_json
+
+    payload = run_bench(args)
+    publish_text("segment_store", render(payload))
+    write_bench_json("segments", payload)
+
+    if args.check:
+        if not payload["corpora_identical"]:
+            print(
+                "FAIL: segmented corpus diverges from monolithic",
+                file=sys.stderr,
+            )
+            return 1
+        if payload["rss_ratio"] >= args.max_rss_ratio:
+            print(
+                f"FAIL: segmented peak RSS is {payload['rss_ratio']:.2f}x "
+                f"of monolithic (required < {args.max_rss_ratio:.2f}x)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: {payload['rss_ratio']:.2f}x peak RSS, corpora identical"
+        )
+    return 0
+
+
+def test_segment_store_memory(benchmark):
+    """Harness entry: equivalence + the memory win, then a timed flush
+    loop at the CI flush budget."""
+    parser_args = argparse.Namespace(
+        addresses=30_000, events=90_000, seed=42, segment_bytes=8192
+    )
+    payload = run_bench(parser_args)
+    from jsonout import publish_text, write_bench_json
+
+    publish_text("segment_store", render(payload))
+    write_bench_json("segments", payload)
+    assert payload["corpora_identical"]
+    assert payload["rss_ratio"] < 1.0
+
+    from repro.core.segments import SegmentBufferedCorpus, SegmentStore
+
+    def segmented_round():
+        with tempfile.TemporaryDirectory() as name:
+            store = SegmentStore(name, name="bench", segment_bytes=8192)
+            buffered = SegmentBufferedCorpus("bench", store)
+            buffered.set_window(0, 7)
+            for address, first, last, count in stream(10_000, 4_000, 42):
+                buffered.record_interval(address, first, last, count)
+            buffered.seal()
+            store.commit(buffered.take_sealed(), completed_weeks=1)
+
+    benchmark.pedantic(segmented_round, rounds=3, iterations=1)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

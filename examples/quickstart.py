@@ -12,14 +12,13 @@ Run:  python examples/quickstart.py [seed]
 import sys
 import time
 
+from repro.api import Study
 from repro.core import (
-    StudyConfig,
     address_lifetime_summary,
     compare_datasets,
     phone_provider_shares,
-    run_study,
 )
-from repro.world import CAMPAIGN_EPOCH, WorldConfig, build_world
+from repro.world import WorldConfig
 
 
 def main() -> None:
@@ -34,14 +33,16 @@ def main() -> None:
         n_hosting_networks=20,
     )
 
+    study = Study(seed=seed, world_config=config)
+
     print("building world ...")
-    world = build_world(config)
+    world = study.world()
     for key, value in world.stats().items():
         print(f"  {key:>20}: {value:,}")
 
     print("\nrunning the 31-week study (NTP + Hitlist + CAIDA) ...")
     started = time.time()
-    results = run_study(world, StudyConfig(start=CAMPAIGN_EPOCH, seed=seed))
+    results = study.run()
     print(f"  done in {time.time() - started:.1f}s")
 
     print()

@@ -16,18 +16,19 @@ The package is layered bottom-up:
   geolocation attack;
 * :mod:`repro.core` — the paper's contribution: the passive NTP
   campaign, corpora, and every Table/Figure analysis;
-* :mod:`repro.analysis` — ECDFs, tables and terminal figures.
+* :mod:`repro.analysis` — ECDFs, tables and terminal figures;
+* :mod:`repro.api` — the stable facade most consumers should use.
 
 Quickstart::
 
-    from repro.world import build_world, WorldConfig, CAMPAIGN_EPOCH
-    from repro.core import StudyConfig, run_study
+    from repro.api import Study
 
-    world = build_world(WorldConfig(seed=7))
-    results = run_study(world, StudyConfig(start=CAMPAIGN_EPOCH, seed=7))
+    results = Study(seed=7).run()
     print(len(results.ntp), "passively observed addresses")
 """
 
+from .api import Study, open_corpus, release
+
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+__all__ = ["Study", "open_corpus", "release", "__version__"]

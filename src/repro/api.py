@@ -1,0 +1,164 @@
+"""The stable, minimal facade over the study pipeline.
+
+Everything a typical consumer needs lives behind four names::
+
+    from repro.api import Study, open_corpus, release
+
+    results = Study(seed=7).run()
+    print(len(results.ntp), "passively observed addresses")
+
+    corpus = open_corpus("campaign.bin")       # file or segment directory
+    artifact = release(corpus)                 # ethics-aware /48 release
+
+The facade is deliberately small and keyword-validated: it wraps
+:class:`repro.core.StudyConfig` / :func:`repro.core.run_study` /
+:func:`repro.core.load_corpus` / :func:`repro.core.build_release`
+without exposing their full surface, so downstream scripts keep working
+as the internals evolve (the consolidation of execution options into
+:class:`repro.core.ExecutionOptions` is invisible here).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from .core import (
+    AddressCorpus,
+    ExecutionOptions,
+    ReleaseArtifact,
+    SegmentedCorpusReader,
+    StudyConfig,
+    StudyResults,
+    build_release,
+    load_corpus,
+    run_study,
+    verify_release_safety,
+)
+from .core.segments import MANIFEST_NAME
+from .world import CAMPAIGN_EPOCH, WorldConfig, build_world
+from .world.world import World
+
+__all__ = ["Study", "open_corpus", "release"]
+
+
+class Study:
+    """One full study — world, campaigns, analyses — as a single object.
+
+    All parameters are keyword-only and validated up front::
+
+        Study(seed=7).run()                          # defaults throughout
+        Study(seed=7, weeks=12,
+              execution=ExecutionOptions(workers=4,
+                                         segment_dir="segments")).run()
+
+    ``world`` (a prebuilt :class:`~repro.world.world.World`) and
+    ``world_config`` (a :class:`~repro.world.WorldConfig` to build one
+    from) are mutually exclusive; with neither, a default world is
+    built from ``seed``, so equal seeds reproduce equal studies.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        weeks: int = 31,
+        start: float = CAMPAIGN_EPOCH,
+        world: Optional[World] = None,
+        world_config: Optional[WorldConfig] = None,
+        execution: Optional[ExecutionOptions] = None,
+    ) -> None:
+        if world is not None and world_config is not None:
+            raise TypeError(
+                "pass either world= or world_config=, not both"
+            )
+        if world is not None and not isinstance(world, World):
+            raise TypeError(
+                f"world must be a World, not {type(world).__name__}"
+            )
+        if world_config is not None and not isinstance(
+            world_config, WorldConfig
+        ):
+            raise TypeError(
+                f"world_config must be a WorldConfig, "
+                f"not {type(world_config).__name__}"
+            )
+        if execution is not None and not isinstance(
+            execution, ExecutionOptions
+        ):
+            raise TypeError(
+                f"execution must be ExecutionOptions, "
+                f"not {type(execution).__name__}"
+            )
+        self.seed = seed
+        self.weeks = weeks
+        self.start = start
+        self._world = world
+        self._world_config = world_config
+        self.execution = execution
+        # StudyConfig validates weeks/execution consistency eagerly, so
+        # a bad Study fails at construction, not minutes into run().
+        self._config = StudyConfig(
+            start=start, weeks=weeks, seed=seed, execution=execution
+        )
+
+    @property
+    def config(self) -> StudyConfig:
+        """The underlying :class:`StudyConfig` (read-only view)."""
+        return self._config
+
+    def world(self) -> World:
+        """The study's world, building (and caching) it on first use."""
+        if self._world is None:
+            config = self._world_config or WorldConfig(seed=self.seed)
+            self._world = build_world(config)
+        return self._world
+
+    def run(self) -> StudyResults:
+        """Run all campaigns and analyses; returns :class:`StudyResults`."""
+        return run_study(self.world(), self._config)
+
+    def __repr__(self) -> str:
+        return (
+            f"Study(seed={self.seed}, weeks={self.weeks}, "
+            f"execution={self.execution!r})"
+        )
+
+
+def open_corpus(path: Union[str, Path]) -> AddressCorpus:
+    """Load a corpus from a file *or* a segment directory.
+
+    Accepts every on-disk corpus shape the pipeline produces: a text or
+    binary corpus file (suffix-detected, as :func:`repro.core.load_corpus`),
+    a segment directory, or that directory's ``MANIFEST.json`` — segment
+    stores are folded to one in-memory corpus, bit-identical to the
+    campaign that wrote them.  For memory-bounded streaming over a large
+    store, use :class:`repro.core.SegmentedCorpusReader` directly.
+    """
+    path = Path(path)
+    if path.name == MANIFEST_NAME:
+        path = path.parent
+    if path.is_dir():
+        return SegmentedCorpusReader.open(path).load()
+    return load_corpus(path)
+
+
+def release(
+    corpus: Union[AddressCorpus, str, Path], *, verify: bool = True
+) -> ReleaseArtifact:
+    """Build the ethics-aware /48 release of a corpus (or corpus path).
+
+    With ``verify=True`` (the default) the artifact is audited for
+    identifier leakage and a :class:`ValueError` names every violation —
+    a release that returns is safe to publish.
+    """
+    if not isinstance(corpus, AddressCorpus):
+        corpus = open_corpus(corpus)
+    artifact = build_release(corpus)
+    if verify:
+        violations = verify_release_safety(artifact)
+        if violations:
+            raise ValueError(
+                "release failed its safety audit: " + "; ".join(violations)
+            )
+    return artifact

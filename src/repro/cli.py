@@ -24,17 +24,19 @@ from pathlib import Path
 from typing import List, Optional
 
 from .analysis.tables import format_table, format_timings
+from .api import open_corpus
 from .core import (
+    ExecutionOptions,
     StudyConfig,
     address_lifetime_summary,
     analyze_tracking,
     build_release,
     compare_datasets,
-    load_corpus,
     run_study,
     save_corpus,
     verify_release_safety,
 )
+from .core.segments import DEFAULT_SEGMENT_BYTES, MANIFEST_NAME
 from .core.storage import checkpoint_candidates
 from .core.tracking import TrackingClass
 from .faults import FaultPlan
@@ -70,29 +72,63 @@ def _study_config(args) -> StudyConfig:
             "--max-shard-retries must be >= 0: %d", args.max_shard_retries
         )
         raise SystemExit(2)
+    if getattr(args, "segment_bytes", DEFAULT_SEGMENT_BYTES) < 1:
+        logger.error(
+            "--segment-bytes must be >= 1: %d", args.segment_bytes
+        )
+        raise SystemExit(2)
+    checkpoint = getattr(args, "checkpoint", None)
+    segment_dir = getattr(args, "segment_dir", None)
+    resume = getattr(args, "resume", False)
+    if checkpoint and segment_dir and not resume:
+        logger.error(
+            "--checkpoint and --segment-dir are mutually exclusive "
+            "persistence modes (combine them only with --resume, which "
+            "imports the checkpoint into the segment store)"
+        )
+        raise SystemExit(2)
     resume_from = None
-    if getattr(args, "resume", False):
-        if not args.checkpoint:
-            logger.error("--resume requires --checkpoint")
+    resume_from_segments = False
+    if resume:
+        if not checkpoint and not segment_dir:
+            logger.error("--resume requires --checkpoint or --segment-dir")
             raise SystemExit(2)
-        if any(
-            candidate.exists()
-            for candidate in checkpoint_candidates(args.checkpoint)
-        ):
-            resume_from = args.checkpoint
-        else:
-            logger.warning(
-                "no checkpoint at %s; starting fresh", args.checkpoint
-            )
+        if checkpoint:
+            if any(
+                candidate.exists()
+                for candidate in checkpoint_candidates(checkpoint)
+            ):
+                resume_from = checkpoint
+            else:
+                logger.warning(
+                    "no checkpoint at %s; starting fresh", checkpoint
+                )
+        if segment_dir:
+            if Path(segment_dir, MANIFEST_NAME).exists():
+                resume_from_segments = True
+            else:
+                logger.warning(
+                    "no segment manifest in %s; starting fresh", segment_dir
+                )
+        if checkpoint and segment_dir:
+            # Migration: the checkpoint is only a read source here; the
+            # segment store is the sole write target from now on.
+            checkpoint = None
+    execution = ExecutionOptions(
+        workers=getattr(args, "workers", 1),
+        checkpoint=checkpoint,
+        resume_from=resume_from,
+        segment_dir=segment_dir,
+        segment_bytes=getattr(args, "segment_bytes", DEFAULT_SEGMENT_BYTES),
+        resume_from_segments=resume_from_segments,
+        faults=_fault_plan(args),
+        max_shard_retries=getattr(args, "max_shard_retries", 2),
+    )
     return StudyConfig(
         start=CAMPAIGN_EPOCH,
         weeks=args.weeks,
         seed=args.seed,
-        workers=getattr(args, "workers", 1),
-        checkpoint=getattr(args, "checkpoint", None),
-        resume_from=resume_from,
-        faults=_fault_plan(args),
-        max_shard_retries=getattr(args, "max_shard_retries", 2),
+        execution=execution,
     )
 
 
@@ -137,7 +173,7 @@ def _cmd_study(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
-    corpus = load_corpus(args.corpus)
+    corpus = open_corpus(args.corpus)
     # One columnar pass up front; the analyses below then read shared
     # index columns instead of re-scanning the records per headline.
     corpus.build_index()
@@ -185,7 +221,7 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_release(args) -> int:
-    corpus = load_corpus(args.corpus)
+    corpus = open_corpus(args.corpus)
     artifact = build_release(corpus)
     violations = verify_release_safety(artifact)
     if violations:
@@ -233,6 +269,20 @@ def build_parser() -> argparse.ArgumentParser:
                  "snapshot is corrupt)",
         )
         subparser.add_argument(
+            "--segment-dir", default=None, metavar="DIR",
+            help="stream the NTP corpus into sealed segment files under "
+                 "DIR (manifest-tracked; memory use is bounded by "
+                 "--segment-bytes however long the campaign runs); "
+                 "with --resume, continues from DIR's committed manifest",
+        )
+        subparser.add_argument(
+            "--segment-bytes", type=int, default=DEFAULT_SEGMENT_BYTES,
+            metavar="N",
+            help="flush budget: seal a segment once the in-memory buffer "
+                 f"reaches N serialized bytes (default: "
+                 f"{DEFAULT_SEGMENT_BYTES})",
+        )
+        subparser.add_argument(
             "--faults", default=None, metavar="SPEC",
             help="deterministic fault-injection plan for the NTP "
                  "collection, e.g. "
@@ -273,13 +323,29 @@ def build_parser() -> argparse.ArgumentParser:
     analyze = commands.add_parser(
         "analyze", help="headline analyses over a saved corpus"
     )
-    analyze.add_argument("corpus", help="path to a .corpus.bin/.csv file")
+    analyze.add_argument(
+        "--seed", type=int, default=7,
+        help="accepted on every subcommand for interface uniformity; "
+             "analyses of a saved corpus are deterministic regardless",
+    )
+    analyze.add_argument(
+        "corpus",
+        help="path to a .corpus.bin/.csv file or a --segment-dir directory",
+    )
     analyze.set_defaults(handler=_cmd_analyze)
 
     release = commands.add_parser(
         "release", help="write the ethics-aware /48-truncated release"
     )
-    release.add_argument("corpus", help="path to a saved corpus")
+    release.add_argument(
+        "--seed", type=int, default=7,
+        help="accepted on every subcommand for interface uniformity; "
+             "the release aggregation is deterministic regardless",
+    )
+    release.add_argument(
+        "corpus",
+        help="path to a saved corpus file or a --segment-dir directory",
+    )
     release.add_argument("--output", default="release_48s.csv")
     release.set_defaults(handler=_cmd_release)
 

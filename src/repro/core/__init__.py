@@ -34,6 +34,14 @@ from .lifetime import (
 from .decay import corpus_decay, responsiveness_decay
 from .outages import ASActivityRecorder, OutageEvent, detect_outages
 from .parallel import ShardFailure, ShardSpec, run_campaign_parallel
+from .segments import (
+    Manifest,
+    SegmentBufferedCorpus,
+    SegmentError,
+    SegmentMeta,
+    SegmentStore,
+    SegmentedCorpusReader,
+)
 from .release import (
     ReleaseArtifact,
     build_release,
@@ -48,7 +56,7 @@ from .storage import (
     save_checkpoint,
     save_corpus,
 )
-from .study import StudyConfig, StudyResults, run_study
+from .study import ExecutionOptions, StudyConfig, StudyResults, run_study
 from .tracking import (
     MACTrack,
     TRANSITION_THRESHOLD,
@@ -71,11 +79,18 @@ __all__ = [
     "CorpusIndex",
     "DatasetComparison",
     "DatasetRow",
+    "ExecutionOptions",
     "LifetimeSummary",
     "MACTrack",
+    "Manifest",
     "NTPCampaign",
     "OutageEvent",
     "ReleaseArtifact",
+    "SegmentBufferedCorpus",
+    "SegmentError",
+    "SegmentMeta",
+    "SegmentStore",
+    "SegmentedCorpusReader",
     "ShardFailure",
     "ShardSpec",
     "StudyConfig",

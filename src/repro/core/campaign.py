@@ -182,6 +182,16 @@ class NTPCampaign:
             self.pool, [vantage.address for vantage in world.vantages]
         )
 
+    @property
+    def fault_injector(self) -> Optional[FaultInjector]:
+        """The live injector, or None on the fault-free fast path.
+
+        Exposed so collaborators outside the capture loop (the segment
+        store's write-fault hook, study reports) can consult the same
+        keyed decisions without reaching into campaign internals.
+        """
+        return self._injector
+
     # -- pool assembly -----------------------------------------------------------
 
     def _record_observation(

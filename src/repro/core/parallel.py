@@ -43,6 +43,7 @@ bytes:
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import logging
 import time
@@ -57,6 +58,12 @@ from ..obs import DEFAULT_SIZE_BUCKETS
 from ..world.world import World
 from .campaign import CampaignConfig, NTPCampaign
 from .corpus import AddressCorpus
+from .segments import (
+    DEFAULT_SEGMENT_BYTES,
+    SegmentBufferedCorpus,
+    SegmentMeta,
+    SegmentStore,
+)
 from .storage import resolve_resume_checkpoint, save_checkpoint
 
 __all__ = [
@@ -64,6 +71,7 @@ __all__ = [
     "ShardFailure",
     "run_shard",
     "run_shard_telemetry",
+    "run_shard_segments",
     "run_campaign_parallel",
 ]
 
@@ -108,6 +116,10 @@ class ShardSpec:
     start_week: int
     end_week: int
     outages: _OutageSpec = ()
+    #: When set, the worker seals segment files into this directory and
+    #: returns their manifest entries instead of a pickled corpus.
+    segment_dir: Optional[str] = None
+    segment_bytes: float = DEFAULT_SEGMENT_BYTES
 
 
 @dataclass(frozen=True)
@@ -189,6 +201,52 @@ def run_shard_telemetry(spec: ShardSpec) -> Tuple[AddressCorpus, dict]:
     return _run_shard_inline(spec)
 
 
+def _run_shard_inline_segments(spec: ShardSpec) -> Tuple[List[dict], dict]:
+    """Collect one shard's window, sealing segments instead of pickling.
+
+    The shard's accumulation corpus is a :class:`SegmentBufferedCorpus`
+    bounded by the spec's byte budget, so worker memory never grows with
+    campaign length.  Returns the sealed segments' manifest entries (as
+    small picklable JSON dicts) plus the shard campaign's telemetry
+    snapshot.  Workers never touch the manifest — only the coordinator
+    commits, and only after every returned segment is durably on disk;
+    a retried shard regenerates byte-identical files under identical
+    ids, so overwriting a dead attempt's leftovers is always safe.
+    """
+    if spec.segment_dir is None:
+        raise ValueError("shard spec carries no segment directory")
+    campaign = NTPCampaign(_world_for(spec), spec.campaign_config)
+    store = SegmentStore(
+        spec.segment_dir,
+        name=campaign.corpus.name,
+        segment_bytes=spec.segment_bytes,
+        metrics=campaign.metrics,
+    )
+    buffered = SegmentBufferedCorpus(
+        campaign.corpus.name,
+        store,
+        shard_index=spec.shard_index,
+        write_fault=campaign.fault_injector,
+    )
+    buffered.set_window(spec.start_week * 7, spec.end_week * 7)
+    campaign.corpus = buffered
+    campaign.run(
+        spec.start_week,
+        spec.end_week,
+        shard_index=spec.shard_index,
+        shard_count=spec.shard_count,
+    )
+    buffered.seal()
+    metas = [meta.to_json() for meta in buffered.take_sealed()]
+    return metas, campaign.metrics.snapshot()
+
+
+def run_shard_segments(spec: ShardSpec) -> Tuple[List[dict], dict]:
+    """Pool entry point for segmented execution (chaos hooks honoured)."""
+    maybe_fail_shard(spec.shard_index)
+    return _run_shard_inline_segments(spec)
+
+
 def run_campaign_parallel(
     campaign: NTPCampaign,
     *,
@@ -197,6 +255,8 @@ def run_campaign_parallel(
     checkpoint: Optional[Union[str, Path]] = None,
     checkpoint_interval_weeks: int = 1,
     resume_from: Optional[Union[str, Path]] = None,
+    segment_store: Optional[SegmentStore] = None,
+    resume_from_segments: bool = False,
     start_week: int = 0,
     end_week: Optional[int] = None,
     max_shard_retries: int = 2,
@@ -218,6 +278,17 @@ def run_campaign_parallel(
       the first week that snapshot had not completed.  Corrupt or
       truncated generations are skipped (logged) in favour of the
       newest prior good one.
+    * ``segment_store`` — segmented persistence (mutually exclusive
+      with ``checkpoint``): every shard seals budget-bounded segment
+      files instead of returning a pickled corpus, and the manifest is
+      committed after each completed window, so neither workers nor the
+      coordinator ever hold the whole corpus while collecting.  The
+      final materialized corpus is bit-identical to the monolithic run
+      for any flush budget and shard count.
+    * ``resume_from_segments`` — continue from ``segment_store``'s
+      committed manifest watermark (no corpus load needed).  Combined
+      with ``resume_from``, whichever covers more completed weeks wins;
+      a winning checkpoint is imported into the store as one segment.
     * ``max_shard_retries`` — failed shards are resubmitted this many
       times (with capped exponential backoff starting at
       ``retry_backoff`` seconds) before degrading to inline execution
@@ -250,6 +321,13 @@ def run_campaign_parallel(
         raise ValueError(
             f"retry_backoff_cap must be > 0: {retry_backoff_cap}"
         )
+    if segment_store is not None and checkpoint is not None:
+        raise ValueError(
+            "checkpoint= and segment_store= are mutually exclusive "
+            "persistence modes; segmented runs resume from the manifest"
+        )
+    if resume_from_segments and segment_store is None:
+        raise ValueError("resume_from_segments=True needs a segment_store")
 
     metrics = campaign.metrics
     m_attempts = metrics.counter(
@@ -279,6 +357,24 @@ def run_campaign_parallel(
     )
 
     current_week = start_week
+    manifest = None
+    if segment_store is not None:
+        manifest = segment_store.load_manifest()
+        if (
+            manifest is not None
+            and manifest.segments
+            and not resume_from_segments
+            and resume_from is None
+        ):
+            raise ValueError(
+                f"segment directory {segment_store.directory} already holds "
+                "a committed manifest; pass resume_from_segments=True to "
+                "continue it, or point at a fresh directory"
+            )
+        if resume_from_segments and manifest is None and resume_from is None:
+            raise FileNotFoundError(
+                f"no segment manifest in {segment_store.directory}"
+            )
     if resume_from is not None:
         snapshot, completed_weeks, used, skipped, saved_metrics = (
             resolve_resume_checkpoint(resume_from, with_metrics=True)
@@ -296,12 +392,61 @@ def run_campaign_parallel(
                 f"checkpoint is ahead of the requested window: "
                 f"{completed_weeks} > {end_week}"
             )
-        campaign.corpus.merge(snapshot)
-        if saved_metrics is not None:
-            # Cumulative telemetry: the resumed run reports the whole
-            # campaign's counters, not just the post-resume remainder.
-            metrics.merge_snapshot(saved_metrics)
-        current_week = max(current_week, completed_weeks)
+        manifest_weeks = manifest.completed_weeks if manifest is not None else 0
+        if segment_store is not None and completed_weeks <= manifest_weeks:
+            # The store's manifest already covers at least as much of
+            # the campaign as the checkpoint: resume from the manifest
+            # watermark without materializing anything.
+            logger.info(
+                "segment manifest (%d weeks) covers checkpoint %s "
+                "(%d weeks); resuming from the manifest",
+                manifest_weeks,
+                used,
+                completed_weeks,
+            )
+            if manifest.metrics is not None:
+                metrics.merge_snapshot(manifest.metrics)
+            current_week = max(current_week, manifest_weeks)
+        elif segment_store is not None:
+            # Migration import: the checkpoint is further along, so it
+            # becomes the store's single baseline segment, replacing any
+            # shorter segment history (replace= avoids double-counting
+            # overlapped observations).
+            obsolete = list(manifest.segments) if manifest is not None else []
+            imported = segment_store.write_segment(
+                snapshot,
+                segment_id=f"import-w{completed_weeks:04d}",
+                start_day=0,
+                end_day=completed_weeks * 7,
+            )
+            segment_store.commit(
+                [imported],
+                completed_weeks=completed_weeks,
+                metrics=saved_metrics,
+                replace=True,
+            )
+            for old in obsolete:
+                with contextlib.suppress(FileNotFoundError):
+                    segment_store.segment_path(old).unlink()
+            if saved_metrics is not None:
+                metrics.merge_snapshot(saved_metrics)
+            current_week = max(current_week, completed_weeks)
+        else:
+            campaign.corpus.merge(snapshot)
+            if saved_metrics is not None:
+                # Cumulative telemetry: the resumed run reports the whole
+                # campaign's counters, not just the post-resume remainder.
+                metrics.merge_snapshot(saved_metrics)
+            current_week = max(current_week, completed_weeks)
+    elif resume_from_segments and manifest is not None:
+        if manifest.completed_weeks > end_week:
+            raise ValueError(
+                f"segment manifest is ahead of the requested window: "
+                f"{manifest.completed_weeks} > {end_week}"
+            )
+        if manifest.metrics is not None:
+            metrics.merge_snapshot(manifest.metrics)
+        current_week = max(current_week, manifest.completed_weeks)
 
     def windows():
         week = current_week
@@ -312,6 +457,29 @@ def run_campaign_parallel(
     outages = _freeze_outages(campaign.world.outages)
 
     if workers == 1:
+        if segment_store is not None:
+            # Serial segmented: the campaign accumulates into a
+            # budget-bounded buffer that seals segment files as it
+            # goes; each window ends with a manifest commit moving the
+            # watermark, so a crash resumes at the last window edge.
+            buffered = SegmentBufferedCorpus(
+                campaign.corpus.name,
+                segment_store,
+                write_fault=campaign.fault_injector,
+            )
+            campaign.corpus = buffered
+            for window_start, window_end in windows():
+                buffered.set_window(window_start * 7, window_end * 7)
+                with metrics.span("campaign-window"):
+                    campaign.run(window_start, window_end)
+                buffered.seal()
+                segment_store.commit(
+                    buffered.take_sealed(),
+                    completed_weeks=window_end,
+                    metrics=metrics.snapshot(),
+                )
+            campaign.corpus = segment_store.reader().load(buffered.name)
+            return campaign.corpus
         for window_start, window_end in windows():
             with metrics.span("campaign-window"):
                 campaign.run(window_start, window_end)
@@ -325,6 +493,12 @@ def run_campaign_parallel(
                 m_checkpoints.inc()
         return campaign.corpus
 
+    segmented = segment_store is not None
+    shard_task = run_shard_segments if segmented else run_shard_telemetry
+    inline_task = (
+        _run_shard_inline_segments if segmented else _run_shard_inline
+    )
+
     def specs_for(window_start: int, window_end: int) -> List[ShardSpec]:
         return [
             ShardSpec(
@@ -335,6 +509,14 @@ def run_campaign_parallel(
                 start_week=window_start,
                 end_week=window_end,
                 outages=outages,
+                segment_dir=(
+                    str(segment_store.directory) if segmented else None
+                ),
+                segment_bytes=(
+                    segment_store.segment_bytes
+                    if segmented
+                    else DEFAULT_SEGMENT_BYTES
+                ),
             )
             for index in range(shard_count)
         ]
@@ -344,13 +526,15 @@ def run_campaign_parallel(
             return 0.0
         return min(retry_backoff_cap, retry_backoff * (2 ** (attempt - 1)))
 
-    def collect_window(window_start: int, window_end: int, pool_box) -> None:
+    def collect_window(
+        window_start: int, window_end: int, pool_box
+    ) -> List[SegmentMeta]:
         window = (window_start, window_end)
         specs = specs_for(window_start, window_end)
         # Completed shard results keyed by shard index: a shard is
         # merged exactly once, no matter how many attempts (or which
         # execution path) produced it.
-        completed: Dict[int, Tuple[AddressCorpus, dict]] = {}
+        completed: Dict[int, Tuple[object, dict]] = {}
         attempts = {index: 0 for index in range(shard_count)}
         pending = list(range(shard_count))
         while pending:
@@ -358,7 +542,7 @@ def run_campaign_parallel(
             try:
                 for index in pending:
                     futures[index] = pool_box[0].submit(
-                        run_shard_telemetry, specs[index]
+                        shard_task, specs[index]
                     )
                     m_attempts.inc()
             except BrokenProcessPool:
@@ -415,7 +599,7 @@ def run_campaign_parallel(
                     # computing the shard in this process (the chaos
                     # hooks are bypassed on this path).
                     m_inline.inc()
-                    completed[index] = _run_shard_inline(specs[index])
+                    completed[index] = inline_task(specs[index])
             if retry:
                 delay = backoff_delay(max(attempts[i] for i in retry))
                 if delay > 0:
@@ -423,11 +607,20 @@ def run_campaign_parallel(
             pending = retry
         # Merge in sorted shard order so both the corpus and the folded
         # telemetry are independent of completion order.
-        for index in sorted(completed):
-            shard_corpus, shard_snapshot = completed[index]
-            m_merge.observe(len(shard_corpus))
-            campaign.corpus.merge(shard_corpus)
-            metrics.merge_snapshot(shard_snapshot)
+        batch: List[SegmentMeta] = []
+        if segmented:
+            for index in sorted(completed):
+                metas, shard_snapshot = completed[index]
+                m_merge.observe(sum(doc["records"] for doc in metas))
+                batch.extend(SegmentMeta.from_json(doc) for doc in metas)
+                metrics.merge_snapshot(shard_snapshot)
+        else:
+            for index in sorted(completed):
+                shard_corpus, shard_snapshot = completed[index]
+                m_merge.observe(len(shard_corpus))
+                campaign.corpus.merge(shard_corpus)
+                metrics.merge_snapshot(shard_snapshot)
+        return batch
 
     # Prime the cache so fork-based workers inherit the built world
     # instead of rebuilding it from config.
@@ -436,8 +629,17 @@ def run_campaign_parallel(
     try:
         for window_start, window_end in windows():
             with metrics.span("campaign-window"):
-                collect_window(window_start, window_end, pool_box)
-            if checkpoint is not None:
+                batch = collect_window(window_start, window_end, pool_box)
+            if segmented:
+                # Every segment in the batch is durably on disk (the
+                # workers that produced them have returned), so naming
+                # them in the manifest can never reference a torn file.
+                segment_store.commit(
+                    batch,
+                    completed_weeks=window_end,
+                    metrics=metrics.snapshot(),
+                )
+            elif checkpoint is not None:
                 save_checkpoint(
                     campaign.corpus,
                     checkpoint,
@@ -447,6 +649,11 @@ def run_campaign_parallel(
                 m_checkpoints.inc()
     finally:
         pool_box[0].shutdown()
+    if segmented:
+        # The parent never held shard corpora; materialize the final
+        # fold from the committed manifest (bit-identical to the
+        # monolithic run for any budget and shard count).
+        campaign.corpus = segment_store.reader().load(campaign.corpus.name)
     return campaign.corpus
 
 

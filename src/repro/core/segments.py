@@ -1,0 +1,732 @@
+"""Streaming segment store: corpus persistence that scales with time.
+
+The paper's headline artifact is a 7.9B-address corpus accumulated
+*passively over seven months* — the corpus outlives any single process
+and outgrows any single machine's RAM long before the campaign ends.
+The monolithic pipeline (one in-memory :class:`AddressCorpus`, one
+whole-corpus checkpoint) therefore bounds campaign length by memory,
+not by hardware.  This module inverts that: collection **flushes
+sealed, append-only segment files** as soon as an in-memory buffer
+crosses a byte budget, and a small atomically-replaced manifest is the
+single source of truth about which segments make up the corpus.
+
+Three invariants carry the design:
+
+* **Fold equivalence** — a corpus record is ``[first, last, count]``
+  and folding two records for the same address (min/max/sum) is
+  associative and commutative.  However the observation stream is cut
+  into segments — per record, per 4 KiB, per week window, per shard —
+  folding every segment back together reproduces the monolithic
+  in-memory corpus *bit-identically* (the property tests pin all of
+  serial, sharded and compacted layouts against one monolithic run).
+* **Sealed segments are immutable** — a segment file is written to a
+  sibling temp file, fsynced, then atomically renamed into place, and
+  carries a CRC32 footer.  A crash mid-flush leaves at most a stray
+  temp file; the manifest can never reference a torn segment because
+  it is only rewritten (atomically, via :func:`os.replace`) *after*
+  its segments are durably on disk.
+* **The manifest is the corpus** — ``MANIFEST.json`` records every
+  live segment's id, day range, address count, byte size and checksum
+  plus the campaign's completed-week watermark and a cumulative
+  telemetry snapshot.  Readers ignore any file the manifest does not
+  name (orphans from crashed attempts are harmless), resume restarts
+  from the watermark without materializing anything, and
+  :meth:`SegmentStore.compact` folds small segments into bigger ones
+  without changing what any reader observes.
+
+Segment files reuse the binary corpus **v2** record layout
+(:mod:`repro.core.storage`) behind a small day-range header::
+
+    RPS1 | uint32 start_day | uint32 end_day | RPC2 corpus | RPSF crc32
+
+``crc32`` covers every prior byte of the file.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from ..obs import DEFAULT_SIZE_BUCKETS, MetricsRegistry, NULL_REGISTRY
+from .corpus import AddressCorpus
+from .storage import (
+    BINARY_RECORD_BYTES,
+    CorpusFormatError,
+    load_corpus_binary,
+    save_corpus_binary,
+)
+
+__all__ = [
+    "DEFAULT_SEGMENT_BYTES",
+    "MANIFEST_NAME",
+    "Manifest",
+    "SegmentError",
+    "SegmentMeta",
+    "SegmentStore",
+    "SegmentBufferedCorpus",
+    "SegmentedCorpusReader",
+]
+
+#: Default flush budget: a buffered shard seals a segment once its
+#: estimated serialized size crosses this many bytes (~100k records).
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+
+#: The manifest file name inside a segment directory.
+MANIFEST_NAME = "MANIFEST.json"
+
+#: Manifest schema identifier (DESIGN.md §11).
+MANIFEST_FORMAT = "repro-segments-v1"
+
+#: Suffix of sealed segment files.
+SEGMENT_SUFFIX = ".seg"
+
+_SEGMENT_MAGIC = b"RPS1"
+_SEGMENT_FOOTER_MAGIC = b"RPSF"
+_SEGMENT_FOOTER_SIZE = 8
+#: Fixed bytes before the embedded corpus: magic + two uint32 day bounds.
+_SEGMENT_HEADER_SIZE = 12
+#: Conservative per-segment overhead used by the flush estimator
+#: (header + corpus header + footer); exactness does not matter, only
+#: determinism — the same record stream always seals at the same points.
+SEGMENT_OVERHEAD_BYTES = 64
+
+#: Times a fault-injected segment write is retried before giving up.
+MAX_SEGMENT_WRITE_RETRIES = 3
+
+
+class SegmentError(CorpusFormatError):
+    """A segment file or manifest is torn, corrupt, or inconsistent."""
+
+
+@dataclass(frozen=True)
+class SegmentMeta:
+    """One sealed segment, exactly as the manifest records it."""
+
+    segment_id: str
+    file: str
+    start_day: int
+    end_day: int
+    records: int
+    size_bytes: int
+    crc32: int
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "id": self.segment_id,
+            "file": self.file,
+            "start_day": self.start_day,
+            "end_day": self.end_day,
+            "records": self.records,
+            "bytes": self.size_bytes,
+            "crc32": f"{self.crc32:#010x}",
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, object]) -> "SegmentMeta":
+        try:
+            return cls(
+                segment_id=str(doc["id"]),
+                file=str(doc["file"]),
+                start_day=int(doc["start_day"]),
+                end_day=int(doc["end_day"]),
+                records=int(doc["records"]),
+                size_bytes=int(doc["bytes"]),
+                crc32=int(str(doc["crc32"]), 16),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise SegmentError(f"bad segment manifest entry: {error}") from error
+
+
+@dataclass
+class Manifest:
+    """The manifest document: the authoritative index of live segments."""
+
+    name: str
+    completed_weeks: int = 0
+    segments: List[SegmentMeta] = field(default_factory=list)
+    #: Cumulative telemetry snapshot at the last commit (or ``None``) —
+    #: the manifest-based analogue of the checkpoint RPCM block, so a
+    #: resumed campaign reports whole-campaign counters.
+    metrics: Optional[Dict[str, object]] = None
+    #: Completed compaction generations (ids new compactions draw from).
+    compactions: int = 0
+
+    @property
+    def total_records(self) -> int:
+        """Records across all segments (>= distinct addresses)."""
+        return sum(meta.records for meta in self.segments)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(meta.size_bytes for meta in self.segments)
+
+    @property
+    def completed_days(self) -> int:
+        """Collection days durably covered (the resume watermark)."""
+        return self.completed_weeks * 7
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "format": MANIFEST_FORMAT,
+            "name": self.name,
+            "completed_weeks": self.completed_weeks,
+            "compactions": self.compactions,
+            "segments": [meta.to_json() for meta in self.segments],
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, object]) -> "Manifest":
+        if not isinstance(doc, dict) or doc.get("format") != MANIFEST_FORMAT:
+            raise SegmentError(
+                f"not a {MANIFEST_FORMAT} manifest: "
+                f"format={doc.get('format') if isinstance(doc, dict) else doc!r}"
+            )
+        metrics = doc.get("metrics")
+        if metrics is not None and not isinstance(metrics, dict):
+            raise SegmentError("manifest metrics block is not a JSON object")
+        return cls(
+            name=str(doc.get("name") or "corpus"),
+            completed_weeks=int(doc.get("completed_weeks", 0)),
+            segments=[
+                SegmentMeta.from_json(entry) for entry in doc.get("segments", ())
+            ],
+            metrics=metrics,
+            compactions=int(doc.get("compactions", 0)),
+        )
+
+
+class SegmentStore:
+    """One segment directory: sealed segment files plus their manifest.
+
+    Worker processes use a store purely as a **segment writer** (they
+    never touch the manifest — only the coordinating process commits);
+    the coordinator additionally owns :meth:`commit`, :meth:`compact`
+    and :meth:`reader`.  All writes are atomic (temp + fsync +
+    ``os.replace``), so any instant of crash leaves the previous
+    manifest and every committed segment intact.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        name: str = "corpus",
+        segment_bytes: float = DEFAULT_SEGMENT_BYTES,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if segment_bytes < 1:
+            raise ValueError(
+                f"segment byte budget must be >= 1: {segment_bytes}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.name = name
+        self.segment_bytes = segment_bytes
+        self.metrics = NULL_REGISTRY if metrics is None else metrics
+        self._m_flushed = self.metrics.counter(
+            "repro_segments_flushed_total", "segment files sealed"
+        )
+        self._m_flush_retries = self.metrics.counter(
+            "repro_segment_flush_retries_total",
+            "segment flushes retried after an injected write fault",
+        )
+        self._m_compacted = self.metrics.counter(
+            "repro_segments_compacted_total",
+            "small segments folded away by compaction",
+        )
+        self._m_commits = self.metrics.counter(
+            "repro_manifest_commits_total", "manifest replacements"
+        )
+        self._m_bytes = self.metrics.histogram(
+            "repro_segment_bytes",
+            "sealed segment file sizes in bytes",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+
+    # -- paths -------------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    def segment_path(self, meta: SegmentMeta) -> Path:
+        return self.directory / meta.file
+
+    # -- manifest ----------------------------------------------------------------
+
+    def load_manifest(self) -> Optional[Manifest]:
+        """The committed manifest, or ``None`` when none exists yet."""
+        try:
+            raw = self.manifest_path.read_text()
+        except FileNotFoundError:
+            return None
+        try:
+            return Manifest.from_json(json.loads(raw))
+        except (json.JSONDecodeError, SegmentError) as error:
+            raise SegmentError(
+                f"unreadable segment manifest: {error}",
+                path=self.manifest_path,
+            ) from error
+
+    def commit(
+        self,
+        new_segments: List[SegmentMeta],
+        *,
+        completed_weeks: Optional[int] = None,
+        metrics: Optional[Dict[str, object]] = None,
+        replace: bool = False,
+    ) -> Manifest:
+        """Atomically publish segments (and the progress watermark).
+
+        ``replace=True`` swaps the whole segment list (compaction and
+        checkpoint-import use it); the default appends.  The completed
+        week watermark is monotonic — a commit can never move it
+        backwards.  Only call this after every segment in
+        ``new_segments`` is durably on disk: the ordering is what makes
+        "the manifest never references a torn segment" a structural
+        property rather than a hope.
+        """
+        manifest = self.load_manifest()
+        if manifest is None:
+            manifest = Manifest(name=self.name)
+        if replace:
+            manifest.segments = list(new_segments)
+        else:
+            live = {meta.segment_id for meta in manifest.segments}
+            for meta in new_segments:
+                if meta.segment_id in live:
+                    raise ValueError(
+                        f"segment {meta.segment_id!r} is already committed"
+                    )
+                manifest.segments.append(meta)
+        if completed_weeks is not None:
+            if completed_weeks < 0:
+                raise ValueError(
+                    f"bad completed week count: {completed_weeks}"
+                )
+            manifest.completed_weeks = max(
+                manifest.completed_weeks, completed_weeks
+            )
+        if metrics is not None:
+            manifest.metrics = metrics
+        self._write_manifest(manifest)
+        self._m_commits.inc()
+        return manifest
+
+    def _write_manifest(self, manifest: Manifest) -> None:
+        blob = json.dumps(manifest.to_json(), indent=2, sort_keys=True) + "\n"
+        self._atomic_write(self.manifest_path, blob.encode("utf-8"))
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        temp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        try:
+            with temp.open("wb") as stream:
+                stream.write(data)
+                stream.flush()
+                os.fsync(stream.fileno())
+            os.replace(temp, path)
+        except BaseException:
+            with contextlib.suppress(FileNotFoundError):
+                temp.unlink()
+            raise
+
+    # -- segment I/O -------------------------------------------------------------
+
+    def write_segment(
+        self,
+        corpus: AddressCorpus,
+        *,
+        segment_id: str,
+        start_day: int,
+        end_day: int,
+    ) -> SegmentMeta:
+        """Seal one segment file; returns its manifest entry.
+
+        The file is not part of the corpus until a later
+        :meth:`commit` names it — rewriting the same ``segment_id``
+        (a retried shard) atomically overwrites the previous attempt
+        with identical bytes, so overwrites are always safe.
+        """
+        if not 0 <= start_day < end_day <= 0xFFFFFFFF:
+            raise ValueError(f"bad segment day range: [{start_day}, {end_day})")
+        if "/" in segment_id or segment_id.startswith("."):
+            raise ValueError(f"bad segment id: {segment_id!r}")
+        payload = io.BytesIO()
+        payload.write(_SEGMENT_MAGIC)
+        payload.write(start_day.to_bytes(4, "big"))
+        payload.write(end_day.to_bytes(4, "big"))
+        records = save_corpus_binary(corpus, payload)
+        data = payload.getvalue()
+        crc = zlib.crc32(data) & 0xFFFFFFFF
+        blob = data + _SEGMENT_FOOTER_MAGIC + crc.to_bytes(4, "big")
+        filename = f"{segment_id}{SEGMENT_SUFFIX}"
+        self._atomic_write(self.directory / filename, blob)
+        self._m_flushed.inc()
+        self._m_bytes.observe(len(blob))
+        return SegmentMeta(
+            segment_id=segment_id,
+            file=filename,
+            start_day=start_day,
+            end_day=end_day,
+            records=records,
+            size_bytes=len(blob),
+            crc32=crc,
+        )
+
+    def load_segment(self, meta: SegmentMeta) -> AddressCorpus:
+        """Load and integrity-check one committed segment.
+
+        Raises :class:`SegmentError` naming the file when the segment is
+        torn (truncated), corrupt (CRC mismatch) or does not match its
+        manifest entry.
+        """
+        path = self.segment_path(meta)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError as error:
+            raise SegmentError(
+                f"manifest references a missing segment {meta.segment_id!r}",
+                path=path,
+            ) from error
+        try:
+            corpus, start_day, end_day = _parse_segment(data)
+        except CorpusFormatError as error:
+            raise SegmentError(error.reason, path=path, offset=error.offset) from error
+        if (start_day, end_day) != (meta.start_day, meta.end_day):
+            raise SegmentError(
+                f"segment day range [{start_day}, {end_day}) does not match "
+                f"its manifest entry [{meta.start_day}, {meta.end_day})",
+                path=path,
+            )
+        if len(corpus) != meta.records:
+            raise SegmentError(
+                f"segment holds {len(corpus)} records, manifest says "
+                f"{meta.records}",
+                path=path,
+            )
+        stored_crc = int.from_bytes(data[-4:], "big")
+        if stored_crc != meta.crc32:
+            raise SegmentError(
+                f"segment checksum {stored_crc:#010x} does not match its "
+                f"manifest entry {meta.crc32:#010x}",
+                path=path,
+            )
+        return corpus
+
+    # -- reading and compaction --------------------------------------------------
+
+    def reader(self) -> "SegmentedCorpusReader":
+        """A reader over the committed manifest."""
+        return SegmentedCorpusReader(self)
+
+    def compact(
+        self, *, small_bytes: Optional[float] = None
+    ) -> Manifest:
+        """Fold small segments together; observable corpus is unchanged.
+
+        Segments smaller than ``small_bytes`` (default: the store's
+        flush budget) are loaded, folded per-address (min first / max
+        last / summed count — the same fold every reader applies), and
+        rewritten as one consolidated segment spanning their combined
+        day range.  Because the fold is associative and commutative,
+        the materialized corpus after compaction is bit-identical to
+        before (test-pinned).  Crash-safe: the consolidated segment is
+        durably written *before* the manifest swap, and the obsolete
+        files are unlinked only after it; a crash in between leaves
+        harmless orphans.
+        """
+        manifest = self.load_manifest()
+        if manifest is None:
+            raise FileNotFoundError(
+                f"no manifest to compact at {self.manifest_path}"
+            )
+        threshold = self.segment_bytes if small_bytes is None else small_bytes
+        small = [
+            meta for meta in manifest.segments if meta.size_bytes < threshold
+        ]
+        if len(small) < 2:
+            return manifest
+        with self.metrics.span("segment-compaction"):
+            folded = AddressCorpus(manifest.name)
+            for meta in small:
+                folded.merge(self.load_segment(meta))
+            generation = manifest.compactions + 1
+            merged = self.write_segment(
+                folded,
+                segment_id=f"compact-{generation:04d}",
+                start_day=min(meta.start_day for meta in small),
+                end_day=max(meta.end_day for meta in small),
+            )
+            small_ids = {meta.segment_id for meta in small}
+            kept = [
+                meta
+                for meta in manifest.segments
+                if meta.segment_id not in small_ids
+            ]
+            segments = sorted(
+                kept + [merged],
+                key=lambda meta: (meta.start_day, meta.end_day, meta.segment_id),
+            )
+            manifest.segments = segments
+            manifest.compactions = generation
+            self._write_manifest(manifest)
+            self._m_commits.inc()
+            self._m_compacted.inc(len(small))
+            for meta in small:
+                with contextlib.suppress(FileNotFoundError):
+                    self.segment_path(meta).unlink()
+        return manifest
+
+
+def _parse_segment(data: bytes) -> Tuple[AddressCorpus, int, int]:
+    if data[:4] != _SEGMENT_MAGIC:
+        raise CorpusFormatError(
+            f"not a repro corpus segment: magic {data[:4]!r}", offset=0
+        )
+    if len(data) < _SEGMENT_HEADER_SIZE + _SEGMENT_FOOTER_SIZE:
+        raise CorpusFormatError(
+            f"segment truncated to {len(data)} bytes (torn flush?)",
+            offset=len(data),
+        )
+    body, footer = data[:-_SEGMENT_FOOTER_SIZE], data[-_SEGMENT_FOOTER_SIZE:]
+    if footer[:4] != _SEGMENT_FOOTER_MAGIC:
+        raise CorpusFormatError(
+            "segment integrity footer missing (torn flush?)", offset=len(body)
+        )
+    stored = int.from_bytes(footer[4:], "big")
+    computed = zlib.crc32(body) & 0xFFFFFFFF
+    if stored != computed:
+        raise CorpusFormatError(
+            f"segment CRC mismatch: stored {stored:#010x}, "
+            f"computed {computed:#010x}",
+            offset=len(body),
+        )
+    start_day = int.from_bytes(data[4:8], "big")
+    end_day = int.from_bytes(data[8:12], "big")
+    corpus = load_corpus_binary(io.BytesIO(body[_SEGMENT_HEADER_SIZE:]))
+    return corpus, start_day, end_day
+
+
+class SegmentBufferedCorpus(AddressCorpus):
+    """An :class:`AddressCorpus` whose memory footprint is the budget.
+
+    Drop-in for a campaign's accumulation corpus: recording folds into
+    the in-memory buffer exactly as before, but once the buffer's
+    estimated serialized size crosses the store's byte budget the
+    buffer is sealed into a segment file and cleared.  Sealing points
+    are a pure function of the record stream and the budget, so a
+    retried shard regenerates byte-identical segments under identical
+    ids.
+
+    ``write_fault`` is an optional
+    :class:`~repro.faults.injector.FaultInjector`; each seal asks it
+    :meth:`fails_segment_write` first and retries (counting
+    ``repro_segment_flush_retries_total``) up to
+    :data:`MAX_SEGMENT_WRITE_RETRIES` times, so injected storage
+    faults exercise the durability path deterministically.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        store: SegmentStore,
+        *,
+        shard_index: int = 0,
+        write_fault=None,
+    ) -> None:
+        super().__init__(name)
+        self.store = store
+        self.shard_index = shard_index
+        self.write_fault = write_fault
+        self._window: Optional[Tuple[int, int]] = None
+        self._sequence = 0
+        #: Segments sealed since the last :meth:`take_sealed`.
+        self.sealed: List[SegmentMeta] = []
+
+    # -- window bookkeeping ------------------------------------------------------
+
+    def set_window(self, start_day: int, end_day: int) -> None:
+        """Declare the day range subsequent records belong to.
+
+        Any buffered records from a previous window are sealed first so
+        no segment ever spans a window boundary (resume restarts at a
+        window edge).
+        """
+        if not 0 <= start_day < end_day:
+            raise ValueError(f"bad window day range: [{start_day}, {end_day})")
+        if self._window is not None and len(self):
+            self.seal()
+        self._window = (start_day, end_day)
+        self._sequence = 0
+
+    # -- recording (budget-gated) ------------------------------------------------
+
+    def record(self, address: int, when: float) -> None:
+        super().record(address, when)
+        self._maybe_seal()
+
+    def record_interval(
+        self, address: int, first: float, last: float, count: int = 2
+    ) -> None:
+        super().record_interval(address, first, last, count)
+        self._maybe_seal()
+
+    def merge(self, other) -> None:
+        super().merge(other)
+        self._maybe_seal()
+
+    def estimated_bytes(self) -> int:
+        """Deterministic size estimate of the buffer's segment file."""
+        return SEGMENT_OVERHEAD_BYTES + len(self) * BINARY_RECORD_BYTES
+
+    def _maybe_seal(self) -> None:
+        if self._window is not None and (
+            self.estimated_bytes() >= self.store.segment_bytes
+        ):
+            self.seal()
+
+    # -- sealing -----------------------------------------------------------------
+
+    def seal(self) -> Optional[SegmentMeta]:
+        """Flush the buffer to a sealed segment file; no-op when empty."""
+        if not len(self):
+            return None
+        if self._window is None:
+            raise RuntimeError(
+                "segment buffer has records but no day window; call "
+                "set_window() before recording"
+            )
+        start_day, end_day = self._window
+        segment_id = (
+            f"d{start_day:05d}-{end_day:05d}"
+            f"-s{self.shard_index:03d}-{self._sequence:04d}"
+        )
+        attempt = 0
+        while True:
+            if self.write_fault is not None and self.write_fault.fails_segment_write(
+                self.shard_index, start_day, self._sequence, attempt
+            ):
+                attempt += 1
+                if attempt > MAX_SEGMENT_WRITE_RETRIES:
+                    raise OSError(
+                        f"segment {segment_id!r} write failed "
+                        f"{attempt} times (injected storage fault)"
+                    )
+                self.store._m_flush_retries.inc()
+                continue
+            break
+        with self.store.metrics.span("segment-flush"):
+            meta = self.store.write_segment(
+                self,
+                segment_id=segment_id,
+                start_day=start_day,
+                end_day=end_day,
+            )
+        self.sealed.append(meta)
+        self._sequence += 1
+        self._records.clear()
+        self._index = None
+        return meta
+
+    def take_sealed(self) -> List[SegmentMeta]:
+        """Sealed-since-last-call segment metas (commit batch)."""
+        sealed, self.sealed = self.sealed, []
+        return sealed
+
+
+class SegmentedCorpusReader:
+    """Read view over a committed segment store.
+
+    Exposes the iteration/merge surface the analysis stack consumes —
+    ``name``, ``len()``, :meth:`items`, :meth:`addresses`,
+    ``in``-membership — so :meth:`CorpusIndex.build
+    <repro.core.index.CorpusIndex.build>` and
+    :meth:`AddressCorpus.merge` accept a reader wherever they accept a
+    corpus.  The fold across segments is materialized lazily once and
+    cached; :meth:`iter_segments` streams segment-by-segment for
+    memory-bounded passes (counting, re-sharding, export).
+    """
+
+    def __init__(self, store: SegmentStore) -> None:
+        self._store = store
+        manifest = store.load_manifest()
+        if manifest is None:
+            raise FileNotFoundError(
+                f"no segment manifest at {store.manifest_path}"
+            )
+        self.manifest = manifest
+        self._folded: Optional[AddressCorpus] = None
+
+    @classmethod
+    def open(cls, directory: Union[str, Path]) -> "SegmentedCorpusReader":
+        """Open the segment store rooted at ``directory``."""
+        return cls(SegmentStore(directory))
+
+    # -- manifest-level views ----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.manifest.name
+
+    @property
+    def completed_weeks(self) -> int:
+        return self.manifest.completed_weeks
+
+    def segments(self) -> List[SegmentMeta]:
+        return list(self.manifest.segments)
+
+    def iter_segments(self) -> Iterator[Tuple[SegmentMeta, AddressCorpus]]:
+        """Stream ``(meta, corpus)`` per segment, CRC-verified.
+
+        Memory use is one segment at a time — the reader's bounded-RSS
+        path.  Addresses may repeat across segments; consumers fold.
+        """
+        for meta in self.manifest.segments:
+            yield meta, self._store.load_segment(meta)
+
+    # -- folded corpus surface ---------------------------------------------------
+
+    def load(self, name: Optional[str] = None) -> AddressCorpus:
+        """Materialize the folded corpus (cached across calls)."""
+        if self._folded is None:
+            folded = AddressCorpus(name or self.manifest.name)
+            for _, segment in self.iter_segments():
+                folded.merge(segment)
+            self._folded = folded
+        return self._folded
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    def __contains__(self, address: int) -> bool:
+        return address in self.load()
+
+    def items(self):
+        return self.load().items()
+
+    def addresses(self):
+        return self.load().addresses()
+
+    def first_seen(self, address: int) -> float:
+        return self.load().first_seen(address)
+
+    def last_seen(self, address: int) -> float:
+        return self.load().last_seen(address)
+
+    def observation_count(self, address: int) -> int:
+        return self.load().observation_count(address)
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentedCorpusReader({self.manifest.name!r}, "
+            f"{len(self.manifest.segments)} segments, "
+            f"{self.manifest.total_records:,} records, "
+            f"weeks={self.manifest.completed_weeks})"
+        )

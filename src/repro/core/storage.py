@@ -56,6 +56,7 @@ from ..addr.ipv6 import format_address, parse
 from .corpus import AddressCorpus
 
 __all__ = [
+    "BINARY_RECORD_BYTES",
     "CorpusFormatError",
     "CheckpointIntegrityError",
     "save_corpus_text",
@@ -77,6 +78,10 @@ _BINARY_MAGIC_V2 = b"RPC2"
 _RECORD_V1 = struct.Struct(">16s d d I")
 _RECORD_V2 = struct.Struct(">16s d d Q")
 _MAX_COUNT = {1: 0xFFFFFFFF, 2: 0xFFFFFFFFFFFFFFFF}
+
+#: Serialized size of one current-format (v2) record — the segment
+#: store's flush estimator prices its in-memory buffer with this.
+BINARY_RECORD_BYTES = _RECORD_V2.size
 
 #: Checkpoint container: magic, then uint32 completed-week counter, then
 #: an ordinary binary corpus, then an optional metrics block, then the
@@ -500,32 +505,93 @@ def checkpoint_candidates(path: Union[str, Path]) -> List[Path]:
 
 
 def resolve_resume_checkpoint(
-    path: Union[str, Path],
+    path: Optional[Union[str, Path]],
     *,
     with_metrics: bool = False,
+    segment_dir: Optional[Union[str, Path]] = None,
 ):
-    """Load the newest good checkpoint generation for a resume.
+    """Load the best resume source: checkpoint generations or manifest.
 
-    Tries ``path``, then ``path.1``, ``path.2`` … and returns
-    ``(corpus, completed_weeks, used_path, skipped)`` where ``skipped``
-    lists the corrupt/truncated candidates that were passed over —
-    resuming from garbage is never silent.  With ``with_metrics=True``
-    a fifth element carries the stored telemetry snapshot (or ``None``)
-    so resumed campaigns report cumulative counters.  Raises
-    :class:`CheckpointIntegrityError` when every existing candidate is
-    bad, and ``FileNotFoundError`` when none exists at all.
+    Tries ``path``, then ``path.1``, ``path.2`` … and — when
+    ``segment_dir`` is given — also the segment store's
+    ``MANIFEST.json`` (see :mod:`repro.core.segments`).  Whichever
+    good source covers **more completed days** of the campaign wins;
+    on a tie the manifest is preferred, because manifest resume needs
+    no whole-corpus rewrite (its data is already durably segmented).
+    ``path`` may be ``None`` to consider only the manifest.
+
+    Returns ``(corpus, completed_weeks, used_path, skipped)`` where
+    ``used_path`` is the checkpoint generation or manifest file chosen
+    and ``skipped`` lists the corrupt/truncated candidates passed over
+    — resuming from garbage is never silent.  With
+    ``with_metrics=True`` a fifth element carries the stored telemetry
+    snapshot (or ``None``) so resumed campaigns report cumulative
+    counters.  Raises :class:`CheckpointIntegrityError` when every
+    existing candidate is bad, and ``FileNotFoundError`` when none
+    exists at all.
     """
     skipped: List[Tuple[Path, CorpusFormatError]] = []
     seen_any = False
-    for candidate in checkpoint_candidates(path):
-        if not candidate.exists():
-            continue
-        seen_any = True
+    checkpoint_hit = None  # (corpus, weeks, used, metrics)
+    if path is not None:
+        for candidate in checkpoint_candidates(path):
+            if not candidate.exists():
+                continue
+            seen_any = True
+            try:
+                corpus, completed_weeks, metrics = load_checkpoint_full(
+                    candidate
+                )
+            except CorpusFormatError as error:
+                skipped.append((candidate, error))
+                continue
+            checkpoint_hit = (corpus, completed_weeks, candidate, metrics)
+            break
+
+    manifest_hit = None  # (reader, weeks, manifest_path)
+    if segment_dir is not None:
+        from .segments import (
+            MANIFEST_NAME,
+            SegmentError,
+            SegmentedCorpusReader,
+        )
+
+        manifest_path = Path(segment_dir) / MANIFEST_NAME
+        if manifest_path.exists():
+            seen_any = True
+            try:
+                reader = SegmentedCorpusReader.open(segment_dir)
+            except SegmentError as error:
+                skipped.append((manifest_path, error))
+            else:
+                manifest_hit = (
+                    reader,
+                    reader.completed_weeks,
+                    manifest_path,
+                )
+
+    if manifest_hit is not None and (
+        checkpoint_hit is None or manifest_hit[1] >= checkpoint_hit[1]
+    ):
+        reader, completed_weeks, manifest_path = manifest_hit
         try:
-            corpus, completed_weeks, metrics = load_checkpoint_full(candidate)
+            corpus = reader.load()
         except CorpusFormatError as error:
-            skipped.append((candidate, error))
-            continue
+            # A torn or corrupt referenced segment invalidates the whole
+            # manifest as a resume source; fall back to the checkpoint.
+            skipped.append((manifest_path, error))
+        else:
+            if with_metrics:
+                return (
+                    corpus,
+                    completed_weeks,
+                    manifest_path,
+                    skipped,
+                    reader.manifest.metrics,
+                )
+            return corpus, completed_weeks, manifest_path, skipped
+    if checkpoint_hit is not None:
+        corpus, completed_weeks, candidate, metrics = checkpoint_hit
         if with_metrics:
             return corpus, completed_weeks, candidate, skipped, metrics
         return corpus, completed_weeks, candidate, skipped
@@ -533,6 +599,8 @@ def resolve_resume_checkpoint(
         details = "; ".join(str(error) for _, error in skipped)
         raise CheckpointIntegrityError(
             f"no good checkpoint generation to resume from: {details}",
-            path=path,
+            path=path if path is not None else segment_dir,
         )
+    if path is None and segment_dir is not None:
+        raise FileNotFoundError(f"no segment manifest in {segment_dir}")
     raise FileNotFoundError(f"no checkpoint at {path}")

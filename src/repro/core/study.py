@@ -12,7 +12,8 @@ Returns the three corpora plus the service objects experiments interrogate
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Optional
 
 from ..faults.plan import FaultPlan
@@ -25,8 +26,9 @@ from .campaign import CampaignConfig, NTPCampaign
 from .corpus import AddressCorpus
 from .index import CachedOrigins, CorpusIndex
 from .parallel import run_campaign_parallel
+from .segments import DEFAULT_SEGMENT_BYTES, SegmentStore
 
-__all__ = ["StudyConfig", "StudyResults", "run_study"]
+__all__ = ["ExecutionOptions", "StudyConfig", "StudyResults", "run_study"]
 
 #: Week offsets of the comparison campaigns within the study (§3).
 HITLIST_FIRST_WEEK = 3
@@ -35,16 +37,18 @@ CAIDA_LAST_WEEK = 10
 
 
 @dataclass
-class StudyConfig:
-    """Scale and seeding of a full study run."""
+class ExecutionOptions:
+    """How a study *executes* — everything orthogonal to the science.
 
-    start: float
-    weeks: int = 31
-    seed: int = 0
-    hitlist_seed_fraction: float = 0.5
-    hitlist_cpe_seed_fraction: float = 0.55
-    caida_cycle_days: float = 14.0
-    full_packet_path: bool = True
+    Scale-out, persistence, resume, fault injection, indexing and
+    telemetry live here, in one value, so :class:`StudyConfig` keeps
+    only what changes the simulated world's observations.  Two
+    persistence modes are available and mutually exclusive:
+    whole-corpus ``checkpoint`` snapshots, or a streaming
+    ``segment_dir`` store whose memory footprint is bounded by
+    ``segment_bytes`` however long the campaign runs.
+    """
+
     #: Worker processes for the NTP collection; 1 keeps the serial path.
     workers: int = 1
     #: Path the NTP campaign snapshots atomically after each completed
@@ -53,6 +57,14 @@ class StudyConfig:
     checkpoint_interval_weeks: int = 1
     #: Previous checkpoint to resume the NTP collection from.
     resume_from: Optional[str] = None
+    #: Segment-store directory: collection streams sealed segment files
+    #: there instead of accumulating one monolithic in-memory corpus.
+    segment_dir: Optional[str] = None
+    #: Flush budget — a buffer is sealed into a segment file once its
+    #: estimated serialized size crosses this many bytes.
+    segment_bytes: int = DEFAULT_SEGMENT_BYTES
+    #: Continue a segmented campaign from its committed manifest.
+    resume_from_segments: bool = False
     #: Fault-injection plan threaded into the NTP collection; ``None``
     #: (or a zero plan) keeps the fault-free behaviour byte-identical.
     faults: Optional[FaultPlan] = None
@@ -63,22 +75,166 @@ class StudyConfig:
     #: campaigns finish; every downstream analysis then reads shared
     #: columns instead of re-scanning the corpora.
     build_index: bool = True
+    #: Telemetry registry shared by every study stage (a fresh one is
+    #: created per run when ``None``).
+    metrics: Optional[MetricsRegistry] = None
 
     def __post_init__(self) -> None:
-        if self.weeks < CAIDA_LAST_WEEK:
-            raise ValueError(
-                f"study must span at least {CAIDA_LAST_WEEK} weeks"
-            )
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1: {self.workers}")
         if self.max_shard_retries < 0:
             raise ValueError(
                 f"max_shard_retries must be >= 0: {self.max_shard_retries}"
             )
+        if self.segment_bytes < 1:
+            raise ValueError(
+                f"segment byte budget must be >= 1: {self.segment_bytes}"
+            )
+        if self.checkpoint is not None and self.segment_dir is not None:
+            raise ValueError(
+                "checkpoint= and segment_dir= are mutually exclusive "
+                "persistence modes"
+            )
+        if self.resume_from_segments and self.segment_dir is None:
+            raise ValueError("resume_from_segments=True needs a segment_dir")
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise TypeError(
                 f"faults must be a FaultPlan, not {type(self.faults).__name__}"
             )
+
+
+#: Names StudyConfig/run_study accept as deprecated loose keywords.
+_EXECUTION_FIELDS = tuple(
+    spec.name for spec in fields(ExecutionOptions)
+)
+
+_legacy_kwargs_warned = False
+
+
+def _warn_legacy_execution_kwargs(names, where: str) -> None:
+    """One :class:`DeprecationWarning` per process, then silence."""
+    global _legacy_kwargs_warned
+    if _legacy_kwargs_warned:
+        return
+    _legacy_kwargs_warned = True
+    warnings.warn(
+        f"passing execution options to {where} as loose keywords "
+        f"({', '.join(names)}) is deprecated; wrap them in "
+        "ExecutionOptions(...) and pass execution=",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class StudyConfig:
+    """Scale and seeding of a full study run.
+
+    Science knobs (study span, seeds, model fractions) are direct
+    parameters; everything about *how* the study executes travels in
+    one :class:`ExecutionOptions` value::
+
+        StudyConfig(start=EPOCH, seed=7,
+                    execution=ExecutionOptions(workers=4, segment_dir="seg"))
+
+    The pre-consolidation spelling — execution options as loose
+    keywords (``StudyConfig(start=..., workers=4)``) — still works but
+    emits one :class:`DeprecationWarning` per process, and the old
+    attribute surface (``config.workers`` etc.) remains readable as
+    delegating properties.
+    """
+
+    def __init__(
+        self,
+        start: float,
+        weeks: int = 31,
+        seed: int = 0,
+        hitlist_seed_fraction: float = 0.5,
+        hitlist_cpe_seed_fraction: float = 0.55,
+        caida_cycle_days: float = 14.0,
+        full_packet_path: bool = True,
+        execution: Optional[ExecutionOptions] = None,
+        **legacy_execution,
+    ) -> None:
+        if weeks < CAIDA_LAST_WEEK:
+            raise ValueError(
+                f"study must span at least {CAIDA_LAST_WEEK} weeks"
+            )
+        self.start = start
+        self.weeks = weeks
+        self.seed = seed
+        self.hitlist_seed_fraction = hitlist_seed_fraction
+        self.hitlist_cpe_seed_fraction = hitlist_cpe_seed_fraction
+        self.caida_cycle_days = caida_cycle_days
+        self.full_packet_path = full_packet_path
+        if legacy_execution:
+            unknown = sorted(
+                set(legacy_execution) - set(_EXECUTION_FIELDS)
+            )
+            if unknown:
+                raise TypeError(
+                    f"StudyConfig() got unexpected keyword arguments: "
+                    f"{', '.join(unknown)}"
+                )
+            if execution is not None:
+                raise TypeError(
+                    "pass execution options either via execution= or as "
+                    "legacy keywords, not both"
+                )
+            _warn_legacy_execution_kwargs(
+                sorted(legacy_execution), "StudyConfig()"
+            )
+            execution = ExecutionOptions(**legacy_execution)
+        self.execution = (
+            ExecutionOptions() if execution is None else execution
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StudyConfig(start={self.start!r}, weeks={self.weeks}, "
+            f"seed={self.seed}, execution={self.execution!r})"
+        )
+
+    # -- read-compat surface of the pre-consolidation dataclass ------------------
+
+    @property
+    def workers(self) -> int:
+        return self.execution.workers
+
+    @property
+    def checkpoint(self) -> Optional[str]:
+        return self.execution.checkpoint
+
+    @property
+    def checkpoint_interval_weeks(self) -> int:
+        return self.execution.checkpoint_interval_weeks
+
+    @property
+    def resume_from(self) -> Optional[str]:
+        return self.execution.resume_from
+
+    @property
+    def segment_dir(self) -> Optional[str]:
+        return self.execution.segment_dir
+
+    @property
+    def segment_bytes(self) -> int:
+        return self.execution.segment_bytes
+
+    @property
+    def resume_from_segments(self) -> bool:
+        return self.execution.resume_from_segments
+
+    @property
+    def faults(self) -> Optional[FaultPlan]:
+        return self.execution.faults
+
+    @property
+    def max_shard_retries(self) -> int:
+        return self.execution.max_shard_retries
+
+    @property
+    def build_index(self) -> bool:
+        return self.execution.build_index
 
 
 @dataclass
@@ -122,14 +278,35 @@ def run_study(
     config: StudyConfig,
     *,
     metrics: Optional[MetricsRegistry] = None,
+    **legacy_execution,
 ) -> StudyResults:
     """Run all three campaigns against one world, then index the corpora.
 
-    All stages share one :class:`MetricsRegistry` (a fresh one unless
-    ``metrics`` is given); telemetry never feeds back into any keyed-RNG
-    decision, so a metered study is bit-identical to an unmetered one.
+    All stages share one :class:`MetricsRegistry` (``metrics``, else
+    ``config.execution.metrics``, else a fresh one); telemetry never
+    feeds back into any keyed-RNG decision, so a metered study is
+    bit-identical to an unmetered one.
+
+    Execution options come from ``config.execution``.  The deprecated
+    spelling ``run_study(world, config, workers=4, ...)`` still works —
+    the loose keywords override the config's options for this run and
+    emit one :class:`DeprecationWarning` per process.
     """
-    registry = MetricsRegistry() if metrics is None else metrics
+    execution = config.execution
+    if legacy_execution:
+        unknown = sorted(set(legacy_execution) - set(_EXECUTION_FIELDS))
+        if unknown:
+            raise TypeError(
+                f"run_study() got unexpected keyword arguments: "
+                f"{', '.join(unknown)}"
+            )
+        _warn_legacy_execution_kwargs(
+            sorted(legacy_execution), "run_study()"
+        )
+        execution = replace(execution, **legacy_execution)
+    registry = metrics if metrics is not None else execution.metrics
+    if registry is None:
+        registry = MetricsRegistry()
     campaign = NTPCampaign(
         world,
         CampaignConfig(
@@ -137,19 +314,34 @@ def run_study(
             weeks=config.weeks,
             seed=config.seed,
             full_packet_path=config.full_packet_path,
-            faults=config.faults,
+            faults=execution.faults,
         ),
         metrics=registry,
     )
     with registry.span("ntp-collection"):
-        if config.workers > 1 or config.checkpoint or config.resume_from:
+        if (
+            execution.workers > 1
+            or execution.checkpoint
+            or execution.resume_from
+            or execution.segment_dir
+        ):
+            segment_store = None
+            if execution.segment_dir is not None:
+                segment_store = SegmentStore(
+                    execution.segment_dir,
+                    name=campaign.corpus.name,
+                    segment_bytes=execution.segment_bytes,
+                    metrics=registry,
+                )
             ntp_corpus = run_campaign_parallel(
                 campaign,
-                workers=config.workers,
-                checkpoint=config.checkpoint,
-                checkpoint_interval_weeks=config.checkpoint_interval_weeks,
-                resume_from=config.resume_from,
-                max_shard_retries=config.max_shard_retries,
+                workers=execution.workers,
+                checkpoint=execution.checkpoint,
+                checkpoint_interval_weeks=execution.checkpoint_interval_weeks,
+                resume_from=execution.resume_from,
+                segment_store=segment_store,
+                resume_from_segments=execution.resume_from_segments,
+                max_shard_retries=execution.max_shard_retries,
             )
         else:
             ntp_corpus = campaign.run()
@@ -180,7 +372,7 @@ def run_study(
     caida_corpus = AddressCorpus.from_history("caida-routed-48", caida_history)
 
     origins: Optional[CachedOrigins] = None
-    if config.build_index:
+    if execution.build_index:
         with registry.span("corpus-index"):
             origins = CachedOrigins.from_world(world)
             for corpus in (ntp_corpus, hitlist_corpus, caida_corpus):

@@ -60,11 +60,13 @@ class FaultInjector:
             )
         #: Injected-fault decision counts: ``rotation_ejections`` (a
         #: query hit an out-of-rotation vantage), ``packets_lost``,
-        #: ``corruptions``.
+        #: ``corruptions``, ``segment_write_failures`` (a segment seal
+        #: attempt failed and was retried).
         self.decisions: Dict[str, int] = {
             "rotation_ejections": 0,
             "packets_lost": 0,
             "corruptions": 0,
+            "segment_write_failures": 0,
         }
         registry = NULL_REGISTRY if metrics is None else metrics
         self._m_ejected = registry.counter(
@@ -78,6 +80,10 @@ class FaultInjector:
         self._m_corrupted = registry.counter(
             "repro_faults_corruptions_total",
             "query datagrams mangled by injected corruption",
+        )
+        self._m_segment_write = registry.counter(
+            "repro_faults_segment_write_failures_total",
+            "segment seal attempts failed by injected write faults",
         )
         # The pool-monitor score model's schedule is fully deterministic,
         # so its ejection count exports as a gauge computed up front.
@@ -150,6 +156,38 @@ class FaultInjector:
             self.decisions["corruptions"] += 1
             self._m_corrupted.inc()
         return corrupted
+
+    # -- segment writes -----------------------------------------------------------
+
+    def fails_segment_write(
+        self, shard_index: int, start_day: int, sequence: int, attempt: int
+    ) -> bool:
+        """Does this attempt to seal a segment file fail?
+
+        Keyed by the segment's identity plus the attempt number, so a
+        retry draws a fresh decision while replays of the same attempt
+        stay deterministic.  The faulted write never lands on disk, so
+        corpus contents are unaffected — only the durability path and
+        its retry accounting are exercised.
+        """
+        rate = self.plan.segment_write_failure_rate
+        if rate <= 0.0:
+            return False
+        failed = (
+            keyed_uniform(
+                self.plan.seed,
+                "segwrite",
+                shard_index,
+                start_day,
+                sequence,
+                attempt,
+            )
+            < rate
+        )
+        if failed:
+            self.decisions["segment_write_failures"] += 1
+            self._m_segment_write.inc()
+        return failed
 
     def corrupt_bytes(
         self, data: bytes, device_id: int, day: int, query_index: int

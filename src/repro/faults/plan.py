@@ -62,6 +62,11 @@ class FaultPlan:
     corruption_rate:
         Probability that a delivered datagram is corrupted in flight
         (truncated or bit-flipped) before the vantage parses it.
+    segment_write_failure_rate:
+        Probability that one attempt to seal a corpus segment file
+        fails (disk hiccup); the segment writer retries with a fresh
+        keyed decision, so the durability path is exercised without
+        ever changing what the corpus contains.
     monitor_interval / score_cap / join_threshold / reach_gain /
     unreach_penalty:
         The pool-monitor score model (see :mod:`repro.faults.monitor`).
@@ -73,6 +78,7 @@ class FaultPlan:
     packet_loss: float = 0.0
     country_loss: Tuple[Tuple[str, float], ...] = ()
     corruption_rate: float = 0.0
+    segment_write_failure_rate: float = 0.0
     monitor_interval: float = MONITOR_INTERVAL
     score_cap: float = SCORE_CAP
     join_threshold: float = JOIN_THRESHOLD
@@ -83,6 +89,9 @@ class FaultPlan:
         _check_rate("vantage_flap_rate", self.vantage_flap_rate)
         _check_rate("packet_loss", self.packet_loss)
         _check_rate("corruption_rate", self.corruption_rate)
+        _check_rate(
+            "segment_write_failure_rate", self.segment_write_failure_rate
+        )
         if self.outage_duration <= 0:
             raise ValueError(
                 f"outage_duration must be positive: {self.outage_duration}"
@@ -123,6 +132,7 @@ class FaultPlan:
             self.vantage_flap_rate == 0.0
             and self.packet_loss == 0.0
             and self.corruption_rate == 0.0
+            and self.segment_write_failure_rate == 0.0
             and all(rate == 0.0 for _, rate in self.country_loss)
         )
 
@@ -142,8 +152,9 @@ class FaultPlan:
         Keys: ``seed`` (int), ``flap`` (per-day incident probability),
         ``outage`` (mean seconds), ``loss`` (base loss rate),
         ``loss.CC`` (per-country override), ``corrupt`` (corruption
-        rate), ``monitor`` (score-sample interval seconds).  An empty or
-        missing spec is the zero plan.
+        rate), ``segfail`` (segment write-failure rate), ``monitor``
+        (score-sample interval seconds).  An empty or missing spec is
+        the zero plan.
 
         >>> FaultPlan.parse("flap=0.2,loss=0.05,loss.BR=0.3,seed=9").seed
         9
@@ -174,6 +185,8 @@ class FaultPlan:
                     fields["packet_loss"] = float(raw)
                 elif key == "corrupt":
                     fields["corruption_rate"] = float(raw)
+                elif key == "segfail":
+                    fields["segment_write_failure_rate"] = float(raw)
                 elif key == "monitor":
                     fields["monitor_interval"] = float(raw)
                 elif key.startswith("loss."):
@@ -206,6 +219,8 @@ class FaultPlan:
             parts.append(f"loss.{country}={rate}")
         if self.corruption_rate:
             parts.append(f"corrupt={self.corruption_rate}")
+        if self.segment_write_failure_rate:
+            parts.append(f"segfail={self.segment_write_failure_rate}")
         if self.monitor_interval != MONITOR_INTERVAL:
             parts.append(f"monitor={self.monitor_interval}")
         return ",".join(parts)

@@ -1,0 +1,289 @@
+"""End-to-end tests for segmented campaign execution and resume.
+
+Acceptance invariant (ISSUE 5): a segmented campaign — any flush
+budget, serial or sharded (workers 1/2/4), with or without a fault
+plan — produces a corpus **bit-identical** to the monolithic in-memory
+run, and resume restarts from the manifest rather than a whole-corpus
+checkpoint.
+"""
+
+import io
+
+import pytest
+
+from repro.core.campaign import CampaignConfig, NTPCampaign
+from repro.core.parallel import run_campaign_parallel
+from repro.core.segments import MANIFEST_NAME, SegmentStore
+from repro.core.storage import (
+    resolve_resume_checkpoint,
+    save_checkpoint,
+    save_corpus_binary,
+)
+from repro.faults import FaultPlan
+from repro.world import CAMPAIGN_EPOCH
+
+WEEKS = 2
+FAULTS = FaultPlan(
+    seed=11,
+    vantage_flap_rate=0.3,
+    outage_duration=6 * 3600.0,
+    packet_loss=0.1,
+    corruption_rate=0.05,
+)
+
+
+def make_campaign(world, weeks=WEEKS, **overrides):
+    config = CampaignConfig(
+        start=CAMPAIGN_EPOCH, weeks=weeks, seed=5, **overrides
+    )
+    return NTPCampaign(world, config)
+
+
+def corpus_bytes(corpus) -> bytes:
+    buffer = io.BytesIO()
+    save_corpus_binary(corpus, buffer)
+    return buffer.getvalue()
+
+
+@pytest.fixture(scope="module")
+def serial_bytes(core_world):
+    return corpus_bytes(make_campaign(core_world).run())
+
+
+@pytest.fixture(scope="module")
+def faulty_serial_bytes(core_world):
+    return corpus_bytes(make_campaign(core_world, faults=FAULTS).run())
+
+
+class TestSegmentedIdentity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_workers_reproduce_monolithic_bytes(
+        self, core_world, serial_bytes, workers, tmp_path
+    ):
+        campaign = make_campaign(core_world)
+        store = SegmentStore(tmp_path, name="ntp-pool", segment_bytes=4096)
+        merged = run_campaign_parallel(
+            campaign, workers=workers, segment_store=store
+        )
+        assert corpus_bytes(merged) == serial_bytes
+        assert merged is campaign.corpus
+        manifest = store.load_manifest()
+        assert manifest.completed_weeks == WEEKS
+        assert len(manifest.segments) > 1
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_fault_plan_reproduces_faulty_serial_bytes(
+        self, core_world, faulty_serial_bytes, workers, tmp_path
+    ):
+        campaign = make_campaign(core_world, faults=FAULTS)
+        store = SegmentStore(tmp_path, name="ntp-pool", segment_bytes=4096)
+        merged = run_campaign_parallel(
+            campaign, workers=workers, segment_store=store
+        )
+        assert corpus_bytes(merged) == faulty_serial_bytes
+
+    def test_flush_budget_does_not_change_bytes(
+        self, core_world, serial_bytes, tmp_path
+    ):
+        for budget in (1, 64 * 1024 * 1024):
+            store = SegmentStore(
+                tmp_path / str(budget), name="ntp-pool", segment_bytes=budget
+            )
+            merged = run_campaign_parallel(
+                make_campaign(core_world), workers=2, segment_store=store
+            )
+            assert corpus_bytes(merged) == serial_bytes
+
+    def test_segment_write_faults_leave_corpus_identical(
+        self, core_world, serial_bytes, tmp_path
+    ):
+        """segfail exercises the retry path but never changes contents."""
+        plan = FaultPlan(seed=3, segment_write_failure_rate=0.4)
+        assert not plan.is_zero
+        campaign = make_campaign(core_world, faults=plan)
+        store = SegmentStore(
+            tmp_path,
+            name="ntp-pool",
+            segment_bytes=4096,
+            metrics=campaign.metrics,
+        )
+        merged = run_campaign_parallel(
+            campaign, workers=1, segment_store=store
+        )
+        assert corpus_bytes(merged) == serial_bytes
+        retries = campaign.metrics.counter_value(
+            "repro_segment_flush_retries_total"
+        )
+        assert retries > 0
+
+    def test_checkpoint_and_segments_are_mutually_exclusive(
+        self, core_world, tmp_path
+    ):
+        store = SegmentStore(tmp_path / "seg")
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            run_campaign_parallel(
+                make_campaign(core_world),
+                segment_store=store,
+                checkpoint=tmp_path / "ck.bin",
+            )
+
+    def test_fresh_run_refuses_existing_manifest(self, core_world, tmp_path):
+        store = SegmentStore(tmp_path, name="ntp-pool")
+        run_campaign_parallel(
+            make_campaign(core_world), segment_store=store, end_week=1
+        )
+        with pytest.raises(ValueError, match="already holds"):
+            run_campaign_parallel(
+                make_campaign(core_world),
+                segment_store=SegmentStore(tmp_path, name="ntp-pool"),
+            )
+
+
+class TestManifestResume:
+    def test_resume_from_manifest_watermark(
+        self, core_world, serial_bytes, tmp_path
+    ):
+        store = SegmentStore(tmp_path, name="ntp-pool", segment_bytes=4096)
+        run_campaign_parallel(
+            make_campaign(core_world),
+            workers=2,
+            segment_store=store,
+            end_week=1,
+        )
+        assert store.load_manifest().completed_weeks == 1
+
+        resumed = run_campaign_parallel(
+            make_campaign(core_world),
+            workers=2,
+            segment_store=SegmentStore(
+                tmp_path, name="ntp-pool", segment_bytes=4096
+            ),
+            resume_from_segments=True,
+        )
+        assert corpus_bytes(resumed) == serial_bytes
+
+    def test_resume_without_manifest_raises(self, core_world, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no segment manifest"):
+            run_campaign_parallel(
+                make_campaign(core_world),
+                segment_store=SegmentStore(tmp_path),
+                resume_from_segments=True,
+            )
+
+    def test_checkpoint_import_when_checkpoint_is_ahead(
+        self, core_world, serial_bytes, tmp_path
+    ):
+        """Mixed resume: a 1-week manifest loses to a 1.5x checkpoint —
+        the checkpoint becomes the store's baseline import segment."""
+        checkpoint = tmp_path / "ck.bin"
+        head = make_campaign(core_world)
+        head.run(0, 1)
+        save_checkpoint(head.corpus, checkpoint, 1)
+
+        seg_dir = tmp_path / "segments"
+        store = SegmentStore(seg_dir, name="ntp-pool", segment_bytes=4096)
+        final = run_campaign_parallel(
+            make_campaign(core_world),
+            workers=2,
+            segment_store=store,
+            resume_from=checkpoint,
+        )
+        assert corpus_bytes(final) == serial_bytes
+        ids = [m.segment_id for m in store.load_manifest().segments]
+        assert "import-w0001" in ids
+
+    def test_manifest_wins_when_it_covers_more_weeks(
+        self, core_world, serial_bytes, tmp_path
+    ):
+        checkpoint = tmp_path / "ck.bin"
+        head = make_campaign(core_world)
+        head.run(0, 1)
+        save_checkpoint(head.corpus, checkpoint, 1)
+
+        seg_dir = tmp_path / "segments"
+        run_campaign_parallel(
+            make_campaign(core_world),
+            segment_store=SegmentStore(seg_dir, name="ntp-pool"),
+            end_week=2,
+        )
+        store = SegmentStore(seg_dir, name="ntp-pool")
+        final = run_campaign_parallel(
+            make_campaign(core_world),
+            segment_store=store,
+            resume_from=checkpoint,
+        )
+        assert corpus_bytes(final) == serial_bytes
+        ids = [m.segment_id for m in store.load_manifest().segments]
+        assert not any(name.startswith("import-") for name in ids)
+
+
+class TestResolveResumeMixedDirectory:
+    """resolve_resume_checkpoint with both a checkpoint and a manifest."""
+
+    def _checkpoint(self, core_world, tmp_path, weeks):
+        campaign = make_campaign(core_world)
+        campaign.run(0, weeks)
+        path = tmp_path / "ck.bin"
+        save_checkpoint(campaign.corpus, path, weeks)
+        return path, campaign.corpus
+
+    def _manifest(self, core_world, tmp_path, weeks):
+        seg_dir = tmp_path / "segments"
+        store = SegmentStore(seg_dir, name="ntp-pool", segment_bytes=4096)
+        corpus = run_campaign_parallel(
+            make_campaign(core_world), segment_store=store, end_week=weeks
+        )
+        return seg_dir, corpus
+
+    def test_manifest_preferred_when_further_along(
+        self, core_world, tmp_path
+    ):
+        ck_path, _ = self._checkpoint(core_world, tmp_path, 1)
+        seg_dir, seg_corpus = self._manifest(core_world, tmp_path, 2)
+        corpus, weeks, used, skipped = resolve_resume_checkpoint(
+            ck_path, segment_dir=seg_dir
+        )
+        assert weeks == 2
+        assert used == seg_dir / MANIFEST_NAME
+        assert corpus_bytes(corpus) == corpus_bytes(seg_corpus)
+        assert skipped == []
+
+    def test_checkpoint_preferred_when_further_along(
+        self, core_world, tmp_path
+    ):
+        ck_path, ck_corpus = self._checkpoint(core_world, tmp_path, 2)
+        seg_dir, _ = self._manifest(core_world, tmp_path, 1)
+        corpus, weeks, used, skipped = resolve_resume_checkpoint(
+            ck_path, segment_dir=seg_dir
+        )
+        assert weeks == 2
+        assert used == ck_path
+        assert corpus_bytes(corpus) == corpus_bytes(ck_corpus)
+
+    def test_torn_manifest_segment_falls_back_to_checkpoint(
+        self, core_world, tmp_path
+    ):
+        ck_path, ck_corpus = self._checkpoint(core_world, tmp_path, 1)
+        seg_dir, _ = self._manifest(core_world, tmp_path, 2)
+        store = SegmentStore(seg_dir, name="ntp-pool")
+        victim = store.load_manifest().segments[0]
+        path = store.segment_path(victim)
+        path.write_bytes(path.read_bytes()[:-6])
+
+        corpus, weeks, used, skipped = resolve_resume_checkpoint(
+            ck_path, segment_dir=seg_dir
+        )
+        assert weeks == 1
+        assert used == ck_path
+        assert corpus_bytes(corpus) == corpus_bytes(ck_corpus)
+        assert any(str(path) in str(error) for _, error in skipped)
+
+    def test_manifest_only_directory_resumes_without_checkpoint(
+        self, core_world, tmp_path
+    ):
+        seg_dir, seg_corpus = self._manifest(core_world, tmp_path, 1)
+        corpus, weeks, used, skipped = resolve_resume_checkpoint(
+            None, segment_dir=seg_dir
+        )
+        assert weeks == 1
+        assert corpus_bytes(corpus) == corpus_bytes(seg_corpus)

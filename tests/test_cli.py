@@ -283,3 +283,133 @@ class TestReleaseCommand:
         code = main(["release", str(empty), "--output", str(output)])
         assert code == 0
         assert "prefix,addresses" in output.read_text()
+
+
+class TestFlagUnification:
+    """ISSUE 5 satellite: unified flags + argparse round-trip.
+
+    Every subcommand accepts ``--seed`` (same position, same type);
+    ``--segment-dir``/``--segment-bytes`` exist wherever campaigns run
+    (study and report), and parsing a canonical argv round-trips.
+    """
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["study", "--seed", "11"],
+            ["report", "--seed", "11"],
+            ["analyze", "--seed", "11", "c.bin"],
+            ["release", "--seed", "11", "c.bin"],
+        ],
+    )
+    def test_every_subcommand_accepts_seed_first(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.seed == 11
+
+    @pytest.mark.parametrize("command", ["study", "report"])
+    def test_segment_options_on_campaign_commands(self, command):
+        args = build_parser().parse_args(
+            [
+                command,
+                "--segment-dir", "segments",
+                "--segment-bytes", "8192",
+            ]
+        )
+        assert args.segment_dir == "segments"
+        assert args.segment_bytes == 8192
+
+    def test_segment_options_default_off(self):
+        args = build_parser().parse_args(["study"])
+        assert args.segment_dir is None
+        assert args.segment_bytes == 4 * 1024 * 1024
+
+    def test_argparse_round_trip(self):
+        """Parse → rebuild argv → reparse: an identical namespace."""
+        argv = [
+            "study",
+            "--seed", "5",
+            "--weeks", "12",
+            "--scale", "tiny",
+            "--output-dir", "out",
+            "--workers", "3",
+            "--segment-dir", "segments",
+            "--segment-bytes", "8192",
+            "--faults", "flap=0.1,seed=2",
+            "--max-shard-retries", "4",
+            "--metrics-out", "m.json",
+        ]
+        first = build_parser().parse_args(argv)
+        rebuilt = [
+            "study",
+            "--seed", str(first.seed),
+            "--weeks", str(first.weeks),
+            "--scale", first.scale,
+            "--output-dir", first.output_dir,
+            "--workers", str(first.workers),
+            "--segment-dir", first.segment_dir,
+            "--segment-bytes", str(first.segment_bytes),
+            "--faults", first.faults,
+            "--max-shard-retries", str(first.max_shard_retries),
+            "--metrics-out", first.metrics_out,
+        ]
+        second = build_parser().parse_args(rebuilt)
+        assert vars(first) == vars(second)
+
+    def test_checkpoint_with_segment_dir_exits(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "study",
+                    "--checkpoint", str(tmp_path / "ck.bin"),
+                    "--segment-dir", str(tmp_path / "segments"),
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
+class TestSegmentedStudyCommand:
+    def test_segmented_study_matches_serial_bytes(self, study_dir, tmp_path):
+        output = tmp_path / "segmented"
+        seg_dir = tmp_path / "segments"
+        code = main(
+            [
+                "study",
+                "--seed", "3",
+                "--weeks", "10",
+                "--scale", "tiny",
+                "--output-dir", str(output),
+                "--workers", "2",
+                "--segment-dir", str(seg_dir),
+                "--segment-bytes", "8192",
+            ]
+        )
+        assert code == 0
+        serial = (study_dir / "ntp-pool.corpus.bin").read_bytes()
+        segmented = (output / "ntp-pool.corpus.bin").read_bytes()
+        assert serial == segmented
+        assert (seg_dir / "MANIFEST.json").exists()
+
+    def test_analyze_and_release_accept_segment_dir(
+        self, study_dir, tmp_path, capsys
+    ):
+        seg_dir = tmp_path / "segments"
+        code = main(
+            [
+                "study",
+                "--seed", "3",
+                "--weeks", "10",
+                "--scale", "tiny",
+                "--output-dir", str(tmp_path / "out"),
+                "--segment-dir", str(seg_dir),
+            ]
+        )
+        assert code == 0
+        assert main(["analyze", str(seg_dir)]) == 0
+        assert "seen once" in capsys.readouterr().out
+        release_out = tmp_path / "release.csv"
+        code = main(
+            ["release", str(seg_dir), "--output", str(release_out)]
+        )
+        assert code == 0
+        assert "prefix,addresses" in release_out.read_text()
