@@ -22,6 +22,13 @@ Runs standalone too (CI perf smoke)::
 ``--check`` exits non-zero when results diverge or the indexed path is
 slower than the naive one.  Results land in
 ``benchmarks/output/BENCH_analysis.json``.
+
+``--incremental`` benches the segmented path instead: the same corpus is
+sealed into a segment store, then indexed two ways — a cold full rebuild
+(read every ``.seg``, rescan every record, recompute every feature) vs
+the fold of the seal-time partial indexes (``.idx`` only, zero segment
+re-reads).  The fold must be bit-identical to the rebuild and, with
+``--check``, reuse every partial and beat ``--min-speedup``.
 """
 
 from __future__ import annotations
@@ -276,6 +283,126 @@ def run_bench(n_events, seed=11, repeat=2):
     }
 
 
+def run_incremental_bench(n_events, seed=11, repeat=2, segments=24):
+    """Cold full rebuild vs partial-index fold over one segment store."""
+    import shutil
+    import tempfile
+
+    from repro.core.index import CorpusIndex
+    from repro.core.segments import SegmentStore
+    from repro.obs import MetricsRegistry
+
+    _, _, blocks = build_routing()
+    macs = [(0x0011_22 << 24) + n for n in range(max(50, n_events // 150))]
+    events = generate_events(n_events, seed, blocks, macs)
+
+    def isolated(fn):
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            result = fn()
+            return result, time.perf_counter() - t0
+        finally:
+            gc.enable()
+
+    directory = tempfile.mkdtemp(prefix="bench-incremental-")
+    try:
+        store = SegmentStore(directory, name="ntp-pool")
+        span = max(1, len(events) // segments + 1)
+        metas = []
+        for number in range(0, len(events), span):
+            corpus = build_corpus(
+                "ntp-pool", events[number:number + span]
+            )
+            metas.append(
+                store.write_segment(
+                    corpus,
+                    segment_id=f"bench-{number // span:04d}",
+                    start_day=7 * (number // span),
+                    end_day=7 * (number // span + 1),
+                )
+            )
+        store.commit(metas, completed_weeks=len(metas))
+
+        # Cold: read and CRC-check every .seg, fold records in Python,
+        # full-scan feature rebuild — the pre-partial-index analysis path.
+        cold_index = None
+        cold_seconds = float("inf")
+        for _ in range(repeat):
+            reader = store.reader()
+            result, seconds = isolated(
+                lambda: CorpusIndex.build(reader.load())
+            )
+            cold_index = result if cold_index is None else cold_index
+            cold_seconds = min(cold_seconds, seconds)
+
+        # Fold: .idx files only; entropies/codes/MACs carried over from
+        # seal time, so no feature recomputation and zero .seg reads.
+        fold_index = None
+        fold_seconds = float("inf")
+        registry = None
+        for _ in range(repeat):
+            registry = MetricsRegistry()
+            reader = SegmentStore(
+                directory, name="ntp-pool", metrics=registry
+            ).reader()
+            result, seconds = isolated(reader.build_index)
+            fold_index = result if fold_index is None else fold_index
+            fold_seconds = min(fold_seconds, seconds)
+
+        identical = (
+            fold_index.addresses == cold_index.addresses
+            and fold_index.slash48s == cold_index.slash48s
+            and fold_index.slash64s == cold_index.slash64s
+            and all(
+                getattr(fold_index, column).tobytes()
+                == getattr(cold_index, column).tobytes()
+                for column in (
+                    "first", "last", "counts", "iids",
+                    "entropies", "pattern_codes", "macs",
+                )
+            )
+        )
+        return {
+            "mode": "incremental",
+            "events": n_events,
+            "repeat": repeat,
+            "addresses": len(cold_index.addresses),
+            "segments": len(metas),
+            "segments_reused": registry.counter_value(
+                "repro_index_segments_reused_total"
+            ),
+            "segments_rescanned": registry.counter_value(
+                "repro_index_segments_rescanned_total"
+            ),
+            "cold_seconds": round(cold_seconds, 4),
+            "fold_seconds": round(fold_seconds, 4),
+            "speedup": round(cold_seconds / fold_seconds, 2),
+            "results_equal": identical,
+        }
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def render_incremental(payload):
+    return "\n".join(
+        [
+            "Segmented analysis: cold full rebuild vs partial-index fold",
+            "",
+            f"addresses: {payload['addresses']:,} across "
+            f"{payload['segments']} sealed segments",
+            f"cold rebuild: {payload['cold_seconds']:.3f}s "
+            "(every .seg re-read, every feature recomputed)",
+            f"partial fold: {payload['fold_seconds']:.3f}s "
+            f"({payload['segments_reused']} partials folded, "
+            f"{payload['segments_rescanned']} segments rescanned)",
+            f"speedup: {payload['speedup']:.2f}x, "
+            f"bit-identical: {payload['results_equal']}",
+        ]
+    )
+
+
 def render(payload):
     return "\n".join(
         [
@@ -315,24 +442,59 @@ def main(argv=None):
         help="exit non-zero when results diverge or speedup < --min-speedup",
     )
     parser.add_argument(
-        "--min-speedup", type=float, default=1.0, metavar="X",
-        help="with --check, fail when indexed/naive speedup is below X "
-             "(default: 1.0, i.e. indexed must not be slower)",
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="with --check, fail when the measured speedup is below X "
+             "(default: 1.0, or 3.0 with --incremental)",
+    )
+    parser.add_argument(
+        "--incremental", action="store_true",
+        help="bench the segmented path: cold full rebuild vs the fold "
+             "of seal-time partial indexes",
     )
     args = parser.parse_args(argv)
+    min_speedup = args.min_speedup
+    if min_speedup is None:
+        min_speedup = 3.0 if args.incremental else 1.0
 
-    payload = run_bench(args.addresses, seed=args.seed, repeat=args.repeat)
-    publish_text("analysis_index", render(payload))
-    write_bench_json("analysis", payload)
+    if args.incremental:
+        payload = run_incremental_bench(
+            args.addresses, seed=args.seed, repeat=args.repeat
+        )
+        publish_text("analysis_incremental", render_incremental(payload))
+        write_bench_json("analysis_incremental", payload)
+    else:
+        payload = run_bench(
+            args.addresses, seed=args.seed, repeat=args.repeat
+        )
+        publish_text("analysis_index", render(payload))
+        write_bench_json("analysis", payload)
 
     if args.check:
         if not payload["results_equal"]:
-            print("FAIL: indexed results diverge from naive", file=sys.stderr)
+            print(
+                "FAIL: fold diverges from rebuild"
+                if args.incremental
+                else "FAIL: indexed results diverge from naive",
+                file=sys.stderr,
+            )
             return 1
-        if payload["speedup"] < args.min_speedup:
+        if args.incremental and not payload["segments_reused"]:
+            print(
+                "FAIL: no seal-time partial index was reused",
+                file=sys.stderr,
+            )
+            return 1
+        if args.incremental and payload["segments_rescanned"]:
+            print(
+                f"FAIL: {payload['segments_rescanned']} segments were "
+                "rescanned on the incremental path",
+                file=sys.stderr,
+            )
+            return 1
+        if payload["speedup"] < min_speedup:
             print(
                 f"FAIL: speedup {payload['speedup']:.2f}x "
-                f"< required {args.min_speedup:.2f}x",
+                f"< required {min_speedup:.2f}x",
                 file=sys.stderr,
             )
             return 1

@@ -125,7 +125,12 @@ class Study:
         )
 
 
-def open_corpus(path: Union[str, Path]) -> AddressCorpus:
+def open_corpus(
+    path: Union[str, Path],
+    *,
+    indexed: bool = False,
+    metrics=None,
+) -> AddressCorpus:
     """Load a corpus from a file *or* a segment directory.
 
     Accepts every on-disk corpus shape the pipeline produces: a text or
@@ -134,13 +139,28 @@ def open_corpus(path: Union[str, Path]) -> AddressCorpus:
     stores are folded to one in-memory corpus, bit-identical to the
     campaign that wrote them.  For memory-bounded streaming over a large
     store, use :class:`repro.core.SegmentedCorpusReader` directly.
+
+    With ``indexed=True`` the corpus comes back with a columnar
+    :class:`~repro.core.CorpusIndex` attached.  For a segment
+    directory this is the incremental path: the index is folded from
+    the seal-time partial indexes and the corpus reconstructed from its
+    columns, re-reading **zero** sealed segment files when the partials
+    are intact (``metrics``, an optional
+    :class:`~repro.obs.MetricsRegistry`, counts the reuse on
+    ``repro_index_segments_reused_total``).
     """
     path = Path(path)
     if path.name == MANIFEST_NAME:
         path = path.parent
     if path.is_dir():
-        return SegmentedCorpusReader.open(path).load()
-    return load_corpus(path)
+        reader = SegmentedCorpusReader.open(path, metrics=metrics)
+        if indexed:
+            return reader.load_indexed()
+        return reader.load()
+    corpus = load_corpus(path)
+    if indexed:
+        corpus.build_index(metrics=metrics)
+    return corpus
 
 
 def release(

@@ -173,11 +173,24 @@ def _cmd_study(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
-    corpus = open_corpus(args.corpus)
-    # One columnar pass up front; the analyses below then read shared
+    # One columnar index up front; the analyses below then read shared
     # index columns instead of re-scanning the records per headline.
-    corpus.build_index()
+    # For a segment directory the index is folded from the seal-time
+    # partial indexes — already-sealed segments are not re-read.
+    registry = MetricsRegistry()
+    corpus = open_corpus(args.corpus, indexed=True, metrics=registry)
     print(f"corpus {corpus.name!r}: {len(corpus):,} addresses")
+    reused = registry.counter_value("repro_index_segments_reused_total")
+    rescanned = registry.counter_value(
+        "repro_index_segments_rescanned_total"
+    )
+    if reused or rescanned:
+        print(
+            f"index: {int(reused):,} segment partials folded, "
+            f"{int(rescanned):,} segments rescanned"
+        )
+    if args.metrics_out:
+        _write_metrics(registry, args.metrics_out)
     summary = address_lifetime_summary(corpus)
     print(
         f"lifetimes: {100 * summary.seen_once_fraction:.1f}% seen once, "
@@ -331,6 +344,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "corpus",
         help="path to a .corpus.bin/.csv file or a --segment-dir directory",
+    )
+    analyze.add_argument(
+        "--metrics-out", default=None,
+        help="write the analysis telemetry (index reuse counters) to "
+             "this path: JSON, or Prometheus text for .prom/.txt",
     )
     analyze.set_defaults(handler=_cmd_analyze)
 

@@ -24,7 +24,7 @@ from .compare import (
     phone_provider_shares,
 )
 from .corpus import AddressCorpus
-from .index import CachedOrigins, CorpusIndex
+from .index import CachedOrigins, CorpusIndex, PartialIndexColumns
 from .lifetime import (
     LifetimeSummary,
     address_lifetime_summary,
@@ -35,6 +35,7 @@ from .decay import corpus_decay, responsiveness_decay
 from .outages import ASActivityRecorder, OutageEvent, detect_outages
 from .parallel import ShardFailure, ShardSpec, run_campaign_parallel
 from .segments import (
+    PARTIAL_INDEX_SUFFIX,
     Manifest,
     SegmentBufferedCorpus,
     SegmentError,
@@ -85,6 +86,8 @@ __all__ = [
     "Manifest",
     "NTPCampaign",
     "OutageEvent",
+    "PARTIAL_INDEX_SUFFIX",
+    "PartialIndexColumns",
     "ReleaseArtifact",
     "SegmentBufferedCorpus",
     "SegmentError",

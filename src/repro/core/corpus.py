@@ -13,8 +13,13 @@ the ablation bench (DESIGN.md §6) quantifies why.
 For analysis workloads a corpus can carry a columnar
 :class:`~repro.core.index.CorpusIndex` (see :meth:`AddressCorpus.build_index`);
 while one is attached, the aggregate accessors below answer from its
-memoized columns instead of re-scanning the records, and any mutation
-invalidates it.
+memoized columns instead of re-scanning the records.  Appends
+(:meth:`AddressCorpus.record`, :meth:`AddressCorpus.record_interval`,
+:meth:`AddressCorpus.merge`) keep the attached index current via
+:meth:`CorpusIndex.observe <repro.core.index.CorpusIndex.observe>`
+delta maintenance rather than invalidating it; only genuinely
+destructive mutations (clearing the record store, as a segment seal
+does) drop the index and force a rebuild.
 """
 
 from __future__ import annotations
@@ -44,8 +49,9 @@ class AddressCorpus:
         self.name = name
         # address -> [first_seen, last_seen, observation_count]
         self._records: Dict[int, List[float]] = {}
-        # Columnar index over the records; None until built, and reset
-        # to None by any mutation (the index is a frozen snapshot).
+        # Columnar index over the records; None until built.  Appends
+        # maintain it in place (CorpusIndex.observe); destructive
+        # mutations must reset it to None.
         self._index = None
 
     # -- columnar index ------------------------------------------------------
@@ -55,19 +61,26 @@ class AddressCorpus:
         """The attached :class:`CorpusIndex`, or ``None``."""
         return self._index
 
-    def build_index(self, origins=None):
+    def build_index(self, origins=None, metrics=None):
         """Build, attach and return a columnar index over the records.
 
         ``origins`` is an optional :class:`~repro.core.index.CachedOrigins`
         resolver the index's origin aggregations default to.
+        ``metrics`` is an optional :class:`~repro.obs.MetricsRegistry`
+        on which the full scan is counted
+        (``repro_index_full_rebuilds_total``).
         """
         from .index import CorpusIndex
 
-        self._index = CorpusIndex.build(self, origins=origins)
+        self._index = CorpusIndex.build(self, origins=origins, metrics=metrics)
         return self._index
 
     def attach_index(self, index) -> None:
-        """Attach a prebuilt index (must match this corpus's size)."""
+        """Attach a prebuilt index (must match this corpus's size).
+
+        The attached index stays live: subsequent appends maintain it
+        via :meth:`CorpusIndex.observe <repro.core.index.CorpusIndex.observe>`.
+        """
         if index is not None and len(index) != len(self._records):
             raise ValueError(
                 f"index has {len(index)} rows for {len(self._records)} records"
@@ -80,16 +93,18 @@ class AddressCorpus:
         """Record one sighting of ``address`` at ``when``."""
         if not math.isfinite(when):
             raise ValueError(f"non-finite sighting timestamp: {when!r}")
-        self._index = None
         record = self._records.get(address)
         if record is None:
-            self._records[address] = [when, when, 1]
+            record = [when, when, 1]
+            self._records[address] = record
         else:
             if when < record[0]:
                 record[0] = when
             if when > record[1]:
                 record[1] = when
             record[2] += 1
+        if self._index is not None:
+            self._index.observe(address, record[0], record[1], record[2])
 
     def record_interval(
         self, address: int, first: float, last: float, count: int = 2
@@ -105,14 +120,16 @@ class AddressCorpus:
             raise ValueError("interval ends before it starts")
         if count < 1:
             raise ValueError("count must be >= 1")
-        self._index = None
         record = self._records.get(address)
         if record is None:
-            self._records[address] = [first, last, count]
+            record = [first, last, count]
+            self._records[address] = record
         else:
             record[0] = min(record[0], first)
             record[1] = max(record[1], last)
             record[2] += count
+        if self._index is not None:
+            self._index.observe(address, record[0], record[1], record[2])
 
     @classmethod
     def from_history(
@@ -138,9 +155,9 @@ class AddressCorpus:
             for address, (first, last, count) in other.items():
                 self.record_interval(address, first, last, count)
             return
-        self._index = None
+        index = self._index
         records = self._records
-        if not records:
+        if not records and index is None:
             # Bulk copy: list copies keep the two corpora independent.
             self._records = {
                 address: record.copy()
@@ -150,13 +167,16 @@ class AddressCorpus:
         for address, record in other._records.items():
             mine = records.get(address)
             if mine is None:
-                records[address] = record.copy()
+                mine = record.copy()
+                records[address] = mine
             else:
                 if record[0] < mine[0]:
                     mine[0] = record[0]
                 if record[1] > mine[1]:
                     mine[1] = record[1]
                 mine[2] += record[2]
+            if index is not None:
+                index.observe(address, mine[0], mine[1], mine[2])
 
     # -- basic access ----------------------------------------------------------
 

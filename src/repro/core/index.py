@@ -9,7 +9,16 @@ aggregation), so the right shape is the opposite: resolve each structural
 property of an address exactly once, resolve origin once per distinct
 /64, and let every figure and table read precomputed columns.
 
-Two classes implement that:
+The heavy per-IID work (entropy, pattern class, MAC extraction) and the
+column folds live in :mod:`repro.core.kernels` — numpy-vectorized when
+numpy is available, pure Python otherwise, bit-identical either way.
+An index is **incrementally maintainable**: corpus appends call
+:meth:`CorpusIndex.observe` to update columns in place instead of
+invalidating the index, and a segmented corpus is indexed by folding
+seal-time :class:`PartialIndexColumns` (one per segment) with
+:meth:`CorpusIndex.from_partials` — no segment rescan.
+
+Three classes implement that:
 
 * :class:`CorpusIndex` — a one-pass columnar materialization of an
   :class:`~repro.core.corpus.AddressCorpus`: parallel columns for
@@ -18,6 +27,9 @@ Two classes implement that:
   lazily-memoized aggregate views (prefix sets, lifetimes, IID
   intervals, per-MAC groupings, origin-AS counts) shared by every
   consumer.
+* :class:`PartialIndexColumns` — one sealed segment's columnar summary,
+  built at seal time and persisted next to the segment; any set of
+  partials folds associatively into a full :class:`CorpusIndex`.
 * :class:`CachedOrigins` — a longest-prefix-match memoizer: origin ASN
   is computed once per distinct /64 rather than once per address per
   consumer.  **Correctness condition**: all addresses of a /64 share an
@@ -47,35 +59,46 @@ from typing import (
     Tuple,
 )
 
-# Entropy-class thresholds are inlined into the build pass so each IID
-# is classified without a second entropy computation.
-from ..addr.entropy import (
-    HIGH_THRESHOLD,
-    LOW_THRESHOLD,
-    normalized_iid_entropy,
-)
-from ..addr.eui64 import looks_like_eui64, iid_to_mac
+import sys
+
 from ..addr.ipv6 import IID_MASK, PREFIX_MASK
 from ..addr.patterns import (
     AddressCategory,
     CATEGORY_BY_CODE,
     STRUCTURAL_CODES,
 )
+from . import kernels as _kernels
+from .kernels import NO_MAC
 
-__all__ = ["CachedOrigins", "CorpusIndex", "NO_MAC", "STRUCTURAL_CODES"]
-
-#: Sentinel in the MAC column for rows whose IID is not EUI-64 (MACs are
-#: 48-bit, so this 64-bit value can never collide with a real one).
-NO_MAC = (1 << 64) - 1
+__all__ = [
+    "CachedOrigins",
+    "CorpusIndex",
+    "PartialIndexColumns",
+    "NO_MAC",
+    "STRUCTURAL_CODES",
+]
 
 _SLASH48_MASK = ~((1 << 80) - 1)
 
-_ZEROES = STRUCTURAL_CODES[AddressCategory.ZEROES]
-_LOW_BYTE = STRUCTURAL_CODES[AddressCategory.LOW_BYTE]
-_LOW_2_BYTES = STRUCTURAL_CODES[AddressCategory.LOW_2_BYTES]
-_LOW_ENTROPY = STRUCTURAL_CODES[AddressCategory.LOW_ENTROPY]
-_MEDIUM_ENTROPY = STRUCTURAL_CODES[AddressCategory.MEDIUM_ENTROPY]
-_HIGH_ENTROPY = STRUCTURAL_CODES[AddressCategory.HIGH_ENTROPY]
+_BIG_ENDIAN = sys.byteorder == "big"
+
+
+def _column_le_bytes(column: array) -> bytes:
+    """Serialize an :mod:`array` column as little-endian bytes."""
+    if _BIG_ENDIAN:  # pragma: no cover - no big-endian CI platform
+        swapped = array(column.typecode, column)
+        swapped.byteswap()
+        return swapped.tobytes()
+    return column.tobytes()
+
+
+def _column_from_le(typecode: str, data: bytes) -> array:
+    """Deserialize a little-endian byte run into an :mod:`array` column."""
+    column = array(typecode)
+    column.frombytes(data)
+    if _BIG_ENDIAN:  # pragma: no cover
+        column.byteswap()
+    return column
 
 
 class CachedOrigins:
@@ -203,6 +226,7 @@ class CorpusIndex:
         "_iid_entropies",
         "_eui64_rows",
         "_eui64_intervals",
+        "_row_of",
     )
 
     def __init__(
@@ -247,14 +271,29 @@ class CorpusIndex:
         self._iid_entropies: Optional[Dict[int, float]] = None
         self._eui64_rows: Optional[Dict[int, List[int]]] = None
         self._eui64_intervals: Optional[Dict[int, Tuple[float, float]]] = None
+        self._row_of: Optional[Dict[int, int]] = None
 
     # -- construction ----------------------------------------------------------
 
     @classmethod
     def build(
-        cls, corpus, origins: Optional[CachedOrigins] = None
+        cls,
+        corpus,
+        origins: Optional[CachedOrigins] = None,
+        metrics=None,
     ) -> "CorpusIndex":
-        """Materialize all columns from ``corpus`` in a single pass."""
+        """Materialize all columns from ``corpus`` with a full scan.
+
+        This is the cold path: one pass over every record.  Analysis
+        over a segmented corpus should prefer
+        :meth:`from_partials` (via
+        :meth:`~repro.core.segments.SegmentedCorpusReader.build_index`),
+        which folds seal-time partial indexes instead of rescanning.
+        ``metrics`` is an optional
+        :class:`~repro.obs.MetricsRegistry`; each full scan increments
+        ``repro_index_full_rebuilds_total`` so rebuild churn is
+        observable.
+        """
         import time
 
         t0 = time.perf_counter()
@@ -266,25 +305,9 @@ class CorpusIndex:
         slash48s: List[int] = []
         slash64s: List[int] = []
         iids = array("Q", bytes(8 * size))
-        entropies = array("d", bytes(8 * size))
-        pattern_codes = array("B", bytes(size))
-        macs = array("Q", bytes(8 * size))
-        # Entropy, pattern class and MAC extraction depend only on the
-        # IID; memoizing per distinct IID collapses repeated IIDs (::1 in
-        # thousands of /64s, EUI-64 IIDs surviving prefix rotation) to
-        # one computation.  The per-IID union intervals and per-address
-        # lifetimes are accumulated in the same pass — the values are
-        # already in hand as Python objects, so deriving them here avoids
-        # a later full-column re-scan (array reads box every element).
-        info_of: Dict[int, Tuple[float, int, int]] = {}
-        intervals: Dict[int, List[float]] = {}
-        lifetimes: List[float] = []
-        info_get = info_of.get
-        interval_get = intervals.get
         add_address = addresses.append
         add_slash48 = slash48s.append
         add_slash64 = slash64s.append
-        add_lifetime = lifetimes.append
         row = 0
         for address, (first_seen, last_seen, count) in corpus.items():
             add_address(address)
@@ -293,30 +316,14 @@ class CorpusIndex:
             counts[row] = count
             add_slash48(address & _SLASH48_MASK)
             add_slash64(address & PREFIX_MASK)
-            iid = address & IID_MASK
-            iids[row] = iid
-            info = info_get(iid)
-            if info is None:
-                entropy = normalized_iid_entropy(iid)
-                info = (
-                    entropy,
-                    _structural_code(iid, entropy),
-                    iid_to_mac(iid) if looks_like_eui64(iid) else NO_MAC,
-                )
-                info_of[iid] = info
-            entropies[row] = info[0]
-            pattern_codes[row] = info[1]
-            macs[row] = info[2]
-            add_lifetime(last_seen - first_seen)
-            interval = interval_get(iid)
-            if interval is None:
-                intervals[iid] = [first_seen, last_seen]
-            else:
-                if first_seen < interval[0]:
-                    interval[0] = first_seen
-                if last_seen > interval[1]:
-                    interval[1] = last_seen
+            iids[row] = address & IID_MASK
             row += 1
+        # Entropy, pattern class and MAC extraction depend only on the
+        # IID column — computed by the vectorized kernels (one pass over
+        # the distinct IIDs, numpy when available).
+        entropies, pattern_codes, macs, iid_entropies = (
+            _kernels.iid_feature_columns(iids)
+        )
         index = cls(
             corpus.name,
             addresses,
@@ -331,16 +338,174 @@ class CorpusIndex:
             macs,
             origins=origins,
         )
-        index._lifetimes = lifetimes
-        index._iid_intervals = {
-            iid: (interval[0], interval[1])
-            for iid, interval in intervals.items()
-        }
-        index._iid_entropies = {
-            iid: info[0] for iid, info in info_of.items()
-        }
+        index._iid_entropies = iid_entropies
+        index.build_seconds = time.perf_counter() - t0
+        if metrics is not None:
+            metrics.counter(
+                "repro_index_full_rebuilds_total",
+                "corpus indexes built by a full record scan",
+            ).inc()
+        return index
+
+    @classmethod
+    def from_partials(
+        cls,
+        name: str,
+        partials: Sequence["PartialIndexColumns"],
+        origins: Optional[CachedOrigins] = None,
+    ) -> "CorpusIndex":
+        """Fold per-segment partial indexes into one full index.
+
+        The record fold is the associative, commutative ``(min first,
+        max last, summed count)`` every reader applies, and output rows
+        are in first-occurrence order across ``partials`` — exactly the
+        record order of the corpus
+        :meth:`~repro.core.segments.SegmentedCorpusReader.load`
+        materializes from the same segments.  The result is therefore
+        bit-identical to ``CorpusIndex.build`` over that folded corpus
+        (property-test pinned) without re-reading any segment file.
+        """
+        import time
+
+        t0 = time.perf_counter()
+        (
+            addresses,
+            first,
+            last,
+            counts,
+            entropies,
+            pattern_codes,
+            macs,
+        ) = _kernels.fold_record_columns(partials)
+        slash48s = [address & _SLASH48_MASK for address in addresses]
+        slash64s = [address & PREFIX_MASK for address in addresses]
+        iids = array("Q", bytes(8 * len(addresses)))
+        for row, address in enumerate(addresses):
+            iids[row] = address & IID_MASK
+        index = cls(
+            name,
+            addresses,
+            first,
+            last,
+            counts,
+            slash48s,
+            slash64s,
+            iids,
+            entropies,
+            pattern_codes,
+            macs,
+            origins=origins,
+        )
         index.build_seconds = time.perf_counter() - t0
         return index
+
+    # -- append-aware delta maintenance ----------------------------------------
+
+    def _rows(self) -> Dict[int, int]:
+        """Address → row mapping (built lazily, maintained by appends)."""
+        if self._row_of is None:
+            self._row_of = {
+                address: row for row, address in enumerate(self.addresses)
+            }
+        return self._row_of
+
+    def observe(
+        self, address: int, first_seen: float, last_seen: float, count: int
+    ) -> None:
+        """Apply one record mutation in place: the append-aware path.
+
+        ``(first_seen, last_seen, count)`` is the address's record
+        *after* the mutation (the corpus's fold already applied).  A new
+        address appends a row — derived columns computed via the same
+        kernels a rebuild uses — and an existing address overwrites its
+        row.  Materialized aggregate memos are updated in place with the
+        same min/max folds a rebuild applies, so an index maintained by
+        ``observe`` stays bit-identical to a freshly built one
+        (property-test pinned).  Unmaterialized memos stay lazy.
+        """
+        row = self._rows().get(address)
+        if row is not None:
+            self.first[row] = first_seen
+            self.last[row] = last_seen
+            self.counts[row] = count
+            if self._lifetimes is not None:
+                self._lifetimes[row] = last_seen - first_seen
+            if self._iid_intervals is not None:
+                self._touch_interval(
+                    self._iid_intervals, self.iids[row], first_seen, last_seen
+                )
+            if self._eui64_intervals is not None:
+                mac = self.macs[row]
+                if mac != NO_MAC:
+                    self._touch_interval(
+                        self._eui64_intervals, mac, first_seen, last_seen
+                    )
+            return
+        row = len(self.addresses)
+        self._row_of[address] = row
+        slash48 = address & _SLASH48_MASK
+        slash64 = address & PREFIX_MASK
+        iid = address & IID_MASK
+        entropy, code, mac = _kernels.iid_features(iid)
+        if (
+            self._iid_entropies is not None
+            and iid not in self._iid_entropies
+        ):
+            self._iid_entropies[iid] = entropy
+        self.addresses.append(address)
+        self.first.append(first_seen)
+        self.last.append(last_seen)
+        self.counts.append(count)
+        self.slash48s.append(slash48)
+        self.slash64s.append(slash64)
+        self.iids.append(iid)
+        self.entropies.append(entropy)
+        self.pattern_codes.append(code)
+        self.macs.append(mac)
+        if self._slash48_set is not None:
+            self._slash48_set.add(slash48)
+        if self._slash64_set is not None:
+            self._slash64_set.add(slash64)
+        if self._slash64_counts is not None:
+            self._slash64_counts[slash64] = (
+                self._slash64_counts.get(slash64, 0) + 1
+            )
+        if self._lifetimes is not None:
+            self._lifetimes.append(last_seen - first_seen)
+        if self._iid_intervals is not None:
+            self._touch_interval(
+                self._iid_intervals, iid, first_seen, last_seen
+            )
+        if mac != NO_MAC:
+            if self._eui64_rows is not None:
+                rows = self._eui64_rows.get(mac)
+                if rows is None:
+                    self._eui64_rows[mac] = [row]
+                else:
+                    rows.append(row)
+            if self._eui64_intervals is not None:
+                self._touch_interval(
+                    self._eui64_intervals, mac, first_seen, last_seen
+                )
+
+    @staticmethod
+    def _touch_interval(
+        intervals: Dict[int, Tuple[float, float]],
+        key: int,
+        first_seen: float,
+        last_seen: float,
+    ) -> None:
+        """Fold one sighting interval into a memoized interval mapping."""
+        existing = intervals.get(key)
+        if existing is None:
+            intervals[key] = (first_seen, last_seen)
+            return
+        lo, hi = existing
+        if first_seen < lo:
+            lo = first_seen
+        if last_seen > hi:
+            hi = last_seen
+        intervals[key] = (lo, hi)
 
     def __len__(self) -> int:
         return len(self.addresses)
@@ -375,31 +540,15 @@ class CorpusIndex:
     def lifetimes(self) -> List[float]:
         """Per-address lifetimes in row order (shared memoized list)."""
         if self._lifetimes is None:
-            last = self.last
-            self._lifetimes = [
-                last[row] - first for row, first in enumerate(self.first)
-            ]
+            self._lifetimes = _kernels.lifetime_column(self.first, self.last)
         return self._lifetimes
 
     def iid_intervals(self) -> Dict[int, Tuple[float, float]]:
         """Per-IID union sighting intervals (shared memoized mapping)."""
         if self._iid_intervals is None:
-            intervals: Dict[int, List[float]] = {}
-            first = self.first
-            last = self.last
-            for row, iid in enumerate(self.iids):
-                existing = intervals.get(iid)
-                if existing is None:
-                    intervals[iid] = [first[row], last[row]]
-                else:
-                    if first[row] < existing[0]:
-                        existing[0] = first[row]
-                    if last[row] > existing[1]:
-                        existing[1] = last[row]
-            self._iid_intervals = {
-                iid: (interval[0], interval[1])
-                for iid, interval in intervals.items()
-            }
+            self._iid_intervals = _kernels.iid_interval_map(
+                self.iids, self.first, self.last
+            )
         return self._iid_intervals
 
     def iid_entropies(self) -> Dict[int, float]:
@@ -508,21 +657,134 @@ class CorpusIndex:
         return f"CorpusIndex({self.name!r}, {len(self):,} rows)"
 
 
-def _structural_code(iid: int, entropy: float) -> int:
-    """Structural pattern code of an IID given its precomputed entropy.
+class PartialIndexColumns:
+    """Per-segment partial index: seal-time columns ready to fold.
 
-    Mirrors :func:`repro.addr.patterns.classify_iid_structurally` with
-    ``ipv4_embedded=False``, reusing the entropy already computed in the
-    build pass.
+    One instance summarizes one sealed segment's corpus: record columns
+    (address split into 64-bit halves, first/last/count) plus the
+    per-row derived columns (``entropies``/``codes``/``macs``) that are
+    pure functions of the IID, in the segment's record order.  The low
+    address half **is** the IID, so no separate IID column is stored.
+    Folding any set of partials with
+    :meth:`CorpusIndex.from_partials` reproduces ``CorpusIndex.build``
+    over the folded segments bit-for-bit.
+
+    The columnar payload (:meth:`to_payload`) is the byte layout the
+    segment store persists next to each ``.seg`` file; columns are
+    little-endian on disk regardless of host byte order.  Framing (the
+    ``RPI1``/``RPIF`` magic and CRC footer) is owned by
+    :mod:`repro.core.segments`.
     """
-    if iid == 0:
-        return _ZEROES
-    if iid <= 0xFF:
-        return _LOW_BYTE
-    if iid <= 0xFFFF:
-        return _LOW_2_BYTES
-    if entropy >= HIGH_THRESHOLD:
-        return _HIGH_ENTROPY
-    if entropy >= LOW_THRESHOLD:
-        return _MEDIUM_ENTROPY
-    return _LOW_ENTROPY
+
+    __slots__ = (
+        "hi",
+        "lo",
+        "first",
+        "last",
+        "counts",
+        "entropies",
+        "codes",
+        "macs",
+    )
+
+    #: Serialized column order and typecodes.
+    COLUMN_SPEC: Tuple[Tuple[str, str], ...] = (
+        ("hi", "Q"),
+        ("lo", "Q"),
+        ("first", "d"),
+        ("last", "d"),
+        ("counts", "Q"),
+        ("entropies", "d"),
+        ("codes", "B"),
+        ("macs", "Q"),
+    )
+
+    def __init__(
+        self,
+        hi: array,
+        lo: array,
+        first: array,
+        last: array,
+        counts: array,
+        entropies: array,
+        codes: array,
+        macs: array,
+    ) -> None:
+        size = len(hi)
+        for column in (lo, first, last, counts, entropies, codes, macs):
+            if len(column) != size:
+                raise ValueError(
+                    "partial index columns must have equal lengths"
+                )
+        self.hi = hi
+        self.lo = lo
+        self.first = first
+        self.last = last
+        self.counts = counts
+        self.entropies = entropies
+        self.codes = codes
+        self.macs = macs
+
+    def __len__(self) -> int:
+        return len(self.lo)
+
+    @classmethod
+    def from_corpus(cls, corpus) -> "PartialIndexColumns":
+        """Summarize a (segment's) corpus.
+
+        Rows are in ascending address order — the canonical record
+        order :func:`~repro.core.storage.save_corpus_binary` serializes
+        — so a partial built from the in-memory buffer at seal time and
+        one rebuilt from the sealed file are identical, and the fold's
+        first-occurrence order matches a segment-by-segment merge of
+        the files on disk.
+        """
+        size = len(corpus)
+        hi = array("Q", bytes(8 * size))
+        lo = array("Q", bytes(8 * size))
+        first = array("d", bytes(8 * size))
+        last = array("d", bytes(8 * size))
+        counts = array("Q", bytes(8 * size))
+        row = 0
+        for address, (first_seen, last_seen, count) in sorted(corpus.items()):
+            hi[row] = address >> 64
+            lo[row] = address & IID_MASK
+            first[row] = first_seen
+            last[row] = last_seen
+            counts[row] = count
+            row += 1
+        entropies, codes, macs, _ = _kernels.iid_feature_columns(lo)
+        return cls(hi, lo, first, last, counts, entropies, codes, macs)
+
+    def to_payload(self) -> bytes:
+        """Serialize all columns (little-endian, :data:`COLUMN_SPEC` order)."""
+        return b"".join(
+            _column_le_bytes(getattr(self, name))
+            for name, _ in self.COLUMN_SPEC
+        )
+
+    @classmethod
+    def payload_size(cls, rows: int) -> int:
+        """Exact byte length of a ``rows``-row payload."""
+        return sum(
+            rows * array(typecode).itemsize
+            for _, typecode in cls.COLUMN_SPEC
+        )
+
+    @classmethod
+    def from_payload(cls, data: bytes, rows: int) -> "PartialIndexColumns":
+        """Inverse of :meth:`to_payload` for a known row count."""
+        if len(data) != cls.payload_size(rows):
+            raise ValueError(
+                f"partial index payload is {len(data)} bytes; "
+                f"{rows} rows need {cls.payload_size(rows)}"
+            )
+        columns = []
+        offset = 0
+        for _, typecode in cls.COLUMN_SPEC:
+            width = rows * array(typecode).itemsize
+            columns.append(
+                _column_from_le(typecode, data[offset:offset + width])
+            )
+            offset += width
+        return cls(*columns)

@@ -1,0 +1,458 @@
+"""Columnar analysis kernels: numpy-vectorized, array-module fallback.
+
+The per-address work of a :class:`~repro.core.index.CorpusIndex` build —
+IID entropy, structural pattern code, EUI-64 MAC extraction, lifetime
+and per-IID interval folds — is embarrassingly parallel over columns.
+This module holds the vectorized implementations, with a pure-Python
+fallback path so the pipeline keeps working when :mod:`numpy` is not
+installed (CI's minimal environments).
+
+The contract every kernel honours: **bit-identical results on both
+paths.**  The vectorized entropy kernel reproduces the scalar
+:func:`~repro.addr.entropy.normalized_iid_entropy` sum order exactly
+(per-nibble terms added in first-occurrence order, non-first positions
+contributing an exact ``+0.0``); min/max folds use the same
+keep-the-accumulator-on-ties semantics as ``AddressCorpus.record``
+(``np.minimum``/``np.maximum`` are ``where(x1 <= x2, x1, x2)`` /
+``where(x1 >= x2, x1, x2)``, matching the scalar ``<``/``>`` guards even
+for signed zeros); count sums are exact integer arithmetic.  The
+equivalence is pinned by the forced-fallback tests in
+``tests/core/test_partial_index.py``.
+
+Columns cross this boundary as :mod:`array` arrays (``'d'``/``'Q'``/
+``'B'``) plus plain lists for 128-bit values; numpy is an internal
+acceleration detail and never leaks numpy scalars to consumers.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Sequence, Tuple
+
+from ..addr.entropy import (
+    HIGH_THRESHOLD,
+    LOW_THRESHOLD,
+    _NIBBLE_TERMS,
+    normalized_iid_entropy,
+)
+from ..addr.eui64 import EUI64_MARKER, iid_to_mac, looks_like_eui64
+from ..addr.patterns import AddressCategory, STRUCTURAL_CODES
+
+try:  # pragma: no cover - exercised via both-path equivalence tests
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = [
+    "HAVE_NUMPY",
+    "NO_MAC",
+    "iid_feature_columns",
+    "lifetime_column",
+    "iid_interval_map",
+    "fold_record_columns",
+]
+
+#: Whether the vectorized (numpy) path is active.  Tests monkeypatch the
+#: private ``_np`` module handle to force the fallback.
+HAVE_NUMPY = _np is not None
+
+#: Sentinel in MAC columns for rows whose IID is not EUI-64 (MACs are
+#: 48-bit, so this 64-bit value can never collide with a real one).
+NO_MAC = (1 << 64) - 1
+
+_ZEROES = STRUCTURAL_CODES[AddressCategory.ZEROES]
+_LOW_BYTE = STRUCTURAL_CODES[AddressCategory.LOW_BYTE]
+_LOW_2_BYTES = STRUCTURAL_CODES[AddressCategory.LOW_2_BYTES]
+_LOW_ENTROPY = STRUCTURAL_CODES[AddressCategory.LOW_ENTROPY]
+_MEDIUM_ENTROPY = STRUCTURAL_CODES[AddressCategory.MEDIUM_ENTROPY]
+_HIGH_ENTROPY = STRUCTURAL_CODES[AddressCategory.HIGH_ENTROPY]
+
+_IID_UL_BIT = 1 << 57
+_NIBBLE_COUNT = 16
+
+
+def structural_code(iid: int, entropy: float) -> int:
+    """Structural pattern code of an IID given its precomputed entropy.
+
+    Mirrors :func:`repro.addr.patterns.classify_iid_structurally` with
+    ``ipv4_embedded=False``, reusing an already-computed entropy.
+    """
+    if iid == 0:
+        return _ZEROES
+    if iid <= 0xFF:
+        return _LOW_BYTE
+    if iid <= 0xFFFF:
+        return _LOW_2_BYTES
+    if entropy >= HIGH_THRESHOLD:
+        return _HIGH_ENTROPY
+    if entropy >= LOW_THRESHOLD:
+        return _MEDIUM_ENTROPY
+    return _LOW_ENTROPY
+
+
+def iid_features(iid: int) -> Tuple[float, int, int]:
+    """Scalar ``(entropy, pattern_code, mac)`` of one IID."""
+    entropy = normalized_iid_entropy(iid)
+    return (
+        entropy,
+        structural_code(iid, entropy),
+        iid_to_mac(iid) if looks_like_eui64(iid) else NO_MAC,
+    )
+
+
+# -- per-IID feature columns ---------------------------------------------------
+
+
+def _iid_features_scalar(
+    iids: Sequence[int],
+) -> Tuple[array, array, array, Dict[int, float]]:
+    entropies = array("d", bytes(8 * len(iids)))
+    codes = array("B", bytes(len(iids)))
+    macs = array("Q", bytes(8 * len(iids)))
+    # Entropy, pattern class and MAC extraction depend only on the IID;
+    # memoizing per distinct IID collapses repeated IIDs (::1 in
+    # thousands of /64s, EUI-64 IIDs surviving prefix rotation) to one
+    # computation.
+    info_of: Dict[int, Tuple[float, int, int]] = {}
+    info_get = info_of.get
+    for row, iid in enumerate(iids):
+        info = info_get(iid)
+        if info is None:
+            info = iid_features(iid)
+            info_of[iid] = info
+        entropies[row] = info[0]
+        codes[row] = info[1]
+        macs[row] = info[2]
+    return entropies, codes, macs, {
+        iid: info[0] for iid, info in info_of.items()
+    }
+
+
+def _entropy_of_distinct(iids):
+    """Normalized nibble entropy per distinct IID (numpy path).
+
+    Reproduces :func:`normalized_iid_entropy` bit-for-bit: the per-count
+    terms come from the same ``_NIBBLE_TERMS`` table and are accumulated
+    left-to-right over the 16 nibble positions (MSB first), which *is*
+    the scalar function's first-occurrence order once non-first
+    positions contribute an exact ``+0.0`` (an exact no-op for the
+    non-negative partial sums involved).
+    """
+    np = _np
+    n = len(iids)
+    terms = np.asarray(_NIBBLE_TERMS, dtype=np.float64)
+    rows = np.arange(n)
+    counts = np.zeros((n, _NIBBLE_COUNT), dtype=np.int64)
+    nibble_at = []
+    for position in range(_NIBBLE_COUNT):
+        shift = 60 - 4 * position
+        nibble = ((iids >> np.uint64(shift)) & np.uint64(0xF)).astype(
+            np.int64
+        )
+        nibble_at.append(nibble)
+        np.add.at(counts, (rows, nibble), 1)
+    seen = np.zeros(n, dtype=np.int64)
+    acc = np.zeros(n, dtype=np.float64)
+    zero = np.float64(0.0)
+    for position in range(_NIBBLE_COUNT):
+        nibble = nibble_at[position]
+        bit = np.left_shift(np.int64(1), nibble)
+        is_first = (seen & bit) == 0
+        seen |= bit
+        acc = acc + np.where(
+            is_first, terms[counts[rows, nibble] - 1], zero
+        )
+    return acc / 4.0
+
+
+def _iid_features_numpy(
+    iids: array,
+) -> Tuple[array, array, array, Dict[int, float]]:
+    np = _np
+    column = np.frombuffer(iids, dtype=np.uint64)
+    distinct, first_row, inverse = np.unique(
+        column, return_index=True, return_inverse=True
+    )
+    inverse = inverse.reshape(-1)  # numpy 2.x may return the input shape
+    entropy_d = _entropy_of_distinct(distinct)
+
+    # Structural pattern code: same threshold cascade as structural_code.
+    code_d = np.where(
+        distinct == 0,
+        np.uint8(_ZEROES),
+        np.where(
+            distinct <= 0xFF,
+            np.uint8(_LOW_BYTE),
+            np.where(
+                distinct <= 0xFFFF,
+                np.uint8(_LOW_2_BYTES),
+                np.where(
+                    entropy_d >= HIGH_THRESHOLD,
+                    np.uint8(_HIGH_ENTROPY),
+                    np.where(
+                        entropy_d >= LOW_THRESHOLD,
+                        np.uint8(_MEDIUM_ENTROPY),
+                        np.uint8(_LOW_ENTROPY),
+                    ),
+                ),
+            ),
+        ),
+    ).astype(np.uint8)
+
+    # EUI-64 MAC extraction: marker test + U/L-bit flip, as iid_to_mac.
+    marker = (distinct >> np.uint64(24)) & np.uint64(0xFFFF)
+    is_eui64 = marker == np.uint64(EUI64_MARKER)
+    flipped = distinct ^ np.uint64(_IID_UL_BIT)
+    high = (flipped >> np.uint64(40)) & np.uint64(0xFFFFFF)
+    low = flipped & np.uint64(0xFFFFFF)
+    mac_d = np.where(
+        is_eui64, (high << np.uint64(24)) | low, np.uint64(NO_MAC)
+    )
+
+    entropies = array("d")
+    entropies.frombytes(entropy_d[inverse].tobytes())
+    codes = array("B")
+    codes.frombytes(code_d[inverse].tobytes())
+    macs = array("Q")
+    macs.frombytes(np.ascontiguousarray(mac_d[inverse]).tobytes())
+    # Emit the distinct-IID entropy map in first-occurrence order so its
+    # iteration order matches the scalar memo's insertion order.
+    occurrence = np.argsort(first_row, kind="stable")
+    iid_entropies = dict(
+        zip(
+            distinct[occurrence].tolist(),
+            entropy_d[occurrence].tolist(),
+        )
+    )
+    return entropies, codes, macs, iid_entropies
+
+
+def iid_feature_columns(
+    iids: array,
+) -> Tuple[array, array, array, Dict[int, float]]:
+    """Per-row ``(entropies, pattern_codes, macs)`` columns plus the
+    distinct-IID entropy map, from a ``'Q'`` column of IIDs.
+
+    Vectorized over distinct IIDs when numpy is available; otherwise a
+    memoized scalar loop.  Both paths return identical values.
+    """
+    if _np is not None and len(iids):
+        return _iid_features_numpy(iids)
+    return _iid_features_scalar(iids)
+
+
+# -- interval and lifetime folds -----------------------------------------------
+
+
+def lifetime_column(first: array, last: array) -> List[float]:
+    """Per-row lifetimes ``last - first`` (row order preserved)."""
+    if _np is not None and len(first):
+        np = _np
+        deltas = np.frombuffer(last, dtype=np.float64) - np.frombuffer(
+            first, dtype=np.float64
+        )
+        return deltas.tolist()
+    return [last[row] - first[row] for row in range(len(first))]
+
+
+def iid_interval_map(
+    iids: array, first: array, last: array
+) -> Dict[int, Tuple[float, float]]:
+    """Per-IID union sighting intervals, keyed in first-occurrence order.
+
+    The grouped fold is ``(min(first), max(last))`` per distinct IID —
+    order-independent operations, so the vectorized scatter-reduce
+    equals the scalar running fold exactly.
+    """
+    if _np is None or not len(iids):
+        intervals: Dict[int, List[float]] = {}
+        get = intervals.get
+        for row, iid in enumerate(iids):
+            existing = get(iid)
+            if existing is None:
+                intervals[iid] = [first[row], last[row]]
+            else:
+                if first[row] < existing[0]:
+                    existing[0] = first[row]
+                if last[row] > existing[1]:
+                    existing[1] = last[row]
+        return {
+            iid: (interval[0], interval[1])
+            for iid, interval in intervals.items()
+        }
+    np = _np
+    column = np.frombuffer(iids, dtype=np.uint64)
+    first_np = np.frombuffer(first, dtype=np.float64)
+    last_np = np.frombuffer(last, dtype=np.float64)
+    distinct, first_row, inverse = np.unique(
+        column, return_index=True, return_inverse=True
+    )
+    inverse = inverse.reshape(-1)
+    group_count = len(distinct)
+    lo = np.full(group_count, np.inf)
+    hi = np.full(group_count, -np.inf)
+    np.minimum.at(lo, inverse, first_np)
+    np.maximum.at(hi, inverse, last_np)
+    # Emit in first-occurrence order so downstream consumers that
+    # iterate the mapping see the same order the scalar fold produces.
+    order = np.argsort(first_row, kind="stable")
+    keys = distinct[order].tolist()
+    lows = lo[order].tolist()
+    highs = hi[order].tolist()
+    return {
+        key: (low, high) for key, low, high in zip(keys, lows, highs)
+    }
+
+
+# -- associative record fold (the partial-index merge) -------------------------
+
+
+def _fold_record_columns_scalar(partials):
+    addresses: List[int] = []
+    first = array("d")
+    last = array("d")
+    counts = array("Q")
+    entropies = array("d")
+    codes = array("B")
+    macs = array("Q")
+    row_of: Dict[int, int] = {}
+    get = row_of.get
+    for part in partials:
+        p_hi = part.hi
+        p_lo = part.lo
+        p_first = part.first
+        p_last = part.last
+        p_counts = part.counts
+        p_entropies = part.entropies
+        p_codes = part.codes
+        p_macs = part.macs
+        for i in range(len(p_lo)):
+            address = (p_hi[i] << 64) | p_lo[i]
+            row = get(address)
+            if row is None:
+                row_of[address] = len(addresses)
+                addresses.append(address)
+                first.append(p_first[i])
+                last.append(p_last[i])
+                counts.append(p_counts[i])
+                entropies.append(p_entropies[i])
+                codes.append(p_codes[i])
+                macs.append(p_macs[i])
+            else:
+                if p_first[i] < first[row]:
+                    first[row] = p_first[i]
+                if p_last[i] > last[row]:
+                    last[row] = p_last[i]
+                counts[row] += p_counts[i]
+    return addresses, first, last, counts, entropies, codes, macs
+
+
+def _fold_record_columns_numpy(partials):
+    np = _np
+    hi_all = np.concatenate(
+        [np.frombuffer(part.hi, dtype=np.uint64) for part in partials]
+    )
+    lo_all = np.concatenate(
+        [np.frombuffer(part.lo, dtype=np.uint64) for part in partials]
+    )
+    first_all = np.concatenate(
+        [np.frombuffer(part.first, dtype=np.float64) for part in partials]
+    )
+    last_all = np.concatenate(
+        [np.frombuffer(part.last, dtype=np.float64) for part in partials]
+    )
+    counts_all = np.concatenate(
+        [np.frombuffer(part.counts, dtype=np.uint64) for part in partials]
+    )
+    entropies_all = np.concatenate(
+        [np.frombuffer(part.entropies, dtype=np.float64) for part in partials]
+    )
+    codes_all = np.concatenate(
+        [np.frombuffer(part.codes, dtype=np.uint8) for part in partials]
+    )
+    macs_all = np.concatenate(
+        [np.frombuffer(part.macs, dtype=np.uint64) for part in partials]
+    )
+    total = len(lo_all)
+
+    # Group rows by 128-bit address (hi, lo) without a structured dtype:
+    # lexsort, detect group starts, then scatter group ids back.
+    sort_order = np.lexsort((lo_all, hi_all))
+    hi_sorted = hi_all[sort_order]
+    lo_sorted = lo_all[sort_order]
+    boundary = np.empty(total, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = (hi_sorted[1:] != hi_sorted[:-1]) | (
+        lo_sorted[1:] != lo_sorted[:-1]
+    )
+    group_sorted = np.cumsum(boundary) - 1
+    groups = len(group_sorted) and int(group_sorted[-1]) + 1
+    group_of = np.empty(total, dtype=np.int64)
+    group_of[sort_order] = group_sorted
+
+    # First-occurrence input position per group orders the output rows
+    # exactly as the scalar first-seen fold does.
+    first_position = np.full(groups, total, dtype=np.int64)
+    np.minimum.at(first_position, group_of, np.arange(total))
+    emit_order = np.argsort(first_position, kind="stable")
+    out_row_of_group = np.empty(groups, dtype=np.int64)
+    out_row_of_group[emit_order] = np.arange(groups)
+    out_rows = out_row_of_group[group_of]
+
+    first_out = np.full(groups, np.inf)
+    np.minimum.at(first_out, out_rows, first_all)
+    last_out = np.full(groups, -np.inf)
+    np.maximum.at(last_out, out_rows, last_all)
+    counts_out = np.zeros(groups, dtype=np.uint64)
+    np.add.at(counts_out, out_rows, counts_all)
+
+    source = first_position[emit_order]
+    hi_out = hi_all[source]
+    lo_out = lo_all[source]
+
+    addresses = [
+        (hi << 64) | lo
+        for hi, lo in zip(hi_out.tolist(), lo_out.tolist())
+    ]
+    first = array("d")
+    first.frombytes(first_out.tobytes())
+    last = array("d")
+    last.frombytes(last_out.tobytes())
+    counts = array("Q")
+    counts.frombytes(counts_out.tobytes())
+    entropies = array("d")
+    entropies.frombytes(np.ascontiguousarray(entropies_all[source]).tobytes())
+    codes = array("B")
+    codes.frombytes(np.ascontiguousarray(codes_all[source]).tobytes())
+    macs = array("Q")
+    macs.frombytes(np.ascontiguousarray(macs_all[source]).tobytes())
+    return addresses, first, last, counts, entropies, codes, macs
+
+
+def fold_record_columns(partials):
+    """Fold per-segment partial-index columns into merged index columns.
+
+    ``partials`` is a sequence of objects exposing ``hi``/``lo``/
+    ``first``/``last``/``counts``/``entropies``/``codes``/``macs``
+    columns (:class:`repro.core.index.PartialIndexColumns`).  Rows for
+    the same 128-bit address fold as ``(min(first), max(last),
+    sum(count))`` — the same associative, commutative fold
+    ``AddressCorpus.merge`` applies — and output rows appear in
+    first-occurrence order across the partials, which is exactly the
+    record order of the merged corpus.  Returns ``(addresses, first,
+    last, counts, entropies, codes, macs)``.
+    """
+    live = [part for part in partials if len(part.lo)]
+    if not live:
+        return (
+            [],
+            array("d"),
+            array("d"),
+            array("Q"),
+            array("d"),
+            array("B"),
+            array("Q"),
+        )
+    if _np is not None:
+        return _fold_record_columns_numpy(live)
+    return _fold_record_columns_scalar(live)

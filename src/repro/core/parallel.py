@@ -222,21 +222,22 @@ def _run_shard_inline_segments(spec: ShardSpec) -> Tuple[List[dict], dict]:
         segment_bytes=spec.segment_bytes,
         metrics=campaign.metrics,
     )
-    buffered = SegmentBufferedCorpus(
+    # The context manager seals the unsealed tail on clean exit — a
+    # window that never crosses the flush budget still reaches disk.
+    with SegmentBufferedCorpus(
         campaign.corpus.name,
         store,
         shard_index=spec.shard_index,
         write_fault=campaign.fault_injector,
-    )
-    buffered.set_window(spec.start_week * 7, spec.end_week * 7)
-    campaign.corpus = buffered
-    campaign.run(
-        spec.start_week,
-        spec.end_week,
-        shard_index=spec.shard_index,
-        shard_count=spec.shard_count,
-    )
-    buffered.seal()
+    ) as buffered:
+        buffered.set_window(spec.start_week * 7, spec.end_week * 7)
+        campaign.corpus = buffered
+        campaign.run(
+            spec.start_week,
+            spec.end_week,
+            shard_index=spec.shard_index,
+            shard_count=spec.shard_count,
+        )
     metas = [meta.to_json() for meta in buffered.take_sealed()]
     return metas, campaign.metrics.snapshot()
 
@@ -462,22 +463,25 @@ def run_campaign_parallel(
             # budget-bounded buffer that seals segment files as it
             # goes; each window ends with a manifest commit moving the
             # watermark, so a crash resumes at the last window edge.
-            buffered = SegmentBufferedCorpus(
+            # The context manager backstops the per-window close():
+            # even if a future edit drops a window's explicit seal, no
+            # buffered tail outlives the campaign unsealed.
+            with SegmentBufferedCorpus(
                 campaign.corpus.name,
                 segment_store,
                 write_fault=campaign.fault_injector,
-            )
-            campaign.corpus = buffered
-            for window_start, window_end in windows():
-                buffered.set_window(window_start * 7, window_end * 7)
-                with metrics.span("campaign-window"):
-                    campaign.run(window_start, window_end)
-                buffered.seal()
-                segment_store.commit(
-                    buffered.take_sealed(),
-                    completed_weeks=window_end,
-                    metrics=metrics.snapshot(),
-                )
+            ) as buffered:
+                campaign.corpus = buffered
+                for window_start, window_end in windows():
+                    buffered.set_window(window_start * 7, window_end * 7)
+                    with metrics.span("campaign-window"):
+                        campaign.run(window_start, window_end)
+                    buffered.close()
+                    segment_store.commit(
+                        buffered.take_sealed(),
+                        completed_weeks=window_end,
+                        metrics=metrics.snapshot(),
+                    )
             campaign.corpus = segment_store.reader().load(buffered.name)
             return campaign.corpus
         for window_start, window_end in windows():

@@ -40,6 +40,19 @@ Segment files reuse the binary corpus **v2** record layout
     RPS1 | uint32 start_day | uint32 end_day | RPC2 corpus | RPSF crc32
 
 ``crc32`` covers every prior byte of the file.
+
+Every seal additionally persists a **partial index** next to the
+segment (same stem, ``.idx`` suffix): the segment's
+:class:`~repro.core.index.PartialIndexColumns`, CRC-footed like the
+segment itself and bound to it by the segment's checksum::
+
+    RPI1 | uint32 segment_crc32 | uint64 rows | columns | RPIF crc32
+
+Partials let :meth:`SegmentedCorpusReader.build_index` fold an index
+for the whole corpus **without re-reading any sealed segment** (DESIGN.md
+§12).  They are pure accelerators: a missing or corrupt ``.idx`` only
+costs a rescan of its segment (counted by
+``repro_index_segments_rescanned_total``), never correctness.
 """
 
 from __future__ import annotations
@@ -55,6 +68,7 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from ..obs import DEFAULT_SIZE_BUCKETS, MetricsRegistry, NULL_REGISTRY
 from .corpus import AddressCorpus
+from .index import CachedOrigins, CorpusIndex, PartialIndexColumns
 from .storage import (
     BINARY_RECORD_BYTES,
     CorpusFormatError,
@@ -65,6 +79,7 @@ from .storage import (
 __all__ = [
     "DEFAULT_SEGMENT_BYTES",
     "MANIFEST_NAME",
+    "PARTIAL_INDEX_SUFFIX",
     "Manifest",
     "SegmentError",
     "SegmentMeta",
@@ -86,9 +101,18 @@ MANIFEST_FORMAT = "repro-segments-v1"
 #: Suffix of sealed segment files.
 SEGMENT_SUFFIX = ".seg"
 
+#: Suffix of per-segment partial index files.
+PARTIAL_INDEX_SUFFIX = ".idx"
+
 _SEGMENT_MAGIC = b"RPS1"
 _SEGMENT_FOOTER_MAGIC = b"RPSF"
 _SEGMENT_FOOTER_SIZE = 8
+
+_PARTIAL_MAGIC = b"RPI1"
+_PARTIAL_FOOTER_MAGIC = b"RPIF"
+#: Fixed bytes before the columns: magic + segment crc32 + uint64 rows.
+_PARTIAL_HEADER_SIZE = 16
+_PARTIAL_FOOTER_SIZE = 8
 #: Fixed bytes before the embedded corpus: magic + two uint32 day bounds.
 _SEGMENT_HEADER_SIZE = 12
 #: Conservative per-segment overhead used by the flush estimator
@@ -249,6 +273,18 @@ class SegmentStore:
             "sealed segment file sizes in bytes",
             buckets=DEFAULT_SIZE_BUCKETS,
         )
+        self._m_partials = self.metrics.counter(
+            "repro_index_partials_written_total",
+            "per-segment partial indexes sealed",
+        )
+        self._m_index_reused = self.metrics.counter(
+            "repro_index_segments_reused_total",
+            "sealed segments indexed from their partial index (no rescan)",
+        )
+        self._m_index_rescanned = self.metrics.counter(
+            "repro_index_segments_rescanned_total",
+            "sealed segments rescanned for a missing or invalid partial index",
+        )
 
     # -- paths -------------------------------------------------------------------
 
@@ -258,6 +294,9 @@ class SegmentStore:
 
     def segment_path(self, meta: SegmentMeta) -> Path:
         return self.directory / meta.file
+
+    def partial_index_path(self, meta: SegmentMeta) -> Path:
+        return self.directory / f"{meta.segment_id}{PARTIAL_INDEX_SUFFIX}"
 
     # -- manifest ----------------------------------------------------------------
 
@@ -353,6 +392,12 @@ class SegmentStore:
         :meth:`commit` names it — rewriting the same ``segment_id``
         (a retried shard) atomically overwrites the previous attempt
         with identical bytes, so overwrites are always safe.
+
+        Each seal also persists the segment's partial index (same stem,
+        ``.idx``) so later analysis folds it instead of rescanning the
+        segment.  The partial is written *after* the segment: at any
+        crash instant the ``.idx`` on disk matches a durable ``.seg``
+        (or is absent, which merely costs a rescan).
         """
         if not 0 <= start_day < end_day <= 0xFFFFFFFF:
             raise ValueError(f"bad segment day range: [{start_day}, {end_day})")
@@ -370,6 +415,7 @@ class SegmentStore:
         self._atomic_write(self.directory / filename, blob)
         self._m_flushed.inc()
         self._m_bytes.observe(len(blob))
+        self._write_partial_index(segment_id, corpus, crc)
         return SegmentMeta(
             segment_id=segment_id,
             file=filename,
@@ -379,6 +425,83 @@ class SegmentStore:
             size_bytes=len(blob),
             crc32=crc,
         )
+
+    def _write_partial_index(
+        self, segment_id: str, corpus: AddressCorpus, segment_crc: int
+    ) -> None:
+        """Seal the segment's partial index next to its ``.seg`` file."""
+        partial = PartialIndexColumns.from_corpus(corpus)
+        header = (
+            _PARTIAL_MAGIC
+            + segment_crc.to_bytes(4, "big")
+            + len(partial).to_bytes(8, "big")
+        )
+        body = header + partial.to_payload()
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        blob = body + _PARTIAL_FOOTER_MAGIC + crc.to_bytes(4, "big")
+        self._atomic_write(
+            self.directory / f"{segment_id}{PARTIAL_INDEX_SUFFIX}", blob
+        )
+        self._m_partials.inc()
+
+    def load_partial_index(self, meta: SegmentMeta) -> PartialIndexColumns:
+        """Load and integrity-check one segment's partial index.
+
+        Raises ``FileNotFoundError`` when the partial was never written
+        and :class:`SegmentError` when it is torn, corrupt, or belongs
+        to a different generation of the segment (checksum binding) —
+        in every case the caller falls back to rescanning the segment
+        itself, so partials can never change what analysis observes.
+        """
+        path = self.partial_index_path(meta)
+        data = path.read_bytes()
+        if data[:4] != _PARTIAL_MAGIC:
+            raise SegmentError(
+                f"not a partial index: magic {data[:4]!r}", path=path, offset=0
+            )
+        if len(data) < _PARTIAL_HEADER_SIZE + _PARTIAL_FOOTER_SIZE:
+            raise SegmentError(
+                f"partial index truncated to {len(data)} bytes",
+                path=path,
+                offset=len(data),
+            )
+        body = data[:-_PARTIAL_FOOTER_SIZE]
+        footer = data[-_PARTIAL_FOOTER_SIZE:]
+        if footer[:4] != _PARTIAL_FOOTER_MAGIC:
+            raise SegmentError(
+                "partial index integrity footer missing (torn write?)",
+                path=path,
+                offset=len(body),
+            )
+        stored = int.from_bytes(footer[4:], "big")
+        computed = zlib.crc32(body) & 0xFFFFFFFF
+        if stored != computed:
+            raise SegmentError(
+                f"partial index CRC mismatch: stored {stored:#010x}, "
+                f"computed {computed:#010x}",
+                path=path,
+                offset=len(body),
+            )
+        segment_crc = int.from_bytes(data[4:8], "big")
+        if segment_crc != meta.crc32:
+            raise SegmentError(
+                f"partial index is bound to segment checksum "
+                f"{segment_crc:#010x}, manifest says {meta.crc32:#010x}",
+                path=path,
+            )
+        rows = int.from_bytes(data[8:16], "big")
+        if rows != meta.records:
+            raise SegmentError(
+                f"partial index holds {rows} rows, manifest says "
+                f"{meta.records} records",
+                path=path,
+            )
+        try:
+            return PartialIndexColumns.from_payload(
+                body[_PARTIAL_HEADER_SIZE:], rows
+            )
+        except ValueError as error:
+            raise SegmentError(str(error), path=path) from error
 
     def load_segment(self, meta: SegmentMeta) -> AddressCorpus:
         """Load and integrity-check one committed segment.
@@ -482,6 +605,8 @@ class SegmentStore:
             for meta in small:
                 with contextlib.suppress(FileNotFoundError):
                     self.segment_path(meta).unlink()
+                with contextlib.suppress(FileNotFoundError):
+                    self.partial_index_path(meta).unlink()
         return manifest
 
 
@@ -640,6 +765,35 @@ class SegmentBufferedCorpus(AddressCorpus):
         sealed, self.sealed = self.sealed, []
         return sealed
 
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> Optional[SegmentMeta]:
+        """Seal any buffered tail records; idempotent.
+
+        A campaign that ends (or a window that closes) before the
+        buffer crosses the flush budget would otherwise silently drop
+        its unsealed tail — the records existed only in memory.  Call
+        this (or use the corpus as a context manager) before committing
+        the final batch.  Returns the tail's segment meta, or ``None``
+        when the buffer was already empty.
+        """
+        if len(self):
+            return self.seal()
+        return None
+
+    def __enter__(self) -> "SegmentBufferedCorpus":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Seal the tail only on a clean exit: after an error the buffer
+        # may be mid-window, and sealing here would both mask the
+        # original exception (if the seal itself fails) and persist
+        # records the campaign never accounted for.  Crash recovery
+        # instead restarts from the manifest watermark, which only ever
+        # names fully committed windows.
+        if exc_type is None:
+            self.close()
+
 
 class SegmentedCorpusReader:
     """Read view over a committed segment store.
@@ -665,9 +819,20 @@ class SegmentedCorpusReader:
         self._folded: Optional[AddressCorpus] = None
 
     @classmethod
-    def open(cls, directory: Union[str, Path]) -> "SegmentedCorpusReader":
-        """Open the segment store rooted at ``directory``."""
-        return cls(SegmentStore(directory))
+    def open(
+        cls,
+        directory: Union[str, Path],
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "SegmentedCorpusReader":
+        """Open the segment store rooted at ``directory``.
+
+        ``metrics`` (optional) receives the store's telemetry —
+        including the ``repro_index_segments_reused_total`` /
+        ``…_rescanned_total`` counters the incremental indexing path
+        increments.
+        """
+        return cls(SegmentStore(directory, metrics=metrics))
 
     # -- manifest-level views ----------------------------------------------------
 
@@ -701,6 +866,77 @@ class SegmentedCorpusReader:
                 folded.merge(segment)
             self._folded = folded
         return self._folded
+
+    # -- incremental indexing ----------------------------------------------------
+
+    def partial_indexes(self) -> List[PartialIndexColumns]:
+        """One partial index per committed segment, in manifest order.
+
+        Sourced from the seal-time ``.idx`` files where possible
+        (counted by ``repro_index_segments_reused_total``); a segment
+        whose partial is missing or fails its integrity checks is
+        rescanned and summarized on the fly
+        (``repro_index_segments_rescanned_total``), so the result is
+        identical either way.
+        """
+        partials: List[PartialIndexColumns] = []
+        for meta in self.manifest.segments:
+            try:
+                partial = self._store.load_partial_index(meta)
+                self._store._m_index_reused.inc()
+            except (FileNotFoundError, SegmentError):
+                partial = PartialIndexColumns.from_corpus(
+                    self._store.load_segment(meta)
+                )
+                self._store._m_index_rescanned.inc()
+            partials.append(partial)
+        return partials
+
+    def build_index(
+        self,
+        origins: Optional[CachedOrigins] = None,
+        name: Optional[str] = None,
+    ) -> CorpusIndex:
+        """Fold the partial indexes into a full :class:`CorpusIndex`.
+
+        This is the incremental analysis path: when every segment's
+        seal-time partial is intact, **no sealed segment file is
+        re-read** — the index comes entirely from the ``.idx``
+        summaries, bit-identical to ``CorpusIndex.build`` over
+        :meth:`load` (property-test pinned).
+        """
+        with self._store.metrics.span("index-fold"):
+            return CorpusIndex.from_partials(
+                name or self.manifest.name,
+                self.partial_indexes(),
+                origins=origins,
+            )
+
+    def load_indexed(
+        self,
+        origins: Optional[CachedOrigins] = None,
+        name: Optional[str] = None,
+    ) -> AddressCorpus:
+        """Materialize the folded corpus *from the partial indexes*.
+
+        Reconstructs the record store from the folded index columns —
+        the fold emits rows in exactly the record order :meth:`load`
+        produces, so the corpus is bit-identical to a segment-by-segment
+        merge — and attaches the index, all without reading a single
+        ``.seg`` file when the partials are intact.  The result is
+        cached as the reader's folded corpus.
+        """
+        index = self.build_index(origins=origins, name=name)
+        corpus = AddressCorpus(name or self.manifest.name)
+        records = corpus._records
+        first = index.first
+        last = index.last
+        counts = index.counts
+        for row, address in enumerate(index.addresses):
+            records[address] = [first[row], last[row], counts[row]]
+        corpus.attach_index(index)
+        self._folded = corpus
+        return corpus
 
     def __len__(self) -> int:
         return len(self.load())

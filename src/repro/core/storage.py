@@ -515,10 +515,13 @@ def resolve_resume_checkpoint(
     Tries ``path``, then ``path.1``, ``path.2`` … and — when
     ``segment_dir`` is given — also the segment store's
     ``MANIFEST.json`` (see :mod:`repro.core.segments`).  Whichever
-    good source covers **more completed days** of the campaign wins;
-    on a tie the manifest is preferred, because manifest resume needs
-    no whole-corpus rewrite (its data is already durably segmented).
-    ``path`` may be ``None`` to consider only the manifest.
+    good source covers **more completed days** of the campaign wins.
+    The tie-break is deterministic and pinned by test: when both cover
+    the same number of weeks **the manifest (segment store) is
+    preferred**, because its data is already durably segmented —
+    resuming from it needs no whole-corpus rewrite, while preferring
+    the checkpoint would re-import identical data as a fresh baseline
+    segment.  ``path`` may be ``None`` to consider only the manifest.
 
     Returns ``(corpus, completed_weeks, used_path, skipped)`` where
     ``used_path`` is the checkpoint generation or manifest file chosen

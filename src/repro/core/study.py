@@ -318,6 +318,7 @@ def run_study(
         ),
         metrics=registry,
     )
+    segment_store = None
     with registry.span("ntp-collection"):
         if (
             execution.workers > 1
@@ -325,7 +326,6 @@ def run_study(
             or execution.resume_from
             or execution.segment_dir
         ):
-            segment_store = None
             if execution.segment_dir is not None:
                 segment_store = SegmentStore(
                     execution.segment_dir,
@@ -375,8 +375,20 @@ def run_study(
     if execution.build_index:
         with registry.span("corpus-index"):
             origins = CachedOrigins.from_world(world)
-            for corpus in (ntp_corpus, hitlist_corpus, caida_corpus):
-                corpus.build_index(origins)
+            if segment_store is not None:
+                # Incremental path: fold the seal-time partial indexes
+                # instead of rescanning every sealed segment the
+                # campaign just wrote (repro_index_segments_reused_total
+                # counts the segments answered without a re-read).
+                ntp_corpus.attach_index(
+                    segment_store.reader().build_index(
+                        origins, name=ntp_corpus.name
+                    )
+                )
+            else:
+                ntp_corpus.build_index(origins, metrics=registry)
+            for corpus in (hitlist_corpus, caida_corpus):
+                corpus.build_index(origins, metrics=registry)
 
     return StudyResults(
         ntp=ntp_corpus,

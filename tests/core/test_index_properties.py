@@ -218,18 +218,24 @@ class TestLongerThanSlash64Announcements:
 
 
 class TestIndexLifecycle:
-    def test_mutation_invalidates_index(self):
+    def test_mutation_maintains_index(self):
+        # Appends no longer invalidate: the attached index is kept
+        # current in place and stays equal to a from-scratch rebuild.
         corpus = build_corpus("c", [(BLOCKS[0], 0, 0, 5, 1.0)])
-        corpus.build_index()
-        assert corpus.index is not None
+        index = corpus.build_index()
         corpus.record(with_iid(BLOCKS[1], 9), 2.0)
-        assert corpus.index is None
-        corpus.build_index()
+        assert corpus.index is index
         corpus.record_interval(with_iid(BLOCKS[2], 9), 1.0, 2.0)
-        assert corpus.index is None
-        corpus.build_index()
+        assert corpus.index is index
         corpus.merge(build_corpus("d", [(BLOCKS[3], 1, 1, 7, 4.0)]))
-        assert corpus.index is None
+        assert corpus.index is index
+        rebuilt = CorpusIndex.build(corpus)
+        assert index.addresses == rebuilt.addresses
+        assert index.first.tobytes() == rebuilt.first.tobytes()
+        assert index.last.tobytes() == rebuilt.last.tobytes()
+        assert index.counts.tobytes() == rebuilt.counts.tobytes()
+        assert index.entropies.tobytes() == rebuilt.entropies.tobytes()
+        assert index.macs.tobytes() == rebuilt.macs.tobytes()
 
     def test_attach_index_rejects_size_mismatch(self):
         corpus = build_corpus(

@@ -1,0 +1,382 @@
+"""Properties of the incremental (partial-index) analysis path.
+
+Three contracts, each pinned bit-for-bit:
+
+* **fold == rebuild** — folding seal-time partial indexes through
+  :meth:`CorpusIndex.from_partials` produces the exact index a cold
+  :meth:`CorpusIndex.build` over the merged corpus would, including
+  empty segments, single-address segments and duplicate addresses
+  spanning segment boundaries.
+* **zero re-reads** — an indexed analysis over a committed store folds
+  partials only; no sealed ``.seg`` file is opened (proved both by the
+  reuse/rescan counters and by deleting every segment file outright).
+* **partials are pure accelerators** — a missing, torn or stale ``.idx``
+  silently falls back to rescanning the segment, never changing what
+  analysis observes.
+
+The kernels behind all of this must agree between their vectorized
+(numpy) and portable (array-module) implementations; the suite forces
+the fallback by nulling :data:`repro.core.kernels._np` and replays the
+same properties.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.kernels as kernels
+from repro.addr.eui64 import mac_to_iid
+from repro.addr.ipv6 import with_iid
+from repro.core.corpus import AddressCorpus
+from repro.core.index import CorpusIndex, PartialIndexColumns
+from repro.core.segments import (
+    PARTIAL_INDEX_SUFFIX,
+    SegmentStore,
+    SegmentedCorpusReader,
+)
+from repro.obs import MetricsRegistry
+
+# Few /64s and a tiny IID pool: duplicate addresses across segments are
+# the common case, not a lucky draw.
+BLOCKS = [(0x2001 << 112) | (block << 96) for block in range(1, 4)]
+MACS = [0x0011_22_00_00_00 + n for n in range(4)]
+
+IIDS = st.one_of(
+    st.just(0),
+    st.integers(min_value=1, max_value=0xFF),
+    st.sampled_from(MACS).map(mac_to_iid),
+    st.integers(min_value=0, max_value=(1 << 64) - 1),
+)
+
+sighting = st.tuples(
+    st.sampled_from(BLOCKS),
+    st.integers(min_value=0, max_value=2),  # /48 selector
+    st.integers(min_value=0, max_value=1),  # /64 selector
+    IIDS,
+    st.floats(min_value=0.0, max_value=3e7, allow_nan=False),
+)
+
+# A store: several segments, each possibly empty or single-address.
+segment_lists = st.lists(
+    st.lists(sighting, min_size=0, max_size=25), min_size=1, max_size=6
+)
+
+
+def build_corpus(name, events):
+    corpus = AddressCorpus(name)
+    for block, s48, s64, iid, when in events:
+        corpus.record(with_iid(block | (s48 << 80) | (s64 << 64), iid), when)
+    return corpus
+
+
+def write_store(directory, segments, metrics=None):
+    """Seal ``segments`` (one corpus each) and commit them all."""
+    store = SegmentStore(directory, name="prop", metrics=metrics)
+    metas = []
+    for number, events in enumerate(segments):
+        corpus = build_corpus("prop", events)
+        metas.append(
+            store.write_segment(
+                corpus,
+                segment_id=f"seg-{number:03d}",
+                start_day=number * 7,
+                end_day=(number + 1) * 7,
+            )
+        )
+    store.commit(metas, completed_weeks=len(segments))
+    return store
+
+
+# array.array columns compared bit-for-bit; slash48s/slash64s are plain
+# integer lists in both construction paths and compare by value.
+ARRAY_COLUMNS = (
+    "first",
+    "last",
+    "counts",
+    "iids",
+    "entropies",
+    "pattern_codes",
+    "macs",
+)
+
+
+def assert_bit_identical(folded, rebuilt):
+    """Every column, aggregate and emission *order* matches exactly."""
+    assert folded.addresses == rebuilt.addresses
+    assert folded.slash48s == rebuilt.slash48s
+    assert folded.slash64s == rebuilt.slash64s
+    for column in ARRAY_COLUMNS:
+        assert (
+            getattr(folded, column).tobytes()
+            == getattr(rebuilt, column).tobytes()
+        ), column
+    # Float aggregates compared through struct.pack: bit-for-bit, not
+    # approximately, and including dict iteration order.
+    assert _packed(folded.lifetimes()) == _packed(rebuilt.lifetimes())
+    assert list(folded.iid_intervals().items()) == list(
+        rebuilt.iid_intervals().items()
+    )
+    assert _packed_map(folded.iid_entropies()) == _packed_map(
+        rebuilt.iid_entropies()
+    )
+    assert folded.eui64_mac_intervals() == rebuilt.eui64_mac_intervals()
+
+
+def _packed(values):
+    return struct.pack(f"<{len(values)}d", *values)
+
+
+def _packed_map(mapping):
+    return [(key, struct.pack("<d", value)) for key, value in mapping.items()]
+
+
+class TestFoldEqualsRebuild:
+    @settings(max_examples=40, deadline=None)
+    @given(segments=segment_lists)
+    def test_fold_equals_cold_rebuild(self, segments, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("store")
+        store = write_store(directory, segments)
+        reader = store.reader()
+        folded = reader.build_index()
+        # The reference: a cold full-scan rebuild over the corpus the
+        # reader materializes from the same sealed segments.
+        rebuilt = CorpusIndex.build(reader.load())
+        assert_bit_identical(folded, rebuilt)
+
+    def test_empty_segments_fold(self, tmp_path):
+        store = write_store(tmp_path, [[], [], []])
+        folded = store.reader().build_index()
+        assert folded.addresses == []
+        assert_bit_identical(folded, CorpusIndex.build(AddressCorpus("prop")))
+
+    def test_single_address_segments_fold(self, tmp_path):
+        segments = [
+            [(BLOCKS[0], 0, 0, 5, 1.0)],
+            [(BLOCKS[1], 1, 0, mac_to_iid(MACS[0]), 2.0)],
+            [(BLOCKS[0], 0, 0, 5, 3.0)],  # duplicate across the boundary
+        ]
+        store = write_store(tmp_path, segments)
+        folded = store.reader().build_index()
+        rebuilt = CorpusIndex.build(store.reader().load())
+        assert_bit_identical(folded, rebuilt)
+        address = with_iid(BLOCKS[0], 5)
+        row = folded.addresses.index(address)
+        assert folded.first[row] == 1.0
+        assert folded.last[row] == 3.0
+        assert folded.counts[row] == 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(segments=segment_lists)
+    def test_load_indexed_equals_load(self, segments, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("store")
+        reader = write_store(directory, segments).reader()
+        indexed = reader.load_indexed()
+        assert indexed.index is not None
+        assert dict(indexed.items()) == dict(reader.load().items())
+
+
+class TestZeroSegmentRereads:
+    def _store(self, tmp_path, registry):
+        segments = [
+            [(BLOCKS[b], s, 0, iid, float(day))
+             for iid in (0, 7, mac_to_iid(MACS[0]))
+             for day, (b, s) in enumerate([(0, 0), (1, 1), (2, 0)])]
+            for b in range(3) for s in range(2)
+        ]
+        return write_store(tmp_path, segments, metrics=registry), segments
+
+    def test_indexed_analysis_reads_no_segments(self, tmp_path):
+        registry = MetricsRegistry()
+        store, segments = self._store(tmp_path, registry)
+        reader = store.reader()
+        reader.build_index()
+        reused = registry.counter_value("repro_index_segments_reused_total")
+        assert reused == len(segments) > 0
+        assert (
+            registry.counter_value("repro_index_segments_rescanned_total")
+            == 0
+        )
+
+    def test_indexed_load_survives_deleted_segments(self, tmp_path):
+        # The strongest possible zero-reread proof: after every .seg is
+        # deleted, the partial-index path still reproduces the corpus.
+        registry = MetricsRegistry()
+        store, segments = self._store(tmp_path, registry)
+        expected = dict(store.reader().load().items())
+        for meta in store.reader().segments():
+            store.segment_path(meta).unlink()
+        corpus = SegmentedCorpusReader.open(
+            tmp_path, metrics=registry
+        ).load_indexed()
+        assert dict(corpus.items()) == expected
+        assert corpus.index is not None
+
+
+class TestPartialFallback:
+    def _one_segment_store(self, tmp_path, registry):
+        return write_store(
+            tmp_path, [[(BLOCKS[0], 0, 0, 5, 1.0)]], metrics=registry
+        )
+
+    def _folded(self, store, registry):
+        folded = store.reader().build_index()
+        return (
+            folded,
+            registry.counter_value("repro_index_segments_reused_total"),
+            registry.counter_value("repro_index_segments_rescanned_total"),
+        )
+
+    def test_missing_partial_falls_back_to_rescan(self, tmp_path):
+        registry = MetricsRegistry()
+        store = self._one_segment_store(tmp_path, registry)
+        meta = store.reader().segments()[0]
+        store.partial_index_path(meta).unlink()
+        folded, reused, rescanned = self._folded(store, registry)
+        assert (reused, rescanned) == (0, 1)
+        assert_bit_identical(folded, CorpusIndex.build(store.load_segment(meta)))
+
+    def test_corrupt_partial_falls_back_to_rescan(self, tmp_path):
+        registry = MetricsRegistry()
+        store = self._one_segment_store(tmp_path, registry)
+        meta = store.reader().segments()[0]
+        path = store.partial_index_path(meta)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        folded, reused, rescanned = self._folded(store, registry)
+        assert (reused, rescanned) == (0, 1)
+        assert_bit_identical(folded, CorpusIndex.build(store.load_segment(meta)))
+
+    def test_stale_partial_from_older_generation_is_rejected(self, tmp_path):
+        # A partial bound to a previous seal of the segment id (different
+        # checksum) must not be trusted for the rewritten segment.
+        registry = MetricsRegistry()
+        store = SegmentStore(tmp_path, name="prop", metrics=registry)
+        first = store.write_segment(
+            build_corpus("prop", [(BLOCKS[0], 0, 0, 5, 1.0)]),
+            segment_id="seg-000", start_day=0, end_day=7,
+        )
+        stale = store.partial_index_path(first).read_bytes()
+        second = store.write_segment(
+            build_corpus("prop", [(BLOCKS[1], 0, 0, 6, 2.0)]),
+            segment_id="seg-000", start_day=0, end_day=7,
+        )
+        store.partial_index_path(second).write_bytes(stale)
+        store.commit([second], completed_weeks=1)
+        folded, reused, rescanned = self._folded(store, registry)
+        assert (reused, rescanned) == (0, 1)
+        assert folded.addresses == [with_iid(BLOCKS[1], 6)]
+
+    def test_partial_roundtrip(self, tmp_path):
+        corpus = build_corpus(
+            "prop",
+            [(BLOCKS[0], 0, 0, 5, 1.0), (BLOCKS[1], 1, 1, 9, 2.0)],
+        )
+        partial = PartialIndexColumns.from_corpus(corpus)
+        clone = PartialIndexColumns.from_payload(
+            partial.to_payload(), len(partial)
+        )
+        for name, _ in PartialIndexColumns.COLUMN_SPEC:
+            assert (
+                getattr(clone, name).tobytes()
+                == getattr(partial, name).tobytes()
+            ), name
+
+    def test_partial_suffix_is_public(self, tmp_path):
+        store = self._one_segment_store(tmp_path, MetricsRegistry())
+        meta = store.reader().segments()[0]
+        assert store.partial_index_path(meta).suffix == PARTIAL_INDEX_SUFFIX
+
+
+class TestObserveEqualsRebuild:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(sighting, min_size=1, max_size=30),
+        st.lists(sighting, min_size=0, max_size=30),
+    )
+    def test_appends_keep_index_equal_to_rebuild(self, base, extra):
+        corpus = build_corpus("prop", base)
+        index = corpus.build_index()
+        # Materialize every memo first: observe() must maintain them
+        # in place, not just the raw columns.
+        index.lifetimes()
+        index.iid_intervals()
+        index.iid_entropies()
+        index.eui64_mac_intervals()
+        for block, s48, s64, iid, when in extra:
+            corpus.record(
+                with_iid(block | (s48 << 80) | (s64 << 64), iid), when
+            )
+        assert corpus.index is index
+        assert_bit_identical(index, CorpusIndex.build(corpus))
+
+
+@pytest.fixture
+def forced_fallback(monkeypatch):
+    """Run the kernels on the portable array-module path."""
+    monkeypatch.setattr(kernels, "_np", None)
+
+
+class TestKernelFallbackEquivalence:
+    """numpy and array-module kernels must agree bit-for-bit.
+
+    Skipped where numpy is absent (CI): there the fallback *is* the
+    only path and every other test in this file already exercises it.
+    """
+
+    pytestmark = pytest.mark.skipif(
+        not kernels.HAVE_NUMPY, reason="numpy unavailable: nothing to compare"
+    )
+
+    @staticmethod
+    def _on_fallback(call):
+        """Run ``call`` with the numpy handle nulled (restored after)."""
+        saved = kernels._np
+        kernels._np = None
+        try:
+            return call()
+        finally:
+            kernels._np = saved
+
+    @settings(max_examples=40, deadline=None)
+    @given(segment_lists)
+    def test_fold_matches_scalar_fold(self, segments):
+        partials = [
+            PartialIndexColumns.from_corpus(build_corpus("prop", events))
+            for events in segments
+        ]
+        fast = kernels.fold_record_columns(partials)
+        slow = self._on_fallback(
+            lambda: kernels.fold_record_columns(partials)
+        )
+        assert fast[0] == slow[0]  # addresses, exact order
+        for fast_col, slow_col in zip(fast[1:], slow[1:]):
+            assert list(fast_col) == list(slow_col)
+            assert [type(v) for v in fast_col] == [type(v) for v in slow_col]
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(IIDS, min_size=0, max_size=60))
+    def test_feature_columns_match_scalar(self, iids):
+        from array import array
+
+        column = array("Q", iids)
+        fast = kernels.iid_feature_columns(column)
+        slow = self._on_fallback(
+            lambda: kernels.iid_feature_columns(column)
+        )
+        for fast_col, slow_col in zip(fast[:3], slow[:3]):
+            assert fast_col.tobytes() == slow_col.tobytes()
+        assert _packed_map(fast[3]) == _packed_map(slow[3])
+
+    def test_fallback_build_equals_numpy_build(
+        self, forced_fallback, tmp_path
+    ):
+        segments = [
+            [(BLOCKS[0], 0, 0, 5, 1.0), (BLOCKS[1], 0, 0, 0, 2.0)],
+            [(BLOCKS[0], 0, 0, 5, 3.0)],
+        ]
+        store = write_store(tmp_path, segments)
+        folded = store.reader().build_index()
+        assert_bit_identical(folded, CorpusIndex.build(store.reader().load()))

@@ -248,6 +248,46 @@ class TestResolveResumeMixedDirectory:
         assert corpus_bytes(corpus) == corpus_bytes(seg_corpus)
         assert skipped == []
 
+    def test_tie_prefers_manifest(self, core_world, tmp_path):
+        # Deterministic tie-break rule: when checkpoint and segment
+        # directory cover the SAME number of weeks, the manifest (the
+        # segment store) wins — its data is already durably segmented,
+        # so resuming from it needs no whole-corpus rewrite.
+        ck_path, ck_corpus = self._checkpoint(core_world, tmp_path, 2)
+        seg_dir, seg_corpus = self._manifest(core_world, tmp_path, 2)
+        corpus, weeks, used, skipped = resolve_resume_checkpoint(
+            ck_path, segment_dir=seg_dir
+        )
+        assert weeks == 2
+        assert used == seg_dir / MANIFEST_NAME
+        assert corpus_bytes(corpus) == corpus_bytes(seg_corpus)
+        # Both sources describe the same campaign prefix, so the pick
+        # is invisible in the data — only in the resume mechanics.
+        assert corpus_bytes(ck_corpus) == corpus_bytes(seg_corpus)
+        assert skipped == []
+
+    def test_tie_resume_does_not_import_checkpoint(
+        self, core_world, serial_bytes, tmp_path
+    ):
+        # The campaign-level resume applies the same rule: on equal
+        # weeks it resumes from the manifest watermark and never
+        # rewrites the checkpoint into an import-w#### segment.
+        checkpoint = tmp_path / "ck.bin"
+        head = make_campaign(core_world)
+        head.run(0, 1)
+        save_checkpoint(head.corpus, checkpoint, 1)
+
+        seg_dir, _ = self._manifest(core_world, tmp_path, 1)
+        store = SegmentStore(seg_dir, name="ntp-pool")
+        final = run_campaign_parallel(
+            make_campaign(core_world),
+            segment_store=store,
+            resume_from=checkpoint,
+        )
+        assert corpus_bytes(final) == serial_bytes
+        ids = [m.segment_id for m in store.load_manifest().segments]
+        assert not any(name.startswith("import-") for name in ids)
+
     def test_checkpoint_preferred_when_further_along(
         self, core_world, tmp_path
     ):

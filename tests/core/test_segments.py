@@ -298,6 +298,61 @@ class TestCrashSafety:
         assert len(loaded) == kill_after
         assert reader.completed_weeks == 1
 
+    def test_tail_sealed_on_clean_exit(self, tmp_path):
+        """A buffer below the flush budget still reaches disk on exit.
+
+        This was a data-loss bug: a campaign ending before the buffer
+        crossed the byte budget silently dropped its unsealed tail.
+        """
+        store = SegmentStore(tmp_path, segment_bytes=1 << 20)
+        with SegmentBufferedCorpus("tail", store) as buffered:
+            buffered.set_window(0, 7)
+            for n in range(10):
+                buffered.record(9000 + n, float(n))
+            assert buffered.estimated_bytes() < store.segment_bytes
+            assert buffered.sealed == []
+        assert len(buffered.sealed) == 1
+        store.commit(buffered.take_sealed(), completed_weeks=1)
+        assert len(SegmentedCorpusReader(store).load()) == 10
+
+    def test_close_is_idempotent(self, tmp_path):
+        store = SegmentStore(tmp_path, segment_bytes=1 << 20)
+        buffered = SegmentBufferedCorpus("tail", store)
+        buffered.set_window(0, 7)
+        buffered.record(1, 0.0)
+        assert buffered.close() is not None
+        assert buffered.close() is None
+        assert len(buffered.sealed) == 1
+
+    def test_crash_ordering_tail_not_sealed_on_error(self, tmp_path):
+        """On an in-flight error the tail stays unsealed by design.
+
+        Sealing during exception unwind could mask the original error
+        and persist records no commit will ever account for; recovery
+        instead restarts from the manifest watermark.  The committed
+        prefix must stay fully readable.
+        """
+        store = SegmentStore(tmp_path, segment_bytes=1 << 20)
+        with pytest.raises(RuntimeError, match="mid-campaign"):
+            with SegmentBufferedCorpus("tail", store) as buffered:
+                buffered.set_window(0, 7)
+                for n in range(10):
+                    buffered.record(9000 + n, float(n))
+                buffered.close()
+                store.commit(buffered.take_sealed(), completed_weeks=1)
+                buffered.set_window(7, 14)
+                buffered.record(77, 8.0)
+                raise RuntimeError("mid-campaign")
+        # The second window's record died with the process state…
+        assert buffered.sealed == []
+        assert [p.name for p in tmp_path.glob("*.seg")] == [
+            "d00000-00007-s000-0000.seg"
+        ]
+        # …and the committed week-1 prefix is untouched and verifies.
+        reader = SegmentedCorpusReader(store)
+        assert reader.completed_weeks == 1
+        assert len(reader.load()) == 10
+
     def test_interrupted_write_leaves_no_temp_files(self, tmp_path):
         store = SegmentStore(tmp_path)
         corpus = AddressCorpus("t")
