@@ -1,0 +1,205 @@
+"""Throughput — the matrix sweep harness vs running cells directly.
+
+The sweep scheduler buys isolation (a crashed or hung cell cannot sink
+the sweep) and crash-safe resume, but it pays for them with per-cell
+process spawns and an atomically rewritten ``MATRIX.json`` after every
+transition.  This bench quantifies that tax: the same grid of cells is
+run once as a plain in-process loop over ``execute_cell`` (the floor)
+and then through ``run_matrix`` at 1/2/4 matrix workers, reporting
+cells/minute and the single-worker harness overhead, and asserting the
+swept corpora stay bit-identical to the direct ones.
+
+Runs standalone too (CI perf smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_matrix_sweep.py --check
+
+``--check`` exits non-zero when the harness overhead exceeds
+``--max-overhead`` percent (default 5) or any cell's corpus digest
+diverges from the direct run.  Results land in
+``benchmarks/output/BENCH_matrix.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import tempfile
+import time
+
+_SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:  # standalone invocation without PYTHONPATH
+    sys.path.insert(0, str(_SRC))
+
+from repro.matrix import MatrixSpec, execute_cell, run_matrix
+
+#: Cells sized so per-cell work dominates the scheduler's fixed costs
+#: (process spawn plus manifest rewrites) without making the bench slow.
+BENCH_OVERRIDES = {
+    "n_home_networks": 200,
+    "n_cellular_subscribers": 100,
+    "n_hosting_networks": 10,
+}
+
+
+def bench_spec(seeds):
+    return MatrixSpec(
+        presets=("tiny",),
+        overrides=(BENCH_OVERRIDES,),
+        faults=(None, "flap=0.2,loss=0.05,seed=5"),
+        weeks=(2,),
+        workers=(1,),
+        seeds=tuple(seeds),
+    )
+
+
+def run_direct(spec, directory):
+    """The floor: every cell in-process, sequentially, no harness."""
+    digests = {}
+    t0 = time.perf_counter()
+    for cell in spec.expand():
+        result = execute_cell(cell, pathlib.Path(directory) / cell.cell_id)
+        digests[cell.cell_id] = result["digest"]
+    return time.perf_counter() - t0, digests
+
+
+def run_swept(spec, directory, matrix_workers):
+    t0 = time.perf_counter()
+    result = run_matrix(
+        spec, directory, matrix_workers=matrix_workers
+    )
+    seconds = time.perf_counter() - t0
+    assert result.counts["ok"] == len(spec.expand()), result.counts
+    digests = {
+        cell_id: record.digest
+        for cell_id, record in result.manifest.cells.items()
+    }
+    return seconds, digests
+
+
+def run_bench(seeds):
+    spec = bench_spec(seeds)
+    cells = len(spec.expand())
+    with tempfile.TemporaryDirectory() as scratch:
+        scratch = pathlib.Path(scratch)
+        direct_seconds, direct_digests = run_direct(
+            spec, scratch / "direct"
+        )
+        payload = {
+            "cells": cells,
+            "direct_seconds": round(direct_seconds, 4),
+            "direct_cells_per_minute": round(
+                60 * cells / direct_seconds, 1
+            ),
+            "digests_identical": True,
+            "workers": {},
+        }
+        for matrix_workers in (1, 2, 4):
+            seconds, digests = run_swept(
+                spec, scratch / f"sweep-{matrix_workers}", matrix_workers
+            )
+            if digests != direct_digests:
+                payload["digests_identical"] = False
+            payload["workers"][str(matrix_workers)] = {
+                "seconds": round(seconds, 4),
+                "cells_per_minute": round(60 * cells / seconds, 1),
+                "speedup_vs_direct": round(direct_seconds / seconds, 2),
+            }
+        single = payload["workers"]["1"]["seconds"]
+        payload["overhead_pct"] = round(
+            100 * (single - direct_seconds) / direct_seconds, 2
+        )
+    return payload
+
+
+def render(payload):
+    lines = [
+        "Matrix sweep harness: direct execute_cell loop vs run_matrix",
+        "",
+        f"cells: {payload['cells']}",
+        f"direct loop: {payload['direct_seconds']:.2f}s "
+        f"({payload['direct_cells_per_minute']:.0f} cells/min)",
+    ]
+    for workers, stats in payload["workers"].items():
+        lines.append(
+            f"{workers} matrix worker(s): {stats['seconds']:.2f}s "
+            f"({stats['cells_per_minute']:.0f} cells/min, "
+            f"{stats['speedup_vs_direct']:.2f}x direct)"
+        )
+    lines.append(
+        f"harness overhead at 1 worker: {payload['overhead_pct']:+.1f}%"
+    )
+    lines.append(
+        "corpora bit-identical across all runs: "
+        + ("yes" if payload["digests_identical"] else "NO")
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--seeds", type=int, default=8, metavar="N",
+        help="number of seed-axis cells per fault regime / 2 "
+             "(default: 8 -> 8 cells total)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when overhead exceeds --max-overhead or "
+             "any swept corpus diverges from the direct run",
+    )
+    parser.add_argument(
+        "--max-overhead", type=float, default=5.0, metavar="PCT",
+        help="with --check, maximum tolerated single-worker harness "
+             "overhead in percent (default: 5.0)",
+    )
+    args = parser.parse_args(argv)
+
+    from jsonout import publish_text, write_bench_json
+
+    payload = run_bench(range(max(1, args.seeds // 2)))
+    publish_text("matrix_sweep", render(payload))
+    write_bench_json("matrix", payload)
+
+    if args.check:
+        if not payload["digests_identical"]:
+            print(
+                "FAIL: swept corpora diverge from the direct loop",
+                file=sys.stderr,
+            )
+            return 1
+        if payload["overhead_pct"] > args.max_overhead:
+            print(
+                f"FAIL: harness overhead {payload['overhead_pct']:.1f}% "
+                f"exceeds {args.max_overhead:.1f}%",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: {payload['overhead_pct']:+.1f}% overhead, "
+            "corpora identical"
+        )
+    return 0
+
+
+def test_matrix_sweep_throughput(benchmark):
+    """Harness entry: identity + overhead numbers, then a timed small
+    sweep at two matrix workers."""
+    payload = run_bench(range(4))
+    from jsonout import publish_text, write_bench_json
+
+    publish_text("matrix_sweep", render(payload))
+    write_bench_json("matrix", payload)
+    assert payload["digests_identical"]
+
+    timed_spec = bench_spec((0,))
+
+    def sweep_round():
+        with tempfile.TemporaryDirectory() as name:
+            run_matrix(timed_spec, name, matrix_workers=2)
+
+    benchmark(sweep_round)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,8 +27,8 @@ Quickstart::
     print(len(results.ntp), "passively observed addresses")
 """
 
-from .api import Study, open_corpus, release
+from .api import Study, open_corpus, release, sweep
 
 __version__ = "1.0.0"
 
-__all__ = ["Study", "open_corpus", "release", "__version__"]
+__all__ = ["Study", "open_corpus", "release", "sweep", "__version__"]

@@ -7,13 +7,16 @@ tables (:mod:`repro.analysis.tables`) and terminal figure rendering
 
 from .distributions import ECDF
 from .figures import render_ccdf_chart, render_cdf_chart, render_timeline
+from .matrix_report import format_matrix_report, matrix_report
 from .report import study_report
 from .tables import format_count, format_table
 
 __all__ = [
     "ECDF",
     "format_count",
+    "format_matrix_report",
     "format_table",
+    "matrix_report",
     "render_ccdf_chart",
     "render_cdf_chart",
     "render_timeline",

@@ -1,0 +1,157 @@
+"""Cross-cell comparison report for a scenario-matrix sweep.
+
+The sweep's scientific payoff is the *comparison*: how corpus size (and
+therefore hitlist exposure) moves across world composition and fault
+regimes.  :func:`format_matrix_report` renders a sweep manifest as:
+
+* a status summary (every terminal state the manifest knows);
+* a per-cell table in expansion order;
+* per-axis comparisons — for each axis that actually varies across
+  completed cells (preset, faults, weeks, workers, seed), the mean
+  record count per axis value;
+* failure and rejection details, so a half-red sweep still reads as a
+  complete story.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..matrix.manifest import MatrixManifest, load_manifest
+from .tables import format_table
+
+__all__ = ["format_matrix_report", "matrix_report"]
+
+#: Axes the comparison section groups completed cells by.
+_COMPARED_AXES = ("preset", "faults", "weeks", "workers", "seed")
+
+
+def _axis_value(params: Dict[str, object], axis: str) -> str:
+    value = params.get(axis)
+    if axis == "faults" and not value:
+        return "none"
+    return str(value)
+
+
+def format_matrix_report(
+    manifest: MatrixManifest, directory: Optional[Path] = None
+) -> str:
+    """Render one sweep manifest as a terminal report."""
+    lines: List[str] = []
+    title = "scenario matrix report"
+    if directory is not None:
+        title += f" — {directory}"
+    lines.append(title)
+    lines.append("=" * len(title))
+    counts = manifest.counts()
+    total = len(manifest.cells)
+    summary = ", ".join(
+        f"{name}={counts[name]}"
+        for name in (
+            "ok", "failed", "timeout", "rejected", "pending", "running"
+        )
+        if counts[name]
+    )
+    lines.append(f"cells: {total} ({summary or 'none'})")
+    if counts["skipped_resume"]:
+        lines.append(
+            f"resume: {counts['skipped_resume']} completed cell(s) "
+            "verified and skipped"
+        )
+    lines.append("")
+
+    records = sorted(manifest.cells.values(), key=lambda r: r.cell_id)
+    rows = []
+    for record in records:
+        rows.append(
+            [
+                record.cell_id,
+                record.status
+                + (" (resumed)" if record.skipped_resume else ""),
+                record.label,
+                record.records if record.records is not None else "-",
+                (
+                    f"{record.seconds:.2f}"
+                    if record.seconds is not None
+                    else "-"
+                ),
+                str(record.attempts),
+            ]
+        )
+    lines.append(
+        format_table(
+            ["cell", "status", "scenario", "records", "seconds", "tries"],
+            rows,
+            title="cells",
+        )
+    )
+    lines.append("")
+
+    completed = [
+        record
+        for record in records
+        if record.status == "ok" and record.records is not None
+    ]
+    for axis in _COMPARED_AXES:
+        groups: "OrderedDict[str, List[int]]" = OrderedDict()
+        for record in completed:
+            groups.setdefault(
+                _axis_value(record.params, axis), []
+            ).append(int(record.records))
+        if len(groups) < 2:
+            continue
+        lines.append(
+            format_table(
+                [axis, "cells", "mean records", "min", "max"],
+                [
+                    [
+                        value,
+                        len(sizes),
+                        round(sum(sizes) / len(sizes)),
+                        min(sizes),
+                        max(sizes),
+                    ]
+                    for value, sizes in groups.items()
+                ],
+                title=f"records by {axis}",
+            )
+        )
+        lines.append("")
+
+    troubled = [
+        record
+        for record in records
+        if record.status in ("failed", "timeout")
+    ]
+    if troubled:
+        lines.append("failures")
+        lines.append("--------")
+        for record in troubled:
+            lines.append(
+                f"  {record.cell_id} [{record.kind}] after "
+                f"{record.attempts} attempt(s): {record.error}"
+            )
+        lines.append("")
+    rejected = [record for record in records if record.status == "rejected"]
+    if rejected:
+        lines.append("rejected before run")
+        lines.append("-------------------")
+        for record in rejected:
+            for reason in record.reasons:
+                lines.append(f"  {record.cell_id}: {reason}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def matrix_report(directory: Union[str, Path]) -> str:
+    """Load ``directory``'s manifest and render its report."""
+    directory = Path(directory)
+    loaded = load_manifest(directory)
+    if loaded is None:
+        raise FileNotFoundError(
+            f"no matrix manifest under {directory}"
+        )
+    manifest, _, _ = loaded
+    return format_matrix_report(manifest, directory=directory)

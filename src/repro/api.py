@@ -39,7 +39,7 @@ from .core.segments import MANIFEST_NAME
 from .world import CAMPAIGN_EPOCH, WorldConfig, build_world
 from .world.world import World
 
-__all__ = ["Study", "open_corpus", "release"]
+__all__ = ["Study", "open_corpus", "release", "sweep"]
 
 
 class Study:
@@ -161,6 +161,50 @@ def open_corpus(
     if indexed:
         corpus.build_index(metrics=metrics)
     return corpus
+
+
+def sweep(
+    spec,
+    directory: Union[str, Path],
+    *,
+    resume: bool = False,
+    matrix_workers: int = 1,
+    cell_timeout: Optional[float] = None,
+    max_cell_retries: int = 1,
+    metrics=None,
+):
+    """Run (or resume) a declarative scenario sweep.
+
+    ``spec`` is a :class:`~repro.matrix.MatrixSpec`, a plain dict in
+    the same shape (axes ``presets``/``overrides``/``faults``/
+    ``weeks``/``workers``/``seeds``), or a path to a JSON spec file.
+    Cells run isolated in their own processes under ``directory``;
+    infeasible cells are rejected before any compute, failed or hung
+    cells are retried then recorded without sinking the sweep, and the
+    atomically-maintained ``MATRIX.json`` makes ``resume=True``
+    re-run only what a previous (possibly crashed) sweep left
+    incomplete.  Returns :class:`~repro.matrix.MatrixResults`.
+    """
+    from .matrix import MatrixSpec, run_matrix
+
+    if isinstance(spec, dict):
+        spec = MatrixSpec.from_json(spec)
+    elif isinstance(spec, (str, Path)):
+        spec = MatrixSpec.from_file(spec)
+    elif not isinstance(spec, MatrixSpec):
+        raise TypeError(
+            f"spec must be a MatrixSpec, dict or path, "
+            f"not {type(spec).__name__}"
+        )
+    return run_matrix(
+        spec,
+        directory,
+        resume=resume,
+        matrix_workers=matrix_workers,
+        cell_timeout=cell_timeout,
+        max_cell_retries=max_cell_retries,
+        metrics=metrics,
+    )
 
 
 def release(

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the operational loop a downstream user needs:
+Five subcommands cover the operational loop a downstream user needs:
 
 * ``repro study``    — build a world, run the full three-campaign study,
   save the corpora, print the Table 1 comparison;
@@ -9,7 +9,10 @@ Four subcommands cover the operational loop a downstream user needs:
 * ``repro release``  — produce the ethics-aware /48-truncated release of
   a saved corpus, with the safety audit;
 * ``repro report``   — run a study and emit the consolidated findings
-  report.
+  report;
+* ``repro matrix``   — run a declarative scenario sweep (world x faults
+  x weeks x seeds) with per-cell isolation, deadlines and crash-safe
+  ``--resume``.
 
 All randomness flows from ``--seed``; two invocations with identical
 arguments produce identical bytes.
@@ -72,6 +75,10 @@ def _study_config(args) -> StudyConfig:
             "--max-shard-retries must be >= 0: %d", args.max_shard_retries
         )
         raise SystemExit(2)
+    shard_timeout = getattr(args, "shard_timeout", None)
+    if shard_timeout is not None and shard_timeout <= 0:
+        logger.error("--shard-timeout must be > 0: %s", shard_timeout)
+        raise SystemExit(2)
     if getattr(args, "segment_bytes", DEFAULT_SEGMENT_BYTES) < 1:
         logger.error(
             "--segment-bytes must be >= 1: %d", args.segment_bytes
@@ -123,6 +130,7 @@ def _study_config(args) -> StudyConfig:
         resume_from_segments=resume_from_segments,
         faults=_fault_plan(args),
         max_shard_retries=getattr(args, "max_shard_retries", 2),
+        shard_timeout=shard_timeout,
     )
     return StudyConfig(
         start=CAMPAIGN_EPOCH,
@@ -233,6 +241,54 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_matrix(args) -> int:
+    from .analysis.matrix_report import format_matrix_report
+    from .matrix import MatrixSpec, run_matrix
+
+    try:
+        spec = MatrixSpec.from_file(args.spec)
+    except (OSError, ValueError) as error:
+        logger.error("bad matrix spec %s: %s", args.spec, error)
+        raise SystemExit(2)
+    registry = MetricsRegistry()
+    try:
+        results = run_matrix(
+            spec,
+            args.dir,
+            resume=args.resume,
+            matrix_workers=args.matrix_workers,
+            cell_timeout=args.cell_timeout,
+            max_cell_retries=args.max_cell_retries,
+            metrics=registry,
+        )
+    except ValueError as error:
+        logger.error("matrix sweep refused: %s", error)
+        raise SystemExit(2)
+    text = format_matrix_report(
+        results.manifest, directory=results.directory
+    )
+    if args.report:
+        Path(args.report).write_text(text)
+        logger.info("matrix report written to %s", args.report)
+    else:
+        print(text)
+    if args.metrics_out:
+        _write_metrics(registry, args.metrics_out)
+    counts = results.counts
+    logger.info(
+        "sweep finished: %d ok, %d failed, %d timeout, %d rejected, "
+        "%d skipped on resume",
+        counts["ok"],
+        counts["failed"],
+        counts["timeout"],
+        counts["rejected"],
+        counts["skipped_resume"],
+    )
+    # Graceful degradation is the contract: failed cells are recorded
+    # in MATRIX.json, not turned into a non-zero sweep exit.
+    return 0
+
+
 def _cmd_release(args) -> int:
     corpus = open_corpus(args.corpus)
     artifact = build_release(corpus)
@@ -308,6 +364,12 @@ def build_parser() -> argparse.ArgumentParser:
                  "recomputing it inline (default: 2)",
         )
         subparser.add_argument(
+            "--shard-timeout", type=float, default=None, metavar="SECONDS",
+            help="wall-clock deadline for one round of collection shards; "
+                 "a hung worker is killed and the shard retried "
+                 "(default: no deadline)",
+        )
+        subparser.add_argument(
             "--profile", action="store_true",
             help="print a per-stage wall-clock timing table (collection, "
                  "comparison campaigns, corpus indexing, analysis) to "
@@ -351,6 +413,58 @@ def build_parser() -> argparse.ArgumentParser:
              "this path: JSON, or Prometheus text for .prom/.txt",
     )
     analyze.set_defaults(handler=_cmd_analyze)
+
+    matrix = commands.add_parser(
+        "matrix",
+        help="run a declarative scenario sweep (world x faults x weeks "
+             "x seeds) with per-cell isolation and crash-safe resume",
+    )
+    matrix.add_argument(
+        "spec",
+        help="path to a JSON matrix spec (axes: presets, overrides, "
+             "faults, weeks, workers, seeds; optional pipeline)",
+    )
+    matrix.add_argument(
+        "--seed", type=int, default=7,
+        help="accepted on every subcommand for interface uniformity; "
+             "cell seeds come from the spec's seeds axis",
+    )
+    matrix.add_argument(
+        "--dir", required=True, metavar="DIR",
+        help="sweep directory: MATRIX.json plus one cells/<id>/ output "
+             "directory per cell",
+    )
+    matrix.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted sweep: verified completed cells "
+             "are skipped, incomplete and failed cells re-run",
+    )
+    matrix.add_argument(
+        "--matrix-workers", type=int, default=1, metavar="N",
+        help="cells executed concurrently, each in its own process "
+             "(default: 1)",
+    )
+    matrix.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline per cell attempt; a hung cell is "
+             "killed and retried (default: no deadline)",
+    )
+    matrix.add_argument(
+        "--max-cell-retries", type=int, default=1, metavar="N",
+        help="re-run a failed cell up to N times before recording it as "
+             "terminally failed (default: 1)",
+    )
+    matrix.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the cross-cell comparison report to PATH instead of "
+             "stdout",
+    )
+    matrix.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the sweep telemetry (repro_matrix_* counters) to "
+             "PATH: JSON, or Prometheus text for .prom/.txt",
+    )
+    matrix.set_defaults(handler=_cmd_matrix)
 
     release = commands.add_parser(
         "release", help="write the ethics-aware /48-truncated release"

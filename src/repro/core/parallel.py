@@ -48,6 +48,7 @@ import hashlib
 import logging
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
@@ -128,7 +129,10 @@ class ShardFailure:
 
     ``action`` is ``"retried"`` when the shard was resubmitted to the
     pool and ``"inline"`` when retries were exhausted and the shard was
-    recomputed in the parent process instead.
+    recomputed in the parent process instead.  ``kind`` classifies the
+    failure: ``"exception"`` (the worker raised), ``"worker-death"``
+    (the worker process died, breaking the pool), or ``"timeout"`` (the
+    shard overran ``shard_timeout`` and its worker was killed).
     """
 
     window: Tuple[int, int]
@@ -136,6 +140,7 @@ class ShardFailure:
     attempt: int
     error: str
     action: str
+    kind: str = "exception"
 
 
 def _freeze_outages(outages: Dict[int, list]) -> _OutageSpec:
@@ -263,6 +268,7 @@ def run_campaign_parallel(
     max_shard_retries: int = 2,
     retry_backoff: float = 0.5,
     retry_backoff_cap: float = 30.0,
+    shard_timeout: Optional[float] = None,
 ) -> AddressCorpus:
     """Run a campaign sharded across processes, checkpointing as it goes.
 
@@ -295,6 +301,13 @@ def run_campaign_parallel(
       ``retry_backoff`` seconds) before degrading to inline execution
       in the parent.  Every recovery is recorded on
       ``campaign.shard_failures``.
+    * ``shard_timeout`` — wall-clock budget in seconds for one round of
+      shard submissions.  Without it a hung worker stalls the campaign
+      forever (retry logic only fires on raised exceptions and broken
+      pools); with it an overrunning shard's future is cancelled, the
+      pool's workers are killed and the pool rebuilt, and the attempt
+      is recorded as a :class:`ShardFailure` with ``kind="timeout"``
+      before the normal capped-backoff retry path.
     """
     config = campaign.config
     if end_week is None:
@@ -322,6 +335,8 @@ def run_campaign_parallel(
         raise ValueError(
             f"retry_backoff_cap must be > 0: {retry_backoff_cap}"
         )
+    if shard_timeout is not None and shard_timeout <= 0:
+        raise ValueError(f"shard_timeout must be > 0: {shard_timeout}")
     if segment_store is not None and checkpoint is not None:
         raise ValueError(
             "checkpoint= and segment_store= are mutually exclusive "
@@ -347,6 +362,10 @@ def run_campaign_parallel(
     )
     m_rebuilds = metrics.counter(
         "repro_pool_rebuilds_total", "broken process pools rebuilt"
+    )
+    m_timeouts = metrics.counter(
+        "repro_shard_timeouts_total",
+        "shards killed for overrunning the wall-clock deadline",
     )
     m_checkpoints = metrics.counter(
         "repro_checkpoints_saved_total", "checkpoint snapshots written"
@@ -556,21 +575,56 @@ def run_campaign_parallel(
                 pool_box[0] = _rebuild_pool(pool_box[0], workers)
                 m_rebuilds.inc()
                 continue
-            failed: Dict[int, str] = {}
+            failed: Dict[int, Tuple[str, str]] = {}
             pool_broken = False
+            timed_out = False
+            deadline = (
+                time.monotonic() + shard_timeout
+                if shard_timeout is not None
+                else None
+            )
             for index in pending:
                 try:
-                    completed[index] = futures[index].result()
+                    if deadline is None:
+                        completed[index] = futures[index].result()
+                    else:
+                        remaining = max(0.0, deadline - time.monotonic())
+                        completed[index] = futures[index].result(
+                            timeout=remaining
+                        )
+                except FutureTimeout:
+                    # The worker is hung (or starved behind one that
+                    # is); cancel what we can and kill the pool below.
+                    futures[index].cancel()
+                    timed_out = True
+                    failed[index] = (
+                        "timeout",
+                        f"shard overran {shard_timeout}s wall-clock "
+                        "deadline; worker killed",
+                    )
+                    m_timeouts.inc()
                 except BrokenProcessPool as error:
                     pool_broken = True
-                    failed[index] = f"worker died: {error or 'process pool broken'}"
+                    failed[index] = (
+                        "worker-death",
+                        f"worker died: {error or 'process pool broken'}",
+                    )
                 except Exception as error:
-                    failed[index] = f"{type(error).__name__}: {error}"
-            if pool_broken:
+                    failed[index] = (
+                        "exception",
+                        f"{type(error).__name__}: {error}",
+                    )
+            if timed_out:
+                # A cancelled future does not stop a running worker;
+                # the hung process must die for the pool to be usable.
+                pool_box[0] = _rebuild_pool(pool_box[0], workers, kill=True)
+                m_rebuilds.inc()
+            elif pool_broken:
                 pool_box[0] = _rebuild_pool(pool_box[0], workers)
                 m_rebuilds.inc()
             retry: List[int] = []
             for index in sorted(failed):
+                kind, error_text = failed[index]
                 attempts[index] += 1
                 action = (
                     "retried"
@@ -582,17 +636,19 @@ def run_campaign_parallel(
                         window=window,
                         shard_index=index,
                         attempt=attempts[index],
-                        error=failed[index],
+                        error=error_text,
                         action=action,
+                        kind=kind,
                     )
                 )
                 m_failures.inc()
                 logger.warning(
-                    "shard %d of window %s failed (attempt %d): %s -> %s",
+                    "shard %d of window %s failed (attempt %d, %s): %s -> %s",
                     index,
                     window,
                     attempts[index],
-                    failed[index],
+                    kind,
+                    error_text,
                     action,
                 )
                 if action == "retried":
@@ -662,9 +718,18 @@ def run_campaign_parallel(
 
 
 def _rebuild_pool(
-    broken: ProcessPoolExecutor, workers: int
+    broken: ProcessPoolExecutor, workers: int, kill: bool = False
 ) -> ProcessPoolExecutor:
-    """Replace a broken process pool with a fresh one."""
+    """Replace a broken process pool with a fresh one.
+
+    With ``kill=True`` every worker process is killed first — the path
+    taken after a shard timeout, where a worker is hung rather than
+    dead and ``shutdown(wait=False)`` alone would leak it.
+    """
+    if kill:
+        for process in list(getattr(broken, "_processes", {}).values()):
+            with contextlib.suppress(Exception):
+                process.kill()
     broken.shutdown(wait=False)
     logger.warning("process pool broke; rebuilding with %d workers", workers)
     return ProcessPoolExecutor(max_workers=workers)

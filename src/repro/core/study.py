@@ -71,6 +71,10 @@ class ExecutionOptions:
     #: Failed shards are resubmitted this many times before degrading
     #: to inline execution.
     max_shard_retries: int = 2
+    #: Wall-clock seconds one round of shard submissions may take
+    #: before hung workers are killed and the shards retried (``None``
+    #: disables the deadline).
+    shard_timeout: Optional[float] = None
     #: Build one columnar :class:`CorpusIndex` per corpus after the
     #: campaigns finish; every downstream analysis then reads shared
     #: columns instead of re-scanning the corpora.
@@ -89,6 +93,10 @@ class ExecutionOptions:
         if self.segment_bytes < 1:
             raise ValueError(
                 f"segment byte budget must be >= 1: {self.segment_bytes}"
+            )
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError(
+                f"shard_timeout must be > 0: {self.shard_timeout}"
             )
         if self.checkpoint is not None and self.segment_dir is not None:
             raise ValueError(
@@ -233,6 +241,10 @@ class StudyConfig:
         return self.execution.max_shard_retries
 
     @property
+    def shard_timeout(self) -> Optional[float]:
+        return self.execution.shard_timeout
+
+    @property
     def build_index(self) -> bool:
         return self.execution.build_index
 
@@ -342,6 +354,7 @@ def run_study(
                 segment_store=segment_store,
                 resume_from_segments=execution.resume_from_segments,
                 max_shard_retries=execution.max_shard_retries,
+                shard_timeout=execution.shard_timeout,
             )
         else:
             ntp_corpus = campaign.run()

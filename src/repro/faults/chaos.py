@@ -13,7 +13,9 @@ small environment protocol at shard entry:
 * ``REPRO_CHAOS_MODE`` — ``"raise"`` (default) raises
   :class:`ChaosInjected` inside the worker, exercising the exception
   path; ``"kill"`` hard-exits the worker process, breaking the pool and
-  exercising crash containment.
+  exercising crash containment; ``"hang"`` makes the worker sleep
+  (for ``REPRO_CHAOS_HANG_SECONDS``, default one hour), exercising the
+  wall-clock deadline / hung-worker-kill paths.
 
 With no environment set this is a no-op costing one ``os.environ``
 lookup.  The CI chaos job and ``tests/core/test_shard_retry.py`` drive
@@ -25,11 +27,17 @@ process).
 from __future__ import annotations
 
 import os
+import time
 
 __all__ = ["ChaosInjected", "maybe_fail_shard"]
 
 #: Exit status of a chaos-killed worker (distinctive in pool tracebacks).
 KILL_STATUS = 17
+
+#: Default sleep of a hang-mode worker: long enough that any realistic
+#: deadline fires first, short enough that an orphaned worker does not
+#: outlive a CI job.
+DEFAULT_HANG_SECONDS = 3600.0
 
 
 class ChaosInjected(RuntimeError):
@@ -53,8 +61,23 @@ def maybe_fail_shard(shard_index: int) -> None:
             os.unlink(os.path.join(directory, token))
         except FileNotFoundError:
             continue  # another worker claimed it first
-        if os.environ.get("REPRO_CHAOS_MODE", "raise") == "kill":
+        mode = os.environ.get("REPRO_CHAOS_MODE", "raise")
+        if mode == "kill":
             os._exit(KILL_STATUS)
+        if mode == "hang":
+            deadline = time.monotonic() + float(
+                os.environ.get(
+                    "REPRO_CHAOS_HANG_SECONDS", DEFAULT_HANG_SECONDS
+                )
+            )
+            # Sleep in short slices so a terminate() (as opposed to a
+            # hard kill) still takes effect promptly.
+            while time.monotonic() < deadline:
+                time.sleep(0.05)
+            raise ChaosInjected(
+                f"chaos token {token!r} hung shard {shard_index} until "
+                "its deadline"
+            )
         raise ChaosInjected(
             f"chaos token {token!r} consumed by shard {shard_index}"
         )

@@ -154,7 +154,9 @@ class FaultPlan:
         ``loss.CC`` (per-country override), ``corrupt`` (corruption
         rate), ``segfail`` (segment write-failure rate), ``monitor``
         (score-sample interval seconds).  An empty or missing spec is
-        the zero plan.
+        the zero plan.  A key given twice is an error (never silent
+        last-write-wins), and a malformed value names both the
+        offending token and its 1-based position in the spec.
 
         >>> FaultPlan.parse("flap=0.2,loss=0.05,loss.BR=0.3,seed=9").seed
         9
@@ -163,7 +165,8 @@ class FaultPlan:
             return cls.none()
         fields: Dict[str, object] = {}
         overrides = []
-        for part in spec.split(","):
+        seen: Dict[str, int] = {}
+        for position, part in enumerate(spec.split(","), 1):
             part = part.strip()
             if not part:
                 continue
@@ -174,6 +177,16 @@ class FaultPlan:
             key, _, raw = part.partition("=")
             key = key.strip()
             raw = raw.strip()
+            canonical = (
+                f"loss.{key[len('loss.'):].upper()}"
+                if key.startswith("loss.")
+                else key
+            )
+            if canonical in seen:
+                raise ValueError(
+                    f"duplicate fault spec key {canonical!r} at item "
+                    f"{position} (first given at item {seen[canonical]})"
+                )
             try:
                 if key == "seed":
                     fields["seed"] = int(raw)
@@ -194,12 +207,14 @@ class FaultPlan:
                 else:
                     raise ValueError(f"unknown fault spec key: {key!r}")
             except ValueError as error:
-                # Re-raise number-parse failures with the item context.
+                # Re-raise structural failures with their own context.
                 if "fault spec" in str(error):
                     raise
                 raise ValueError(
-                    f"bad fault spec value for {key!r}: {raw!r}"
+                    f"bad fault spec value for {key!r} at item "
+                    f"{position}: {raw!r}"
                 ) from error
+            seen[canonical] = position
         if overrides:
             fields["country_loss"] = tuple(overrides)
         return cls(**fields)  # type: ignore[arg-type]

@@ -1,0 +1,54 @@
+"""Declarative scenario/chaos sweep harness (the scenario matrix).
+
+The paper's central warning — hitlist quality and harm depend on
+*which* networks you observe — turns experimentally into a cartesian
+sweep: world composition × fault regime × campaign length × worker
+count × seed.  This package runs that sweep as a batch of isolated
+cells with the robustness a 64-cell overnight run demands:
+
+* :mod:`repro.matrix.spec` — the declarative :class:`MatrixSpec`, its
+  cartesian :meth:`~MatrixSpec.expand` and the validate-before-run gate
+  that rejects infeasible cells before any compute is spent;
+* :mod:`repro.matrix.manifest` — the atomically-replaced, CRC-framed,
+  generation-rotated ``MATRIX.json`` sweep manifest that makes
+  ``repro matrix --resume`` crash-safe;
+* :mod:`repro.matrix.runner` — per-cell process isolation with
+  wall-clock deadlines, hung-cell kill, capped-backoff retry and typed
+  :class:`CellFailure` degradation so one bad cell never sinks the
+  sweep.
+"""
+
+from .manifest import (
+    MATRIX_NAME,
+    CellRecord,
+    MatrixManifest,
+    MatrixManifestError,
+    load_manifest,
+    save_manifest,
+)
+from .runner import CellFailure, MatrixResults, execute_cell, run_matrix
+from .spec import (
+    CellRejected,
+    CellSpec,
+    MatrixSpec,
+    expand_and_validate,
+    validate_cell,
+)
+
+__all__ = [
+    "MATRIX_NAME",
+    "CellFailure",
+    "CellRecord",
+    "CellRejected",
+    "CellSpec",
+    "MatrixManifest",
+    "MatrixManifestError",
+    "MatrixResults",
+    "MatrixSpec",
+    "execute_cell",
+    "expand_and_validate",
+    "load_manifest",
+    "run_matrix",
+    "save_manifest",
+    "validate_cell",
+]

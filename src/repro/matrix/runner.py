@@ -1,0 +1,584 @@
+"""Fault-tolerant execution of a validated scenario sweep.
+
+Each cell runs in its **own process** (one campaign or full study per
+cell), so a cell that crashes, hangs or is OOM-killed takes down only
+itself.  The coordinating process is a small scheduler:
+
+* up to ``matrix_workers`` cells run concurrently;
+* every cell gets a wall-clock deadline (``cell_timeout``); an
+  overrunning cell's process is killed and the attempt recorded with
+  ``kind="timeout"`` — the one failure mode exception-based retry can
+  never catch;
+* failed attempts are retried with capped exponential backoff (the
+  shard-retry idiom one level up), and a cell that keeps failing
+  degrades to a terminal typed :class:`CellFailure` while the sweep
+  continues;
+* the ``MATRIX.json`` manifest is atomically rewritten after *every*
+  transition, so a sweep killed at any instant resumes losing at most
+  the cells that were mid-flight.
+
+Cell outputs are deterministic (the campaign's keyed-RNG invariant),
+so a resumed sweep's re-run cells — and a fresh sweep's — produce
+byte-identical corpora; resume verifies completed cells by re-hashing
+their corpus files rather than trusting the manifest blindly.
+
+Chaos hooks: a cell process calls
+:func:`repro.faults.chaos.maybe_fail_shard` with its **cell index** at
+entry, so the existing ``REPRO_CHAOS_*`` token protocol can kill, hang
+or fault any chosen cell for tests and CI without touching the sweep
+code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import multiprocessing
+import multiprocessing.connection
+import os
+import signal
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.campaign import CampaignConfig, NTPCampaign
+from ..core.parallel import run_campaign_parallel
+from ..core.storage import save_corpus
+from ..core.study import ExecutionOptions, StudyConfig, run_study
+from ..faults.chaos import maybe_fail_shard
+from ..obs import DEFAULT_TIME_BUCKETS, MetricsRegistry
+from ..world import CAMPAIGN_EPOCH
+from ..world.population import build_world
+from .manifest import (
+    MATRIX_NAME,
+    CellRecord,
+    MatrixManifest,
+    load_manifest,
+    save_manifest,
+)
+from .spec import CellSpec, MatrixSpec, expand_and_validate
+
+__all__ = [
+    "CellFailure",
+    "MatrixResults",
+    "execute_cell",
+    "run_matrix",
+]
+
+logger = logging.getLogger(__name__)
+
+#: File a cell process writes (atomically, last) on success.
+RESULT_NAME = "RESULT.json"
+
+#: File a cell process writes its traceback to before dying.
+ERROR_NAME = "ERROR.txt"
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One recovered (or terminal) cell failure."""
+
+    cell_id: str
+    kind: str
+    attempt: int
+    error: str
+    #: ``"retried"`` when the cell was requeued, ``"failed"`` when its
+    #: retries were exhausted and the failure became terminal.
+    action: str
+
+
+@dataclass
+class MatrixResults:
+    """What a sweep returns: its manifest plus the failure log."""
+
+    directory: Path
+    manifest: MatrixManifest
+    failures: List[CellFailure] = field(default_factory=list)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        return self.manifest.counts()
+
+    @property
+    def complete(self) -> bool:
+        return self.manifest.complete
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as stream:
+        for chunk in iter(lambda: stream.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _atomic_write_json(path: Path, doc: Dict[str, object]) -> None:
+    temp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    payload = json.dumps(doc, sort_keys=True, indent=1).encode("utf-8")
+    with open(temp, "wb") as stream:
+        stream.write(payload)
+        stream.flush()
+        os.fsync(stream.fileno())
+    os.replace(temp, path)
+
+
+def execute_cell(
+    cell: CellSpec,
+    cell_dir: Union[str, Path],
+    metrics: Optional[MetricsRegistry] = None,
+) -> Dict[str, object]:
+    """Run one cell to completion in the current process.
+
+    Builds the cell's world, runs its pipeline (the NTP collection, or
+    the full study for ``pipeline="study"``), saves the resulting
+    corpus to ``<cell_dir>/corpus.bin`` and — only once everything else
+    is durably on disk — atomically writes ``RESULT.json``.  The result
+    file's presence is therefore the cell's commit point: a process
+    that died mid-cell left no ``RESULT.json`` and the scheduler counts
+    the attempt failed.
+    """
+    cell_dir = Path(cell_dir)
+    cell_dir.mkdir(parents=True, exist_ok=True)
+    registry = metrics if metrics is not None else MetricsRegistry()
+    started = time.perf_counter()
+    world = build_world(cell.world_config())
+    plan = cell.fault_plan()
+    if cell.pipeline == "study":
+        config = StudyConfig(
+            start=CAMPAIGN_EPOCH,
+            weeks=cell.weeks,
+            seed=cell.seed,
+            execution=ExecutionOptions(
+                workers=cell.workers,
+                faults=plan,
+                build_index=False,
+                metrics=registry,
+            ),
+        )
+        corpus = run_study(world, config).ntp
+    else:
+        campaign = NTPCampaign(
+            world,
+            CampaignConfig(
+                start=CAMPAIGN_EPOCH,
+                weeks=cell.weeks,
+                seed=cell.seed,
+                faults=plan,
+            ),
+            metrics=registry,
+        )
+        if cell.workers > 1:
+            corpus = run_campaign_parallel(
+                campaign, workers=cell.workers
+            )
+        else:
+            corpus = campaign.run()
+    corpus_path = cell_dir / "corpus.bin"
+    save_corpus(corpus, corpus_path)
+    result = {
+        "cell_id": cell.cell_id,
+        "label": cell.label,
+        "records": len(corpus),
+        "digest": _sha256_file(corpus_path),
+        "seconds": time.perf_counter() - started,
+        "metrics": registry.snapshot(),
+    }
+    _atomic_write_json(cell_dir / RESULT_NAME, result)
+    return result
+
+
+def _cell_main(cell_doc: Dict[str, object], cell_dir: str) -> None:
+    """Cell process entry point (must stay module-level: spawn-safe).
+
+    Honours the ``REPRO_CHAOS_*`` protocol keyed on the **cell index**,
+    then runs :func:`execute_cell`.  Any exception is written to
+    ``ERROR.txt`` (so the coordinator can report *why* the cell died)
+    before propagating into a non-zero exit status.
+    """
+    cell = CellSpec.from_json(cell_doc)
+    try:
+        maybe_fail_shard(cell.index)
+        execute_cell(cell, cell_dir)
+    except BaseException:
+        try:
+            Path(cell_dir).mkdir(parents=True, exist_ok=True)
+            (Path(cell_dir) / ERROR_NAME).write_text(
+                traceback.format_exc()
+            )
+        except OSError:
+            pass
+        raise
+
+
+@dataclass
+class _Running:
+    cell: CellSpec
+    process: multiprocessing.Process
+    attempt: int
+    started: float
+    deadline: Optional[float]
+    killed: bool = False
+
+
+@dataclass
+class _Queued:
+    cell: CellSpec
+    attempt: int
+    not_before: float
+
+
+def _error_text(cell_dir: Path, fallback: str) -> str:
+    """The cell's recorded traceback tail, or ``fallback``."""
+    try:
+        text = (cell_dir / ERROR_NAME).read_text().strip()
+    except OSError:
+        return fallback
+    if not text:
+        return fallback
+    last = text.splitlines()[-1]
+    return f"{fallback}: {last}"
+
+
+def run_matrix(
+    spec: MatrixSpec,
+    directory: Union[str, Path],
+    *,
+    resume: bool = False,
+    matrix_workers: int = 1,
+    cell_timeout: Optional[float] = None,
+    max_cell_retries: int = 1,
+    retry_backoff: float = 0.25,
+    retry_backoff_cap: float = 30.0,
+    metrics: Optional[MetricsRegistry] = None,
+    poll_interval: float = 0.05,
+) -> MatrixResults:
+    """Run (or resume) a scenario sweep under ``directory``.
+
+    * Infeasible cells are rejected by validation before any compute
+      and recorded with their reasons.
+    * Each runnable cell executes in its own process with a
+      ``cell_timeout`` wall-clock deadline (hung cells are killed) and
+      up to ``max_cell_retries`` capped-backoff retries; a permanently
+      failed cell becomes a terminal ``failed``/``timeout`` record and
+      the sweep continues.
+    * ``MATRIX.json`` is atomically rewritten after every transition.
+      With ``resume=True`` a prior manifest's completed cells are
+      verified by re-hashing their corpus files and skipped; everything
+      else re-runs.  Without ``resume`` an existing manifest is an
+      error — a sweep is never silently restarted from scratch.
+    """
+    if matrix_workers < 1:
+        raise ValueError(f"matrix_workers must be >= 1: {matrix_workers}")
+    if cell_timeout is not None and cell_timeout <= 0:
+        raise ValueError(f"cell_timeout must be > 0: {cell_timeout}")
+    if max_cell_retries < 0:
+        raise ValueError(
+            f"max_cell_retries must be >= 0: {max_cell_retries}"
+        )
+    if retry_backoff < 0:
+        raise ValueError(f"retry_backoff must be >= 0: {retry_backoff}")
+    if retry_backoff_cap <= 0:
+        raise ValueError(
+            f"retry_backoff_cap must be > 0: {retry_backoff_cap}"
+        )
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    cells_root = directory / "cells"
+    registry = metrics if metrics is not None else MetricsRegistry()
+    m_ok = registry.counter(
+        "repro_matrix_cells_ok_total", "cells completed successfully"
+    )
+    m_failed = registry.counter(
+        "repro_matrix_cells_failed_total",
+        "cells terminally failed (exception or oom-kill)",
+    )
+    m_timeout = registry.counter(
+        "repro_matrix_cells_timeout_total",
+        "cells terminally failed by overrunning their deadline",
+    )
+    m_rejected = registry.counter(
+        "repro_matrix_cells_rejected_total",
+        "cells rejected by validation before any compute",
+    )
+    m_skipped = registry.counter(
+        "repro_matrix_cells_skipped_resume_total",
+        "completed cells verified and skipped on resume",
+    )
+    m_retries = registry.counter(
+        "repro_matrix_cell_retries_total", "failed cell attempts requeued"
+    )
+    h_seconds = registry.histogram(
+        "repro_matrix_cell_seconds",
+        "wall-clock seconds per completed cell attempt",
+        buckets=DEFAULT_TIME_BUCKETS,
+    )
+
+    runnable, rejected = expand_and_validate(spec)
+    spec_digest = spec.digest()
+
+    prior: Optional[MatrixManifest] = None
+    loaded = load_manifest(directory)
+    if loaded is not None:
+        prior, used_path, skipped_generations = loaded
+        if not resume:
+            raise ValueError(
+                f"{directory} already holds a sweep manifest "
+                f"({used_path.name}); pass resume=True to continue it, "
+                "or point at a fresh directory"
+            )
+        if prior.spec_digest != spec_digest:
+            raise ValueError(
+                "the existing manifest belongs to a different matrix "
+                f"spec (manifest {prior.spec_digest}, requested "
+                f"{spec_digest}); refusing to mix sweeps in one directory"
+            )
+        for bad_path, reason in skipped_generations:
+            logger.warning(
+                "resume fell back past corrupt generation %s: %s",
+                bad_path,
+                reason,
+            )
+    elif resume:
+        logger.info(
+            "resume requested but %s holds no manifest; starting fresh",
+            directory,
+        )
+
+    manifest = MatrixManifest(
+        spec_digest=spec_digest, spec=spec.to_json()
+    )
+    failures: List[CellFailure] = []
+    to_run: List[_Queued] = []
+
+    for rejection in rejected:
+        manifest.cells[rejection.cell_id] = CellRecord(
+            cell_id=rejection.cell_id,
+            label=rejection.label,
+            params=rejection.params,
+            status="rejected",
+            reasons=rejection.reasons,
+        )
+        m_rejected.inc()
+        logger.warning(
+            "cell %s rejected before run: %s",
+            rejection.cell_id,
+            "; ".join(rejection.reasons),
+        )
+    for cell in runnable:
+        record = CellRecord(
+            cell_id=cell.cell_id, label=cell.label, params=cell.params
+        )
+        previous = prior.cells.get(cell.cell_id) if prior else None
+        if (
+            previous is not None
+            and previous.status == "ok"
+            and previous.digest is not None
+        ):
+            corpus_path = cells_root / cell.cell_id / "corpus.bin"
+            if (
+                corpus_path.exists()
+                and _sha256_file(corpus_path) == previous.digest
+            ):
+                record = previous
+                record.skipped_resume = True
+                manifest.cells[cell.cell_id] = record
+                m_skipped.inc()
+                continue
+            logger.warning(
+                "resume could not verify completed cell %s "
+                "(missing or altered corpus); re-running it",
+                cell.cell_id,
+            )
+        manifest.cells[cell.cell_id] = record
+        to_run.append(_Queued(cell=cell, attempt=1, not_before=0.0))
+
+    save_manifest(manifest, directory / MATRIX_NAME)
+
+    def backoff_delay(attempt: int) -> float:
+        if retry_backoff <= 0:
+            return 0.0
+        return min(
+            retry_backoff_cap, retry_backoff * (2 ** (attempt - 1))
+        )
+
+    def launch(item: _Queued) -> _Running:
+        cell_dir = cells_root / item.cell.cell_id
+        cell_dir.mkdir(parents=True, exist_ok=True)
+        for stale in (RESULT_NAME, ERROR_NAME):
+            try:
+                (cell_dir / stale).unlink()
+            except FileNotFoundError:
+                pass
+        process = multiprocessing.Process(
+            target=_cell_main,
+            args=(item.cell.to_json(), str(cell_dir)),
+            name=f"matrix-{item.cell.cell_id}",
+        )
+        process.start()
+        record = manifest.cells[item.cell.cell_id]
+        record.status = "running"
+        record.attempts = item.attempt
+        save_manifest(manifest, directory / MATRIX_NAME)
+        now = time.monotonic()
+        return _Running(
+            cell=item.cell,
+            process=process,
+            attempt=item.attempt,
+            started=now,
+            deadline=(
+                now + cell_timeout if cell_timeout is not None else None
+            ),
+        )
+
+    def settle(entry: _Running) -> None:
+        """Classify a finished cell process and advance its record."""
+        cell = entry.cell
+        cell_dir = cells_root / cell.cell_id
+        record = manifest.cells[cell.cell_id]
+        exitcode = entry.process.exitcode
+        entry.process.join()
+        entry.process.close()
+        seconds = time.monotonic() - entry.started
+        h_seconds.observe(seconds)
+
+        kind: Optional[str] = None
+        error = ""
+        if exitcode == 0:
+            try:
+                result = json.loads((cell_dir / RESULT_NAME).read_text())
+            except (OSError, json.JSONDecodeError) as read_error:
+                kind = "exception"
+                error = (
+                    f"cell exited cleanly but left no readable "
+                    f"{RESULT_NAME}: {read_error}"
+                )
+            else:
+                record.status = "ok"
+                record.kind = None
+                record.error = None
+                record.digest = result.get("digest")
+                record.records = result.get("records")
+                record.seconds = result.get("seconds", seconds)
+                m_ok.inc()
+                logger.info(
+                    "cell %s ok (%s records, %.2fs, attempt %d)",
+                    cell.cell_id,
+                    record.records,
+                    seconds,
+                    entry.attempt,
+                )
+                save_manifest(manifest, directory / MATRIX_NAME)
+                return
+        elif entry.killed:
+            kind = "timeout"
+            error = (
+                f"cell overran its {cell_timeout}s wall-clock deadline "
+                "and was killed"
+            )
+        elif exitcode is not None and exitcode == -signal.SIGKILL:
+            kind = "oom-kill"
+            error = _error_text(
+                cell_dir, "cell process was killed (SIGKILL, likely OOM)"
+            )
+        else:
+            kind = "exception"
+            error = _error_text(
+                cell_dir, f"cell process exited with status {exitcode}"
+            )
+
+        record.kind = kind
+        record.error = error
+        if entry.attempt <= max_cell_retries:
+            action = "retried"
+            record.status = "pending"
+            m_retries.inc()
+            to_run.append(
+                _Queued(
+                    cell=cell,
+                    attempt=entry.attempt + 1,
+                    not_before=(
+                        time.monotonic() + backoff_delay(entry.attempt)
+                    ),
+                )
+            )
+        else:
+            action = "failed"
+            record.status = "timeout" if kind == "timeout" else "failed"
+            if kind == "timeout":
+                m_timeout.inc()
+            else:
+                m_failed.inc()
+        failures.append(
+            CellFailure(
+                cell_id=cell.cell_id,
+                kind=kind,
+                attempt=entry.attempt,
+                error=error,
+                action=action,
+            )
+        )
+        logger.warning(
+            "cell %s failed (attempt %d, %s): %s -> %s",
+            cell.cell_id,
+            entry.attempt,
+            kind,
+            error,
+            action,
+        )
+        save_manifest(manifest, directory / MATRIX_NAME)
+
+    running: Dict[str, _Running] = {}
+    while to_run or running:
+        now = time.monotonic()
+        if len(running) < matrix_workers:
+            ready = [item for item in to_run if item.not_before <= now]
+            for item in ready:
+                if len(running) >= matrix_workers:
+                    break
+                to_run.remove(item)
+                running[item.cell.cell_id] = launch(item)
+        progressed = False
+        for cell_id in list(running):
+            entry = running[cell_id]
+            if entry.process.is_alive():
+                if (
+                    entry.deadline is not None
+                    and time.monotonic() >= entry.deadline
+                    and not entry.killed
+                ):
+                    entry.process.kill()
+                    entry.killed = True
+                continue
+            del running[cell_id]
+            settle(entry)
+            progressed = True
+        if not progressed and (running or to_run):
+            # Wait on the running processes' sentinels so cell exits
+            # wake the scheduler immediately; poll_interval only caps
+            # the wait (deadlines and backoff re-queues need polling).
+            timeout = poll_interval
+            now = time.monotonic()
+            for entry in running.values():
+                if entry.deadline is not None and not entry.killed:
+                    timeout = min(timeout, max(0.0, entry.deadline - now))
+            sentinels = [
+                entry.process.sentinel for entry in running.values()
+            ]
+            if sentinels:
+                multiprocessing.connection.wait(
+                    sentinels, timeout=timeout
+                )
+            else:
+                time.sleep(timeout)
+
+    return MatrixResults(
+        directory=directory,
+        manifest=manifest,
+        failures=failures,
+        metrics=registry,
+    )

@@ -86,6 +86,27 @@ class TestSpec:
         with pytest.raises(ValueError):
             FaultPlan.parse(spec)
 
+    def test_duplicate_key_rejected_naming_the_key(self):
+        with pytest.raises(ValueError, match=r"duplicate.*'flap'.*item 3"):
+            FaultPlan.parse("flap=0.2,loss=0.05,flap=0.3")
+
+    def test_duplicate_country_override_rejected(self):
+        # Country keys are canonicalized before the duplicate check, so
+        # differing case cannot smuggle in a second BR override.
+        with pytest.raises(ValueError, match=r"duplicate.*'loss\.BR'"):
+            FaultPlan.parse("loss.br=0.1,loss.BR=0.2")
+
+    def test_base_and_country_loss_are_distinct_keys(self):
+        plan = FaultPlan.parse("loss=0.05,loss.BR=0.3")
+        assert plan.packet_loss == 0.05
+        assert plan.country_loss == (("BR", 0.3),)
+
+    def test_malformed_value_error_names_token_and_position(self):
+        with pytest.raises(
+            ValueError, match=r"'flap' at item 2: 'notanumber'"
+        ):
+            FaultPlan.parse("seed=3,flap=notanumber")
+
     def test_spec_round_trips(self):
         plan = FaultPlan(
             seed=3,

@@ -1,0 +1,243 @@
+"""Crash-recovery tests: SIGKILL the sweep coordinator mid-run.
+
+The scenario the manifest machinery exists for: the whole matrix
+process (coordinator plus its hung cell child) dies without warning,
+and a later ``--resume`` must finish the sweep re-running only what
+was incomplete, with completed-cell outputs byte-identical to an
+uninterrupted sweep.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.matrix import (
+    MATRIX_NAME,
+    MatrixSpec,
+    load_manifest,
+    run_matrix,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+MICRO = {
+    "n_home_networks": 30,
+    "n_cellular_subscribers": 20,
+    "n_hosting_networks": 6,
+}
+
+SPEC_DOC = {
+    "presets": ["tiny"],
+    "overrides": [MICRO],
+    "faults": [None, "flap=0.3,loss=0.05,seed=9"],
+    "weeks": [1],
+    "workers": [1],
+    "seeds": [0],
+}
+
+
+def cli_env(**extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_CHAOS_TOKENS", None)
+    env.pop("REPRO_CHAOS_SHARD", None)
+    env.pop("REPRO_CHAOS_MODE", None)
+    env.update(extra)
+    return env
+
+
+def run_cli(args, env, **popen_kwargs):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        **popen_kwargs,
+    )
+
+
+def read_manifest_doc(directory):
+    try:
+        return json.loads((directory / MATRIX_NAME).read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def wait_for_cell_status(directory, cell_id, status, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        doc = read_manifest_doc(directory)
+        if doc is not None:
+            record = doc["cells"].get(cell_id)
+            if record is not None and record["status"] == status:
+                return doc
+        time.sleep(0.05)
+    raise AssertionError(
+        f"cell {cell_id} never reached status {status!r} "
+        f"within {timeout}s; last manifest: {read_manifest_doc(directory)}"
+    )
+
+
+class TestSigkillResume:
+    def test_resume_finishes_only_the_incomplete_cell(self, tmp_path):
+        spec = MatrixSpec.from_json(SPEC_DOC)
+        cells = spec.expand()
+        ok_cell, hung_cell = cells[0], cells[1]
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(SPEC_DOC))
+        sweep_dir = tmp_path / "sweep"
+
+        # Cell index 1 hangs (far longer than the test will allow);
+        # cell index 0 completes normally first because the sweep runs
+        # with a single matrix worker.
+        tokens = tmp_path / "tokens"
+        tokens.mkdir()
+        (tokens / "token-0").touch()
+        chaos = cli_env(
+            REPRO_CHAOS_TOKENS=str(tokens),
+            REPRO_CHAOS_SHARD="1",
+            REPRO_CHAOS_MODE="hang",
+            REPRO_CHAOS_HANG_SECONDS="120",
+        )
+        proc = run_cli(
+            [
+                "matrix",
+                str(spec_path),
+                "--dir",
+                str(sweep_dir),
+                "--matrix-workers",
+                "1",
+                "--max-cell-retries",
+                "0",
+            ],
+            chaos,
+            start_new_session=True,
+        )
+        try:
+            wait_for_cell_status(sweep_dir, ok_cell.cell_id, "ok")
+            wait_for_cell_status(sweep_dir, hung_cell.cell_id, "running")
+            # SIGKILL the whole process group: coordinator AND the
+            # hung cell child die with no chance to clean up.
+            os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+                proc.wait(timeout=30)
+
+        crashed = read_manifest_doc(sweep_dir)
+        assert crashed["cells"][ok_cell.cell_id]["status"] == "ok"
+        assert crashed["cells"][hung_cell.cell_id]["status"] == "running"
+        ok_corpus = sweep_dir / "cells" / ok_cell.cell_id / "corpus.bin"
+        frozen_bytes = ok_corpus.read_bytes()
+
+        # Resume with chaos disarmed: must finish the sweep re-running
+        # only the cell the crash interrupted.
+        resumed = run_cli(
+            [
+                "matrix",
+                str(spec_path),
+                "--dir",
+                str(sweep_dir),
+                "--resume",
+            ],
+            cli_env(),
+        )
+        stdout, stderr = resumed.communicate(timeout=120)
+        assert resumed.returncode == 0, stderr.decode()
+
+        doc = read_manifest_doc(sweep_dir)
+        ok_record = doc["cells"][ok_cell.cell_id]
+        hung_record = doc["cells"][hung_cell.cell_id]
+        assert ok_record["status"] == "ok"
+        assert ok_record["skipped_resume"] is True
+        assert hung_record["status"] == "ok"
+        assert not hung_record["skipped_resume"]
+        # The completed cell was not re-run: its corpus bytes are
+        # untouched since before the kill.
+        assert ok_corpus.read_bytes() == frozen_bytes
+
+        # And the whole sweep is byte-identical to one that was never
+        # interrupted.
+        reference = run_matrix(spec, tmp_path / "reference")
+        assert reference.counts["ok"] == 2
+        for cell in cells:
+            assert (
+                (sweep_dir / "cells" / cell.cell_id / "corpus.bin").read_bytes()
+                == (
+                    tmp_path / "reference" / "cells" / cell.cell_id / "corpus.bin"
+                ).read_bytes()
+            )
+            assert (
+                doc["cells"][cell.cell_id]["digest"]
+                == reference.manifest.cells[cell.cell_id].digest
+            )
+
+
+class TestTornManifest:
+    def test_torn_live_manifest_falls_back_a_generation(self, tmp_path):
+        spec = MatrixSpec.from_json(SPEC_DOC)
+        run_matrix(spec, tmp_path)
+        live = tmp_path / MATRIX_NAME
+        prior = tmp_path / f"{MATRIX_NAME}.1"
+        assert prior.exists()  # every save rotates the old generation
+
+        # Tear the live manifest mid-write (truncate to half).
+        payload = live.read_bytes()
+        live.write_bytes(payload[: len(payload) // 2])
+
+        loaded = load_manifest(tmp_path)
+        assert loaded is not None
+        manifest, used_path, skipped = loaded
+        assert used_path == prior
+        assert [path for path, _ in skipped] == [live]
+        assert manifest.spec_digest == spec.digest()
+
+    def test_corrupt_crc_falls_back_a_generation(self, tmp_path):
+        spec = MatrixSpec.from_json(SPEC_DOC)
+        run_matrix(spec, tmp_path)
+        live = tmp_path / MATRIX_NAME
+
+        doc = json.loads(live.read_text())
+        doc["spec_digest"] = "0" * 32  # valid JSON, wrong checksum
+        live.write_text(json.dumps(doc))
+
+        loaded = load_manifest(tmp_path)
+        assert loaded is not None
+        _, used_path, skipped = loaded
+        assert used_path.name == f"{MATRIX_NAME}.1"
+        assert skipped and "crc" in skipped[0][1].lower()
+
+    def test_resume_after_torn_manifest_completes(self, tmp_path):
+        spec = MatrixSpec.from_json(SPEC_DOC)
+        first = run_matrix(spec, tmp_path)
+        live = tmp_path / MATRIX_NAME
+        payload = live.read_bytes()
+        live.write_bytes(payload[: len(payload) // 2])
+
+        again = run_matrix(spec, tmp_path, resume=True)
+        assert again.counts["ok"] == 2
+        # The prior generation predates the final save, so at least the
+        # first cell is verified and skipped; anything it recorded as
+        # still in flight re-runs to the same bytes.
+        assert again.counts["skipped_resume"] >= 1
+        for cell_id, record in again.manifest.cells.items():
+            assert record.digest == first.manifest.cells[cell_id].digest
+
+    def test_all_generations_corrupt_is_an_error(self, tmp_path):
+        from repro.matrix import MatrixManifestError
+
+        spec = MatrixSpec.from_json(SPEC_DOC)
+        run_matrix(spec, tmp_path)
+        (tmp_path / MATRIX_NAME).write_text("{torn")
+        (tmp_path / f"{MATRIX_NAME}.1").write_text("also torn")
+        with pytest.raises(MatrixManifestError):
+            load_manifest(tmp_path)

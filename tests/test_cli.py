@@ -300,6 +300,7 @@ class TestFlagUnification:
             ["report", "--seed", "11"],
             ["analyze", "--seed", "11", "c.bin"],
             ["release", "--seed", "11", "c.bin"],
+            ["matrix", "--seed", "11", "spec.json", "--dir", "sweep"],
         ],
     )
     def test_every_subcommand_accepts_seed_first(self, argv):
@@ -413,3 +414,108 @@ class TestSegmentedStudyCommand:
         )
         assert code == 0
         assert "prefix,addresses" in release_out.read_text()
+
+
+class TestMatrixCommand:
+    MICRO = {
+        "n_home_networks": 30,
+        "n_cellular_subscribers": 20,
+        "n_hosting_networks": 6,
+    }
+
+    def write_spec(self, tmp_path, **extra):
+        doc = {
+            "presets": "tiny",
+            "overrides": [self.MICRO],
+            "faults": [None, "flap=0.3,loss=0.05,seed=9"],
+            "weeks": 1,
+            "seeds": [0],
+        }
+        doc.update(extra)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(doc))
+        return path
+
+    def test_matrix_parser_options(self):
+        args = build_parser().parse_args(
+            [
+                "matrix", "spec.json",
+                "--dir", "sweep",
+                "--resume",
+                "--matrix-workers", "3",
+                "--cell-timeout", "12.5",
+                "--max-cell-retries", "2",
+                "--report", "report.txt",
+            ]
+        )
+        assert args.spec == "spec.json"
+        assert args.dir == "sweep"
+        assert args.resume is True
+        assert args.matrix_workers == 3
+        assert args.cell_timeout == 12.5
+        assert args.max_cell_retries == 2
+        assert args.report == "report.txt"
+
+    def test_matrix_sweep_runs_and_reports(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        sweep_dir = tmp_path / "sweep"
+        metrics_out = tmp_path / "metrics.json"
+        code = main(
+            [
+                "matrix", str(spec),
+                "--dir", str(sweep_dir),
+                "--metrics-out", str(metrics_out),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario matrix report" in out
+        assert "records by faults" in out
+        manifest = json.loads((sweep_dir / "MATRIX.json").read_text())
+        statuses = [
+            cell["status"] for cell in manifest["cells"].values()
+        ]
+        assert statuses == ["ok", "ok"]
+        metrics = json.loads(metrics_out.read_text())
+        assert metrics["counters"]["repro_matrix_cells_ok_total"] == 2
+
+    def test_matrix_refuses_rerun_without_resume(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path, faults=[None], seeds=[0])
+        sweep_dir = tmp_path / "sweep"
+        assert main(["matrix", str(spec), "--dir", str(sweep_dir)]) == 0
+        with pytest.raises(SystemExit) as excinfo:
+            main(["matrix", str(spec), "--dir", str(sweep_dir)])
+        assert excinfo.value.code == 2
+        assert "resume" in capsys.readouterr().err
+
+    def test_matrix_resume_skips_completed(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path, faults=[None], seeds=[0])
+        sweep_dir = tmp_path / "sweep"
+        assert main(["matrix", str(spec), "--dir", str(sweep_dir)]) == 0
+        capsys.readouterr()
+        code = main(
+            ["matrix", str(spec), "--dir", str(sweep_dir), "--resume"]
+        )
+        assert code == 0
+        assert "(resumed)" in capsys.readouterr().out
+
+    def test_matrix_bad_spec_exits(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"presets": ["tiny"], "bogus_axis": [1]}')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["matrix", str(bad), "--dir", str(tmp_path / "sweep")])
+        assert excinfo.value.code == 2
+        assert "bogus_axis" in capsys.readouterr().err
+
+    def test_matrix_report_to_file(self, tmp_path):
+        spec = self.write_spec(tmp_path, faults=[None], seeds=[0])
+        report = tmp_path / "matrix-report.txt"
+        code = main(
+            [
+                "matrix", str(spec),
+                "--dir", str(tmp_path / "sweep"),
+                "--report", str(report),
+            ]
+        )
+        assert code == 0
+        assert "scenario matrix report" in report.read_text()
