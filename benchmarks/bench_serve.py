@@ -1,0 +1,472 @@
+"""Serving throughput — coalesced vectorized lookups vs one-per-await.
+
+Builds a synthetic clustered corpus (same generator as the analysis
+bench), seals it into a segment store, derives the mmap-backed
+``SERVING.rsi`` index, and drives the
+:class:`repro.serve.CoalescingEngine` with 64 concurrent clients three
+ways:
+
+* **unbatched** — ``coalesce=False``, one kernel call per awaited query:
+  the naive async-server baseline;
+* **coalesced** — the same one-query-per-await clients, but every query
+  arriving in one event-loop tick is answered by a single vectorized
+  binary search;
+* **batched** — clients issue ``batch()`` calls of ~256 addresses (the
+  remote client's ``*_batch`` shape), coalesced across clients.
+
+Reported per mode: aggregate lookups/s and p50/p99 per-query latency.
+``--check`` additionally proves correctness end to end: every serving
+answer bit-identical to the in-process :class:`CorpusIndex` plus
+:meth:`RoutingTable.origin_asn` ground truth, remote (TCP) answers
+bit-identical to local ones when ``--server`` is given, the batched
+speedup at least ``--min-speedup``, and — the zero-copy proof — all of
+it still true after every sealed ``.seg`` is deleted.
+
+Runs standalone (CI perf smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        --addresses 140000 --check --server
+
+Results land in ``benchmarks/output/BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import gc
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+_SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:  # standalone invocation without PYTHONPATH
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.index import CorpusIndex
+from repro.core.kernels import NO_MAC
+from repro.core.segments import SegmentStore
+from repro.serve import (
+    CoalescingEngine,
+    READY_PREFIX,
+    RemoteHitlistClient,
+    ServingIndex,
+    build_serving_index,
+)
+
+from bench_analysis_index import build_corpus, build_routing, generate_events
+from jsonout import publish_text, write_bench_json
+
+CLIENTS = 64
+UNBATCHED_PER_CLIENT = 200
+COALESCED_PER_CLIENT = 1500
+BATCH_SIZE = 256
+BATCHES_PER_CLIENT = 24
+
+
+def build_store(directory, n_addresses, seed):
+    """Seal the synthetic corpus into several segments; return routing."""
+    table, _, blocks = build_routing()
+    macs = [(0x0011_22 << 24) + n for n in range(max(50, n_addresses // 150))]
+    events = generate_events(n_addresses, seed, blocks, macs)
+    store = SegmentStore(directory, name="serve-bench")
+    metas = []
+    segments = 6
+    span = (len(events) + segments - 1) // segments
+    for number in range(segments):
+        chunk = events[number * span : (number + 1) * span]
+        corpus = build_corpus("serve-bench", chunk)
+        metas.append(
+            store.write_segment(
+                corpus,
+                segment_id=f"seg-{number:03d}",
+                start_day=number * 7,
+                end_day=(number + 1) * 7,
+            )
+        )
+    store.commit(metas, completed_weeks=segments)
+    return table
+
+
+def query_mix(index, seed):
+    """Ground-truth addresses plus misses, shuffled deterministically."""
+    import random
+
+    rng = random.Random(seed)
+    queries = list(index.addresses)
+    # ~10% misses of every shape: absent IID, absent /64, absent /48.
+    for _ in range(max(1, len(queries) // 10)):
+        base = rng.choice(index.addresses)
+        kind = rng.randrange(3)
+        if kind == 0:
+            queries.append(base ^ (1 + rng.getrandbits(8)))
+        elif kind == 1:
+            queries.append(base ^ (1 << 70))
+        else:
+            queries.append(base ^ (1 << 90))
+    rng.shuffle(queries)
+    return queries
+
+
+def expected_answers(gt, table, queries):
+    """The in-process oracle every serving mode is checked against."""
+    row_of = {address: row for row, address in enumerate(gt.addresses)}
+    s48 = {address >> 80 for address in gt.addresses}
+    s64 = {address >> 64 for address in gt.addresses}
+    out = {op: [] for op in (
+        "record", "lifetime", "entropy", "features",
+        "origin", "contains", "slash48", "slash64",
+    )}
+    for query in queries:
+        row = row_of.get(query)
+        if row is None:
+            for op in ("record", "lifetime", "entropy", "features"):
+                out[op].append(None)
+        else:
+            out["record"].append(
+                (gt.first[row], gt.last[row], gt.counts[row])
+            )
+            out["lifetime"].append(gt.last[row] - gt.first[row])
+            out["entropy"].append(gt.entropies[row])
+            mac = gt.macs[row]
+            out["features"].append((
+                gt.entropies[row],
+                gt.pattern_codes[row],
+                None if mac == NO_MAC else mac,
+            ))
+        out["contains"].append(row is not None)
+        out["slash48"].append(query >> 80 in s48)
+        out["slash64"].append(query >> 64 in s64)
+        out["origin"].append(table.origin_asn(query))
+    return out
+
+
+def check_index(index, expected, queries):
+    """Assert every batch query matches the oracle, bit for bit."""
+    mismatches = []
+    for op, method in (
+        ("record", index.record_batch),
+        ("lifetime", index.lifetime_batch),
+        ("entropy", index.entropy_batch),
+        ("features", index.features_batch),
+        ("origin", index.origin_batch),
+        ("contains", index.contains_batch),
+        ("slash48", index.slash48_batch),
+        ("slash64", index.slash64_batch),
+    ):
+        if method(queries) != expected[op]:
+            mismatches.append(op)
+    return mismatches
+
+
+def percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0.0
+    position = min(
+        len(sorted_values) - 1, int(fraction * len(sorted_values))
+    )
+    return sorted_values[position]
+
+
+async def drive_singles(engine, queries, per_client):
+    """64 concurrent clients, one awaited query each step."""
+    latencies = []
+
+    async def client(offset):
+        step = CLIENTS
+        for position in range(per_client):
+            query = queries[(offset + position * step) % len(queries)]
+            started = time.perf_counter()
+            await engine.query("contains", query)
+            latencies.append(time.perf_counter() - started)
+
+    started = time.perf_counter()
+    await asyncio.gather(*(client(n) for n in range(CLIENTS)))
+    elapsed = time.perf_counter() - started
+    return CLIENTS * per_client, elapsed, latencies
+
+
+async def drive_batches(engine, queries):
+    """64 concurrent clients issuing ~256-address batch() calls."""
+    latencies = []
+
+    async def client(offset):
+        for call in range(BATCHES_PER_CLIENT):
+            start = (offset * BATCHES_PER_CLIENT + call) * BATCH_SIZE
+            chunk = [
+                queries[(start + n) % len(queries)]
+                for n in range(BATCH_SIZE)
+            ]
+            started = time.perf_counter()
+            await engine.batch("contains", chunk)
+            latencies.append(time.perf_counter() - started)
+
+    started = time.perf_counter()
+    await asyncio.gather(*(client(n) for n in range(CLIENTS)))
+    elapsed = time.perf_counter() - started
+    return CLIENTS * BATCHES_PER_CLIENT * BATCH_SIZE, elapsed, latencies
+
+
+def measure(index, queries):
+    """Throughput + latency for the three serving modes."""
+    modes = {}
+
+    async def run_all():
+        gc.collect()
+        engine = CoalescingEngine(index, coalesce=False)
+        count, elapsed, latencies = await drive_singles(
+            engine, queries, UNBATCHED_PER_CLIENT
+        )
+        modes["unbatched"] = (count, elapsed, latencies, engine)
+
+        gc.collect()
+        engine = CoalescingEngine(index)
+        count, elapsed, latencies = await drive_singles(
+            engine, queries, COALESCED_PER_CLIENT
+        )
+        modes["coalesced"] = (count, elapsed, latencies, engine)
+
+        gc.collect()
+        engine = CoalescingEngine(index)
+        count, elapsed, latencies = await drive_batches(engine, queries)
+        modes["batched"] = (count, elapsed, latencies, engine)
+
+    asyncio.run(run_all())
+    report = {}
+    for mode, (count, elapsed, latencies, engine) in modes.items():
+        latencies.sort()
+        report[mode] = {
+            "lookups": count,
+            "seconds": round(elapsed, 6),
+            "lookups_per_second": round(count / elapsed, 1),
+            "latency_p50_us": round(1e6 * percentile(latencies, 0.50), 1),
+            "latency_p99_us": round(1e6 * percentile(latencies, 0.99), 1),
+            "kernel_calls": engine.batches_executed,
+            "queries_per_kernel_call": round(
+                engine.queries_served / max(1, engine.batches_executed), 1
+            ),
+        }
+    return report
+
+
+async def check_remote(host, port, expected, queries):
+    """Remote answers must equal the oracle (hence the local engine)."""
+    sample = queries[: min(len(queries), 4096)]
+    client = await RemoteHitlistClient.connect(host, int(port))
+    mismatches = []
+    try:
+        for op, method in (
+            ("record", client.record_batch),
+            ("lifetime", client.lifetime_batch),
+            ("origin", client.origin_batch),
+            ("contains", client.contains_batch),
+            ("slash48", client.in_slash48_batch),
+            ("slash64", client.in_slash64_batch),
+        ):
+            if await method(sample) != expected[op][: len(sample)]:
+                mismatches.append(op)
+        stats = await client.stats()
+    finally:
+        await client.aclose()
+    return mismatches, stats
+
+
+def run_server_check(directory, expected, queries):
+    """Spawn ``repro serve`` and verify the wire answers."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", str(directory)],
+        env={**os.environ, "PYTHONPATH": str(_SRC)},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    try:
+        ready = process.stdout.readline().strip()
+        if not ready.startswith(READY_PREFIX):
+            raise RuntimeError(f"server failed to start: {ready!r}")
+        _, _, host, port = ready.split()
+        mismatches, stats = asyncio.run(
+            check_remote(host, port, expected, queries)
+        )
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=30)
+    return mismatches, stats
+
+
+def run_bench(n_addresses, seed=11, server=False):
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+        directory = pathlib.Path(tmp)
+        table = build_store(directory, n_addresses, seed)
+        build_started = time.perf_counter()
+        build_serving_index(directory, routing=table)
+        build_seconds = time.perf_counter() - build_started
+
+        index = ServingIndex.open(directory)
+        gt_started = time.perf_counter()
+        from repro.core.segments import SegmentedCorpusReader
+
+        gt = CorpusIndex.build(
+            SegmentedCorpusReader.open(directory).load()
+        )
+        gt_seconds = time.perf_counter() - gt_started
+        queries = query_mix(gt, seed)
+        expected = expected_answers(gt, table, queries)
+
+        mismatched_ops = check_index(index, expected, queries)
+        remote_mismatches, remote_stats = [], None
+        if server:
+            remote_mismatches, remote_stats = run_server_check(
+                directory, expected, queries
+            )
+
+        modes = measure(index, queries)
+
+        # Zero-copy proof: with every sealed segment gone, a fresh open
+        # still answers everything, identically.
+        index.close()
+        removed = 0
+        for segment in directory.glob("*.seg"):
+            segment.unlink()
+            removed += 1
+        index = ServingIndex.open(directory)
+        zero_copy_mismatches = check_index(index, expected, queries)
+        index.close()
+
+        speedup = (
+            modes["coalesced"]["lookups_per_second"]
+            / modes["unbatched"]["lookups_per_second"]
+        )
+        payload = {
+            "addresses": len(gt.addresses),
+            "queries": len(queries),
+            "clients": CLIENTS,
+            "index_rows": modes and len(gt.addresses),
+            "index_build_seconds": round(build_seconds, 3),
+            "ground_truth_build_seconds": round(gt_seconds, 3),
+            "modes": modes,
+            "coalesced_speedup": round(speedup, 2),
+            "batched_speedup": round(
+                modes["batched"]["lookups_per_second"]
+                / modes["unbatched"]["lookups_per_second"],
+                2,
+            ),
+            "results_identical": not mismatched_ops,
+            "zero_copy_identical": not zero_copy_mismatches,
+            "segments_deleted_for_zero_copy_proof": removed,
+            "remote_checked": bool(server),
+            "remote_identical": not remote_mismatches,
+        }
+        if remote_stats is not None:
+            payload["remote_rows"] = remote_stats["rows"]
+        payload["_mismatches"] = {
+            "local": mismatched_ops,
+            "zero_copy": zero_copy_mismatches,
+            "remote": remote_mismatches,
+        }
+        return payload
+
+
+def render(payload):
+    lines = [
+        "serving throughput: coalesced vectorized lookups vs one-per-await",
+        f"  corpus: {payload['addresses']:,} addresses, "
+        f"{payload['queries']:,} distinct queries, "
+        f"{payload['clients']} concurrent clients",
+        f"  index build: {payload['index_build_seconds']:.3f}s "
+        f"(in-process ground truth: "
+        f"{payload['ground_truth_build_seconds']:.3f}s)",
+    ]
+    for mode in ("unbatched", "coalesced", "batched"):
+        row = payload["modes"][mode]
+        lines.append(
+            f"  {mode:10s} {row['lookups_per_second']:>12,.0f}/s   "
+            f"p50 {row['latency_p50_us']:>8,.1f}us   "
+            f"p99 {row['latency_p99_us']:>8,.1f}us   "
+            f"{row['queries_per_kernel_call']:>7,.1f} q/kernel-call"
+        )
+    lines.append(
+        f"  coalesced speedup over unbatched: "
+        f"{payload['coalesced_speedup']:.1f}x "
+        f"(batched: {payload['batched_speedup']:.1f}x)"
+    )
+    lines.append(
+        f"  results identical to in-process index: "
+        f"{payload['results_identical']}"
+    )
+    lines.append(
+        f"  zero-copy (all {payload['segments_deleted_for_zero_copy_proof']}"
+        f" .seg deleted) identical: {payload['zero_copy_identical']}"
+    )
+    if payload["remote_checked"]:
+        lines.append(
+            f"  remote (TCP) identical: {payload['remote_identical']}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--addresses", type=int, default=140_000,
+        help="synthetic corpus size (default: 140000, the reference "
+             "corpus scale)",
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero on any result mismatch or when the "
+             "coalesced speedup is below --min-speedup",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=5.0, metavar="X",
+        help="with --check: required batched-over-unbatched speedup "
+             "(default: 5.0)",
+    )
+    parser.add_argument(
+        "--server", action="store_true",
+        help="also spawn `repro serve` and verify the TCP answers",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_bench(
+        args.addresses, seed=args.seed, server=args.server
+    )
+    mismatches = payload.pop("_mismatches")
+    publish_text("serve", render(payload))
+    write_bench_json("serve", payload)
+
+    if args.check:
+        failed = False
+        for scope, ops in mismatches.items():
+            if ops:
+                print(f"CHECK FAILED: {scope} mismatches on {ops}")
+                failed = True
+        if payload["batched_speedup"] < args.min_speedup:
+            print(
+                f"CHECK FAILED: batched speedup "
+                f"{payload['batched_speedup']:.2f}x "
+                f"< required {args.min_speedup:.2f}x"
+            )
+            failed = True
+        if failed:
+            return 1
+        print(
+            f"CHECK OK: identical results"
+            + (", remote verified" if payload["remote_checked"] else "")
+            + f", {payload['batched_speedup']:.1f}x batched speedup"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

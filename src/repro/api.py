@@ -20,11 +20,13 @@ as the internals evolve (the consolidation of execution options into
 
 from __future__ import annotations
 
+import re
 from pathlib import Path
 from typing import Optional, Union
 
 from .core import (
     AddressCorpus,
+    CachedOrigins,
     ExecutionOptions,
     ReleaseArtifact,
     SegmentedCorpusReader,
@@ -39,7 +41,7 @@ from .core.segments import MANIFEST_NAME
 from .world import CAMPAIGN_EPOCH, WorldConfig, build_world
 from .world.world import World
 
-__all__ = ["Study", "open_corpus", "release", "sweep"]
+__all__ = ["Study", "connect", "open_corpus", "release", "sweep"]
 
 
 class Study:
@@ -205,6 +207,75 @@ def sweep(
         max_cell_retries=max_cell_retries,
         metrics=metrics,
     )
+
+
+#: ``host:port`` (or ``[v6-literal]:port``) — the remote connect shape.
+_HOST_PORT = re.compile(
+    r"^(?P<host>\[[0-9A-Fa-f:.]+\]|[^/\\\[\]:]+):(?P<port>\d{1,5})$"
+)
+
+
+async def connect(
+    target: Union[str, Path],
+    *,
+    routing=None,
+    metrics=None,
+    rebuild: bool = False,
+    coalesce: bool = True,
+):
+    """Connect to a hitlist service; returns an async query client.
+
+    ``target`` is either a segment directory (or its ``MANIFEST.json``
+    or ``SERVING.rsi``) — served **in-process**, opening the mmap-backed
+    serving index via
+    :func:`~repro.serve.ensure_serving_index` (built or rebuilt on
+    demand, with an LPM origin table when ``routing`` is given) — or a
+    ``host:port`` string for a running ``repro serve`` instance.  Both
+    clients expose the same awaitable surface (``record``/``origin``/
+    ``lifetime``/``entropy``/``features``/``contains``/``in_slash48``/
+    ``in_slash64``, each with a ``_batch`` variant, plus ``stats``)::
+
+        client = await connect("segments/")
+        asn = await client.origin(address)
+
+        client = await connect("127.0.0.1:8464")
+        lifetimes = await client.lifetime_batch(addresses)
+
+    Local serving never reads sealed ``.seg`` payloads — queries are
+    answered entirely from ``SERVING.rsi`` and the manifest.
+    """
+    from .serve import (
+        CoalescingEngine,
+        DEFAULT_ORIGIN_CACHE_SLASH64S,
+        LocalHitlistClient,
+        RemoteHitlistClient,
+        ensure_serving_index,
+    )
+
+    if isinstance(target, str):
+        match = _HOST_PORT.match(target)
+        if match is not None and not Path(target).exists():
+            host = match.group("host").strip("[]")
+            return await RemoteHitlistClient.connect(
+                host, int(match.group("port"))
+            )
+    index = ensure_serving_index(
+        target, routing=routing, metrics=metrics, rebuild=rebuild
+    )
+    origin_resolver = None
+    if routing is not None and not index.has_origin_table:
+        # Unreachable via ensure (it rebuilds with a table), but keeps
+        # the engine honest if handed a prebuilt table-less index.
+        origin_resolver = CachedOrigins.from_routing_table(
+            routing, max_slash64s=DEFAULT_ORIGIN_CACHE_SLASH64S
+        )  # pragma: no cover
+    engine = CoalescingEngine(
+        index,
+        metrics=metrics,
+        origin_resolver=origin_resolver,
+        coalesce=coalesce,
+    )
+    return LocalHitlistClient(engine)
 
 
 def release(

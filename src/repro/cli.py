@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the operational loop a downstream user needs:
+Six subcommands cover the operational loop a downstream user needs:
 
 * ``repro study``    — build a world, run the full three-campaign study,
   save the corpora, print the Table 1 comparison;
@@ -12,7 +12,10 @@ Five subcommands cover the operational loop a downstream user needs:
   report;
 * ``repro matrix``   — run a declarative scenario sweep (world x faults
   x weeks x seeds) with per-cell isolation, deadlines and crash-safe
-  ``--resume``.
+  ``--resume``;
+* ``repro serve``    — serve a segment store's hitlist over TCP from
+  the mmap-backed ``SERVING.rsi`` index, coalescing concurrent lookups
+  into vectorized kernel calls.
 
 All randomness flows from ``--seed``; two invocations with identical
 arguments produce identical bytes.
@@ -306,6 +309,84 @@ def _cmd_release(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    # Lazy import: serving is optional machinery; the other subcommands
+    # must not pay for (or depend on) it.
+    import asyncio
+    import signal
+
+    from .serve import (
+        CoalescingEngine,
+        HitlistServer,
+        READY_PREFIX,
+        ensure_serving_index,
+    )
+
+    registry = MetricsRegistry()
+    routing = None
+    if args.scale is not None:
+        # The synthetic worlds are deterministic in (scale, seed), so
+        # the routing table (hence the flattened origin table baked
+        # into the index) is reproducible from the flags alone.
+        world = build_world(preset_config(args.scale, seed=args.seed))
+        routing = world.routing
+    try:
+        index = ensure_serving_index(
+            args.segment_dir,
+            routing=routing,
+            metrics=registry,
+            rebuild=args.rebuild,
+        )
+    except FileNotFoundError as error:
+        logger.error("no segment store to serve: %s", error)
+        return 2
+    info = index.describe()
+    logger.info(
+        "serving index ready: %s rows=%s generation=%s origin_table=%s",
+        index.path,
+        info["rows"],
+        info["generation"],
+        index.has_origin_table,
+    )
+    if args.build_only:
+        index.close()
+        if args.metrics_out:
+            _write_metrics(registry, args.metrics_out)
+        print(f"serving index ready at {index.path}")
+        return 0
+
+    async def run_server() -> None:
+        engine = CoalescingEngine(index, metrics=registry)
+        server = HitlistServer(
+            engine, host=args.host, port=args.port, metrics=registry
+        )
+        host, port = await server.start()
+        print(f"{READY_PREFIX} {host} {port}", flush=True)
+        loop = asyncio.get_running_loop()
+        stop = loop.create_future()
+
+        def request_stop() -> None:
+            if not stop.done():
+                stop.set_result(None)
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, request_stop)
+        try:
+            await stop
+        finally:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.remove_signal_handler(signum)
+            await server.aclose()
+
+    try:
+        asyncio.run(run_server())
+    finally:
+        index.close()
+        if args.metrics_out:
+            _write_metrics(registry, args.metrics_out)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -480,6 +561,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     release.add_argument("--output", default="release_48s.csv")
     release.set_defaults(handler=_cmd_release)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a segment store's hitlist over TCP from the "
+             "mmap-backed on-disk index (JSON-lines protocol)",
+    )
+    serve.add_argument(
+        "segment_dir",
+        help="a --segment-dir directory (or its MANIFEST.json); the "
+             "SERVING.rsi index is built next to the manifest if "
+             "missing, torn, or stale",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port; 0 picks a free port, announced on the "
+             "'SERVE READY <host> <port>' stdout line (default: 0)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=7,
+        help="world seed used with --scale to rebuild the routing "
+             "table for origin-ASN queries (default: 7)",
+    )
+    serve.add_argument(
+        "--scale", choices=sorted(preset_names()), default=None,
+        help="rebuild this preset's routing table and bake its "
+             "flattened LPM origin table into the serving index "
+             "(default: no origin table)",
+    )
+    serve.add_argument(
+        "--rebuild", action="store_true",
+        help="rebuild the serving index even if a current one exists",
+    )
+    serve.add_argument(
+        "--build-only", action="store_true",
+        help="build/refresh the serving index and exit without "
+             "listening (for CI and cron)",
+    )
+    serve.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write serving telemetry on exit: JSON, or Prometheus "
+             "text for .prom/.txt",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     report = commands.add_parser(
         "report", help="run a study and print the full findings report"

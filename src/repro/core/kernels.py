@@ -27,6 +27,7 @@ acceleration detail and never leaks numpy scalars to consumers.
 from __future__ import annotations
 
 from array import array
+from bisect import bisect_left, bisect_right
 from typing import Dict, List, Sequence, Tuple
 
 from ..addr.entropy import (
@@ -50,6 +51,8 @@ __all__ = [
     "lifetime_column",
     "iid_interval_map",
     "fold_record_columns",
+    "pair_searchsorted",
+    "sorted_contains_u64",
 ]
 
 #: Whether the vectorized (numpy) path is active.  Tests monkeypatch the
@@ -456,3 +459,107 @@ def fold_record_columns(partials):
     if _np is not None:
         return _fold_record_columns_numpy(live)
     return _fold_record_columns_scalar(live)
+
+
+# -- sorted-column binary search (the serving-index query kernels) -------------
+
+#: Below this batch size the scalar bisect path beats the vectorized one
+#: (per-call numpy setup dominates), so single queries stay cheap even
+#: when numpy is installed.
+_VECTOR_MIN_QUERIES = 8
+
+
+def _pair_searchsorted_scalar(hi_col, lo_col, q_hi, q_lo, side):
+    if side == "left":
+        inner = bisect_left
+    else:
+        inner = bisect_right
+    out = []
+    append = out.append
+    for qh, ql in zip(q_hi, q_lo):
+        low = bisect_left(hi_col, qh)
+        high = bisect_right(hi_col, qh, low)
+        append(inner(lo_col, ql, low, high))
+    return out
+
+
+def _pair_searchsorted_numpy(hi_col, lo_col, q_hi, q_lo, side):
+    np = _np
+    hi_arr = np.asarray(hi_col, dtype=np.uint64)
+    lo_arr = np.asarray(lo_col, dtype=np.uint64)
+    count = len(q_hi)
+    qh = np.fromiter(q_hi, dtype=np.uint64, count=count)
+    ql = np.fromiter(q_lo, dtype=np.uint64, count=count)
+    # The run of rows sharing the query's hi half is [left, right); a
+    # batched manual bisection over the lo column inside each run turns
+    # the composite 128-bit search into O(log max-run) vector steps.
+    left = np.searchsorted(hi_arr, qh, side="left").astype(np.int64)
+    right = np.searchsorted(hi_arr, qh, side="right").astype(np.int64)
+    take_left = side == "left"
+    while True:
+        active = left < right
+        if not active.any():
+            break
+        mid = (left + right) >> 1
+        mid_vals = lo_arr[np.where(active, mid, 0)]
+        if take_left:
+            go_right = mid_vals < ql
+        else:
+            go_right = mid_vals <= ql
+        left = np.where(active & go_right, mid + 1, left)
+        right = np.where(active & ~go_right, mid, right)
+    return left.tolist()
+
+
+def pair_searchsorted(
+    hi_col, lo_col, q_hi: Sequence[int], q_lo: Sequence[int], side="left"
+) -> List[int]:
+    """Insertion points of 128-bit queries in a sorted ``(hi, lo)`` pair
+    of u64 columns — ``searchsorted`` over a composite key numpy has no
+    dtype for.
+
+    ``hi_col``/``lo_col`` are row-aligned columns sorted
+    lexicographically by ``(hi, lo)`` (numpy arrays, ``array('Q')`` or
+    ``memoryview`` casts all work); queries arrive pre-split into hi/lo
+    halves.  ``side`` follows :func:`bisect.bisect_left` /
+    ``bisect_right`` semantics.  Both paths return identical plain-int
+    lists; tiny batches always take the scalar path, where per-query
+    bisect beats vectorization setup.
+    """
+    if side not in ("left", "right"):
+        raise ValueError(f"side must be 'left' or 'right', not {side!r}")
+    if not q_hi:
+        return []
+    if _np is None or len(q_hi) < _VECTOR_MIN_QUERIES:
+        return _pair_searchsorted_scalar(hi_col, lo_col, q_hi, q_lo, side)
+    return _pair_searchsorted_numpy(hi_col, lo_col, q_hi, q_lo, side)
+
+
+def sorted_contains_u64(column, queries: Sequence[int]) -> List[bool]:
+    """Membership of each query in a sorted u64 column (plain bools).
+
+    Vectorized ``searchsorted`` + equality check when numpy is
+    available and the batch is big enough to amortize it; scalar bisect
+    otherwise.  Both paths return identical results.
+    """
+    if not queries:
+        return []
+    size = len(column)
+    if _np is None or len(queries) < _VECTOR_MIN_QUERIES:
+        out = []
+        append = out.append
+        for query in queries:
+            position = bisect_left(column, query, 0, size)
+            append(position < size and column[position] == query)
+        return out
+    np = _np
+    col = np.asarray(column, dtype=np.uint64)
+    probes = np.fromiter(
+        queries, dtype=np.uint64, count=len(queries)
+    )
+    positions = np.searchsorted(col, probes)
+    found = positions < size
+    clipped = np.where(found, positions, 0)
+    if size:
+        found &= col[clipped] == probes
+    return found.tolist()

@@ -58,10 +58,12 @@ costs a rescan of its segment (counted by
 from __future__ import annotations
 
 import contextlib
+import copy
 import io
 import json
 import os
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
@@ -86,6 +88,8 @@ __all__ = [
     "SegmentStore",
     "SegmentBufferedCorpus",
     "SegmentedCorpusReader",
+    "clear_manifest_cache",
+    "manifest_cache_info",
 ]
 
 #: Default flush budget: a buffered shard seals a segment once its
@@ -122,6 +126,11 @@ SEGMENT_OVERHEAD_BYTES = 64
 
 #: Times a fault-injected segment write is retried before giving up.
 MAX_SEGMENT_WRITE_RETRIES = 3
+
+#: Process-wide parsed-manifest cache bound.  Each entry holds one
+#: parsed :class:`Manifest`; 64 distinct segment directories per process
+#: is far beyond any workload here.
+MANIFEST_CACHE_MAX_ENTRIES = 64
 
 
 class SegmentError(CorpusFormatError):
@@ -226,6 +235,71 @@ class Manifest:
         )
 
 
+# -- parsed-manifest cache -----------------------------------------------------
+#
+# Every open of a segment directory — and every commit, which reloads
+# before appending — used to re-read and re-parse MANIFEST.json from
+# scratch.  A serving process re-opening the same store thousands of
+# times pays JSON parsing of a potentially multi-thousand-entry segment
+# list each time.  The cache below keys parsed manifests by absolute
+# path and validates each hit against the file's current (mtime_ns,
+# size); when the stat changed but the bytes did not (rewrites of
+# identical content, coarse-timestamp filesystems), a CRC32 of the
+# re-read bytes still skips the JSON parse.  Any watermark or segment
+# change rewrites the file via os.replace, which changes the stat and
+# invalidates the entry — cross-process writers are caught the same way.
+
+_MANIFEST_CACHE: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+_MANIFEST_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def _manifest_copy(manifest: Manifest) -> Manifest:
+    """A mutation-safe copy of a parsed manifest.
+
+    ``commit()`` appends to ``manifest.segments`` and callers may merge
+    into ``manifest.metrics``, so the cache never hands out (or keeps) an
+    aliased instance.  ``SegmentMeta`` rows are frozen and shared; only
+    the mutable containers are copied.
+    """
+    return Manifest(
+        name=manifest.name,
+        completed_weeks=manifest.completed_weeks,
+        segments=list(manifest.segments),
+        metrics=copy.deepcopy(manifest.metrics),
+        compactions=manifest.compactions,
+    )
+
+
+def _manifest_cache_put(
+    key: str, stat: os.stat_result, crc: int, manifest: Manifest
+) -> None:
+    _MANIFEST_CACHE[key] = {
+        "mtime_ns": stat.st_mtime_ns,
+        "size": stat.st_size,
+        "crc32": crc,
+        "manifest": _manifest_copy(manifest),
+    }
+    _MANIFEST_CACHE.move_to_end(key)
+    while len(_MANIFEST_CACHE) > MANIFEST_CACHE_MAX_ENTRIES:
+        _MANIFEST_CACHE.popitem(last=False)
+
+
+def manifest_cache_info() -> Dict[str, int]:
+    """Cache shape for tests and profiling: entries, hits, misses."""
+    return {
+        "entries": len(_MANIFEST_CACHE),
+        "hits": _MANIFEST_CACHE_STATS["hits"],
+        "misses": _MANIFEST_CACHE_STATS["misses"],
+    }
+
+
+def clear_manifest_cache() -> None:
+    """Drop every cached manifest (tests; also resets hit/miss counts)."""
+    _MANIFEST_CACHE.clear()
+    _MANIFEST_CACHE_STATS["hits"] = 0
+    _MANIFEST_CACHE_STATS["misses"] = 0
+
+
 class SegmentStore:
     """One segment directory: sealed segment files plus their manifest.
 
@@ -301,18 +375,58 @@ class SegmentStore:
     # -- manifest ----------------------------------------------------------------
 
     def load_manifest(self) -> Optional[Manifest]:
-        """The committed manifest, or ``None`` when none exists yet."""
+        """The committed manifest, or ``None`` when none exists yet.
+
+        Parses are cached process-wide keyed by (path, mtime, CRC):
+        repeated opens of an unchanged store skip the JSON parse
+        entirely, and any rewrite — watermark bump, commit, compaction,
+        even by another process — changes the stat (or failing that the
+        CRC re-check) and invalidates the entry.  Callers always get a
+        private, mutation-safe :class:`Manifest` copy.
+        """
+        key = os.path.abspath(self.manifest_path)
         try:
-            raw = self.manifest_path.read_text()
+            stat = os.stat(self.manifest_path)
         except FileNotFoundError:
+            _MANIFEST_CACHE.pop(key, None)
             return None
+        entry = _MANIFEST_CACHE.get(key)
+        if (
+            entry is not None
+            and entry["mtime_ns"] == stat.st_mtime_ns
+            and entry["size"] == stat.st_size
+        ):
+            _MANIFEST_CACHE_STATS["hits"] += 1
+            _MANIFEST_CACHE.move_to_end(key)
+            return _manifest_copy(entry["manifest"])
         try:
-            return Manifest.from_json(json.loads(raw))
+            raw = self.manifest_path.read_bytes()
+        except FileNotFoundError:  # pragma: no cover - stat/read race
+            _MANIFEST_CACHE.pop(key, None)
+            return None
+        crc = zlib.crc32(raw)
+        if (
+            entry is not None
+            and entry["crc32"] == crc
+            and entry["size"] == len(raw)
+        ):
+            # Same bytes under a new stat (atomic rewrite of identical
+            # content): refresh the stat key, skip the parse.
+            entry["mtime_ns"] = stat.st_mtime_ns
+            _MANIFEST_CACHE_STATS["hits"] += 1
+            _MANIFEST_CACHE.move_to_end(key)
+            return _manifest_copy(entry["manifest"])
+        _MANIFEST_CACHE.pop(key, None)
+        _MANIFEST_CACHE_STATS["misses"] += 1
+        try:
+            manifest = Manifest.from_json(json.loads(raw))
         except (json.JSONDecodeError, SegmentError) as error:
             raise SegmentError(
                 f"unreadable segment manifest: {error}",
                 path=self.manifest_path,
             ) from error
+        _manifest_cache_put(key, stat, crc, manifest)
+        return manifest
 
     def commit(
         self,
@@ -361,7 +475,20 @@ class SegmentStore:
 
     def _write_manifest(self, manifest: Manifest) -> None:
         blob = json.dumps(manifest.to_json(), indent=2, sort_keys=True) + "\n"
-        self._atomic_write(self.manifest_path, blob.encode("utf-8"))
+        data = blob.encode("utf-8")
+        self._atomic_write(self.manifest_path, data)
+        # Prime the cache with what we just wrote: the writing process
+        # never pays a re-parse for its own commit.
+        try:
+            stat = os.stat(self.manifest_path)
+        except FileNotFoundError:  # pragma: no cover - concurrent unlink
+            return
+        _manifest_cache_put(
+            os.path.abspath(self.manifest_path),
+            stat,
+            zlib.crc32(data),
+            manifest,
+        )
 
     def _atomic_write(self, path: Path, data: bytes) -> None:
         temp = path.with_name(f"{path.name}.tmp-{os.getpid()}")

@@ -1,0 +1,63 @@
+"""Hitlist-as-a-service: the read-only serving layer over segment stores.
+
+Three pieces (DESIGN.md §14):
+
+* :mod:`repro.serve.format` — the ``RSI1`` on-disk serving index:
+  columnar, CRC-sealed, derived from seal-time ``.idx`` partials and
+  opened zero-copy via mmap.
+* :mod:`repro.serve.engine` — the asyncio
+  :class:`~repro.serve.engine.CoalescingEngine`, batching concurrent
+  lookups into single vectorized kernel calls.
+* :mod:`repro.serve.service` — the JSON-lines TCP
+  :class:`~repro.serve.service.HitlistServer` and the local/remote
+  client pair behind :func:`repro.api.connect`.
+
+Typical use::
+
+    from repro.serve import ensure_serving_index, CoalescingEngine
+
+    index = ensure_serving_index("segments/", routing=world.routing)
+    engine = CoalescingEngine(index)
+    asn = await engine.query("origin", address)
+
+or, end to end, ``repro serve segments/`` and
+``await repro.api.connect("host:port")``.
+"""
+
+from .engine import (
+    CoalescingEngine,
+    DEFAULT_ORIGIN_CACHE_SLASH64S,
+    QUERY_OPS,
+)
+from .format import (
+    SERVING_INDEX_NAME,
+    ServingIndex,
+    ServingIndexError,
+    build_serving_index,
+    ensure_serving_index,
+    flatten_origin_table,
+    manifest_digest,
+)
+from .service import (
+    HitlistServer,
+    LocalHitlistClient,
+    READY_PREFIX,
+    RemoteHitlistClient,
+)
+
+__all__ = [
+    "CoalescingEngine",
+    "DEFAULT_ORIGIN_CACHE_SLASH64S",
+    "HitlistServer",
+    "LocalHitlistClient",
+    "QUERY_OPS",
+    "READY_PREFIX",
+    "RemoteHitlistClient",
+    "SERVING_INDEX_NAME",
+    "ServingIndex",
+    "ServingIndexError",
+    "build_serving_index",
+    "ensure_serving_index",
+    "flatten_origin_table",
+    "manifest_digest",
+]

@@ -1,0 +1,249 @@
+"""The asyncio query engine: coalesce concurrent lookups, answer in bulk.
+
+A naive async server answers each query with its own binary search —
+correct, but the per-query Python overhead (parse, search, reply) caps
+throughput far below what the vectorized kernels can do.  The engine
+below exploits a property of event loops: every query that arrives
+while the loop is busy is *already concurrent*, so deferring the actual
+lookup by one ``call_soon`` tick lets all of them pile into a single
+batch, answered by **one** vectorized kernel call
+(:func:`repro.core.kernels.pair_searchsorted` over the mmap'd columns).
+Each caller still awaits its own future and receives only its own
+results; coalescing changes scheduling, never answers.
+
+Instrumentation (``repro.obs``): per-op query counters, per-op latency
+histograms (enqueue to answer), batch counters and batch-size
+histograms — the metrics that tell an operator whether coalescing is
+actually happening under their load.
+
+Origin queries prefer the index's flattened origin table.  When the
+index was built without one, an ``origin_resolver`` (typically an
+LRU-capped :class:`~repro.core.CachedOrigins`, see
+:data:`DEFAULT_ORIGIN_CACHE_SLASH64S`) answers instead — capped because
+a serving process lives long enough to meet unboundedly many /64s.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..obs import DEFAULT_TIME_BUCKETS, MetricsRegistry, NULL_REGISTRY
+from .format import ServingIndex, ServingIndexError
+
+__all__ = [
+    "CoalescingEngine",
+    "DEFAULT_ORIGIN_CACHE_SLASH64S",
+    "QUERY_OPS",
+]
+
+#: Default LRU bound for a serving process's fallback origin memo.
+DEFAULT_ORIGIN_CACHE_SLASH64S = 65536
+
+#: Query ops the engine serves, each an address-batch method of
+#: :class:`~repro.serve.format.ServingIndex`.
+QUERY_OPS: Tuple[str, ...] = (
+    "record",
+    "lifetime",
+    "entropy",
+    "features",
+    "origin",
+    "contains",
+    "slash48",
+    "slash64",
+)
+
+#: Batch-size histogram buckets: how many queries one kernel call served.
+_BATCH_BUCKETS = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+    1024.0, 4096.0, 16384.0, 65536.0,
+)
+
+
+class _Pending:
+    """One op's accumulating batch for the current event-loop tick."""
+
+    __slots__ = ("args", "waiters")
+
+    def __init__(self) -> None:
+        self.args: List[int] = []
+        # (future, start, count, enqueued_at) — each waiter owns the
+        # slice [start, start + count) of the batch results.
+        self.waiters: List[
+            Tuple[asyncio.Future, int, int, float]
+        ] = []
+
+
+class CoalescingEngine:
+    """Serve batch queries over a :class:`ServingIndex`, coalesced.
+
+    ``await engine.batch(op, addresses)`` returns one result per
+    address.  With ``coalesce=True`` (the default) all calls issued in
+    the same event-loop tick are answered by one kernel call per op;
+    ``coalesce=False`` executes each call immediately — the "naive
+    one-query-per-await" baseline the serving benchmark compares
+    against.  ``max_batch`` chunks pathologically large merged batches
+    to bound per-call latency.
+    """
+
+    def __init__(
+        self,
+        index: ServingIndex,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        origin_resolver: Optional[
+            Callable[[int], Optional[int]]
+        ] = None,
+        coalesce: bool = True,
+        max_batch: int = 8192,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1: {max_batch}")
+        self.index = index
+        self.metrics = NULL_REGISTRY if metrics is None else metrics
+        self.coalesce = coalesce
+        self.max_batch = max_batch
+        self._origin_resolver = origin_resolver
+        self._pending: Dict[str, _Pending] = {}
+        self._flush_scheduled = False
+        self._executors: Dict[str, Callable] = {
+            "record": index.record_batch,
+            "lifetime": index.lifetime_batch,
+            "entropy": index.entropy_batch,
+            "features": index.features_batch,
+            "origin": self._origin_exec,
+            "contains": index.contains_batch,
+            "slash48": index.slash48_batch,
+            "slash64": index.slash64_batch,
+        }
+        #: Plain counters mirrored into the registry (cheap to read in
+        #: describe() without a registry snapshot).
+        self.queries_served = 0
+        self.batches_executed = 0
+        self._m_queries = {
+            op: self.metrics.counter(
+                "repro_serve_queries_total",
+                "queries answered by the serving engine",
+                labels={"op": op},
+            )
+            for op in QUERY_OPS
+        }
+        self._m_latency = {
+            op: self.metrics.histogram(
+                "repro_serve_query_seconds",
+                "enqueue-to-answer latency of served queries",
+                buckets=DEFAULT_TIME_BUCKETS,
+                labels={"op": op},
+            )
+            for op in QUERY_OPS
+        }
+        self._m_batches = self.metrics.counter(
+            "repro_serve_batches_total",
+            "vectorized kernel calls executed for coalesced batches",
+        )
+        self._m_batch_size = self.metrics.histogram(
+            "repro_serve_batch_size",
+            "queries answered per coalesced kernel call",
+            buckets=_BATCH_BUCKETS,
+        )
+
+    # -- public query surface ----------------------------------------------------
+
+    async def batch(self, op: str, addresses: Sequence[int]) -> List:
+        """Answer ``op`` for every address (one result per address)."""
+        executor = self._executors.get(op)
+        if executor is None:
+            raise ValueError(
+                f"unknown query op {op!r}; serving ops: "
+                + ", ".join(QUERY_OPS)
+            )
+        if not len(addresses):
+            return []
+        if not self.coalesce:
+            started = perf_counter()
+            results = self._execute(op, executor, list(addresses))
+            self._m_latency[op].observe(perf_counter() - started)
+            return results
+        future = asyncio.get_running_loop().create_future()
+        pending = self._pending.get(op)
+        if pending is None:
+            pending = self._pending[op] = _Pending()
+        start = len(pending.args)
+        pending.args.extend(addresses)
+        pending.waiters.append(
+            (future, start, len(addresses), perf_counter())
+        )
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            asyncio.get_running_loop().call_soon(self._flush)
+        return await future
+
+    async def query(self, op: str, address: int):
+        """Answer a single query (one-element :meth:`batch`)."""
+        return (await self.batch(op, (address,)))[0]
+
+    def describe(self) -> Dict[str, object]:
+        """Engine + index shape (the ``stats`` op's answer)."""
+        info = dict(self.index.describe())
+        info["coalesce"] = self.coalesce
+        info["max_batch"] = self.max_batch
+        info["queries_served"] = self.queries_served
+        info["batches_executed"] = self.batches_executed
+        if self.index.has_origin_table:
+            info["origin_source"] = "table"
+        elif self._origin_resolver is not None:
+            info["origin_source"] = "resolver"
+        else:
+            info["origin_source"] = None
+        return info
+
+    # -- execution ---------------------------------------------------------------
+
+    def _origin_exec(
+        self, addresses: Sequence[int]
+    ) -> List[Optional[int]]:
+        if self.index.has_origin_table:
+            return self.index.origin_batch(addresses)
+        resolver = self._origin_resolver
+        if resolver is None:
+            raise ServingIndexError(
+                "no origin table in the serving index and no origin "
+                "resolver configured",
+                path=self.index.path,
+            )
+        return [resolver(address) for address in addresses]
+
+    def _execute(
+        self, op: str, executor: Callable, args: List[int]
+    ) -> List:
+        results: List = []
+        for start in range(0, len(args), self.max_batch):
+            chunk = args[start : start + self.max_batch]
+            results.extend(executor(chunk))
+            self.batches_executed += 1
+            self._m_batches.inc()
+            self._m_batch_size.observe(len(chunk))
+        self.queries_served += len(args)
+        self._m_queries[op].inc(len(args))
+        return results
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        pending, self._pending = self._pending, {}
+        for op, bucket in pending.items():
+            try:
+                results = self._execute(
+                    op, self._executors[op], bucket.args
+                )
+            except Exception as error:
+                for future, _, _, _ in bucket.waiters:
+                    if not future.done():
+                        future.set_exception(error)
+                continue
+            answered = perf_counter()
+            latency = self._m_latency[op]
+            for future, start, count, enqueued in bucket.waiters:
+                if not future.done():
+                    future.set_result(results[start : start + count])
+                latency.observe(answered - enqueued)

@@ -1,0 +1,804 @@
+"""The ``RSI1`` on-disk serving index: mmap-opened, zero-copy, CRC-sealed.
+
+A segment store answers analytical queries by folding its seal-time
+``.idx`` partials into an in-process :class:`~repro.core.CorpusIndex` —
+fine for one analysis run, wasteful for a fleet of serving workers that
+each re-fold (and each hold) the same columns.  The serving index
+materializes the folded, **query-ordered** columns once, on disk, next
+to ``MANIFEST.json``:
+
+``SERVING.rsi`` layout (all integers little-endian)::
+
+    header (64 bytes):
+        magic            b"RSI1"
+        version          u16
+        flags            u16   bit 0: origin table present
+        rows             u64   address rows
+        n48              u64   distinct /48 keys
+        n64              u64   distinct /64 keys
+        n_origins        u64   flattened LPM intervals
+        generation       u64   bumped on every rebuild
+        source_digest    u32   CRC over the manifest's segment list
+        (12 zero bytes reserved)
+    columns, 8-byte aligned, rows sorted by (addr_hi, addr_lo):
+        addr_hi, addr_lo          u64 x rows
+        first, last               f64 x rows
+        counts                    u64 x rows
+        entropies                 f64 x rows
+        macs                      u64 x rows
+        codes                     u8  x rows (zero-padded to 8)
+        slash48 keys              u64 x n48   (sorted hi-half & /48 mask)
+        slash64 keys              u64 x n64   (sorted hi halves)
+        origin starts hi, lo      u64 x n_origins (sorted interval starts)
+        origin asns               u32 x n_origins (0 = unrouted; padded)
+    footer (8 bytes):
+        magic            b"RSIF"
+        crc32            u32 over every preceding byte
+
+Readers :func:`mmap.mmap` the file read-only and wrap the column runs in
+``numpy.frombuffer`` views (or ``memoryview.cast`` without numpy) — no
+deserialization, so N worker processes share one page-cache copy.  The
+whole-file CRC check at open means a torn file (a crash mid-copy, a
+partial rsync) is *detected and refused*, never served; rebuilds write a
+temp file and ``os.replace`` it, so an already-mmapped reader keeps its
+old inode — a consistent snapshot — while new opens see the new
+generation.
+
+The origin table is the routing trie flattened to disjoint half-open
+intervals (:func:`flatten_origin_table`): longest-prefix match becomes
+"rightmost interval start <= address", one composite binary search.
+"""
+
+from __future__ import annotations
+
+import mmap
+import struct
+import sys
+import zlib
+from array import array
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core import kernels as _kernels
+from ..core.segments import (
+    MANIFEST_NAME,
+    Manifest,
+    SegmentStore,
+)
+from ..core.storage import CorpusFormatError
+from ..obs import MetricsRegistry, NULL_REGISTRY
+
+__all__ = [
+    "SERVING_INDEX_NAME",
+    "ServingIndex",
+    "ServingIndexError",
+    "build_serving_index",
+    "ensure_serving_index",
+    "flatten_origin_table",
+    "manifest_digest",
+]
+
+#: File name of the serving index inside a segment directory.
+SERVING_INDEX_NAME = "SERVING.rsi"
+
+_MAGIC = b"RSI1"
+_FOOTER_MAGIC = b"RSIF"
+_VERSION = 1
+_FLAG_ORIGIN_TABLE = 1
+
+_HEADER = struct.Struct("<4sHHQQQQQI12x")
+_HEADER_SIZE = _HEADER.size  # 64
+_FOOTER = struct.Struct("<4sI")
+_FOOTER_SIZE = _FOOTER.size  # 8
+
+_U64_MASK = (1 << 64) - 1
+_ADDRESS_SPACE = 1 << 128
+_SLASH48_HI_MASK = 0xFFFFFFFFFFFF0000
+
+_BIG_ENDIAN = sys.byteorder == "big"
+
+#: Batch size above which gather loops switch to numpy fancy indexing.
+_VECTOR_MIN = 8
+
+
+class ServingIndexError(CorpusFormatError):
+    """A serving index file is torn, corrupt, or inconsistent."""
+
+
+def manifest_digest(manifest: Manifest) -> int:
+    """CRC32 binding a serving index to the exact segment list it serves.
+
+    Derived from every segment's (id, crc32, records) in id order, so
+    commits, compactions and imports all change it — a reused index is
+    provably derived from the manifest next to it.
+    """
+    lines = "\n".join(
+        f"{meta.segment_id}:{meta.crc32:#010x}:{meta.records}"
+        for meta in sorted(
+            manifest.segments, key=lambda meta: meta.segment_id
+        )
+    )
+    return zlib.crc32(lines.encode("utf-8")) & 0xFFFFFFFF
+
+
+def flatten_origin_table(
+    routed,
+) -> Tuple[List[int], List[int], List[int]]:
+    """Flatten announcements to disjoint LPM intervals.
+
+    ``routed`` iterates :class:`~repro.net.routing.RoutedPrefix`-shaped
+    objects (``.prefix.network``/``.prefix.length``/``.asn``).  Returns
+    ``(starts_hi, starts_lo, asns)``: interval starts sorted ascending,
+    each interval running to the next start, ``asns[i]`` the origin of
+    every address at or past ``starts[i]`` (0 = unrouted — valid ASNs
+    are positive).  The answer for any address is the entry at the
+    rightmost start <= address, which one composite binary search finds;
+    nesting is resolved here, at build time, with a sweep over the
+    prefixes sorted by (network, length).
+    """
+    entries = sorted(
+        (
+            (item.prefix.network, item.prefix.length, item.asn)
+            for item in routed
+        ),
+        key=lambda entry: (entry[0], entry[1]),
+    )
+    # Sweep: entering a prefix opens its interval; leaving it restores
+    # whatever shorter prefix still covers the space (or unrouted).
+    boundaries: List[Tuple[int, int]] = [(0, 0)]
+    stack: List[Tuple[int, int]] = []  # (end_exclusive, asn)
+    for network, length, asn in entries:
+        end = network + (1 << (128 - length))
+        while stack and stack[-1][0] <= network:
+            popped_end, _ = stack.pop()
+            boundaries.append(
+                (popped_end, stack[-1][1] if stack else 0)
+            )
+        boundaries.append((network, asn))
+        stack.append((end, asn))
+    while stack:
+        popped_end, _ = stack.pop()
+        boundaries.append((popped_end, stack[-1][1] if stack else 0))
+
+    # Same-start boundaries: the later entry (the more specific prefix
+    # entered at that address) wins.  Then merge equal-ASN runs.  A /0
+    # announcement ends at 2**128 — unreachable by any query, drop it.
+    deduped: List[List[int]] = []
+    for start, asn in boundaries:
+        if start >= _ADDRESS_SPACE:
+            continue
+        if deduped and deduped[-1][0] == start:
+            deduped[-1][1] = asn
+        else:
+            deduped.append([start, asn])
+    starts_hi: List[int] = []
+    starts_lo: List[int] = []
+    asns: List[int] = []
+    for start, asn in deduped:
+        if asns and asns[-1] == asn:
+            continue
+        starts_hi.append(start >> 64)
+        starts_lo.append(start & _U64_MASK)
+        asns.append(asn)
+    return starts_hi, starts_lo, asns
+
+
+def _le_bytes(column: array) -> bytes:
+    if _BIG_ENDIAN:  # pragma: no cover - no big-endian CI platform
+        swapped = array(column.typecode, column)
+        swapped.byteswap()
+        return swapped.tobytes()
+    return column.tobytes()
+
+
+def _pad8(size: int) -> int:
+    return (-size) % 8
+
+
+def _split_addresses(
+    addresses: Sequence[int],
+) -> Tuple[List[int], List[int]]:
+    """Hi/lo u64 halves of a batch of addresses, range-checked."""
+    q_hi: List[int] = []
+    q_lo: List[int] = []
+    for address in addresses:
+        if not isinstance(address, int) or isinstance(address, bool):
+            raise ValueError(
+                f"addresses must be ints, not {type(address).__name__}"
+            )
+        if not 0 <= address < _ADDRESS_SPACE:
+            raise ValueError(f"address out of range: {address:#x}")
+        q_hi.append(address >> 64)
+        q_lo.append(address & _U64_MASK)
+    return q_hi, q_lo
+
+
+def _peek_generation(path: Path) -> int:
+    """Best-effort previous generation, 0 when unreadable.
+
+    Reads only the fixed header so even a torn file (valid header, torn
+    columns) still carries its generation forward — readers distinguish
+    rebuilds by a strictly growing number.
+    """
+    try:
+        with path.open("rb") as stream:
+            head = stream.read(_HEADER_SIZE)
+    except OSError:
+        return 0
+    if len(head) != _HEADER_SIZE:
+        return 0
+    try:
+        magic, version, _, _, _, _, _, generation, _ = _HEADER.unpack(head)
+    except struct.error:  # pragma: no cover - fixed-size read
+        return 0
+    if magic != _MAGIC or version != _VERSION:
+        return 0
+    return generation
+
+
+def build_serving_index(
+    directory: Union[str, Path],
+    *,
+    routing=None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Path:
+    """Derive ``SERVING.rsi`` from a segment store's ``.idx`` partials.
+
+    Folds the seal-time partial indexes (re-reading **zero** sealed
+    ``.seg`` payloads while the partials are intact), sorts the columns
+    by address, flattens ``routing`` (a
+    :class:`~repro.net.routing.RoutingTable` or anything with
+    ``routed_prefixes()``) into the LPM origin table when given, and
+    atomically replaces any previous index — bumping its generation and
+    stamping the manifest digest it was derived from.  Returns the
+    index path.
+    """
+    registry = NULL_REGISTRY if metrics is None else metrics
+    directory = Path(directory)
+    if directory.name == MANIFEST_NAME:
+        directory = directory.parent
+    store = SegmentStore(directory, metrics=registry)
+    manifest = store.load_manifest()
+    if manifest is None:
+        raise FileNotFoundError(
+            f"no {MANIFEST_NAME} in {directory} to index"
+        )
+    with registry.span("serve-index-build"):
+        index = store.reader().build_index()
+
+        size = len(index.addresses)
+        order = sorted(range(size), key=index.addresses.__getitem__)
+        addr_hi = array("Q", bytes(8 * size))
+        addr_lo = array("Q", bytes(8 * size))
+        first = array("d", bytes(8 * size))
+        last = array("d", bytes(8 * size))
+        counts = array("Q", bytes(8 * size))
+        entropies = array("d", bytes(8 * size))
+        macs = array("Q", bytes(8 * size))
+        codes = array("B", bytes(size))
+        for out_row, src in enumerate(order):
+            address = index.addresses[src]
+            addr_hi[out_row] = address >> 64
+            addr_lo[out_row] = address & _U64_MASK
+            first[out_row] = index.first[src]
+            last[out_row] = index.last[src]
+            counts[out_row] = index.counts[src]
+            entropies[out_row] = index.entropies[src]
+            macs[out_row] = index.macs[src]
+            codes[out_row] = index.pattern_codes[src]
+        slash48 = array(
+            "Q",
+            sorted({hi & _SLASH48_HI_MASK for hi in addr_hi}),
+        )
+        slash64 = array("Q", sorted(set(addr_hi)))
+
+        flags = 0
+        origin_hi = array("Q")
+        origin_lo = array("Q")
+        origin_asn = array("I")
+        if routing is not None:
+            starts_hi, starts_lo, asns = flatten_origin_table(
+                routing.routed_prefixes()
+            )
+            origin_hi = array("Q", starts_hi)
+            origin_lo = array("Q", starts_lo)
+            origin_asn = array("I", asns)
+            flags |= _FLAG_ORIGIN_TABLE
+
+        path = directory / SERVING_INDEX_NAME
+        header = _HEADER.pack(
+            _MAGIC,
+            _VERSION,
+            flags,
+            size,
+            len(slash48),
+            len(slash64),
+            len(origin_asn),
+            _peek_generation(path) + 1,
+            manifest_digest(manifest),
+        )
+        parts = [header]
+        for column in (
+            addr_hi, addr_lo, first, last, counts, entropies, macs,
+        ):
+            parts.append(_le_bytes(column))
+        parts.append(_le_bytes(codes))
+        parts.append(bytes(_pad8(len(codes))))
+        parts.append(_le_bytes(slash48))
+        parts.append(_le_bytes(slash64))
+        parts.append(_le_bytes(origin_hi))
+        parts.append(_le_bytes(origin_lo))
+        parts.append(_le_bytes(origin_asn))
+        parts.append(bytes(_pad8(4 * len(origin_asn))))
+        body = b"".join(parts)
+        blob = body + _FOOTER.pack(
+            _FOOTER_MAGIC, zlib.crc32(body) & 0xFFFFFFFF
+        )
+        store._atomic_write(path, blob)
+    registry.counter(
+        "repro_serve_index_builds_total", "serving index builds"
+    ).inc()
+    registry.gauge(
+        "repro_serve_index_rows", "rows in the last built serving index"
+    ).set(size)
+    return path
+
+
+class ServingIndex:
+    """A read-only, mmap-backed view over one ``SERVING.rsi`` file.
+
+    Open with :meth:`open` (or :func:`ensure_serving_index`).  All query
+    methods are batch-shaped — a list of addresses in, a list of plain
+    Python results out — because the serving engine's whole point is
+    answering many concurrent lookups with one vectorized binary search
+    (:func:`repro.core.kernels.pair_searchsorted`).  The mmap means the
+    columns are never copied into the process: the kernel page cache is
+    shared across every worker serving the same file.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        stream,
+        mapped: mmap.mmap,
+        header: Tuple[int, ...],
+    ) -> None:
+        self.path = path
+        self._stream = stream
+        self._mm = mapped
+        self._raw = memoryview(mapped)
+        self._views: List[memoryview] = []
+        (
+            self.flags,
+            self.rows,
+            self.slash48_count,
+            self.slash64_count,
+            self.origin_intervals,
+            self.generation,
+            self.source_digest,
+        ) = header
+        self._numpy = _kernels._np is not None
+
+        offset = _HEADER_SIZE
+        self._hi, offset = self._u64(offset, self.rows)
+        self._lo, offset = self._u64(offset, self.rows)
+        self._first, offset = self._f64(offset, self.rows)
+        self._last, offset = self._f64(offset, self.rows)
+        self._counts, offset = self._u64(offset, self.rows)
+        self._entropies, offset = self._f64(offset, self.rows)
+        self._macs, offset = self._u64(offset, self.rows)
+        self._codes, offset = self._u8(offset, self.rows)
+        offset += _pad8(self.rows)
+        self._slash48, offset = self._u64(offset, self.slash48_count)
+        self._slash64, offset = self._u64(offset, self.slash64_count)
+        self._origin_hi, offset = self._u64(
+            offset, self.origin_intervals
+        )
+        self._origin_lo, offset = self._u64(
+            offset, self.origin_intervals
+        )
+        self._origin_asn, offset = self._u32(
+            offset, self.origin_intervals
+        )
+        offset += _pad8(4 * self.origin_intervals)
+        if offset + _FOOTER_SIZE != len(mapped):
+            raise ServingIndexError(
+                "serving index size disagrees with its header counts",
+                path=path,
+                offset=offset,
+            )
+
+    # -- opening -----------------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "ServingIndex":
+        """Map and validate a serving index.
+
+        ``path`` is the ``.rsi`` file, its segment directory, or that
+        directory's ``MANIFEST.json``.  The whole file is CRC-checked
+        against the ``RSIF`` footer before any query — a torn or
+        truncated index raises :class:`ServingIndexError` (and is never
+        served); a missing one raises :class:`FileNotFoundError`.
+        """
+        path = Path(path)
+        if path.name == MANIFEST_NAME:
+            path = path.parent
+        if path.is_dir():
+            path = path / SERVING_INDEX_NAME
+        stream = path.open("rb")
+        try:
+            try:
+                mapped = mmap.mmap(
+                    stream.fileno(), 0, access=mmap.ACCESS_READ
+                )
+            except ValueError as error:
+                raise ServingIndexError(
+                    f"unmappable serving index: {error}", path=path
+                ) from error
+            try:
+                return cls._validate(path, stream, mapped)
+            except BaseException:
+                mapped.close()
+                raise
+        except BaseException:
+            stream.close()
+            raise
+
+    @classmethod
+    def _validate(
+        cls, path: Path, stream, mapped: mmap.mmap
+    ) -> "ServingIndex":
+        total = len(mapped)
+        if total < _HEADER_SIZE + _FOOTER_SIZE:
+            raise ServingIndexError(
+                f"serving index truncated to {total} bytes", path=path
+            )
+        (
+            magic,
+            version,
+            flags,
+            rows,
+            n48,
+            n64,
+            n_origins,
+            generation,
+            digest,
+        ) = _HEADER.unpack_from(mapped, 0)
+        if magic != _MAGIC:
+            raise ServingIndexError(
+                f"bad serving index magic {magic!r}", path=path, offset=0
+            )
+        if version != _VERSION:
+            raise ServingIndexError(
+                f"unsupported serving index version {version}",
+                path=path,
+                offset=4,
+            )
+        footer_magic, stored_crc = _FOOTER.unpack_from(
+            mapped, total - _FOOTER_SIZE
+        )
+        if footer_magic != _FOOTER_MAGIC:
+            raise ServingIndexError(
+                "serving index footer missing (torn write?)",
+                path=path,
+                offset=total - _FOOTER_SIZE,
+            )
+        with memoryview(mapped) as view:
+            actual_crc = zlib.crc32(view[: total - _FOOTER_SIZE])
+        if actual_crc != stored_crc:
+            raise ServingIndexError(
+                f"serving index CRC mismatch: stored {stored_crc:#010x}, "
+                f"actual {actual_crc:#010x}",
+                path=path,
+            )
+        return cls(
+            path,
+            stream,
+            mapped,
+            (flags, rows, n48, n64, n_origins, generation, digest),
+        )
+
+    # -- column views ------------------------------------------------------------
+
+    def _u64(self, offset: int, count: int):
+        return self._wrap(offset, count, 8, "<u8", "Q")
+
+    def _f64(self, offset: int, count: int):
+        return self._wrap(offset, count, 8, "<f8", "d")
+
+    def _u32(self, offset: int, count: int):
+        return self._wrap(offset, count, 4, "<u4", "I")
+
+    def _u8(self, offset: int, count: int):
+        return self._wrap(offset, count, 1, "u1", "B")
+
+    def _wrap(
+        self, offset: int, count: int, width: int, dtype: str, code: str
+    ):
+        end = offset + width * count
+        if end + _FOOTER_SIZE > len(self._mm):
+            raise ServingIndexError(
+                "serving index columns overrun the file",
+                path=self.path,
+                offset=offset,
+            )
+        if self._numpy:
+            np = _kernels._np
+            column = np.frombuffer(
+                self._mm, dtype=dtype, count=count, offset=offset
+            )
+        elif _BIG_ENDIAN:  # pragma: no cover - no big-endian CI platform
+            column = array(code)
+            column.frombytes(self._raw[offset:end].tobytes())
+            column.byteswap()
+        else:
+            column = self._raw[offset:end].cast(code)
+            self._views.append(column)
+        return column, end
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the mapping (queries are invalid afterwards)."""
+        for view in self._views:
+            view.release()
+        self._views = []
+        for attr in (
+            "_hi", "_lo", "_first", "_last", "_counts", "_entropies",
+            "_macs", "_codes", "_slash48", "_slash64", "_origin_hi",
+            "_origin_lo", "_origin_asn",
+        ):
+            setattr(self, attr, None)
+        self._raw.release()
+        try:
+            self._mm.close()
+        except BufferError:  # pragma: no cover - a caller kept a view
+            pass
+        self._stream.close()
+
+    def __enter__(self) -> "ServingIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def has_origin_table(self) -> bool:
+        return bool(self.flags & _FLAG_ORIGIN_TABLE)
+
+    def describe(self) -> Dict[str, object]:
+        """Shape summary (the ``stats`` query answer)."""
+        return {
+            "path": str(self.path),
+            "rows": self.rows,
+            "slash48s": self.slash48_count,
+            "slash64s": self.slash64_count,
+            "origin_intervals": self.origin_intervals,
+            "has_origin_table": self.has_origin_table,
+            "generation": self.generation,
+            "source_digest": f"{self.source_digest:#010x}",
+        }
+
+    # -- batch queries -----------------------------------------------------------
+
+    def rows_of(self, addresses: Sequence[int]) -> List[int]:
+        """Row of each address in the sorted columns, -1 when absent."""
+        if not len(addresses):
+            return []
+        q_hi, q_lo = _split_addresses(addresses)
+        positions = _kernels.pair_searchsorted(
+            self._hi, self._lo, q_hi, q_lo, "left"
+        )
+        rows = self.rows
+        if self._numpy and len(positions) >= _VECTOR_MIN and rows:
+            np = _kernels._np
+            count = len(positions)
+            pos = np.fromiter(positions, dtype=np.int64, count=count)
+            qh = np.fromiter(q_hi, dtype=np.uint64, count=count)
+            ql = np.fromiter(q_lo, dtype=np.uint64, count=count)
+            clipped = np.minimum(pos, rows - 1)
+            hit = (
+                (pos < rows)
+                & (self._hi[clipped] == qh)
+                & (self._lo[clipped] == ql)
+            )
+            return np.where(hit, pos, -1).tolist()
+        hi = self._hi
+        lo = self._lo
+        out = []
+        append = out.append
+        for i, position in enumerate(positions):
+            append(
+                position
+                if position < rows
+                and hi[position] == q_hi[i]
+                and lo[position] == q_lo[i]
+                else -1
+            )
+        return out
+
+    def _gather(self, rows: List[int], column, convert):
+        """Per-row column values for located rows (None for misses)."""
+        if self._numpy and len(rows) >= _VECTOR_MIN and self.rows:
+            np = _kernels._np
+            found = np.fromiter(rows, dtype=np.int64, count=len(rows))
+            values = column[np.maximum(found, 0)].tolist()
+            return [
+                None if row < 0 else value
+                for row, value in zip(rows, values)
+            ]
+        return [
+            None if row < 0 else convert(column[row]) for row in rows
+        ]
+
+    def record_batch(
+        self, addresses: Sequence[int]
+    ) -> List[Optional[Tuple[float, float, int]]]:
+        """``(first, last, count)`` per address, None when absent."""
+        rows = self.rows_of(addresses)
+        first = self._gather(rows, self._first, float)
+        last = self._gather(rows, self._last, float)
+        counts = self._gather(rows, self._counts, int)
+        return [
+            None if row < 0 else (first[i], last[i], counts[i])
+            for i, row in enumerate(rows)
+        ]
+
+    def lifetime_batch(
+        self, addresses: Sequence[int]
+    ) -> List[Optional[float]]:
+        """``last - first`` per address, None when absent."""
+        rows = self.rows_of(addresses)
+        if self._numpy and len(rows) >= _VECTOR_MIN and self.rows:
+            np = _kernels._np
+            found = np.fromiter(rows, dtype=np.int64, count=len(rows))
+            clipped = np.maximum(found, 0)
+            deltas = (
+                self._last[clipped] - self._first[clipped]
+            ).tolist()
+            return [
+                None if row < 0 else delta
+                for row, delta in zip(rows, deltas)
+            ]
+        return [
+            None
+            if row < 0
+            else float(self._last[row]) - float(self._first[row])
+            for row in rows
+        ]
+
+    def entropy_batch(
+        self, addresses: Sequence[int]
+    ) -> List[Optional[float]]:
+        """Normalized IID entropy per address, None when absent."""
+        return self._gather(
+            self.rows_of(addresses), self._entropies, float
+        )
+
+    def features_batch(
+        self, addresses: Sequence[int]
+    ) -> List[Optional[Tuple[float, int, Optional[int]]]]:
+        """``(entropy, pattern_code, mac-or-None)`` per address."""
+        rows = self.rows_of(addresses)
+        entropies = self._gather(rows, self._entropies, float)
+        codes = self._gather(rows, self._codes, int)
+        macs = self._gather(rows, self._macs, int)
+        return [
+            None
+            if row < 0
+            else (
+                entropies[i],
+                codes[i],
+                None if macs[i] == _kernels.NO_MAC else macs[i],
+            )
+            for i, row in enumerate(rows)
+        ]
+
+    def contains_batch(self, addresses: Sequence[int]) -> List[bool]:
+        """Whether each address has a row."""
+        return [row >= 0 for row in self.rows_of(addresses)]
+
+    def slash48_batch(self, addresses: Sequence[int]) -> List[bool]:
+        """Whether each address's /48 holds any corpus address."""
+        q_hi, _ = _split_addresses(addresses)
+        return _kernels.sorted_contains_u64(
+            self._slash48, [hi & _SLASH48_HI_MASK for hi in q_hi]
+        )
+
+    def slash64_batch(self, addresses: Sequence[int]) -> List[bool]:
+        """Whether each address's /64 holds any corpus address."""
+        q_hi, _ = _split_addresses(addresses)
+        return _kernels.sorted_contains_u64(self._slash64, q_hi)
+
+    def origin_batch(
+        self, addresses: Sequence[int]
+    ) -> List[Optional[int]]:
+        """LPM origin ASN per address from the flattened origin table."""
+        if not self.has_origin_table:
+            raise ServingIndexError(
+                "serving index was built without an origin table; "
+                "rebuild with routing= to serve origin queries",
+                path=self.path,
+            )
+        if not len(addresses):
+            return []
+        q_hi, q_lo = _split_addresses(addresses)
+        # Rightmost interval start <= address: 'right' insertion - 1.
+        # The table always starts at (0, 0), so the index is >= 0.
+        positions = _kernels.pair_searchsorted(
+            self._origin_hi, self._origin_lo, q_hi, q_lo, "right"
+        )
+        asn_col = self._origin_asn
+        if self._numpy and len(positions) >= _VECTOR_MIN:
+            np = _kernels._np
+            pos = (
+                np.fromiter(
+                    positions, dtype=np.int64, count=len(positions)
+                )
+                - 1
+            )
+            asns = asn_col[pos].tolist()
+            return [None if asn == 0 else asn for asn in asns]
+        return [
+            None
+            if asn_col[position - 1] == 0
+            else int(asn_col[position - 1])
+            for position in positions
+        ]
+
+
+def ensure_serving_index(
+    directory: Union[str, Path],
+    *,
+    routing=None,
+    metrics: Optional[MetricsRegistry] = None,
+    rebuild: bool = False,
+) -> ServingIndex:
+    """Open the directory's serving index, (re)building it when needed.
+
+    An existing index is reused only when it validates (CRC), its
+    stamped :func:`manifest_digest` matches the manifest actually next
+    to it, and it has an origin table whenever ``routing`` demands one —
+    otherwise (missing, torn, stale after commits/compaction, or
+    ``rebuild=True``) a fresh index is derived from the ``.idx``
+    partials and atomically swapped in.  A torn index is therefore
+    *never served*.
+    """
+    registry = NULL_REGISTRY if metrics is None else metrics
+    directory = Path(directory)
+    if directory.name == MANIFEST_NAME:
+        directory = directory.parent
+    store = SegmentStore(directory, metrics=registry)
+    manifest = store.load_manifest()
+    if manifest is None:
+        raise FileNotFoundError(
+            f"no {MANIFEST_NAME} in {directory} to serve"
+        )
+    reason = "requested" if rebuild else None
+    if reason is None:
+        try:
+            index = ServingIndex.open(directory)
+        except FileNotFoundError:
+            reason = "missing"
+        except ServingIndexError:
+            reason = "torn"
+        else:
+            if index.source_digest != manifest_digest(manifest):
+                index.close()
+                reason = "stale"
+            elif routing is not None and not index.has_origin_table:
+                index.close()
+                reason = "no-origin-table"
+            else:
+                registry.counter(
+                    "repro_serve_index_reused_total",
+                    "serving indexes reused as found on disk",
+                ).inc()
+                return index
+    registry.counter(
+        "repro_serve_index_rebuilds_total",
+        "serving indexes rebuilt from segment partials",
+        labels={"reason": reason},
+    ).inc()
+    build_serving_index(directory, routing=routing, metrics=registry)
+    return ServingIndex.open(directory)

@@ -1,0 +1,414 @@
+"""Hitlist-as-a-service transport: JSON-lines over TCP, plus clients.
+
+The wire protocol is deliberately trivial — one JSON object per line in
+each direction, batch-shaped like the engine itself::
+
+    -> {"id": 7, "op": "origin", "args": [addr, addr, ...]}
+    <- {"id": 7, "results": [asn-or-null, ...]}
+    <- {"id": 7, "error": "..."}          (that request only)
+
+Addresses are JSON integers (Python's ``json`` round-trips 128-bit ints
+exactly, and floats round-trip bit-identically via ``repr``), so remote
+answers are byte-for-byte the local engine's answers.  Requests on one
+connection may be pipelined without awaiting replies; the server
+answers each as its own task, which is exactly what lets the
+:class:`~repro.serve.engine.CoalescingEngine` merge concurrent requests
+— across connections too — into single kernel calls.  Replies may
+therefore arrive out of request order; the ``id`` correlates them.
+
+Two client flavours share one query surface (:class:`_QuerySurface`):
+:class:`LocalHitlistClient` wraps an in-process engine (no sockets —
+the fastest path, used by benchmarks and library consumers), and
+:class:`RemoteHitlistClient` speaks the protocol above.  Both are
+handed out by :func:`repro.api.connect`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs import MetricsRegistry, NULL_REGISTRY
+from .engine import CoalescingEngine
+
+__all__ = [
+    "HitlistServer",
+    "LocalHitlistClient",
+    "RemoteHitlistClient",
+    "READY_PREFIX",
+]
+
+#: Line printed by ``repro serve`` once the socket is listening:
+#: ``SERVE READY <host> <port>`` — parseable by benchmarks and CI.
+READY_PREFIX = "SERVE READY"
+
+#: Per-line size bound: a 100k-address batch of 128-bit ints in decimal
+#: is ~4 MiB, so this caps batches near that without unbounded buffering.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+_COMPACT = {"separators": (",", ":")}
+
+
+def _encode(payload: Dict[str, object]) -> bytes:
+    return (json.dumps(payload, **_COMPACT) + "\n").encode("utf-8")
+
+
+class HitlistServer:
+    """Asyncio TCP front-end over a :class:`CoalescingEngine`."""
+
+    def __init__(
+        self,
+        engine: CoalescingEngine,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.metrics = NULL_REGISTRY if metrics is None else metrics
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._m_connections = self.metrics.counter(
+            "repro_serve_connections_total", "client connections accepted"
+        )
+        self._m_requests = self.metrics.counter(
+            "repro_serve_requests_total", "protocol requests received"
+        )
+        self._m_errors = self.metrics.counter(
+            "repro_serve_protocol_errors_total",
+            "requests answered with an error",
+        )
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and listen; returns the bound ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=MAX_LINE_BYTES,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "HitlistServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # -- connection handling -----------------------------------------------------
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._m_connections.inc()
+        write_lock = asyncio.Lock()
+        tasks: List[asyncio.Task] = []
+        # Cancellation (loop shutdown racing a connection teardown) is a
+        # normal way for a handler to end — absorb it so it never
+        # escapes into asyncio's stream-protocol callback.
+        with contextlib.suppress(
+            ConnectionError, asyncio.CancelledError
+        ):
+            try:
+                while True:
+                    try:
+                        line = await reader.readline()
+                    except (
+                        asyncio.LimitOverrunError,
+                        ValueError,
+                    ):  # pragma: no cover - line beyond MAX_LINE_BYTES
+                        await self._reply(
+                            writer,
+                            write_lock,
+                            {
+                                "id": None,
+                                "error": "request line too long",
+                            },
+                        )
+                        self._m_errors.inc()
+                        break
+                    if not line:
+                        break
+                    # One task per request: replies can overtake each
+                    # other and concurrent requests coalesce in the
+                    # engine.
+                    tasks.append(
+                        asyncio.ensure_future(
+                            self._serve_line(line, writer, write_lock)
+                        )
+                    )
+                    tasks = [
+                        task for task in tasks if not task.done()
+                    ]
+            finally:
+                if tasks:
+                    await asyncio.gather(
+                        *tasks, return_exceptions=True
+                    )
+                writer.close()
+                with contextlib.suppress(ConnectionError):
+                    await writer.wait_closed()
+
+    async def _serve_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        self._m_requests.inc()
+        request_id: Optional[int] = None
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            request_id = request.get("id")
+            op = request.get("op")
+            if op == "stats":
+                results: List = [self.engine.describe()]
+            else:
+                args = request.get("args", [])
+                if not isinstance(args, list):
+                    raise ValueError("args must be a list")
+                results = await self.engine.batch(op, args)
+            payload: Dict[str, object] = {
+                "id": request_id,
+                "results": results,
+            }
+        except Exception as error:
+            self._m_errors.inc()
+            payload = {"id": request_id, "error": str(error)}
+        await self._reply(writer, write_lock, payload)
+
+    async def _reply(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        payload: Dict[str, object],
+    ) -> None:
+        try:
+            async with write_lock:
+                writer.write(_encode(payload))
+                await writer.drain()
+        except ConnectionError:  # pragma: no cover - client vanished
+            pass
+
+
+class _QuerySurface:
+    """The query API both clients share.
+
+    Implementations provide ``_request(op, args)`` returning one result
+    per arg; everything else is shaping.  ``*_batch`` methods are the
+    throughput path — the engine coalesces whole client batches into
+    its kernel calls.
+    """
+
+    async def _request(self, op: str, args: Sequence) -> List:
+        raise NotImplementedError
+
+    @staticmethod
+    def _tupled(value):
+        return None if value is None else tuple(value)
+
+    # record: (first, last, count) or None
+    async def record(self, address: int):
+        return self._tupled(
+            (await self._request("record", [address]))[0]
+        )
+
+    async def record_batch(self, addresses: Sequence[int]) -> List:
+        results = await self._request("record", list(addresses))
+        return [self._tupled(value) for value in results]
+
+    async def lifetime(self, address: int) -> Optional[float]:
+        return (await self._request("lifetime", [address]))[0]
+
+    async def lifetime_batch(
+        self, addresses: Sequence[int]
+    ) -> List[Optional[float]]:
+        return await self._request("lifetime", list(addresses))
+
+    async def entropy(self, address: int) -> Optional[float]:
+        return (await self._request("entropy", [address]))[0]
+
+    async def entropy_batch(
+        self, addresses: Sequence[int]
+    ) -> List[Optional[float]]:
+        return await self._request("entropy", list(addresses))
+
+    async def features(self, address: int):
+        return self._tupled(
+            (await self._request("features", [address]))[0]
+        )
+
+    async def features_batch(self, addresses: Sequence[int]) -> List:
+        results = await self._request("features", list(addresses))
+        return [self._tupled(value) for value in results]
+
+    async def origin(self, address: int) -> Optional[int]:
+        return (await self._request("origin", [address]))[0]
+
+    async def origin_batch(
+        self, addresses: Sequence[int]
+    ) -> List[Optional[int]]:
+        return await self._request("origin", list(addresses))
+
+    async def contains(self, address: int) -> bool:
+        return (await self._request("contains", [address]))[0]
+
+    async def contains_batch(
+        self, addresses: Sequence[int]
+    ) -> List[bool]:
+        return await self._request("contains", list(addresses))
+
+    async def in_slash48(self, address: int) -> bool:
+        return (await self._request("slash48", [address]))[0]
+
+    async def in_slash48_batch(
+        self, addresses: Sequence[int]
+    ) -> List[bool]:
+        return await self._request("slash48", list(addresses))
+
+    async def in_slash64(self, address: int) -> bool:
+        return (await self._request("slash64", [address]))[0]
+
+    async def in_slash64_batch(
+        self, addresses: Sequence[int]
+    ) -> List[bool]:
+        return await self._request("slash64", list(addresses))
+
+    async def stats(self) -> Dict[str, object]:
+        return (await self._request("stats", []))[0]
+
+
+class LocalHitlistClient(_QuerySurface):
+    """In-process client: the engine without any transport."""
+
+    def __init__(self, engine: CoalescingEngine) -> None:
+        self.engine = engine
+
+    async def _request(self, op: str, args: Sequence) -> List:
+        if op == "stats":
+            return [self.engine.describe()]
+        return await self.engine.batch(op, args)
+
+    async def aclose(self) -> None:
+        """Symmetry with the remote client; nothing to release."""
+
+    async def __aenter__(self) -> "LocalHitlistClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+
+class RemoteHitlistClient(_QuerySurface):
+    """Async client for a :class:`HitlistServer`.
+
+    Requests are pipelined: any number may be in flight, correlated by
+    id, so concurrent client tasks sharing one connection coalesce on
+    the server side.  Create with :meth:`connect` (or
+    :func:`repro.api.connect` with a ``host:port`` target).
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.ensure_future(self._read_replies())
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int
+    ) -> "RemoteHitlistClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES
+        )
+        return cls(reader, writer)
+
+    async def _read_replies(self) -> None:
+        error: Exception = ConnectionError(
+            "hitlist server closed the connection"
+        )
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                reply = json.loads(line)
+                future = self._pending.pop(reply.get("id"), None)
+                if future is None or future.done():
+                    continue
+                if "error" in reply:
+                    future.set_exception(
+                        RuntimeError(f"server error: {reply['error']}")
+                    )
+                else:
+                    future.set_result(reply["results"])
+        except Exception as caught:  # pragma: no cover - transport loss
+            error = caught
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+
+    async def _request(self, op: str, args: Sequence) -> List:
+        if self._reader_task.done():
+            raise ConnectionError("hitlist client is closed")
+        request_id = self._next_id
+        self._next_id += 1
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        payload = {"id": request_id, "op": op, "args": list(args)}
+        try:
+            async with self._write_lock:
+                self._writer.write(_encode(payload))
+                await self._writer.drain()
+        except BaseException:
+            self._pending.pop(request_id, None)
+            raise
+        return await future
+
+    async def aclose(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except ConnectionError:  # pragma: no cover
+            pass
+
+    async def __aenter__(self) -> "RemoteHitlistClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()

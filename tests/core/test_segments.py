@@ -24,6 +24,7 @@ from hypothesis import strategies as st
 from repro.core.corpus import AddressCorpus
 from repro.core.segments import (
     DEFAULT_SEGMENT_BYTES,
+    MANIFEST_CACHE_MAX_ENTRIES,
     MANIFEST_NAME,
     Manifest,
     SegmentBufferedCorpus,
@@ -31,6 +32,8 @@ from repro.core.segments import (
     SegmentMeta,
     SegmentStore,
     SegmentedCorpusReader,
+    clear_manifest_cache,
+    manifest_cache_info,
 )
 from repro.core.storage import save_corpus_binary
 
@@ -363,3 +366,110 @@ class TestCrashSafety:
         store.commit([meta], completed_weeks=1)
         leftovers = [p.name for p in tmp_path.iterdir() if ".tmp-" in p.name]
         assert leftovers == []
+
+
+class TestManifestCache:
+    """The parsed-manifest cache: hits skip parsing, never staleness.
+
+    Keyed by (path, mtime, size) with a CRC re-check behind it, primed
+    by the writer's own commits, and always handing out mutation-safe
+    copies — so a cached store behaves byte-identically to an uncached
+    one under commits, external rewrites and deletion.
+    """
+
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        clear_manifest_cache()
+        yield
+        clear_manifest_cache()
+
+    def _committed_store(self, tmp_path, records=4):
+        store = SegmentStore(tmp_path)
+        corpus = AddressCorpus("cache")
+        for n in range(records):
+            corpus.record(100 + n, float(n))
+        meta = store.write_segment(
+            corpus, segment_id="one", start_day=0, end_day=7
+        )
+        store.commit([meta], completed_weeks=1)
+        return store
+
+    def test_repeat_loads_hit_without_reparsing(self, tmp_path):
+        store = self._committed_store(tmp_path)
+        # The commit primed the cache; no load has missed yet.
+        assert manifest_cache_info()["misses"] == 0
+        first = store.load_manifest()
+        second = SegmentStore(tmp_path).load_manifest()  # new store, same path
+        info = manifest_cache_info()
+        assert info["hits"] == 2
+        assert info["misses"] == 0
+        assert first.to_json() == second.to_json()
+
+    def test_commit_invalidates_for_other_readers(self, tmp_path):
+        store = self._committed_store(tmp_path)
+        before = store.load_manifest()
+        extra = AddressCorpus("cache")
+        extra.record(999, 1.0)
+        meta = store.write_segment(
+            extra, segment_id="two", start_day=7, end_day=14
+        )
+        store.commit([meta], completed_weeks=2)
+        after = SegmentStore(tmp_path).load_manifest()
+        assert len(before.segments) == 1
+        assert len(after.segments) == 2
+        assert after.completed_weeks == 2
+
+    def test_external_rewrite_invalidates(self, tmp_path):
+        store = self._committed_store(tmp_path)
+        store.load_manifest()
+        # Another process rewrites the manifest (different bytes).
+        doc = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        doc["completed_weeks"] = 9
+        blob = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        os.utime(tmp_path / MANIFEST_NAME)  # ensure a stat change
+        (tmp_path / MANIFEST_NAME).write_text(blob)
+        assert store.load_manifest().completed_weeks == 9
+
+    def test_same_bytes_new_stat_is_a_crc_hit(self, tmp_path):
+        store = self._committed_store(tmp_path)
+        raw = (tmp_path / MANIFEST_NAME).read_bytes()
+        (tmp_path / MANIFEST_NAME).write_bytes(raw)  # rewrite, same bytes
+        os.utime(tmp_path / MANIFEST_NAME, ns=(1, 1))  # force stat change
+        hits_before = manifest_cache_info()["hits"]
+        manifest = store.load_manifest()
+        info = manifest_cache_info()
+        assert info["hits"] == hits_before + 1
+        assert info["misses"] == 0  # CRC matched: parse skipped
+        assert manifest.completed_weeks == 1
+
+    def test_returned_manifest_is_mutation_safe(self, tmp_path):
+        store = self._committed_store(tmp_path)
+        first = store.load_manifest()
+        first.segments.append(first.segments[0])
+        first.completed_weeks = 99
+        second = store.load_manifest()
+        assert len(second.segments) == 1
+        assert second.completed_weeks == 1
+
+    def test_deletion_drops_the_entry(self, tmp_path):
+        store = self._committed_store(tmp_path)
+        store.load_manifest()
+        (tmp_path / MANIFEST_NAME).unlink()
+        assert store.load_manifest() is None
+        assert manifest_cache_info()["entries"] == 0
+
+    def test_corrupt_manifest_not_cached(self, tmp_path):
+        store = self._committed_store(tmp_path)
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(SegmentError, match="unreadable"):
+            store.load_manifest()
+        with pytest.raises(SegmentError, match="unreadable"):
+            store.load_manifest()  # still failing: the error was not cached
+        assert manifest_cache_info()["entries"] == 0
+
+    def test_cache_is_bounded(self, tmp_path):
+        for n in range(MANIFEST_CACHE_MAX_ENTRIES + 5):
+            self._committed_store(tmp_path / f"store-{n:03d}")
+        assert (
+            manifest_cache_info()["entries"] == MANIFEST_CACHE_MAX_ENTRIES
+        )

@@ -1,0 +1,253 @@
+"""The coalescing query engine: scheduling changes, answers never do.
+
+The engine's contract is that ``coalesce=True`` answers are exactly the
+``coalesce=False`` answers (which are exactly the index's answers),
+while concurrent callers in one event-loop tick share a single kernel
+call — observable through ``batches_executed`` and the
+``repro_serve_*`` metrics, which is precisely how an operator would
+check coalescing is happening under real load.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.index import CachedOrigins
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    CoalescingEngine,
+    QUERY_OPS,
+    ServingIndex,
+    ServingIndexError,
+    build_serving_index,
+)
+
+from .conftest import write_serve_store
+from .test_format import oracle
+
+
+@pytest.fixture(scope="module")
+def served_index(serve_dir, routing):
+    build_serving_index(serve_dir, routing=routing)
+    with ServingIndex.open(serve_dir) as index:
+        yield index
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("coalesce", [True, False])
+    def test_engine_answers_equal_oracle(
+        self, served_index, ground_truth, routing, queries, coalesce
+    ):
+        engine = CoalescingEngine(served_index, coalesce=coalesce)
+        expected = oracle(ground_truth, routing, queries)
+
+        async def ask():
+            return {
+                op: await engine.batch(op, queries) for op in QUERY_OPS
+            }
+
+        answers = run(ask())
+        for op in QUERY_OPS:
+            assert answers[op] == expected[op], op
+
+    def test_concurrent_singles_equal_sequential_batch(
+        self, served_index, queries
+    ):
+        engine = CoalescingEngine(served_index)
+
+        async def ask():
+            singles = await asyncio.gather(
+                *(
+                    engine.query("record", query)
+                    for query in queries[:64]
+                )
+            )
+            batch = await engine.batch("record", queries[:64])
+            return singles, batch
+
+        singles, batch = run(ask())
+        assert singles == batch
+
+    def test_single_query_surface(self, served_index, queries):
+        engine = CoalescingEngine(served_index)
+
+        async def ask():
+            present = queries[0]
+            return (
+                await engine.query("contains", present),
+                await engine.query("contains", 0),
+            )
+
+        assert run(ask()) == (True, False)
+
+
+class TestCoalescing:
+    def test_one_tick_of_singles_is_one_kernel_call(
+        self, served_index, queries
+    ):
+        metrics = MetricsRegistry()
+        engine = CoalescingEngine(served_index, metrics=metrics)
+
+        async def ask():
+            await asyncio.gather(
+                *(
+                    engine.query("lifetime", query)
+                    for query in queries[:64]
+                )
+            )
+
+        run(ask())
+        assert engine.queries_served == 64
+        assert engine.batches_executed == 1
+        assert (
+            metrics.counter_value(
+                "repro_serve_queries_total", labels={"op": "lifetime"}
+            )
+            == 64
+        )
+        assert (
+            metrics.counter_value("repro_serve_batches_total") == 1
+        )
+
+    def test_uncoalesced_baseline_is_one_call_per_query(
+        self, served_index, queries
+    ):
+        engine = CoalescingEngine(served_index, coalesce=False)
+
+        async def ask():
+            await asyncio.gather(
+                *(
+                    engine.query("lifetime", query)
+                    for query in queries[:16]
+                )
+            )
+
+        run(ask())
+        assert engine.batches_executed == 16
+
+    def test_different_ops_coalesce_separately(
+        self, served_index, queries
+    ):
+        engine = CoalescingEngine(served_index)
+
+        async def ask():
+            await asyncio.gather(
+                *(
+                    engine.query("contains", query)
+                    for query in queries[:8]
+                ),
+                *(
+                    engine.query("entropy", query)
+                    for query in queries[:8]
+                ),
+            )
+
+        run(ask())
+        assert engine.queries_served == 16
+        assert engine.batches_executed == 2  # one kernel call per op
+
+    def test_max_batch_chunks_large_merges(self, served_index, queries):
+        engine = CoalescingEngine(served_index, max_batch=5)
+
+        async def ask():
+            return await engine.batch("contains", queries[:17])
+
+        answers = run(ask())
+        assert len(answers) == 17
+        assert engine.batches_executed == 4  # ceil(17 / 5)
+
+    def test_describe_reports_shape(self, served_index):
+        engine = CoalescingEngine(served_index, max_batch=123)
+        info = engine.describe()
+        assert info["coalesce"] is True
+        assert info["max_batch"] == 123
+        assert info["origin_source"] == "table"
+        assert info["rows"] == served_index.rows
+
+
+class TestErrors:
+    def test_unknown_op_rejected(self, served_index):
+        engine = CoalescingEngine(served_index)
+
+        async def ask():
+            await engine.batch("does-not-exist", [1])
+
+        with pytest.raises(ValueError, match="unknown query op"):
+            run(ask())
+
+    def test_empty_batch_is_empty(self, served_index):
+        engine = CoalescingEngine(served_index)
+
+        async def ask():
+            return await engine.batch("contains", [])
+
+        assert run(ask()) == []
+
+    def test_bad_max_batch_rejected(self, served_index):
+        with pytest.raises(ValueError, match="max_batch"):
+            CoalescingEngine(served_index, max_batch=0)
+
+    def test_bad_address_fails_every_waiter_in_the_tick(
+        self, served_index, queries
+    ):
+        engine = CoalescingEngine(served_index)
+
+        async def ask():
+            good = engine.query("contains", queries[0])
+            bad = engine.query("contains", -1)
+            results = await asyncio.gather(
+                good, bad, return_exceptions=True
+            )
+            return results
+
+        good_result, bad_result = run(ask())
+        # The whole coalesced batch shares one kernel call, so a bad
+        # address poisons the tick it arrived in -- deliberately: batch
+        # validation happens before any per-op partial answering.
+        assert isinstance(good_result, ValueError)
+        assert isinstance(bad_result, ValueError)
+
+
+class TestOriginFallback:
+    def test_resolver_serves_when_index_has_no_table(
+        self, tmp_path, routing
+    ):
+        write_serve_store(tmp_path, per_segment=40, segments=2)
+        build_serving_index(tmp_path)  # no routing: no origin table
+        with ServingIndex.open(tmp_path) as index:
+            assert not index.has_origin_table
+            resolver = CachedOrigins.from_routing_table(
+                routing, max_slash64s=64
+            )
+            engine = CoalescingEngine(index, origin_resolver=resolver)
+            probes = [
+                (0x2001 << 112) | (1 << 96) | (2 << 80) | (1 << 64) | 7,
+                (0x2001 << 112) | (3 << 96),
+                0,
+            ]
+
+            async def ask():
+                return await engine.batch("origin", probes)
+
+            answers = run(ask())
+            assert answers == [
+                routing.origin_asn(probe) for probe in probes
+            ]
+            assert engine.describe()["origin_source"] == "resolver"
+
+    def test_no_table_no_resolver_raises_to_the_caller(self, tmp_path):
+        write_serve_store(tmp_path, per_segment=10, segments=1)
+        build_serving_index(tmp_path)
+        with ServingIndex.open(tmp_path) as index:
+            engine = CoalescingEngine(index)
+            assert engine.describe()["origin_source"] is None
+
+            async def ask():
+                await engine.query("origin", 1)
+
+            with pytest.raises(ServingIndexError, match="origin"):
+                run(ask())

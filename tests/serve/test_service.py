@@ -1,0 +1,429 @@
+"""The TCP service, the client pair, ``api.connect`` and the CLI.
+
+The remote client's answers must be byte-for-byte the local engine's
+(JSON round-trips 128-bit ints and doubles exactly), errors must be
+per-request rather than per-connection, and — the concurrency contract
+— a reader process holding the mmap keeps its consistent snapshot while
+``compact()`` plus a rebuild atomically replace the index under it.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro import api
+from repro.core.index import CorpusIndex
+from repro.core.segments import SegmentedCorpusReader, SegmentStore
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    CoalescingEngine,
+    HitlistServer,
+    LocalHitlistClient,
+    READY_PREFIX,
+    RemoteHitlistClient,
+    SERVING_INDEX_NAME,
+    ServingIndex,
+    build_serving_index,
+)
+
+from .conftest import write_serve_store
+from .test_format import oracle
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+@pytest.fixture(scope="module")
+def served_index(serve_dir, routing):
+    build_serving_index(serve_dir, routing=routing)
+    with ServingIndex.open(serve_dir) as index:
+        yield index
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def _client_pair(index, metrics=None):
+    engine = CoalescingEngine(index, metrics=metrics)
+    server = HitlistServer(engine, metrics=metrics)
+    host, port = await server.start()
+    remote = await RemoteHitlistClient.connect(host, port)
+    return server, remote, LocalHitlistClient(engine)
+
+
+class TestRemoteEqualsLocal:
+    def test_every_op_round_trips_bit_identically(
+        self, served_index, ground_truth, routing, queries
+    ):
+        expected = oracle(ground_truth, routing, queries)
+
+        async def scenario():
+            server, remote, local = await _client_pair(served_index)
+            try:
+                for op, method in [
+                    ("record", "record_batch"),
+                    ("lifetime", "lifetime_batch"),
+                    ("entropy", "entropy_batch"),
+                    ("features", "features_batch"),
+                    ("origin", "origin_batch"),
+                    ("contains", "contains_batch"),
+                    ("slash48", "in_slash48_batch"),
+                    ("slash64", "in_slash64_batch"),
+                ]:
+                    remote_answer = await getattr(remote, method)(
+                        queries
+                    )
+                    local_answer = await getattr(local, method)(queries)
+                    assert remote_answer == local_answer, op
+                    assert remote_answer == expected[op], op
+            finally:
+                await remote.aclose()
+                await server.aclose()
+
+        run(scenario())
+
+    def test_scalar_surface(self, served_index, queries):
+        present = queries[0]
+
+        async def scenario():
+            server, remote, local = await _client_pair(served_index)
+            try:
+                assert await remote.contains(present) is True
+                assert await remote.contains(0) is False
+                assert await remote.record(present) == await local.record(
+                    present
+                )
+                assert await remote.origin(present) == await local.origin(
+                    present
+                )
+                assert await remote.lifetime(0) is None
+            finally:
+                await remote.aclose()
+                await server.aclose()
+
+        run(scenario())
+
+    def test_pipelined_requests_coalesce_server_side(
+        self, served_index, queries
+    ):
+        metrics = MetricsRegistry()
+
+        async def scenario():
+            server, remote, _ = await _client_pair(
+                served_index, metrics=metrics
+            )
+            engine = server.engine
+            try:
+                answers = await asyncio.gather(
+                    *(
+                        remote.lifetime(query)
+                        for query in queries[:48]
+                    )
+                )
+                direct = await engine.batch("lifetime", queries[:48])
+                assert answers == direct
+                # 48 concurrent requests from one connection landed in
+                # far fewer kernel calls than requests.
+                assert engine.queries_served >= 48
+                assert engine.batches_executed < 48
+            finally:
+                await remote.aclose()
+                await server.aclose()
+
+        run(scenario())
+
+    def test_stats_op(self, served_index):
+        async def scenario():
+            server, remote, local = await _client_pair(served_index)
+            try:
+                stats = await remote.stats()
+                assert stats["rows"] == served_index.rows
+                assert stats["has_origin_table"] is True
+                assert (await local.stats())["rows"] == stats["rows"]
+            finally:
+                await remote.aclose()
+                await server.aclose()
+
+        run(scenario())
+
+
+class TestProtocolErrors:
+    def test_bad_op_errors_that_request_only(
+        self, served_index, queries
+    ):
+        metrics = MetricsRegistry()
+
+        async def scenario():
+            server, remote, _ = await _client_pair(
+                served_index, metrics=metrics
+            )
+            try:
+                with pytest.raises(RuntimeError, match="server error"):
+                    await remote._request("frobnicate", [1])
+                # The connection survives and still answers.
+                assert await remote.contains(queries[0]) is True
+            finally:
+                await remote.aclose()
+                await server.aclose()
+
+        run(scenario())
+        assert (
+            metrics.counter_value("repro_serve_protocol_errors_total")
+            == 1
+        )
+
+    def test_malformed_json_and_shapes(self, served_index):
+        async def scenario():
+            server, _, _ = await _client_pair(served_index)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                for raw in [
+                    b"this is not json\n",
+                    b"[1, 2, 3]\n",
+                    b'{"id": 9, "op": "contains", "args": 5}\n',
+                ]:
+                    writer.write(raw)
+                    await writer.drain()
+                    reply = json.loads(await reader.readline())
+                    assert "error" in reply
+                # Still serving after three bad requests.
+                writer.write(
+                    b'{"id": 10, "op": "contains", "args": [0]}\n'
+                )
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                assert reply == {"id": 10, "results": [False]}
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.aclose()
+
+        run(scenario())
+
+    def test_closed_client_raises(self, served_index):
+        async def scenario():
+            server, remote, _ = await _client_pair(served_index)
+            await remote.aclose()
+            try:
+                with pytest.raises(ConnectionError):
+                    await remote.contains(1)
+            finally:
+                await server.aclose()
+
+        run(scenario())
+
+
+class TestApiConnect:
+    def test_local_directory_target(
+        self, tmp_path, routing, monkeypatch
+    ):
+        write_serve_store(tmp_path, per_segment=40, segments=2)
+        gt = CorpusIndex.build(
+            SegmentedCorpusReader.open(tmp_path).load()
+        )
+        present = gt.addresses[0]
+
+        async def scenario():
+            client = await api.connect(tmp_path, routing=routing)
+            async with client:
+                assert await client.contains(present) is True
+                assert await client.origin(
+                    present
+                ) == routing.origin_asn(present)
+                stats = await client.stats()
+                assert stats["rows"] == len(gt.addresses)
+
+        run(scenario())
+        assert (tmp_path / SERVING_INDEX_NAME).exists()
+
+    def test_host_port_target(self, served_index, queries):
+        async def scenario():
+            engine = CoalescingEngine(served_index)
+            async with HitlistServer(engine) as server:
+                client = await api.connect(
+                    f"{server.host}:{server.port}"
+                )
+                async with client:
+                    assert isinstance(client, RemoteHitlistClient)
+                    assert await client.contains(queries[0]) is True
+
+        run(scenario())
+
+
+CLI = [sys.executable, "-m", "repro.cli"]
+CLI_ENV = {**os.environ, "PYTHONPATH": "src"}
+
+
+class TestCli:
+    def test_build_only(self, tmp_path):
+        write_serve_store(tmp_path, per_segment=20, segments=2)
+        process = subprocess.run(
+            CLI
+            + [
+                "serve",
+                str(tmp_path),
+                "--build-only",
+                "--metrics-out",
+                str(tmp_path / "metrics.json"),
+            ],
+            env=CLI_ENV,
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert process.returncode == 0, process.stderr
+        assert SERVING_INDEX_NAME in process.stdout
+        assert (tmp_path / SERVING_INDEX_NAME).exists()
+        metrics = json.loads((tmp_path / "metrics.json").read_text())
+        assert metrics  # telemetry snapshot written
+
+    def test_missing_store_fails_cleanly(self, tmp_path):
+        process = subprocess.run(
+            CLI + ["serve", str(tmp_path / "nope"), "--build-only"],
+            env=CLI_ENV,
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert process.returncode == 2
+        assert "no segment store" in process.stderr
+
+    def test_serve_and_query_over_tcp(self, tmp_path):
+        write_serve_store(tmp_path, per_segment=20, segments=2)
+        gt = CorpusIndex.build(
+            SegmentedCorpusReader.open(tmp_path).load()
+        )
+        present = gt.addresses[0]
+        process = subprocess.Popen(
+            CLI + ["serve", str(tmp_path)],
+            env=CLI_ENV,
+            cwd=REPO_ROOT,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            ready = process.stdout.readline().strip()
+            assert ready.startswith(READY_PREFIX), ready
+            _, _, host, port = ready.split()
+
+            async def scenario():
+                client = await RemoteHitlistClient.connect(
+                    host, int(port)
+                )
+                async with client:
+                    assert await client.contains(present) is True
+                    record = await client.record(present)
+                    row = gt.addresses.index(present)
+                    assert record == (
+                        gt.first[row],
+                        gt.last[row],
+                        gt.counts[row],
+                    )
+
+            run(scenario())
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+                process.wait(timeout=30)
+
+
+READER_SCRIPT = """
+import json, sys
+from repro.serve import ServingIndex
+
+directory = sys.argv[1]
+queries = json.loads(sys.argv[2])
+index = ServingIndex.open(directory)
+
+def answers():
+    return {
+        "generation": index.generation,
+        "contains": index.contains_batch(queries),
+        "record": index.record_batch(queries),
+        "origin": index.origin_batch(queries),
+    }
+
+print(json.dumps(answers()), flush=True)
+sys.stdin.readline()  # parent compacts + rebuilds while we hold the mmap
+print(json.dumps(answers()), flush=True)
+"""
+
+
+class TestConcurrentReaders:
+    def test_reader_keeps_snapshot_across_compaction(
+        self, tmp_path, routing
+    ):
+        """Satellite (d): compaction + rebuild never disturb a held mmap.
+
+        A second process opens the serving index, the parent then
+        ``compact()``s the store (rewriting segments, hence the
+        manifest digest) and rebuilds the index — atomically replacing
+        the file.  The reader's held generation keeps answering exactly
+        what it answered before; a fresh open sees the new generation
+        with the same (compaction-invariant) answers.
+        """
+        store = write_serve_store(tmp_path, per_segment=50, segments=3)
+        build_serving_index(tmp_path, routing=routing)
+        gt = CorpusIndex.build(
+            SegmentedCorpusReader.open(tmp_path).load()
+        )
+        queries = sorted(gt.addresses)[:40] + [0, (1 << 128) - 1]
+
+        reader = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                READER_SCRIPT,
+                str(tmp_path),
+                json.dumps(queries),
+            ],
+            env=CLI_ENV,
+            cwd=REPO_ROOT,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            before = json.loads(reader.stdout.readline())
+
+            # Replace the index under the reader: compact (merges every
+            # small segment into one) then rebuild.
+            manifest = store.compact(small_bytes=float("inf"))
+            assert len(manifest.segments) == 1
+            build_serving_index(tmp_path, routing=routing)
+
+            reader.stdin.write("go\n")
+            reader.stdin.flush()
+            after = json.loads(reader.stdout.readline())
+            assert reader.wait(timeout=60) == 0
+        finally:
+            if reader.poll() is None:  # pragma: no cover - cleanup
+                reader.kill()
+                reader.wait(timeout=30)
+
+        # The held mapping is a consistent snapshot: same generation,
+        # byte-identical answers, before and after the swap.
+        assert after == before
+
+        # A fresh open sees the new generation; compaction preserved
+        # the observable corpus, so the answers are unchanged too.
+        with ServingIndex.open(tmp_path) as fresh:
+            assert fresh.generation == before["generation"] + 1
+            assert fresh.contains_batch(queries) == before["contains"]
+            assert [
+                None if record is None else list(record)
+                for record in fresh.record_batch(queries)
+            ] == before["record"]
+            assert fresh.origin_batch(queries) == before["origin"]
