@@ -68,6 +68,12 @@ COALESCED_PER_CLIENT = 1500
 BATCH_SIZE = 256
 BATCHES_PER_CLIENT = 24
 
+#: Multi-worker sweep: client *processes* driving the fleet (separate
+#: processes so the drivers don't share the servers' GIL) and batched
+#: rounds per driver.
+SWEEP_DRIVERS = 4
+SWEEP_ROUNDS = 60
+
 
 def build_store(directory, n_addresses, seed):
     """Seal the synthetic corpus into several segments; return routing."""
@@ -276,10 +282,11 @@ async def check_remote(host, port, expected, queries):
     return mismatches, stats
 
 
-def run_server_check(directory, expected, queries):
-    """Spawn ``repro serve`` and verify the wire answers."""
+def _spawn_server(directory, *extra_args):
+    """Spawn ``repro serve``; returns (process, host, port)."""
     process = subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", "serve", str(directory)],
+        [sys.executable, "-m", "repro.cli", "serve", str(directory)]
+        + list(extra_args),
         env={**os.environ, "PYTHONPATH": str(_SRC)},
         stdout=subprocess.PIPE,
         stderr=subprocess.DEVNULL,
@@ -289,21 +296,145 @@ def run_server_check(directory, expected, queries):
         ready = process.stdout.readline().strip()
         if not ready.startswith(READY_PREFIX):
             raise RuntimeError(f"server failed to start: {ready!r}")
-        _, _, host, port = ready.split()
+    except BaseException:
+        process.kill()
+        process.wait(timeout=30)
+        raise
+    _, _, host, port = ready.split()
+    return process, host, int(port)
+
+
+def _stop_server(process):
+    process.send_signal(signal.SIGTERM)
+    try:
+        process.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait(timeout=30)
+
+
+def run_server_check(directory, expected, queries):
+    """Spawn ``repro serve`` and verify the wire answers."""
+    process, host, port = _spawn_server(directory)
+    try:
         mismatches, stats = asyncio.run(
             check_remote(host, port, expected, queries)
         )
     finally:
-        process.send_signal(signal.SIGTERM)
-        try:
-            process.wait(timeout=30)
-        except subprocess.TimeoutExpired:
-            process.kill()
-            process.wait(timeout=30)
+        _stop_server(process)
     return mismatches, stats
 
 
-def run_bench(n_addresses, seed=11, server=False):
+def _sweep_driver(host, port, queries, rounds, offset, out_queue):
+    """One client process: batched contains over a deterministic slice.
+
+    Returns ``(lookups, seconds, answers_digest)`` via the queue; the
+    digest covers every answer in issue order, so two sweeps with the
+    same (queries, rounds, offset) are bit-identical iff digests match
+    — regardless of which worker the kernel landed each connection on.
+    """
+    import hashlib
+
+    async def go():
+        client = await RemoteHitlistClient.connect(host, port)
+        digest = hashlib.sha256()
+        lookups = 0
+        async with client:
+            started = time.perf_counter()
+            for round_number in range(rounds):
+                start = (offset + round_number) * BATCH_SIZE
+                chunk = [
+                    queries[(start + n) % len(queries)]
+                    for n in range(BATCH_SIZE)
+                ]
+                answers = await client.contains_batch(chunk)
+                digest.update(json.dumps(answers).encode())
+                lookups += len(answers)
+            elapsed = time.perf_counter() - started
+        return lookups, elapsed, digest.hexdigest()
+
+    out_queue.put(asyncio.run(go()))
+
+
+def _drive_fleet(host, port, queries):
+    """SWEEP_DRIVERS client processes against one fleet; aggregate."""
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+    out_queue = context.Queue()
+    drivers = [
+        context.Process(
+            target=_sweep_driver,
+            args=(
+                host,
+                port,
+                queries,
+                SWEEP_ROUNDS,
+                number * SWEEP_ROUNDS,
+                out_queue,
+            ),
+        )
+        for number in range(SWEEP_DRIVERS)
+    ]
+    for driver in drivers:
+        driver.start()
+    results = [out_queue.get(timeout=600) for _ in drivers]
+    for driver in drivers:
+        driver.join(timeout=60)
+    lookups = sum(result[0] for result in results)
+    # Wall-clock of the slowest driver: they run concurrently.
+    elapsed = max(result[1] for result in results)
+    digests = sorted(result[2] for result in results)
+    return {
+        "lookups": lookups,
+        "seconds": round(elapsed, 6),
+        "lookups_per_second": round(lookups / elapsed, 1),
+        "digests": digests,
+    }
+
+
+def run_worker_sweep(directory, queries, workers):
+    """Throughput of ``--serve-workers 1`` vs ``--serve-workers N``.
+
+    The acceptance bar scales with the hardware: N workers can only
+    beat one where there are cores to run them, so the required
+    speedup is ``min(min_worker_speedup, 0.8 * min(N, cpu_count))`` —
+    the full 2x bar on multi-core machines, an honest no-regression
+    sanity bound (~0.8x) on a single core.
+    """
+    sweep = {
+        "workers": workers,
+        "drivers": SWEEP_DRIVERS,
+        "cpu_count": os.cpu_count() or 1,
+        "per_count": {},
+    }
+    for count in sorted({1, workers}):
+        process, host, port = _spawn_server(
+            directory,
+            "--serve-workers",
+            str(count),
+            "--reload-interval",
+            "0",
+        )
+        try:
+            sweep["per_count"][str(count)] = _drive_fleet(
+                host, port, queries
+            )
+        finally:
+            _stop_server(process)
+    single = sweep["per_count"]["1"]
+    fleet = sweep["per_count"][str(workers)]
+    sweep["speedup"] = round(
+        fleet["lookups_per_second"] / single["lookups_per_second"], 2
+    )
+    sweep["identical"] = single["digests"] == fleet["digests"]
+    return sweep
+
+
+def run_bench(n_addresses, seed=11, server=False, serve_workers=0):
     with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
         directory = pathlib.Path(tmp)
         table = build_store(directory, n_addresses, seed)
@@ -327,6 +458,12 @@ def run_bench(n_addresses, seed=11, server=False):
         if server:
             remote_mismatches, remote_stats = run_server_check(
                 directory, expected, queries
+            )
+
+        worker_sweep = None
+        if serve_workers > 1:
+            worker_sweep = run_worker_sweep(
+                directory, queries, serve_workers
             )
 
         modes = measure(index, queries)
@@ -368,6 +505,8 @@ def run_bench(n_addresses, seed=11, server=False):
         }
         if remote_stats is not None:
             payload["remote_rows"] = remote_stats["rows"]
+        if worker_sweep is not None:
+            payload["worker_sweep"] = worker_sweep
         payload["_mismatches"] = {
             "local": mismatched_ops,
             "zero_copy": zero_copy_mismatches,
@@ -411,6 +550,21 @@ def render(payload):
         lines.append(
             f"  remote (TCP) identical: {payload['remote_identical']}"
         )
+    sweep = payload.get("worker_sweep")
+    if sweep:
+        for count, row in sorted(
+            sweep["per_count"].items(), key=lambda item: int(item[0])
+        ):
+            lines.append(
+                f"  fleet x{count:>2s}  "
+                f"{row['lookups_per_second']:>12,.0f}/s over TCP  "
+                f"({sweep['drivers']} driver processes)"
+            )
+        lines.append(
+            f"  {sweep['workers']}-worker speedup over 1: "
+            f"{sweep['speedup']:.2f}x on {sweep['cpu_count']} cores, "
+            f"answers identical: {sweep['identical']}"
+        )
     return "\n".join(lines)
 
 
@@ -436,12 +590,39 @@ def main(argv=None):
         "--server", action="store_true",
         help="also spawn `repro serve` and verify the TCP answers",
     )
+    parser.add_argument(
+        "--serve-workers", type=int, default=0, metavar="N",
+        help="also sweep a real `repro serve --serve-workers N` fleet "
+             "vs 1 worker over TCP with multiprocess client drivers "
+             "(0 skips the sweep; default: 0)",
+    )
+    parser.add_argument(
+        "--min-worker-speedup", type=float, default=2.0, metavar="X",
+        help="with --check and --serve-workers: required N-worker "
+             "speedup over 1 worker, capped by available cores as "
+             "0.8 * min(N, cpu_count) (default: 2.0)",
+    )
     args = parser.parse_args(argv)
 
     payload = run_bench(
-        args.addresses, seed=args.seed, server=args.server
+        args.addresses,
+        seed=args.seed,
+        server=args.server,
+        serve_workers=args.serve_workers,
     )
     mismatches = payload.pop("_mismatches")
+    sweep = payload.get("worker_sweep")
+    if sweep:
+        # N workers can only beat 1 where there are cores to run them;
+        # scale the bar to the hardware (the full bar on real
+        # multi-core, a no-regression sanity bound on a single core).
+        sweep["required_speedup"] = round(
+            min(
+                args.min_worker_speedup,
+                0.8 * max(1, min(sweep["workers"], sweep["cpu_count"])),
+            ),
+            2,
+        )
     publish_text("serve", render(payload))
     write_bench_json("serve", payload)
 
@@ -458,12 +639,33 @@ def main(argv=None):
                 f"< required {args.min_speedup:.2f}x"
             )
             failed = True
+        if sweep:
+            if not sweep["identical"]:
+                print(
+                    "CHECK FAILED: multi-worker answers differ from "
+                    "single-worker answers"
+                )
+                failed = True
+            required = sweep["required_speedup"]
+            if sweep["speedup"] < required:
+                print(
+                    f"CHECK FAILED: {sweep['workers']}-worker speedup "
+                    f"{sweep['speedup']:.2f}x < required "
+                    f"{required:.2f}x (cores: {sweep['cpu_count']})"
+                )
+                failed = True
         if failed:
             return 1
         print(
             f"CHECK OK: identical results"
             + (", remote verified" if payload["remote_checked"] else "")
             + f", {payload['batched_speedup']:.1f}x batched speedup"
+            + (
+                f", {sweep['speedup']:.2f}x fleet speedup "
+                f"(identical answers)"
+                if sweep
+                else ""
+            )
         )
     return 0
 

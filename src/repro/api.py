@@ -222,6 +222,7 @@ async def connect(
     metrics=None,
     rebuild: bool = False,
     coalesce: bool = True,
+    reload_interval: Optional[float] = None,
 ):
     """Connect to a hitlist service; returns an async query client.
 
@@ -243,10 +244,19 @@ async def connect(
 
     Local serving never reads sealed ``.seg`` payloads — queries are
     answered entirely from ``SERVING.rsi`` and the manifest.
+
+    ``reload_interval`` (local targets only, seconds) keeps the client
+    live: a watcher polls the store's ``MANIFEST.json`` fingerprint and
+    hot-swaps the serving index when commits or compactions change it
+    — the same machinery ``repro serve --reload-interval`` uses.  The
+    watcher dies with :meth:`LocalHitlistClient.aclose`.
     """
+    import asyncio
+
     from .serve import (
         CoalescingEngine,
         DEFAULT_ORIGIN_CACHE_SLASH64S,
+        IndexReloader,
         LocalHitlistClient,
         RemoteHitlistClient,
         ensure_serving_index,
@@ -275,7 +285,17 @@ async def connect(
         origin_resolver=origin_resolver,
         coalesce=coalesce,
     )
-    return LocalHitlistClient(engine)
+    watcher = None
+    if reload_interval is not None and reload_interval > 0:
+        reloader = IndexReloader(
+            engine,
+            target,
+            routing=routing,
+            metrics=metrics,
+            interval=reload_interval,
+        )
+        watcher = asyncio.ensure_future(reloader.run())
+    return LocalHitlistClient(engine, watcher=watcher)
 
 
 def release(

@@ -312,79 +312,74 @@ def _cmd_release(args) -> int:
 def _cmd_serve(args) -> int:
     # Lazy import: serving is optional machinery; the other subcommands
     # must not pay for (or depend on) it.
-    import asyncio
-    import signal
+    from .serve import ensure_serving_index
+    from .serve.fleet import FleetConfig, run_single, run_supervisor
 
-    from .serve import (
-        CoalescingEngine,
-        HitlistServer,
-        READY_PREFIX,
-        ensure_serving_index,
-    )
-
-    registry = MetricsRegistry()
-    routing = None
-    if args.scale is not None:
-        # The synthetic worlds are deterministic in (scale, seed), so
-        # the routing table (hence the flattened origin table baked
-        # into the index) is reproducible from the flags alone.
-        world = build_world(preset_config(args.scale, seed=args.seed))
-        routing = world.routing
-    try:
-        index = ensure_serving_index(
-            args.segment_dir,
-            routing=routing,
-            metrics=registry,
-            rebuild=args.rebuild,
+    if args.serve_workers < 1:
+        logger.error(
+            "--serve-workers must be >= 1: %d", args.serve_workers
         )
-    except FileNotFoundError as error:
-        logger.error("no segment store to serve: %s", error)
         return 2
-    info = index.describe()
-    logger.info(
-        "serving index ready: %s rows=%s generation=%s origin_table=%s",
-        index.path,
-        info["rows"],
-        info["generation"],
-        index.has_origin_table,
-    )
+    if args.reload_interval < 0:
+        logger.error(
+            "--reload-interval must be >= 0: %s", args.reload_interval
+        )
+        return 2
+    if args.drain_timeout < 0:
+        logger.error(
+            "--drain-timeout must be >= 0: %s", args.drain_timeout
+        )
+        return 2
+    if args.max_pipeline < 1:
+        logger.error(
+            "--max-pipeline must be >= 1: %d", args.max_pipeline
+        )
+        return 2
+
     if args.build_only:
+        registry = MetricsRegistry()
+        routing = None
+        if args.scale is not None:
+            # The synthetic worlds are deterministic in (scale, seed),
+            # so the routing table (hence the flattened origin table
+            # baked into the index) is reproducible from the flags.
+            world = build_world(
+                preset_config(args.scale, seed=args.seed)
+            )
+            routing = world.routing
+        try:
+            index = ensure_serving_index(
+                args.segment_dir,
+                routing=routing,
+                metrics=registry,
+                rebuild=args.rebuild,
+                lock=True,
+            )
+        except FileNotFoundError as error:
+            logger.error("no segment store to serve: %s", error)
+            return 2
         index.close()
         if args.metrics_out:
             _write_metrics(registry, args.metrics_out)
         print(f"serving index ready at {index.path}")
         return 0
 
-    async def run_server() -> None:
-        engine = CoalescingEngine(index, metrics=registry)
-        server = HitlistServer(
-            engine, host=args.host, port=args.port, metrics=registry
-        )
-        host, port = await server.start()
-        print(f"{READY_PREFIX} {host} {port}", flush=True)
-        loop = asyncio.get_running_loop()
-        stop = loop.create_future()
-
-        def request_stop() -> None:
-            if not stop.done():
-                stop.set_result(None)
-
-        for signum in (signal.SIGINT, signal.SIGTERM):
-            loop.add_signal_handler(signum, request_stop)
-        try:
-            await stop
-        finally:
-            for signum in (signal.SIGINT, signal.SIGTERM):
-                loop.remove_signal_handler(signum)
-            await server.aclose()
-
-    try:
-        asyncio.run(run_server())
-    finally:
-        index.close()
-        if args.metrics_out:
-            _write_metrics(registry, args.metrics_out)
-    return 0
+    config = FleetConfig(
+        directory=args.segment_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.serve_workers,
+        scale=args.scale,
+        seed=args.seed,
+        rebuild=args.rebuild,
+        reload_interval=args.reload_interval,
+        drain_timeout=args.drain_timeout,
+        metrics_out=args.metrics_out,
+        max_pipeline=args.max_pipeline,
+    )
+    if config.workers == 1:
+        return run_single(config)
+    return run_supervisor(config)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -596,6 +591,31 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--rebuild", action="store_true",
         help="rebuild the serving index even if a current one exists",
+    )
+    serve.add_argument(
+        "--serve-workers", type=int, default=1, metavar="N",
+        help="pre-forked worker processes SO_REUSEPORT-sharing the "
+             "port, each mmapping the same SERVING.rsi; the supervisor "
+             "restarts crashed workers with capped backoff "
+             "(default: 1 — serve in-process, no fork)",
+    )
+    serve.add_argument(
+        "--reload-interval", type=float, default=1.0,
+        metavar="SECONDS",
+        help="poll MANIFEST.json every SECONDS and hot-swap the "
+             "serving index when commits/compactions change it, "
+             "without a restart (0 disables; default: 1.0)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="on SIGTERM, let accepted in-flight requests flush their "
+             "replies for up to SECONDS before closing (default: 5.0)",
+    )
+    serve.add_argument(
+        "--max-pipeline", type=int, default=128, metavar="N",
+        help="per-connection cap on pipelined in-flight requests; the "
+             "server stops reading a connection at the cap until "
+             "replies flush (default: 128)",
     )
     serve.add_argument(
         "--build-only", action="store_true",

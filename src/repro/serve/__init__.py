@@ -29,16 +29,27 @@ from .engine import (
     DEFAULT_ORIGIN_CACHE_SLASH64S,
     QUERY_OPS,
 )
+from .fleet import (
+    FleetConfig,
+    IndexReloader,
+    reuseport_socket,
+    run_single,
+    run_supervisor,
+)
 from .format import (
     SERVING_INDEX_NAME,
+    SERVING_LOCK_NAME,
     ServingIndex,
     ServingIndexError,
     build_serving_index,
     ensure_serving_index,
     flatten_origin_table,
     manifest_digest,
+    manifest_fingerprint,
+    serving_build_lock,
 )
 from .service import (
+    DEFAULT_MAX_PIPELINE,
     HitlistServer,
     LocalHitlistClient,
     READY_PREFIX,
@@ -47,17 +58,26 @@ from .service import (
 
 __all__ = [
     "CoalescingEngine",
+    "DEFAULT_MAX_PIPELINE",
     "DEFAULT_ORIGIN_CACHE_SLASH64S",
+    "FleetConfig",
     "HitlistServer",
+    "IndexReloader",
     "LocalHitlistClient",
     "QUERY_OPS",
     "READY_PREFIX",
     "RemoteHitlistClient",
     "SERVING_INDEX_NAME",
+    "SERVING_LOCK_NAME",
     "ServingIndex",
     "ServingIndexError",
     "build_serving_index",
     "ensure_serving_index",
     "flatten_origin_table",
     "manifest_digest",
+    "manifest_fingerprint",
+    "reuseport_socket",
+    "run_single",
+    "run_supervisor",
+    "serving_build_lock",
 ]

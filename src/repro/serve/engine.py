@@ -107,16 +107,9 @@ class CoalescingEngine:
         self._origin_resolver = origin_resolver
         self._pending: Dict[str, _Pending] = {}
         self._flush_scheduled = False
-        self._executors: Dict[str, Callable] = {
-            "record": index.record_batch,
-            "lifetime": index.lifetime_batch,
-            "entropy": index.entropy_batch,
-            "features": index.features_batch,
-            "origin": self._origin_exec,
-            "contains": index.contains_batch,
-            "slash48": index.slash48_batch,
-            "slash64": index.slash64_batch,
-        }
+        #: Swaps performed via :meth:`swap_index` (live index reloads).
+        self.index_swaps = 0
+        self._executors = self._bind_executors(index)
         #: Plain counters mirrored into the registry (cheap to read in
         #: describe() without a registry snapshot).
         self.queries_served = 0
@@ -147,6 +140,38 @@ class CoalescingEngine:
             "queries answered per coalesced kernel call",
             buckets=_BATCH_BUCKETS,
         )
+
+    def _bind_executors(
+        self, index: ServingIndex
+    ) -> Dict[str, Callable]:
+        return {
+            "record": index.record_batch,
+            "lifetime": index.lifetime_batch,
+            "entropy": index.entropy_batch,
+            "features": index.features_batch,
+            "origin": self._origin_exec,
+            "contains": index.contains_batch,
+            "slash48": index.slash48_batch,
+            "slash64": index.slash64_batch,
+        }
+
+    def swap_index(self, index: ServingIndex) -> ServingIndex:
+        """Atomically swap the serving snapshot; returns the old index.
+
+        Batches execute synchronously inside one event-loop tick, so a
+        swap can never interleave with a kernel call: batches enqueued
+        before the swap but not yet flushed are answered from the new
+        snapshot (exactly as if they had arrived just after it), and
+        every result the old snapshot produced is already materialized
+        into plain Python objects.  The caller owns closing the
+        returned old index; an mmap still referenced by a live view
+        survives :meth:`ServingIndex.close` until released.
+        """
+        old = self.index
+        self.index = index
+        self._executors = self._bind_executors(index)
+        self.index_swaps += 1
+        return old
 
     # -- public query surface ----------------------------------------------------
 
@@ -190,6 +215,7 @@ class CoalescingEngine:
         info["max_batch"] = self.max_batch
         info["queries_served"] = self.queries_served
         info["batches_executed"] = self.batches_executed
+        info["index_swaps"] = self.index_swaps
         if self.index.has_origin_table:
             info["origin_source"] = "table"
         elif self._origin_resolver is not None:
@@ -232,18 +258,36 @@ class CoalescingEngine:
         self._flush_scheduled = False
         pending, self._pending = self._pending, {}
         for op, bucket in pending.items():
+            # A waiter whose future is already done (cancelled by a
+            # vanished client, typically) gets no answer — so it must
+            # contribute neither kernel work nor metrics: counting it
+            # in repro_serve_queries_total or observing its
+            # enqueue-to-answer "latency" would skew both.
+            waiters = bucket.waiters
+            live = [w for w in waiters if not w[0].done()]
+            if not live:
+                continue
+            if len(live) == len(waiters):
+                args = bucket.args
+            else:
+                args = []
+                rebased = []
+                for future, start, count, enqueued in live:
+                    rebased.append(
+                        (future, len(args), count, enqueued)
+                    )
+                    args.extend(bucket.args[start : start + count])
+                live = rebased
             try:
-                results = self._execute(
-                    op, self._executors[op], bucket.args
-                )
+                results = self._execute(op, self._executors[op], args)
             except Exception as error:
-                for future, _, _, _ in bucket.waiters:
+                for future, _, _, _ in live:
                     if not future.done():
                         future.set_exception(error)
                 continue
             answered = perf_counter()
             latency = self._m_latency[op]
-            for future, start, count, enqueued in bucket.waiters:
+            for future, start, count, enqueued in live:
                 if not future.done():
                     future.set_result(results[start : start + count])
-                latency.observe(answered - enqueued)
+                    latency.observe(answered - enqueued)

@@ -51,6 +51,7 @@ intervals (:func:`flatten_origin_table`): longest-prefix match becomes
 
 from __future__ import annotations
 
+import contextlib
 import mmap
 import struct
 import sys
@@ -58,6 +59,11 @@ import zlib
 from array import array
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+try:  # POSIX advisory locking for multi-process builder election
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
 
 from ..core import kernels as _kernels
 from ..core.segments import (
@@ -70,16 +76,22 @@ from ..obs import MetricsRegistry, NULL_REGISTRY
 
 __all__ = [
     "SERVING_INDEX_NAME",
+    "SERVING_LOCK_NAME",
     "ServingIndex",
     "ServingIndexError",
     "build_serving_index",
     "ensure_serving_index",
     "flatten_origin_table",
     "manifest_digest",
+    "manifest_fingerprint",
+    "serving_build_lock",
 ]
 
 #: File name of the serving index inside a segment directory.
 SERVING_INDEX_NAME = "SERVING.rsi"
+
+#: Advisory lock file electing one builder among concurrent workers.
+SERVING_LOCK_NAME = "SERVING.rsi.lock"
 
 _MAGIC = b"RSI1"
 _FOOTER_MAGIC = b"RSIF"
@@ -119,6 +131,70 @@ def manifest_digest(manifest: Manifest) -> int:
         )
     )
     return zlib.crc32(lines.encode("utf-8")) & 0xFFFFFFFF
+
+
+def manifest_fingerprint(
+    directory: Union[str, Path],
+) -> Optional[Tuple[int, int, int]]:
+    """``(mtime_ns, size, digest)`` of a directory's committed manifest.
+
+    The cheap change detector live reload polls on: the stat pair
+    catches any rewrite (commits replace the file atomically, which
+    always changes the stat), and the digest — computed from the cached
+    manifest parse, so an unchanged file costs one ``stat`` — is what
+    actually decides whether the *segment list* the serving index was
+    derived from moved.  ``None`` when no manifest exists (yet).
+    """
+    directory = Path(directory)
+    if directory.name == MANIFEST_NAME:
+        directory = directory.parent
+    manifest_path = directory / MANIFEST_NAME
+    try:
+        stat = manifest_path.stat()
+    except OSError:
+        return None
+    manifest = SegmentStore(directory).load_manifest()
+    if manifest is None:  # pragma: no cover - deleted between stats
+        return None
+    return (stat.st_mtime_ns, stat.st_size, manifest_digest(manifest))
+
+
+@contextlib.contextmanager
+def serving_build_lock(directory: Union[str, Path]):
+    """Advisory exclusive lock electing one serving-index builder.
+
+    N workers noticing the same manifest change race to rebuild; the
+    ``flock`` holder builds while the others block here, then find a
+    fresh index whose digest already matches and reuse it.  The lock
+    file lives next to ``SERVING.rsi`` (never inside it — the index is
+    atomically replaced).  On platforms without ``fcntl`` the lock
+    degrades to a no-op, which is safe for single-process serving.
+    """
+    directory = Path(directory)
+    if directory.name == MANIFEST_NAME:
+        directory = directory.parent
+    if fcntl is None:  # pragma: no cover - non-POSIX platform
+        yield
+        return
+    with (directory / SERVING_LOCK_NAME).open("a+b") as handle:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
+def _materialize_routing(routing):
+    """Resolve a lazy routing provider to an actual routing table.
+
+    ``routing`` may be the table itself or a zero-arg callable building
+    one on demand — serving workers pass the callable so the (costly)
+    world rebuild happens only if a reload actually needs the origin
+    table rebuilt.
+    """
+    if routing is None or hasattr(routing, "routed_prefixes"):
+        return routing
+    return routing()
 
 
 def flatten_origin_table(
@@ -753,6 +829,7 @@ def ensure_serving_index(
     routing=None,
     metrics: Optional[MetricsRegistry] = None,
     rebuild: bool = False,
+    lock: bool = False,
 ) -> ServingIndex:
     """Open the directory's serving index, (re)building it when needed.
 
@@ -763,7 +840,22 @@ def ensure_serving_index(
     ``rebuild=True``) a fresh index is derived from the ``.idx``
     partials and atomically swapped in.  A torn index is therefore
     *never served*.
+
+    ``routing`` may also be a zero-arg callable returning a routing
+    table; it is invoked only if a build actually happens.  With
+    ``lock=True`` the whole check-or-build runs under
+    :func:`serving_build_lock`, so concurrent workers reacting to one
+    manifest change elect a single builder: the winner rebuilds, the
+    losers block on the lock and then reuse the fresh index.
     """
+    if lock:
+        with serving_build_lock(directory):
+            return ensure_serving_index(
+                directory,
+                routing=routing,
+                metrics=metrics,
+                rebuild=rebuild,
+            )
     registry = NULL_REGISTRY if metrics is None else metrics
     directory = Path(directory)
     if directory.name == MANIFEST_NAME:
@@ -800,5 +892,7 @@ def ensure_serving_index(
         "serving indexes rebuilt from segment partials",
         labels={"reason": reason},
     ).inc()
-    build_serving_index(directory, routing=routing, metrics=registry)
+    build_serving_index(
+        directory, routing=_materialize_routing(routing), metrics=registry
+    )
     return ServingIndex.open(directory)

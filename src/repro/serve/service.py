@@ -34,6 +34,7 @@ from ..obs import MetricsRegistry, NULL_REGISTRY
 from .engine import CoalescingEngine
 
 __all__ = [
+    "DEFAULT_MAX_PIPELINE",
     "HitlistServer",
     "LocalHitlistClient",
     "RemoteHitlistClient",
@@ -47,6 +48,13 @@ READY_PREFIX = "SERVE READY"
 #: Per-line size bound: a 100k-address batch of 128-bit ints in decimal
 #: is ~4 MiB, so this caps batches near that without unbounded buffering.
 MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: Default per-connection in-flight request cap.  A client pipelining
+#: faster than the engine answers (or not reading its replies) would
+#: otherwise grow the per-request task set and the queued reply bytes
+#: without bound; past this many unanswered requests the server simply
+#: stops reading that connection until replies flush.
+DEFAULT_MAX_PIPELINE = 128
 
 _COMPACT = {"separators": (",", ":")}
 
@@ -65,12 +73,26 @@ class HitlistServer:
         host: str = "127.0.0.1",
         port: int = 0,
         metrics: Optional[MetricsRegistry] = None,
+        max_pipeline: int = DEFAULT_MAX_PIPELINE,
+        sock=None,
     ) -> None:
+        if max_pipeline < 1:
+            raise ValueError(
+                f"max_pipeline must be >= 1: {max_pipeline}"
+            )
         self.engine = engine
         self.host = host
         self.port = port
+        self.max_pipeline = max_pipeline
         self.metrics = NULL_REGISTRY if metrics is None else metrics
+        self._sock = sock
         self._server: Optional[asyncio.AbstractServer] = None
+        self._draining = False
+        #: Every in-flight _serve_line task across all connections —
+        #: what a bounded drain waits on at shutdown.
+        self._inflight: set = set()
+        #: Open connection writers, closed to force idle readers out.
+        self._writers: set = set()
         self._m_connections = self.metrics.counter(
             "repro_serve_connections_total", "client connections accepted"
         )
@@ -81,17 +103,30 @@ class HitlistServer:
             "repro_serve_protocol_errors_total",
             "requests answered with an error",
         )
+        self._m_stalls = self.metrics.counter(
+            "repro_serve_backpressure_stalls_total",
+            "reads paused because a connection hit its in-flight cap",
+        )
 
     async def start(self) -> Tuple[str, int]:
         """Bind and listen; returns the bound ``(host, port)``."""
         if self._server is not None:
             raise RuntimeError("server already started")
-        self._server = await asyncio.start_server(
-            self._handle_connection,
-            self.host,
-            self.port,
-            limit=MAX_LINE_BYTES,
-        )
+        if self._sock is not None:
+            # A pre-bound socket (the SO_REUSEPORT fan-out path: every
+            # worker binds its own socket to the shared port).
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                sock=self._sock,
+                limit=MAX_LINE_BYTES,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                self.host,
+                self.port,
+                limit=MAX_LINE_BYTES,
+            )
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
         return self.host, self.port
@@ -101,11 +136,34 @@ class HitlistServer:
             await self.start()
         await self._server.serve_forever()
 
-    async def aclose(self) -> None:
-        if self._server is not None:
-            self._server.close()
+    async def aclose(
+        self, drain_timeout: Optional[float] = None
+    ) -> None:
+        """Stop listening; optionally drain in-flight requests first.
+
+        With a ``drain_timeout``, requests whose lines were already
+        read (accepted) get up to that many seconds to compute and
+        flush their replies before the remaining tasks are cancelled —
+        so a SIGTERM under load loses zero accepted requests as long
+        as replies flush within the bound.  Connections are then
+        closed; handlers blocked in ``readline`` see EOF and exit.
+        """
+        if self._server is None:
+            return
+        self._draining = True
+        self._server.close()
+        if drain_timeout and self._inflight:
+            await asyncio.wait(
+                set(self._inflight), timeout=drain_timeout
+            )
+        for task in list(self._inflight):
+            task.cancel()
+        for writer in list(self._writers):
+            writer.close()
+        with contextlib.suppress(ConnectionError):
             await self._server.wait_closed()
-            self._server = None
+        self._server = None
+        self._draining = False
 
     async def __aenter__(self) -> "HitlistServer":
         await self.start()
@@ -123,7 +181,21 @@ class HitlistServer:
     ) -> None:
         self._m_connections.inc()
         write_lock = asyncio.Lock()
-        tasks: List[asyncio.Task] = []
+        # Per-connection in-flight cap: while max_pipeline requests are
+        # unanswered, the loop below stops reading — so a client
+        # pipelining faster than the engine answers (or never reading
+        # its replies, which blocks replies on the transport's
+        # high-water mark) bounds both the task set and the reply
+        # queue instead of growing them without limit.
+        slots = asyncio.Semaphore(self.max_pipeline)
+        tasks: set = set()
+        self._writers.add(writer)
+
+        def finish(task: asyncio.Task) -> None:
+            slots.release()
+            tasks.discard(task)
+            self._inflight.discard(task)
+
         # Cancellation (loop shutdown racing a connection teardown) is a
         # normal way for a handler to end — absorb it so it never
         # escapes into asyncio's stream-protocol callback.
@@ -131,13 +203,17 @@ class HitlistServer:
             ConnectionError, asyncio.CancelledError
         ):
             try:
-                while True:
+                while not self._draining:
+                    if slots.locked():
+                        self._m_stalls.inc()
+                    await slots.acquire()
                     try:
                         line = await reader.readline()
                     except (
                         asyncio.LimitOverrunError,
                         ValueError,
                     ):  # pragma: no cover - line beyond MAX_LINE_BYTES
+                        slots.release()
                         await self._reply(
                             writer,
                             write_lock,
@@ -149,23 +225,23 @@ class HitlistServer:
                         self._m_errors.inc()
                         break
                     if not line:
+                        slots.release()
                         break
                     # One task per request: replies can overtake each
                     # other and concurrent requests coalesce in the
                     # engine.
-                    tasks.append(
-                        asyncio.ensure_future(
-                            self._serve_line(line, writer, write_lock)
-                        )
+                    task = asyncio.ensure_future(
+                        self._serve_line(line, writer, write_lock)
                     )
-                    tasks = [
-                        task for task in tasks if not task.done()
-                    ]
+                    tasks.add(task)
+                    self._inflight.add(task)
+                    task.add_done_callback(finish)
             finally:
                 if tasks:
                     await asyncio.gather(
                         *tasks, return_exceptions=True
                     )
+                self._writers.discard(writer)
                 writer.close()
                 with contextlib.suppress(ConnectionError):
                     await writer.wait_closed()
@@ -199,6 +275,13 @@ class HitlistServer:
             self._m_errors.inc()
             payload = {"id": request_id, "error": str(error)}
         await self._reply(writer, write_lock, payload)
+        if request_id is None:
+            # A reply no client can attribute to a request id (the
+            # line was undecodable, or the request carried no id)
+            # poisons the pipelined stream: the requester would wait
+            # forever for an answer that can never be correlated.
+            # Close the connection so the client fails fast instead.
+            writer.close()
 
     async def _reply(
         self,
@@ -302,10 +385,22 @@ class _QuerySurface:
 
 
 class LocalHitlistClient(_QuerySurface):
-    """In-process client: the engine without any transport."""
+    """In-process client: the engine without any transport.
 
-    def __init__(self, engine: CoalescingEngine) -> None:
+    ``watcher`` (optional) is a background task — typically an
+    :class:`~repro.serve.fleet.IndexReloader` run loop keeping the
+    engine's index live against manifest commits — owned by this
+    client and cancelled on :meth:`aclose`.
+    """
+
+    def __init__(
+        self,
+        engine: CoalescingEngine,
+        *,
+        watcher: Optional[asyncio.Task] = None,
+    ) -> None:
         self.engine = engine
+        self._watcher = watcher
 
     async def _request(self, op: str, args: Sequence) -> List:
         if op == "stats":
@@ -313,7 +408,12 @@ class LocalHitlistClient(_QuerySurface):
         return await self.engine.batch(op, args)
 
     async def aclose(self) -> None:
-        """Symmetry with the remote client; nothing to release."""
+        """Cancel the reload watcher, if any; nothing else to release."""
+        if self._watcher is not None:
+            self._watcher.cancel()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await self._watcher
+            self._watcher = None
 
     async def __aenter__(self) -> "LocalHitlistClient":
         return self
@@ -363,7 +463,21 @@ class RemoteHitlistClient(_QuerySurface):
                     break
                 reply = json.loads(line)
                 future = self._pending.pop(reply.get("id"), None)
-                if future is None or future.done():
+                if future is None:
+                    if "error" in reply:
+                        # An error the server could not attribute to
+                        # any request we know (a null or unknown id).
+                        # Every in-flight request is now ambiguous —
+                        # one of them may be the request that failed —
+                        # so fail them all instead of letting an
+                        # unmatched caller await forever.
+                        error = ConnectionError(
+                            "un-correlatable server error: "
+                            f"{reply['error']}"
+                        )
+                        break
+                    continue
+                if future.done():
                     continue
                 if "error" in reply:
                     future.set_exception(
@@ -377,6 +491,7 @@ class RemoteHitlistClient(_QuerySurface):
             if not future.done():
                 future.set_exception(error)
         self._pending.clear()
+        self._writer.close()
 
     async def _request(self, op: str, args: Sequence) -> List:
         if self._reader_task.done():

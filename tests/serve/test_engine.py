@@ -13,13 +13,14 @@ import asyncio
 import pytest
 
 from repro.core.index import CachedOrigins
-from repro.obs import MetricsRegistry
+from repro.obs import DEFAULT_TIME_BUCKETS, MetricsRegistry
 from repro.serve import (
     CoalescingEngine,
     QUERY_OPS,
     ServingIndex,
     ServingIndexError,
     build_serving_index,
+    ensure_serving_index,
 )
 
 from .conftest import write_serve_store
@@ -210,6 +211,134 @@ class TestErrors:
         # validation happens before any per-op partial answering.
         assert isinstance(good_result, ValueError)
         assert isinstance(bad_result, ValueError)
+
+
+class TestCancelledWaiters:
+    def _latency_count(self, metrics, op):
+        return metrics.histogram(
+            "repro_serve_query_seconds",
+            buckets=DEFAULT_TIME_BUCKETS,
+            labels={"op": op},
+        ).count
+
+    def test_fully_cancelled_tick_touches_nothing(
+        self, served_index, queries
+    ):
+        # A waiter cancelled between enqueue and flush gets no answer,
+        # so it must contribute neither kernel work nor metrics.
+        metrics = MetricsRegistry()
+        engine = CoalescingEngine(served_index, metrics=metrics)
+
+        async def scenario():
+            task = asyncio.ensure_future(
+                engine.batch("lifetime", queries[:8])
+            )
+            await asyncio.sleep(0)  # enqueued; flush not yet run
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            await asyncio.sleep(0)  # let the flush tick run
+
+        run(scenario())
+        assert engine.queries_served == 0
+        assert engine.batches_executed == 0
+        assert (
+            metrics.counter_value(
+                "repro_serve_queries_total", labels={"op": "lifetime"}
+            )
+            == 0
+        )
+        assert self._latency_count(metrics, "lifetime") == 0
+        assert (
+            metrics.counter_value("repro_serve_batches_total") == 0
+        )
+
+    def test_mixed_tick_counts_only_live_waiters(
+        self, served_index, queries
+    ):
+        metrics = MetricsRegistry()
+        engine = CoalescingEngine(served_index, metrics=metrics)
+
+        async def scenario():
+            dead = asyncio.ensure_future(
+                engine.batch("contains", queries[:3])
+            )
+            live = asyncio.ensure_future(
+                engine.batch("contains", queries[3:6])
+            )
+            await asyncio.sleep(0)  # both enqueued in the same tick
+            dead.cancel()
+            return await live
+
+        answers = run(scenario())
+        # The surviving waiter's answers are positionally its own —
+        # compacting the batch must rebase slices, not shift them.
+        direct = run(engine_direct(served_index, queries[3:6]))
+        assert answers == direct
+        assert engine.queries_served == 3
+        assert engine.batches_executed == 1
+        assert (
+            metrics.counter_value(
+                "repro_serve_queries_total", labels={"op": "contains"}
+            )
+            == 3
+        )
+        assert self._latency_count(metrics, "contains") == 1
+
+
+async def engine_direct(index, addresses):
+    engine = CoalescingEngine(index, coalesce=False)
+    return await engine.batch("contains", addresses)
+
+
+class TestIndexSwap:
+    def test_swap_changes_answers_and_counts(self, tmp_path, routing):
+        small = tmp_path / "small"
+        grown = tmp_path / "grown"
+        write_serve_store(small, per_segment=30, segments=1)
+        store = write_serve_store(grown, per_segment=30, segments=1)
+        extra = _commit_extra_segment(store)
+        old_index = ensure_serving_index(small, routing=routing)
+        new_index = ensure_serving_index(grown, routing=routing)
+        try:
+            engine = CoalescingEngine(old_index)
+
+            async def scenario():
+                before = await engine.batch("contains", [extra])
+                # Enqueue against the old index, swap before the tick
+                # flushes: the batch answers from the new snapshot, as
+                # if it had arrived just after the swap.
+                pending = asyncio.ensure_future(
+                    engine.batch("contains", [extra])
+                )
+                await asyncio.sleep(0)
+                returned = engine.swap_index(new_index)
+                after = await pending
+                return before, returned, after
+
+            before, returned, after = run(scenario())
+            assert before == [False]
+            assert returned is old_index
+            assert after == [True]
+            assert engine.index is new_index
+            assert engine.describe()["index_swaps"] == 1
+        finally:
+            old_index.close()
+            new_index.close()
+
+
+def _commit_extra_segment(store):
+    """Append one fresh segment; returns an address only it contains."""
+    from repro.core.corpus import AddressCorpus
+
+    address = (0x2001 << 112) | (3 << 96) | (7 << 64) | 0xDEAD
+    corpus = AddressCorpus("serve")
+    corpus.record(address, 42.0)
+    meta = store.write_segment(
+        corpus, segment_id="seg-extra", start_day=21, end_day=28
+    )
+    store.commit([meta])
+    return address
 
 
 class TestOriginFallback:

@@ -8,6 +8,7 @@ per-request rather than per-connection, and — the concurrency contract
 """
 
 import asyncio
+import contextlib
 import json
 import os
 import signal
@@ -178,22 +179,38 @@ class TestProtocolErrors:
         )
 
     def test_malformed_json_and_shapes(self, served_index):
+        # A reply the server cannot attribute to a request id (the
+        # line never parsed, or parsed to a non-object) is followed by
+        # a connection close: a pipelined client could never correlate
+        # it, so leaving the stream open would strand some caller.
         async def scenario():
             server, _, _ = await _client_pair(served_index)
             try:
-                reader, writer = await asyncio.open_connection(
-                    server.host, server.port
-                )
-                for raw in [
-                    b"this is not json\n",
-                    b"[1, 2, 3]\n",
-                    b'{"id": 9, "op": "contains", "args": 5}\n',
-                ]:
+                for raw in [b"this is not json\n", b"[1, 2, 3]\n"]:
+                    reader, writer = await asyncio.open_connection(
+                        server.host, server.port
+                    )
                     writer.write(raw)
                     await writer.drain()
                     reply = json.loads(await reader.readline())
+                    assert reply["id"] is None
                     assert "error" in reply
-                # Still serving after three bad requests.
+                    # ...and then EOF: the connection is closed.
+                    assert await reader.readline() == b""
+                    writer.close()
+                    await writer.wait_closed()
+                # A *well-formed* bad request (id present) errors that
+                # request only; the connection survives and serves on.
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(
+                    b'{"id": 9, "op": "contains", "args": 5}\n'
+                )
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                assert reply["id"] == 9
+                assert "error" in reply
                 writer.write(
                     b'{"id": 10, "op": "contains", "args": [0]}\n'
                 )
@@ -218,6 +235,195 @@ class TestProtocolErrors:
                 await server.aclose()
 
         run(scenario())
+
+
+class _TrackingEngine(CoalescingEngine):
+    """Counts concurrently in-flight ``batch`` calls (the server's
+    per-request tasks all sit inside one)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.inflight = 0
+        self.max_inflight = 0
+
+    async def batch(self, op, addresses):
+        self.inflight += 1
+        self.max_inflight = max(self.max_inflight, self.inflight)
+        try:
+            return await super().batch(op, addresses)
+        finally:
+            self.inflight -= 1
+
+
+class TestBackpressure:
+    def test_pipelined_flood_stays_under_cap(
+        self, served_index, queries
+    ):
+        # A client pipelining 10k requests while reading replies late
+        # must never put more than max_pipeline requests in flight:
+        # the server stops reading the connection at the cap.
+        total = 10_000
+        cap = 8
+        metrics = MetricsRegistry()
+
+        async def scenario():
+            engine = _TrackingEngine(served_index, metrics=metrics)
+            server = HitlistServer(
+                engine, metrics=metrics, max_pipeline=cap
+            )
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                arg = queries[0]
+
+                async def flood():
+                    for request_id in range(total):
+                        writer.write(
+                            json.dumps(
+                                {
+                                    "id": request_id,
+                                    "op": "contains",
+                                    "args": [arg],
+                                }
+                            ).encode()
+                            + b"\n"
+                        )
+                        if request_id % 256 == 0:
+                            await writer.drain()
+                    await writer.drain()
+
+                flood_task = asyncio.ensure_future(flood())
+                # Read nothing for a moment: replies back up against
+                # our receive buffer and the server must stall.
+                await asyncio.sleep(0.3)
+                seen = set()
+                while len(seen) < total:
+                    reply = json.loads(await reader.readline())
+                    assert "error" not in reply
+                    seen.add(reply["id"])
+                await flood_task
+                writer.close()
+                await writer.wait_closed()
+                return engine.max_inflight, seen
+            finally:
+                await server.aclose()
+
+        max_inflight, seen = run(scenario())
+        assert seen == set(range(total))  # every request answered
+        assert max_inflight <= cap
+        assert (
+            metrics.counter_value(
+                "repro_serve_backpressure_stalls_total"
+            )
+            > 0
+        )
+
+    def test_poisoned_stream_fails_pipelined_client_fast(
+        self, served_index, queries
+    ):
+        # Regression: a line the server cannot attribute to a request
+        # id used to leave the connection open while the client
+        # silently dropped the null-id error reply — so the caller
+        # whose request was eaten awaited forever.  Now the server
+        # closes the connection and the client fails every in-flight
+        # and future request with ConnectionError, fast.
+        async def scenario():
+            server, remote, _ = await _client_pair(served_index)
+            try:
+                assert await remote.contains(queries[0]) is True
+                remote._writer.write(b"this is not json\n")
+                await remote._writer.drain()
+                with pytest.raises(ConnectionError):
+                    # A couple of requests may still race their
+                    # replies past the poison line; the connection
+                    # must die within a bounded number of calls
+                    # rather than hang any of them.
+                    for _ in range(50):
+                        await asyncio.wait_for(
+                            remote.contains(queries[0]), timeout=10
+                        )
+            finally:
+                await remote.aclose()
+                await server.aclose()
+
+        run(scenario())
+
+
+class _SlowEngine(CoalescingEngine):
+    """Answers after a delay — keeps requests in flight for drain tests."""
+
+    def __init__(self, *args, delay=0.05, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.delay = delay
+
+    async def batch(self, op, addresses):
+        await asyncio.sleep(self.delay)
+        return await super().batch(op, addresses)
+
+
+class TestDrain:
+    def test_aclose_drains_accepted_requests(
+        self, served_index, queries
+    ):
+        # Shutdown under load: every request the server *accepted*
+        # (read off a connection) must flush its reply before the
+        # server dies, given a drain timeout.
+        total = 200
+        metrics = MetricsRegistry()
+
+        async def scenario():
+            engine = _SlowEngine(
+                served_index, delay=0.05, metrics=metrics
+            )
+            server = HitlistServer(
+                engine, metrics=metrics, max_pipeline=total
+            )
+            await server.start()
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            arg = queries[0]
+            for request_id in range(total):
+                writer.write(
+                    json.dumps(
+                        {
+                            "id": request_id,
+                            "op": "contains",
+                            "args": [arg],
+                        }
+                    ).encode()
+                    + b"\n"
+                )
+            await writer.drain()
+            # Wait until the server has read (accepted) all of them...
+            for _ in range(2000):
+                if (
+                    metrics.counter_value(
+                        "repro_serve_requests_total"
+                    )
+                    >= total
+                ):
+                    break
+                await asyncio.sleep(0.005)
+            # ...then SIGTERM-equivalent: close with a drain budget.
+            await server.aclose(drain_timeout=30)
+            seen = set()
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                reply = json.loads(line)
+                assert "error" not in reply
+                seen.add(reply["id"])
+            writer.close()
+            with contextlib.suppress(ConnectionError):
+                await writer.wait_closed()
+            return seen
+
+        seen = run(scenario())
+        assert seen == set(range(total))  # zero accepted requests lost
 
 
 class TestApiConnect:
