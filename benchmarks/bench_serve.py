@@ -14,20 +14,32 @@ ways:
 * **batched** — clients issue ``batch()`` calls of ~256 addresses (the
   remote client's ``*_batch`` shape), coalesced across clients.
 
+With ``--server``, the wire protocols are compared too: one ``repro
+serve`` process is driven remotely over both JSON-lines and RSB1
+binary frames with pipelined 1024-address batches of mixed ops
+(record/origin/contains), answers digested for bit-identity, and the
+binary-over-JSON throughput ratio reported; a second, ``--serve-workers
+2 --json-only`` fleet proves the negotiation downgrade (a binary client
+lands on ``protocol == "json"`` with correct answers).
+
 Reported per mode: aggregate lookups/s and p50/p99 per-query latency.
 ``--check`` additionally proves correctness end to end: every serving
 answer bit-identical to the in-process :class:`CorpusIndex` plus
 :meth:`RoutingTable.origin_asn` ground truth, remote (TCP) answers
-bit-identical to local ones when ``--server`` is given, the batched
-speedup at least ``--min-speedup``, and — the zero-copy proof — all of
-it still true after every sealed ``.seg`` is deleted.
+bit-identical to local ones **under both wire protocols** when
+``--server`` is given, the batched speedup at least ``--min-speedup``,
+the RSB1 throughput at least ``--min-wire-speedup`` times JSON-lines,
+and — the zero-copy proof — all of it still true after every sealed
+``.seg`` is deleted.
 
 Runs standalone (CI perf smoke)::
 
     PYTHONPATH=src python benchmarks/bench_serve.py \
         --addresses 140000 --check --server
 
-Results land in ``benchmarks/output/BENCH_serve.json``.
+Results land in ``benchmarks/output/BENCH_serve.json``, with the
+per-protocol wire sections also published standalone as
+``BENCH_serve_wire_binary.json`` / ``BENCH_serve_wire_json.json``.
 """
 
 from __future__ import annotations
@@ -53,6 +65,8 @@ from repro.core.kernels import NO_MAC
 from repro.core.segments import SegmentStore
 from repro.serve import (
     CoalescingEngine,
+    PROTOCOL_BINARY,
+    PROTOCOL_JSON,
     READY_PREFIX,
     RemoteHitlistClient,
     ServingIndex,
@@ -73,6 +87,14 @@ BATCHES_PER_CLIENT = 24
 #: rounds per driver.
 SWEEP_DRIVERS = 4
 SWEEP_ROUNDS = 60
+
+#: Wire comparison: pipelined batches per op per protocol, their size,
+#: in-flight cap, and the op mix (record is the encode-heaviest reply,
+#: origin and contains the common scalar shapes).
+WIRE_BATCH = 1024
+WIRE_BATCHES = 64
+WIRE_INFLIGHT = 16
+WIRE_OPS = ("record", "origin", "contains")
 
 
 def build_store(directory, n_addresses, seed):
@@ -260,22 +282,28 @@ def measure(index, queries):
     return report
 
 
-async def check_remote(host, port, expected, queries):
+async def check_remote(host, port, expected, queries, protocol):
     """Remote answers must equal the oracle (hence the local engine)."""
     sample = queries[: min(len(queries), 4096)]
-    client = await RemoteHitlistClient.connect(host, int(port))
+    client = await RemoteHitlistClient.connect(
+        host, int(port), protocol=protocol
+    )
     mismatches = []
     try:
+        if client.protocol != protocol:
+            mismatches.append(f"{protocol}:negotiation")
         for op, method in (
             ("record", client.record_batch),
             ("lifetime", client.lifetime_batch),
+            ("entropy", client.entropy_batch),
+            ("features", client.features_batch),
             ("origin", client.origin_batch),
             ("contains", client.contains_batch),
             ("slash48", client.in_slash48_batch),
             ("slash64", client.in_slash64_batch),
         ):
             if await method(sample) != expected[op][: len(sample)]:
-                mismatches.append(op)
+                mismatches.append(f"{protocol}:{op}")
         stats = await client.stats()
     finally:
         await client.aclose()
@@ -314,15 +342,148 @@ def _stop_server(process):
 
 
 def run_server_check(directory, expected, queries):
-    """Spawn ``repro serve`` and verify the wire answers."""
+    """Spawn ``repro serve``; verify answers under both protocols."""
     process, host, port = _spawn_server(directory)
+    mismatches = []
     try:
-        mismatches, stats = asyncio.run(
-            check_remote(host, port, expected, queries)
-        )
+        for protocol in (PROTOCOL_BINARY, PROTOCOL_JSON):
+            found, stats = asyncio.run(
+                check_remote(host, port, expected, queries, protocol)
+            )
+            mismatches.extend(found)
     finally:
         _stop_server(process)
     return mismatches, stats
+
+
+async def _drive_protocol(host, port, protocol, queries):
+    """Pipelined WIRE_BATCH-address batches of mixed ops, timed.
+
+    Answers land in slot order (completion order must not change the
+    digest), and the digest is computed *after* the timed region so the
+    measurement is wire work, not hashing.
+    """
+    import hashlib
+
+    client = await RemoteHitlistClient.connect(
+        host, port, protocol=protocol
+    )
+    calls = []
+    for number in range(WIRE_BATCHES):
+        start = number * WIRE_BATCH
+        chunk = [
+            queries[(start + n) % len(queries)]
+            for n in range(WIRE_BATCH)
+        ]
+        for op in WIRE_OPS:
+            calls.append((getattr(client, f"{op}_batch"), chunk))
+    answers = [None] * len(calls)
+    semaphore = asyncio.Semaphore(WIRE_INFLIGHT)
+
+    async def one(slot, method, chunk):
+        async with semaphore:
+            answers[slot] = await method(chunk)
+
+    async with client:
+        granted = client.protocol
+        started = time.perf_counter()
+        await asyncio.gather(
+            *(
+                one(slot, method, chunk)
+                for slot, (method, chunk) in enumerate(calls)
+            )
+        )
+        elapsed = time.perf_counter() - started
+    digest = hashlib.sha256()
+    for batch in answers:
+        digest.update(json.dumps(batch).encode())
+    lookups = len(calls) * WIRE_BATCH
+    return {
+        "requested": protocol,
+        "granted": granted,
+        "batch_size": WIRE_BATCH,
+        "ops": list(WIRE_OPS),
+        "lookups": lookups,
+        "seconds": round(elapsed, 6),
+        "lookups_per_second": round(lookups / elapsed, 1),
+        "answers_digest": digest.hexdigest(),
+    }
+
+
+def run_wire_comparison(directory, queries):
+    """RSB1 vs JSON-lines batched remote throughput, same server.
+
+    The acceptance gate: bit-identical answers (equal digests) and a
+    binary-over-JSON speedup of at least ``--min-wire-speedup``.
+    """
+    process, host, port = _spawn_server(
+        directory, "--reload-interval", "0"
+    )
+    per_protocol = {}
+    try:
+        for protocol in (PROTOCOL_JSON, PROTOCOL_BINARY):
+            per_protocol[protocol] = asyncio.run(
+                _drive_protocol(host, port, protocol, queries)
+            )
+    finally:
+        _stop_server(process)
+    binary = per_protocol[PROTOCOL_BINARY]
+    jsonl = per_protocol[PROTOCOL_JSON]
+    return {
+        "batch_size": WIRE_BATCH,
+        "per_protocol": per_protocol,
+        "speedup": round(
+            binary["lookups_per_second"]
+            / jsonl["lookups_per_second"],
+            2,
+        ),
+        "identical": (
+            binary["answers_digest"] == jsonl["answers_digest"]
+        ),
+        "negotiated": (
+            binary["granted"] == PROTOCOL_BINARY
+            and jsonl["granted"] == PROTOCOL_JSON
+        ),
+    }
+
+
+def run_downgrade_check(directory, expected, queries):
+    """A binary client against a 2-worker ``--json-only`` fleet.
+
+    Proves the negotiation downgrade under the pre-forked fan-out: the
+    client requested RSB1, every worker declines, and the connection
+    keeps answering correctly over JSON-lines.
+    """
+    process, host, port = _spawn_server(
+        directory,
+        "--serve-workers", "2",
+        "--json-only",
+        "--reload-interval", "0",
+    )
+    try:
+
+        async def go():
+            client = await RemoteHitlistClient.connect(
+                host, port, protocol=PROTOCOL_BINARY
+            )
+            async with client:
+                sample = queries[: min(len(queries), 2048)]
+                answers = await client.contains_batch(sample)
+                return (
+                    client.protocol,
+                    answers == expected["contains"][: len(sample)],
+                )
+
+        granted, identical = asyncio.run(go())
+    finally:
+        _stop_server(process)
+    return {
+        "fleet_workers": 2,
+        "requested": PROTOCOL_BINARY,
+        "granted": granted,
+        "downgraded": granted == PROTOCOL_JSON,
+        "answers_identical": identical,
+    }
 
 
 def _sweep_driver(host, port, queries, rounds, offset, out_queue):
@@ -455,8 +616,13 @@ def run_bench(n_addresses, seed=11, server=False, serve_workers=0):
 
         mismatched_ops = check_index(index, expected, queries)
         remote_mismatches, remote_stats = [], None
+        wire_comparison = downgrade = None
         if server:
             remote_mismatches, remote_stats = run_server_check(
+                directory, expected, queries
+            )
+            wire_comparison = run_wire_comparison(directory, queries)
+            downgrade = run_downgrade_check(
                 directory, expected, queries
             )
 
@@ -505,6 +671,10 @@ def run_bench(n_addresses, seed=11, server=False, serve_workers=0):
         }
         if remote_stats is not None:
             payload["remote_rows"] = remote_stats["rows"]
+        if wire_comparison is not None:
+            payload["wire"] = wire_comparison
+        if downgrade is not None:
+            payload["downgrade"] = downgrade
         if worker_sweep is not None:
             payload["worker_sweep"] = worker_sweep
         payload["_mismatches"] = {
@@ -548,7 +718,32 @@ def render(payload):
     )
     if payload["remote_checked"]:
         lines.append(
-            f"  remote (TCP) identical: {payload['remote_identical']}"
+            f"  remote (TCP, both protocols) identical: "
+            f"{payload['remote_identical']}"
+        )
+    wire_row = payload.get("wire")
+    if wire_row:
+        for protocol in (PROTOCOL_JSON, PROTOCOL_BINARY):
+            row = wire_row["per_protocol"][protocol]
+            lines.append(
+                f"  wire {protocol:7s} "
+                f"{row['lookups_per_second']:>12,.0f}/s over TCP "
+                f"(batch {row['batch_size']}, "
+                f"ops {'/'.join(row['ops'])})"
+            )
+        lines.append(
+            f"  RSB1 speedup over JSON-lines: "
+            f"{wire_row['speedup']:.2f}x, answers identical: "
+            f"{wire_row['identical']}"
+        )
+    downgrade = payload.get("downgrade")
+    if downgrade:
+        lines.append(
+            f"  downgrade vs {downgrade['fleet_workers']}-worker "
+            f"--json-only fleet: requested "
+            f"{downgrade['requested']}, granted "
+            f"{downgrade['granted']}, answers identical: "
+            f"{downgrade['answers_identical']}"
         )
     sweep = payload.get("worker_sweep")
     if sweep:
@@ -588,7 +783,14 @@ def main(argv=None):
     )
     parser.add_argument(
         "--server", action="store_true",
-        help="also spawn `repro serve` and verify the TCP answers",
+        help="also spawn `repro serve` and verify the TCP answers "
+             "under both wire protocols, compare RSB1 vs JSON-lines "
+             "throughput, and prove the --json-only downgrade",
+    )
+    parser.add_argument(
+        "--min-wire-speedup", type=float, default=2.0, metavar="X",
+        help="with --check and --server: required RSB1-over-JSON "
+             "batched remote throughput ratio (default: 2.0)",
     )
     parser.add_argument(
         "--serve-workers", type=int, default=0, metavar="N",
@@ -625,6 +827,11 @@ def main(argv=None):
         )
     publish_text("serve", render(payload))
     write_bench_json("serve", payload)
+    wire_row = payload.get("wire")
+    if wire_row:
+        # Per-protocol artifacts (CI uploads BENCH_serve*.json).
+        for protocol, row in wire_row["per_protocol"].items():
+            write_bench_json(f"serve_wire_{protocol}", row)
 
     if args.check:
         failed = False
@@ -637,6 +844,36 @@ def main(argv=None):
                 f"CHECK FAILED: batched speedup "
                 f"{payload['batched_speedup']:.2f}x "
                 f"< required {args.min_speedup:.2f}x"
+            )
+            failed = True
+        if wire_row:
+            if not wire_row["identical"]:
+                print(
+                    "CHECK FAILED: RSB1 answers differ from "
+                    "JSON-lines answers"
+                )
+                failed = True
+            if not wire_row["negotiated"]:
+                print(
+                    "CHECK FAILED: wire negotiation did not grant "
+                    "the requested protocols"
+                )
+                failed = True
+            if wire_row["speedup"] < args.min_wire_speedup:
+                print(
+                    f"CHECK FAILED: RSB1 speedup "
+                    f"{wire_row['speedup']:.2f}x < required "
+                    f"{args.min_wire_speedup:.2f}x"
+                )
+                failed = True
+        downgrade = payload.get("downgrade")
+        if downgrade and not (
+            downgrade["downgraded"]
+            and downgrade["answers_identical"]
+        ):
+            print(
+                "CHECK FAILED: binary client did not downgrade "
+                f"cleanly against the --json-only fleet: {downgrade}"
             )
             failed = True
         if sweep:
@@ -658,8 +895,22 @@ def main(argv=None):
             return 1
         print(
             f"CHECK OK: identical results"
-            + (", remote verified" if payload["remote_checked"] else "")
+            + (
+                ", remote verified on both protocols"
+                if payload["remote_checked"]
+                else ""
+            )
             + f", {payload['batched_speedup']:.1f}x batched speedup"
+            + (
+                f", {wire_row['speedup']:.2f}x RSB1 over JSON"
+                if wire_row
+                else ""
+            )
+            + (
+                ", downgrade proven"
+                if payload.get("downgrade")
+                else ""
+            )
             + (
                 f", {sweep['speedup']:.2f}x fleet speedup "
                 f"(identical answers)"

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 
 from .core import (
     AddressCorpus,
@@ -215,6 +215,37 @@ _HOST_PORT = re.compile(
 )
 
 
+def _parse_repro_url(
+    target: str, protocol: Optional[str]
+) -> Tuple[str, int, Optional[str]]:
+    """Split ``repro://host:port[?protocol=...]`` into connect args."""
+    from urllib.parse import parse_qs, urlsplit
+
+    parts = urlsplit(target)
+    if parts.path or parts.fragment or parts.username or parts.password:
+        raise ValueError(f"malformed repro:// URL: {target!r}")
+    host, port = parts.hostname, parts.port
+    if not host or port is None:
+        raise ValueError(
+            f"repro:// URL must name host and port: {target!r}"
+        )
+    query = parse_qs(parts.query, keep_blank_values=True)
+    unknown = sorted(set(query) - {"protocol"})
+    if unknown:
+        raise ValueError(
+            f"unknown repro:// URL parameter(s): {', '.join(unknown)}"
+        )
+    url_protocol = query.get("protocol", [None])[-1]
+    if url_protocol is not None:
+        if protocol is not None and protocol != url_protocol:
+            raise ValueError(
+                f"protocol={protocol!r} conflicts with the URL's "
+                f"?protocol={url_protocol}"
+            )
+        protocol = url_protocol
+    return host, port, protocol
+
+
 async def connect(
     target: Union[str, Path],
     *,
@@ -223,6 +254,8 @@ async def connect(
     rebuild: bool = False,
     coalesce: bool = True,
     reload_interval: Optional[float] = None,
+    protocol: Optional[str] = None,
+    max_frame_bytes: Optional[int] = None,
 ):
     """Connect to a hitlist service; returns an async query client.
 
@@ -231,8 +264,9 @@ async def connect(
     serving index via
     :func:`~repro.serve.ensure_serving_index` (built or rebuilt on
     demand, with an LPM origin table when ``routing`` is given) — or a
-    ``host:port`` string for a running ``repro serve`` instance.  Both
-    clients expose the same awaitable surface (``record``/``origin``/
+    running ``repro serve`` instance, named as ``host:port`` or a
+    ``repro://host:port`` URL.  Both clients expose the same awaitable
+    surface (``record``/``origin``/
     ``lifetime``/``entropy``/``features``/``contains``/``in_slash48``/
     ``in_slash64``, each with a ``_batch`` variant, plus ``stats``)::
 
@@ -242,8 +276,19 @@ async def connect(
         client = await connect("127.0.0.1:8464")
         lifetimes = await client.lifetime_batch(addresses)
 
+        client = await connect("repro://127.0.0.1:8464?protocol=json")
+
     Local serving never reads sealed ``.seg`` payloads — queries are
     answered entirely from ``SERVING.rsi`` and the manifest.
+
+    Remote targets negotiate the wire protocol per connection.
+    ``protocol`` (kwarg, or the URL's ``?protocol=``) is ``"binary"``
+    (the default: request the RSB1 framed protocol, falling back to
+    JSON lines when the server declines) or ``"json"`` (skip
+    negotiation entirely); the granted protocol is readable as
+    ``client.protocol``.  ``max_frame_bytes`` bounds how large a frame
+    or reply line the client will send or accept.  Both knobs are
+    remote-only — local targets reject them.
 
     ``reload_interval`` (local targets only, seconds) keeps the client
     live: a watcher polls the store's ``MANIFEST.json`` fingerprint and
@@ -261,14 +306,30 @@ async def connect(
         RemoteHitlistClient,
         ensure_serving_index,
     )
+    from .serve.wire import PROTOCOL_BINARY
 
     if isinstance(target, str):
-        match = _HOST_PORT.match(target)
-        if match is not None and not Path(target).exists():
-            host = match.group("host").strip("[]")
+        host = port = None
+        if target.startswith("repro://"):
+            host, port, protocol = _parse_repro_url(target, protocol)
+        else:
+            match = _HOST_PORT.match(target)
+            if match is not None and not Path(target).exists():
+                host = match.group("host").strip("[]")
+                port = int(match.group("port"))
+        if host is not None:
+            kwargs = {"protocol": protocol or PROTOCOL_BINARY}
+            if max_frame_bytes is not None:
+                kwargs["max_frame_bytes"] = max_frame_bytes
             return await RemoteHitlistClient.connect(
-                host, int(match.group("port"))
+                host, port, **kwargs
             )
+    if protocol is not None or max_frame_bytes is not None:
+        raise ValueError(
+            "protocol= and max_frame_bytes= only apply to remote "
+            "host:port / repro:// targets, not local segment "
+            f"directories: {str(target)!r}"
+        )
     index = ensure_serving_index(
         target, routing=routing, metrics=metrics, rebuild=rebuild
     )

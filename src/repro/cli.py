@@ -335,6 +335,14 @@ def _cmd_serve(args) -> int:
             "--max-pipeline must be >= 1: %d", args.max_pipeline
         )
         return 2
+    from .serve.wire import MIN_FRAME_BYTES
+
+    if args.max_frame_bytes < MIN_FRAME_BYTES:
+        logger.error(
+            "--max-frame-bytes must be >= %d: %d",
+            MIN_FRAME_BYTES, args.max_frame_bytes,
+        )
+        return 2
 
     if args.build_only:
         registry = MetricsRegistry()
@@ -376,6 +384,8 @@ def _cmd_serve(args) -> int:
         drain_timeout=args.drain_timeout,
         metrics_out=args.metrics_out,
         max_pipeline=args.max_pipeline,
+        max_frame_bytes=args.max_frame_bytes,
+        json_only=args.json_only,
     )
     if config.workers == 1:
         return run_single(config)
@@ -560,7 +570,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser(
         "serve",
         help="serve a segment store's hitlist over TCP from the "
-             "mmap-backed on-disk index (JSON-lines protocol)",
+             "mmap-backed on-disk index (RSB1 binary frames, "
+             "negotiated per connection; JSON-lines fallback)",
     )
     serve.add_argument(
         "segment_dir",
@@ -616,6 +627,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-connection cap on pipelined in-flight requests; the "
              "server stops reading a connection at the cap until "
              "replies flush (default: 128)",
+    )
+    serve.add_argument(
+        "--max-frame-bytes", type=int, default=8 << 20, metavar="N",
+        help="per-connection bound on a request line (JSON) or frame "
+             "(RSB1); an oversized request gets a typed error and the "
+             "connection closes (default: 8388608 = 8 MiB)",
+    )
+    serve.add_argument(
+        "--json-only", action="store_true",
+        help="decline RSB1 binary upgrades; every connection speaks "
+             "JSON lines (for old clients and wire debugging)",
     )
     serve.add_argument(
         "--build-only", action="store_true",

@@ -52,6 +52,7 @@ __all__ = [
     "iid_interval_map",
     "fold_record_columns",
     "pair_searchsorted",
+    "pair_searchsorted_array",
     "sorted_contains_u64",
 ]
 
@@ -483,13 +484,29 @@ def _pair_searchsorted_scalar(hi_col, lo_col, q_hi, q_lo, side):
     return out
 
 
-def _pair_searchsorted_numpy(hi_col, lo_col, q_hi, q_lo, side):
+def _as_u64_queries(values, count):
+    """Queries as a u64 ndarray: zero-copy when they already are one (a
+    strided view over a received wire payload), fromiter otherwise."""
+    if isinstance(values, _np.ndarray):
+        return values
+    return _np.fromiter(values, dtype=_np.uint64, count=count)
+
+
+def pair_searchsorted_array(hi_col, lo_col, q_hi, q_lo, side="left"):
+    """:func:`pair_searchsorted` returning an int64 **ndarray**.
+
+    The one deliberate exception to "numpy never leaks": the serving
+    layer's columnar batch path stays in numpy end to end (index lookup
+    through RSB1 reply encode), so forcing a ``tolist`` here would undo
+    the point.  Requires numpy; list-returning callers should use
+    :func:`pair_searchsorted`.
+    """
     np = _np
     hi_arr = np.asarray(hi_col, dtype=np.uint64)
     lo_arr = np.asarray(lo_col, dtype=np.uint64)
     count = len(q_hi)
-    qh = np.fromiter(q_hi, dtype=np.uint64, count=count)
-    ql = np.fromiter(q_lo, dtype=np.uint64, count=count)
+    qh = _as_u64_queries(q_hi, count)
+    ql = _as_u64_queries(q_lo, count)
     # The run of rows sharing the query's hi half is [left, right); a
     # batched manual bisection over the lo column inside each run turns
     # the composite 128-bit search into O(log max-run) vector steps.
@@ -508,7 +525,11 @@ def _pair_searchsorted_numpy(hi_col, lo_col, q_hi, q_lo, side):
             go_right = mid_vals <= ql
         left = np.where(active & go_right, mid + 1, left)
         right = np.where(active & ~go_right, mid, right)
-    return left.tolist()
+    return left
+
+
+def _pair_searchsorted_numpy(hi_col, lo_col, q_hi, q_lo, side):
+    return pair_searchsorted_array(hi_col, lo_col, q_hi, q_lo, side).tolist()
 
 
 def pair_searchsorted(
@@ -528,7 +549,7 @@ def pair_searchsorted(
     """
     if side not in ("left", "right"):
         raise ValueError(f"side must be 'left' or 'right', not {side!r}")
-    if not q_hi:
+    if not len(q_hi):
         return []
     if _np is None or len(q_hi) < _VECTOR_MIN_QUERIES:
         return _pair_searchsorted_scalar(hi_col, lo_col, q_hi, q_lo, side)
@@ -542,7 +563,7 @@ def sorted_contains_u64(column, queries: Sequence[int]) -> List[bool]:
     available and the batch is big enough to amortize it; scalar bisect
     otherwise.  Both paths return identical results.
     """
-    if not queries:
+    if not len(queries):
         return []
     size = len(column)
     if _np is None or len(queries) < _VECTOR_MIN_QUERIES:
@@ -554,9 +575,7 @@ def sorted_contains_u64(column, queries: Sequence[int]) -> List[bool]:
         return out
     np = _np
     col = np.asarray(column, dtype=np.uint64)
-    probes = np.fromiter(
-        queries, dtype=np.uint64, count=len(queries)
-    )
+    probes = _as_u64_queries(queries, len(queries))
     positions = np.searchsorted(col, probes)
     found = positions < size
     clipped = np.where(found, positions, 0)

@@ -1,6 +1,6 @@
 """Hitlist-as-a-service: the read-only serving layer over segment stores.
 
-Three pieces (DESIGN.md §14):
+Four pieces (DESIGN.md §14–15):
 
 * :mod:`repro.serve.format` — the ``RSI1`` on-disk serving index:
   columnar, CRC-sealed, derived from seal-time ``.idx`` partials and
@@ -8,7 +8,11 @@ Three pieces (DESIGN.md §14):
 * :mod:`repro.serve.engine` — the asyncio
   :class:`~repro.serve.engine.CoalescingEngine`, batching concurrent
   lookups into single vectorized kernel calls.
-* :mod:`repro.serve.service` — the JSON-lines TCP
+* :mod:`repro.serve.wire` — the shared query-op registry and the
+  ``RSB1`` binary wire codec (length-prefixed, CRC-sealed frames with
+  columnar payloads), negotiated per connection with a JSON-lines
+  fallback.
+* :mod:`repro.serve.service` — the TCP
   :class:`~repro.serve.service.HitlistServer` and the local/remote
   client pair behind :func:`repro.api.connect`.
 
@@ -37,6 +41,7 @@ from .fleet import (
     run_supervisor,
 )
 from .format import (
+    ColumnarResults,
     SERVING_INDEX_NAME,
     SERVING_LOCK_NAME,
     ServingIndex,
@@ -55,18 +60,44 @@ from .service import (
     READY_PREFIX,
     RemoteHitlistClient,
 )
+from .wire import (
+    AddressBlock,
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameCorruptError,
+    FrameTooLargeError,
+    PROTOCOL_BINARY,
+    PROTOCOL_JSON,
+    QUERY_OP_TABLE,
+    QueryOp,
+    WIRE_VERSION,
+    WireError,
+    WireProtocolError,
+    resolve_op,
+)
 
 __all__ = [
+    "AddressBlock",
     "CoalescingEngine",
+    "ColumnarResults",
+    "DEFAULT_MAX_FRAME_BYTES",
     "DEFAULT_MAX_PIPELINE",
     "DEFAULT_ORIGIN_CACHE_SLASH64S",
     "FleetConfig",
+    "FrameCorruptError",
+    "FrameTooLargeError",
     "HitlistServer",
     "IndexReloader",
     "LocalHitlistClient",
+    "PROTOCOL_BINARY",
+    "PROTOCOL_JSON",
     "QUERY_OPS",
+    "QUERY_OP_TABLE",
+    "QueryOp",
     "READY_PREFIX",
     "RemoteHitlistClient",
+    "WIRE_VERSION",
+    "WireError",
+    "WireProtocolError",
     "SERVING_INDEX_NAME",
     "SERVING_LOCK_NAME",
     "ServingIndex",
@@ -77,6 +108,7 @@ __all__ = [
     "manifest_digest",
     "manifest_fingerprint",
     "reuseport_socket",
+    "resolve_op",
     "run_single",
     "run_supervisor",
     "serving_build_lock",

@@ -30,7 +30,8 @@ from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import DEFAULT_TIME_BUCKETS, MetricsRegistry, NULL_REGISTRY
-from .format import ServingIndex, ServingIndexError
+from .format import ColumnarResults, ServingIndex, ServingIndexError
+from .wire import ADDRESS_OPS, AddressBlock, QueryOp, resolve_op
 
 __all__ = [
     "CoalescingEngine",
@@ -41,18 +42,11 @@ __all__ = [
 #: Default LRU bound for a serving process's fallback origin memo.
 DEFAULT_ORIGIN_CACHE_SLASH64S = 65536
 
-#: Query ops the engine serves, each an address-batch method of
-#: :class:`~repro.serve.format.ServingIndex`.
-QUERY_OPS: Tuple[str, ...] = (
-    "record",
-    "lifetime",
-    "entropy",
-    "features",
-    "origin",
-    "contains",
-    "slash48",
-    "slash64",
-)
+#: Names of the query ops the engine serves — derived from the shared
+#: :data:`~repro.serve.wire.QUERY_OP_TABLE` registry (each an
+#: address-batch method of :class:`~repro.serve.format.ServingIndex`;
+#: ``stats`` is served by the transport layer, not the engine).
+QUERY_OPS: Tuple[str, ...] = tuple(spec.name for spec in ADDRESS_OPS)
 
 #: Batch-size histogram buckets: how many queries one kernel call served.
 _BATCH_BUCKETS = (
@@ -61,18 +55,48 @@ _BATCH_BUCKETS = (
 )
 
 
-class _Pending:
-    """One op's accumulating batch for the current event-loop tick."""
+def _merge_parts(parts: List[Sequence[int]]) -> Sequence[int]:
+    """One batch out of same-tick request parts.  All-binary parts
+    (zero-copy :class:`~repro.serve.wire.AddressBlock` views) merge as
+    numpy column concatenation — never materialized into Python ints —
+    anything else flattens to a plain int list."""
+    if len(parts) == 1:
+        return parts[0]
+    if all(isinstance(part, AddressBlock) for part in parts):
+        merged = AddressBlock.concat(parts)
+        if merged is not None:
+            return merged
+    args: List[int] = []
+    for part in parts:
+        args.extend(part)
+    return args
 
-    __slots__ = ("args", "waiters")
+
+class _Pending:
+    """One op's accumulating batch for the current event-loop tick.
+
+    Requests are held as ``parts`` — each a plain int sequence or a
+    zero-copy :class:`~repro.serve.wire.AddressBlock` — and merged only
+    at flush time by :func:`_merge_parts`.
+    """
+
+    __slots__ = ("parts", "total", "waiters")
 
     def __init__(self) -> None:
-        self.args: List[int] = []
-        # (future, start, count, enqueued_at) — each waiter owns the
-        # slice [start, start + count) of the batch results.
+        self.parts: List[Sequence[int]] = []
+        self.total = 0
+        # (future, start, count, enqueued_at, columnar) — each waiter
+        # owns the slice [start, start + count) of the batch results;
+        # ``columnar`` marks binary-path waiters that accept a
+        # :class:`~repro.serve.format.ColumnarResults` slice instead of
+        # a materialized list.
         self.waiters: List[
-            Tuple[asyncio.Future, int, int, float]
+            Tuple[asyncio.Future, int, int, float, bool]
         ] = []
+
+    def extend(self, addresses: Sequence[int]) -> None:
+        self.parts.append(addresses)
+        self.total += len(addresses)
 
 
 class CoalescingEngine:
@@ -105,7 +129,7 @@ class CoalescingEngine:
         self.coalesce = coalesce
         self.max_batch = max_batch
         self._origin_resolver = origin_resolver
-        self._pending: Dict[str, _Pending] = {}
+        self._pending: Dict[int, _Pending] = {}
         self._flush_scheduled = False
         #: Swaps performed via :meth:`swap_index` (live index reloads).
         self.index_swaps = 0
@@ -143,16 +167,18 @@ class CoalescingEngine:
 
     def _bind_executors(
         self, index: ServingIndex
-    ) -> Dict[str, Callable]:
+    ) -> Dict[int, Callable]:
+        # Table-driven off the shared registry, keyed by wire op code:
+        # every addressed op maps to the index batch method of the same
+        # name, except origin, which routes through the table-or-
+        # resolver shim.
         return {
-            "record": index.record_batch,
-            "lifetime": index.lifetime_batch,
-            "entropy": index.entropy_batch,
-            "features": index.features_batch,
-            "origin": self._origin_exec,
-            "contains": index.contains_batch,
-            "slash48": index.slash48_batch,
-            "slash64": index.slash64_batch,
+            spec.code: (
+                self._origin_exec
+                if spec.name == "origin"
+                else getattr(index, f"{spec.name}_batch")
+            )
+            for spec in ADDRESS_OPS
         }
 
     def swap_index(self, index: ServingIndex) -> ServingIndex:
@@ -175,36 +201,57 @@ class CoalescingEngine:
 
     # -- public query surface ----------------------------------------------------
 
-    async def batch(self, op: str, addresses: Sequence[int]) -> List:
-        """Answer ``op`` for every address (one result per address)."""
-        executor = self._executors.get(op)
+    async def batch(
+        self, op, addresses: Sequence[int], *, columnar: bool = False
+    ) -> List:
+        """Answer ``op`` for every address (one result per address).
+
+        ``op`` is anything the shared registry resolves — a wire name
+        (``"contains"``), a wire op code (the binary server's path), or
+        a :class:`~repro.serve.wire.QueryOp` itself.
+
+        ``columnar=True`` (the binary wire path) asks for a
+        :class:`~repro.serve.format.ColumnarResults` instead of a list
+        — identical values, but held as numpy columns ready for
+        zero-loop RSB1 encoding.  It is best-effort: the answer is a
+        plain list whenever the columnar lane is unavailable (no numpy,
+        origin served by a resolver), so callers must accept either.
+        """
+        spec = resolve_op(op)
+        executor = self._executors.get(spec.code)
         if executor is None:
             raise ValueError(
-                f"unknown query op {op!r}; serving ops: "
+                f"unknown query op {spec.name!r}; serving ops: "
                 + ", ".join(QUERY_OPS)
             )
         if not len(addresses):
             return []
         if not self.coalesce:
             started = perf_counter()
-            results = self._execute(op, executor, list(addresses))
-            self._m_latency[op].observe(perf_counter() - started)
+            if not isinstance(addresses, (list, AddressBlock)):
+                addresses = list(addresses)
+            results = None
+            if columnar:
+                results = self._execute_columnar(spec, addresses)
+            if results is None:
+                results = self._execute(spec, executor, addresses)
+            self._m_latency[spec.name].observe(perf_counter() - started)
             return results
         future = asyncio.get_running_loop().create_future()
-        pending = self._pending.get(op)
+        pending = self._pending.get(spec.code)
         if pending is None:
-            pending = self._pending[op] = _Pending()
-        start = len(pending.args)
-        pending.args.extend(addresses)
+            pending = self._pending[spec.code] = _Pending()
+        start = pending.total
+        pending.extend(addresses)
         pending.waiters.append(
-            (future, start, len(addresses), perf_counter())
+            (future, start, len(addresses), perf_counter(), columnar)
         )
         if not self._flush_scheduled:
             self._flush_scheduled = True
             asyncio.get_running_loop().call_soon(self._flush)
         return await future
 
-    async def query(self, op: str, address: int):
+    async def query(self, op, address: int):
         """Answer a single query (one-element :meth:`batch`)."""
         return (await self.batch(op, (address,)))[0]
 
@@ -241,7 +288,7 @@ class CoalescingEngine:
         return [resolver(address) for address in addresses]
 
     def _execute(
-        self, op: str, executor: Callable, args: List[int]
+        self, spec: QueryOp, executor: Callable, args: Sequence[int]
     ) -> List:
         results: List = []
         for start in range(0, len(args), self.max_batch):
@@ -251,13 +298,33 @@ class CoalescingEngine:
             self._m_batches.inc()
             self._m_batch_size.observe(len(chunk))
         self.queries_served += len(args)
-        self._m_queries[op].inc(len(args))
+        self._m_queries[spec.name].inc(len(args))
         return results
+
+    def _execute_columnar(
+        self, spec: QueryOp, args: Sequence[int]
+    ) -> Optional[ColumnarResults]:
+        """Column-major execution; None → caller takes the list path."""
+        parts = []
+        for start in range(0, len(args), self.max_batch):
+            chunk = args[start : start + self.max_batch]
+            part = self.index.columnar_batch(spec.name, chunk)
+            if part is None:
+                return None
+            parts.append(part)
+        for part in parts:
+            self.batches_executed += 1
+            self._m_batches.inc()
+            self._m_batch_size.observe(len(part))
+        self.queries_served += len(args)
+        self._m_queries[spec.name].inc(len(args))
+        return ColumnarResults.concat(parts)
 
     def _flush(self) -> None:
         self._flush_scheduled = False
         pending, self._pending = self._pending, {}
-        for op, bucket in pending.items():
+        for code, bucket in pending.items():
+            spec = resolve_op(code)
             # A waiter whose future is already done (cancelled by a
             # vanished client, typically) gets no answer — so it must
             # contribute neither kernel work nor metrics: counting it
@@ -267,27 +334,46 @@ class CoalescingEngine:
             live = [w for w in waiters if not w[0].done()]
             if not live:
                 continue
+            merged = _merge_parts(bucket.parts)
             if len(live) == len(waiters):
-                args = bucket.args
+                args = merged
             else:
-                args = []
                 rebased = []
-                for future, start, count, enqueued in live:
+                pieces = []
+                total = 0
+                for future, start, count, enqueued, columnar in live:
                     rebased.append(
-                        (future, len(args), count, enqueued)
+                        (future, total, count, enqueued, columnar)
                     )
-                    args.extend(bucket.args[start : start + count])
+                    pieces.append(merged[start : start + count])
+                    total += count
                 live = rebased
+                args = _merge_parts(pieces)
             try:
-                results = self._execute(op, self._executors[op], args)
+                # Execute columnar when any waiter is on the binary
+                # path; JSON waiters in the same coalesced batch get
+                # their slice materialized below — same values either
+                # way, so mixed-protocol batches still coalesce.
+                results = None
+                if any(w[4] for w in live):
+                    results = self._execute_columnar(spec, args)
+                if results is None:
+                    results = self._execute(
+                        spec, self._executors[code], args
+                    )
             except Exception as error:
-                for future, _, _, _ in live:
+                for future, _, _, _, _ in live:
                     if not future.done():
                         future.set_exception(error)
                 continue
             answered = perf_counter()
-            latency = self._m_latency[op]
-            for future, start, count, enqueued in live:
+            latency = self._m_latency[spec.name]
+            for future, start, count, enqueued, columnar in live:
                 if not future.done():
-                    future.set_result(results[start : start + count])
+                    piece = results[start : start + count]
+                    if not columnar and isinstance(
+                        piece, ColumnarResults
+                    ):
+                        piece = piece.to_list()
+                    future.set_result(piece)
                     latency.observe(answered - enqueued)

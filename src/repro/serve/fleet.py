@@ -51,6 +51,7 @@ from .format import (
     manifest_fingerprint,
 )
 from .service import (
+    DEFAULT_MAX_FRAME_BYTES,
     DEFAULT_MAX_PIPELINE,
     HitlistServer,
     READY_PREFIX,
@@ -102,6 +103,9 @@ class FleetConfig:
     drain_timeout: float = DEFAULT_DRAIN_TIMEOUT
     metrics_out: Optional[str] = None
     max_pipeline: int = DEFAULT_MAX_PIPELINE
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    #: Refuse RSB1 upgrades: every connection stays JSON-lines.
+    json_only: bool = False
 
 
 def _routing_provider(config: FleetConfig) -> Optional[Callable]:
@@ -280,6 +284,8 @@ async def _serve(
         port=config.port,
         metrics=registry,
         max_pipeline=config.max_pipeline,
+        max_frame_bytes=config.max_frame_bytes,
+        binary=not config.json_only,
         sock=sock,
     )
     host, port = await server.start()

@@ -75,16 +75,21 @@ from ..core.storage import CorpusFormatError
 from ..obs import MetricsRegistry, NULL_REGISTRY
 
 __all__ = [
+    "ColumnarResults",
     "SERVING_INDEX_NAME",
     "SERVING_LOCK_NAME",
     "ServingIndex",
     "ServingIndexError",
     "build_serving_index",
+    "crc32_of",
     "ensure_serving_index",
     "flatten_origin_table",
+    "le_bytes",
     "manifest_digest",
     "manifest_fingerprint",
+    "pack_uvarint",
     "serving_build_lock",
+    "unpack_uvarint",
 ]
 
 #: File name of the serving index inside a segment directory.
@@ -113,8 +118,57 @@ _BIG_ENDIAN = sys.byteorder == "big"
 _VECTOR_MIN = 8
 
 
+def _as_u64_array(np, values, count: int):
+    """A u64 ndarray of ``values`` — the value itself when it already is
+    one (the zero-copy wire path's strided view), else a fromiter copy."""
+    if isinstance(values, np.ndarray):
+        return values
+    return np.fromiter(values, dtype=np.uint64, count=count)
+
+
 class ServingIndexError(CorpusFormatError):
     """A serving index file is torn, corrupt, or inconsistent."""
+
+
+# -- shared binary-format helpers (RSI1 files and RSB1 wire frames) ------------
+
+
+def crc32_of(*chunks) -> int:
+    """CRC32 over a sequence of byte chunks, without concatenating them."""
+    value = 0
+    for chunk in chunks:
+        value = zlib.crc32(chunk, value)
+    return value & 0xFFFFFFFF
+
+
+def pack_uvarint(value: int) -> bytes:
+    """LEB128-style unsigned varint (7 value bits per byte, MSB = more)."""
+    if value < 0:
+        raise ValueError(f"uvarint cannot encode negatives: {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def unpack_uvarint(data, offset: int = 0) -> Tuple[int, int]:
+    """Decode one uvarint; returns ``(value, next_offset)``."""
+    value = 0
+    shift = 0
+    while True:
+        if offset >= len(data) or shift > 63:
+            raise ValueError("truncated or oversized uvarint")
+        byte = data[offset]
+        offset += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, offset
+        shift += 7
 
 
 def manifest_digest(manifest: Manifest) -> int:
@@ -259,12 +313,16 @@ def flatten_origin_table(
     return starts_hi, starts_lo, asns
 
 
-def _le_bytes(column: array) -> bytes:
+def le_bytes(column: array) -> bytes:
+    """Little-endian bytes of an :mod:`array` column, host order aside."""
     if _BIG_ENDIAN:  # pragma: no cover - no big-endian CI platform
         swapped = array(column.typecode, column)
         swapped.byteswap()
         return swapped.tobytes()
     return column.tobytes()
+
+
+_le_bytes = le_bytes
 
 
 def _pad8(size: int) -> int:
@@ -273,8 +331,18 @@ def _pad8(size: int) -> int:
 
 def _split_addresses(
     addresses: Sequence[int],
-) -> Tuple[List[int], List[int]]:
-    """Hi/lo u64 halves of a batch of addresses, range-checked."""
+) -> Tuple[Sequence[int], Sequence[int]]:
+    """Hi/lo u64 halves of a batch of addresses, range-checked.
+
+    A batch that arrives pre-split — an
+    :class:`~repro.serve.wire.AddressBlock` wrapping a decoded RSB1
+    request payload — short-circuits to its existing ``hi``/``lo``
+    columns: zero copies, zero per-int validation (every 16-byte wire
+    address is range-valid by construction).
+    """
+    hi = getattr(addresses, "hi", None)
+    if hi is not None:
+        return hi, addresses.lo
     q_hi: List[int] = []
     q_lo: List[int] = []
     for address in addresses:
@@ -287,6 +355,124 @@ def _split_addresses(
         q_hi.append(address >> 64)
         q_lo.append(address & _U64_MASK)
     return q_hi, q_lo
+
+
+class ColumnarResults:
+    """Column-major batch answers: the binary wire path's zero-loop lane.
+
+    One numpy array per reply column (family-specific order, see below)
+    plus a boolean ``mask`` for families where results can be None, with
+    masked-out entries **zeroed** — exactly the RSB1 reply payload
+    layout, so :func:`repro.serve.wire.encode_reply` is one ``tobytes``
+    per column and byte-identical to encoding the materialized list.
+
+    Behaves enough like the list the ``*_batch`` methods return for the
+    engine to slice coalesced batches per waiter: ``len()``, integer
+    indexing (materializes one Python value) and slicing (a columnar
+    sub-view).  :meth:`to_list` materializes the whole batch into
+    exactly the Python objects the matching list path produces.
+
+    Column order per family: ``bool`` → ``(flags,)`` (np.bool\\_);
+    ``f64opt`` → ``(values,)``; ``record`` → ``(first, last, counts)``;
+    ``features`` → ``(entropies, codes, macs)`` (result-tuple order, a
+    stored ``NO_MAC`` meaning "no MAC"); ``asn`` → ``(asns,)`` (u4,
+    0 meaning None).
+    """
+
+    __slots__ = ("family", "mask", "columns")
+
+    def __init__(self, family: str, mask, columns: Tuple) -> None:
+        self.family = family
+        self.mask = mask
+        self.columns = columns
+
+    def __len__(self) -> int:
+        return len(self.columns[0])
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            mask = None if self.mask is None else self.mask[item]
+            return ColumnarResults(
+                self.family,
+                mask,
+                tuple(column[item] for column in self.columns),
+            )
+        family = self.family
+        if family == "bool":
+            return bool(self.columns[0][item])
+        if family == "asn":
+            return int(self.columns[0][item]) or None
+        if not self.mask[item]:
+            return None
+        if family == "f64opt":
+            return float(self.columns[0][item])
+        if family == "record":
+            first, last, counts = self.columns
+            return (
+                float(first[item]),
+                float(last[item]),
+                int(counts[item]),
+            )
+        entropies, codes, macs = self.columns
+        mac = int(macs[item])
+        return (
+            float(entropies[item]),
+            int(codes[item]),
+            None if mac == _kernels.NO_MAC else mac,
+        )
+
+    def __iter__(self):
+        return iter(self.to_list())
+
+    def to_list(self) -> List:
+        """The batch as the plain Python list the list path produces."""
+        family = self.family
+        if family == "bool":
+            return self.columns[0].tolist()
+        if family == "asn":
+            return [asn or None for asn in self.columns[0].tolist()]
+        mask = self.mask.tolist()
+        if family == "f64opt":
+            return [
+                value if hit else None
+                for hit, value in zip(mask, self.columns[0].tolist())
+            ]
+        if family == "record":
+            first, last, counts = (c.tolist() for c in self.columns)
+            return [
+                (first[i], last[i], counts[i]) if hit else None
+                for i, hit in enumerate(mask)
+            ]
+        entropies, codes, macs = (c.tolist() for c in self.columns)
+        no_mac = _kernels.NO_MAC
+        return [
+            (
+                entropies[i],
+                codes[i],
+                None if macs[i] == no_mac else macs[i],
+            )
+            if hit
+            else None
+            for i, hit in enumerate(mask)
+        ]
+
+    @classmethod
+    def concat(cls, parts: Sequence["ColumnarResults"]):
+        """Concatenate chunked results (the engine's max_batch split)."""
+        if len(parts) == 1:
+            return parts[0]
+        np = _kernels._np
+        first = parts[0]
+        mask = (
+            None
+            if first.mask is None
+            else np.concatenate([part.mask for part in parts])
+        )
+        columns = tuple(
+            np.concatenate([part.columns[i] for part in parts])
+            for i in range(len(first.columns))
+        )
+        return cls(first.family, mask, columns)
 
 
 def _peek_generation(path: Path) -> int:
@@ -407,9 +593,7 @@ def build_serving_index(
         parts.append(_le_bytes(origin_asn))
         parts.append(bytes(_pad8(4 * len(origin_asn))))
         body = b"".join(parts)
-        blob = body + _FOOTER.pack(
-            _FOOTER_MAGIC, zlib.crc32(body) & 0xFFFFFFFF
-        )
+        blob = body + _FOOTER.pack(_FOOTER_MAGIC, crc32_of(body))
         store._atomic_write(path, blob)
     registry.counter(
         "repro_serve_index_builds_total", "serving index builds"
@@ -560,7 +744,7 @@ class ServingIndex:
                 offset=total - _FOOTER_SIZE,
             )
         with memoryview(mapped) as view:
-            actual_crc = zlib.crc32(view[: total - _FOOTER_SIZE])
+            actual_crc = crc32_of(view[: total - _FOOTER_SIZE])
         if actual_crc != stored_crc:
             raise ServingIndexError(
                 f"serving index CRC mismatch: stored {stored_crc:#010x}, "
@@ -670,8 +854,8 @@ class ServingIndex:
             np = _kernels._np
             count = len(positions)
             pos = np.fromiter(positions, dtype=np.int64, count=count)
-            qh = np.fromiter(q_hi, dtype=np.uint64, count=count)
-            ql = np.fromiter(q_lo, dtype=np.uint64, count=count)
+            qh = _as_u64_array(np, q_hi, count)
+            ql = _as_u64_array(np, q_lo, count)
             clipped = np.minimum(pos, rows - 1)
             hit = (
                 (pos < rows)
@@ -777,9 +961,11 @@ class ServingIndex:
     def slash48_batch(self, addresses: Sequence[int]) -> List[bool]:
         """Whether each address's /48 holds any corpus address."""
         q_hi, _ = _split_addresses(addresses)
-        return _kernels.sorted_contains_u64(
-            self._slash48, [hi & _SLASH48_HI_MASK for hi in q_hi]
-        )
+        if self._numpy and isinstance(q_hi, _kernels._np.ndarray):
+            probes = q_hi & _kernels._np.uint64(_SLASH48_HI_MASK)
+        else:
+            probes = [hi & _SLASH48_HI_MASK for hi in q_hi]
+        return _kernels.sorted_contains_u64(self._slash48, probes)
 
     def slash64_batch(self, addresses: Sequence[int]) -> List[bool]:
         """Whether each address's /64 holds any corpus address."""
@@ -821,6 +1007,123 @@ class ServingIndex:
             else int(asn_col[position - 1])
             for position in positions
         ]
+
+    # -- columnar queries (the binary wire path's zero-loop lane) ----------------
+
+    def _columnar_rows(self, qh, ql, count: int):
+        """(row-index, hit) ndarrays; misses index row 0 with hit False."""
+        np = _kernels._np
+        if not self.rows:
+            zeros = np.zeros(count, dtype=np.int64)
+            return zeros, np.zeros(count, dtype=bool)
+        pos = _kernels.pair_searchsorted_array(
+            self._hi, self._lo, qh, ql, "left"
+        )
+        clipped = np.minimum(pos, self.rows - 1)
+        hit = (
+            (pos < self.rows)
+            & (self._hi[clipped] == qh)
+            & (self._lo[clipped] == ql)
+        )
+        return np.where(hit, pos, 0), hit
+
+    def _columnar_gather(self, hit, rows_idx, column, zero):
+        np = _kernels._np
+        if not self.rows:
+            return np.zeros(len(hit), dtype=column.dtype)
+        return np.where(hit, column[rows_idx], zero)
+
+    def _columnar_member(self, column, probes):
+        np = _kernels._np
+        size = len(column)
+        if not size:
+            return np.zeros(len(probes), dtype=bool)
+        positions = np.searchsorted(column, probes)
+        found = positions < size
+        clipped = np.where(found, positions, 0)
+        found &= column[clipped] == probes
+        return found
+
+    def columnar_batch(
+        self, op: str, addresses: Sequence[int]
+    ) -> Optional[ColumnarResults]:
+        """Column-major answers for ``op``, or None to use the list path.
+
+        Produces exactly the values the matching ``*_batch`` method
+        would (see :class:`ColumnarResults`) without building per-item
+        Python objects: searchsorted rows, fancy-indexed columns, a hit
+        mask — ready for one-``tobytes``-per-column RSB1 encoding.
+        Returns None when numpy is unavailable, the batch is empty, or
+        ``op == "origin"`` without an origin table (the engine's
+        resolver shim answers those instead).
+        """
+        if not self._numpy or not len(addresses):
+            return None
+        np = _kernels._np
+        count = len(addresses)
+        if op in ("slash48", "slash64"):
+            q_hi, _ = _split_addresses(addresses)
+            probes = _as_u64_array(np, q_hi, count)
+            if op == "slash48":
+                probes = probes & np.uint64(_SLASH48_HI_MASK)
+                column = self._slash48
+            else:
+                column = self._slash64
+            return ColumnarResults(
+                "bool", None, (self._columnar_member(column, probes),)
+            )
+        q_hi, q_lo = _split_addresses(addresses)
+        qh = _as_u64_array(np, q_hi, count)
+        ql = _as_u64_array(np, q_lo, count)
+        if op == "origin":
+            if not self.has_origin_table:
+                return None
+            positions = _kernels.pair_searchsorted_array(
+                self._origin_hi, self._origin_lo, qh, ql, "right"
+            )
+            # The table always starts at (0, 0): positions >= 1.
+            return ColumnarResults(
+                "asn", None, (self._origin_asn[positions - 1],)
+            )
+        rows_idx, hit = self._columnar_rows(qh, ql, count)
+        if op == "contains":
+            return ColumnarResults("bool", None, (hit,))
+        gather = self._columnar_gather
+        if op == "lifetime":
+            if not self.rows:
+                values = np.zeros(count)
+            else:
+                values = np.where(
+                    hit, self._last[rows_idx] - self._first[rows_idx], 0.0
+                )
+            return ColumnarResults("f64opt", hit, (values,))
+        if op == "entropy":
+            return ColumnarResults(
+                "f64opt",
+                hit,
+                (gather(hit, rows_idx, self._entropies, 0.0),),
+            )
+        if op == "record":
+            return ColumnarResults(
+                "record",
+                hit,
+                (
+                    gather(hit, rows_idx, self._first, 0.0),
+                    gather(hit, rows_idx, self._last, 0.0),
+                    gather(hit, rows_idx, self._counts, 0),
+                ),
+            )
+        if op == "features":
+            return ColumnarResults(
+                "features",
+                hit,
+                (
+                    gather(hit, rows_idx, self._entropies, 0.0),
+                    gather(hit, rows_idx, self._codes, 0),
+                    gather(hit, rows_idx, self._macs, 0),
+                ),
+            )
+        raise ValueError(f"unknown columnar op {op!r}")
 
 
 def ensure_serving_index(
